@@ -1,0 +1,98 @@
+"""Benchmark: the Sec. IV-F application layer.
+
+Times modular multiplication through each reduction strategy on the
+CIM datapath and derives the modmul cycle costs implied by the paper's
+multiplier throughput — the FHE (64-bit) and ZKP (384-bit) workloads
+that motivate the design.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.crypto import (
+    GOLDILOCKS,
+    BarrettReducer,
+    ModularMultiplier,
+    MontgomeryMultiplier,
+    SparseReducer,
+)
+from repro.eval.report import format_table
+from repro.karatsuba import cost
+
+SMALL_PRIME = 65521
+
+
+def test_montgomery_modmul(benchmark, rng):
+    mont = MontgomeryMultiplier(SMALL_PRIME)
+    x, y = rng.randrange(SMALL_PRIME), rng.randrange(SMALL_PRIME)
+    result = benchmark(mont.modmul, x, y)
+    assert result == (x * y) % SMALL_PRIME
+
+
+def test_barrett_modmul(benchmark, rng):
+    red = BarrettReducer(SMALL_PRIME)
+    x, y = rng.randrange(SMALL_PRIME), rng.randrange(SMALL_PRIME)
+    result = benchmark(red.modmul, x, y)
+    assert result == (x * y) % SMALL_PRIME
+
+
+def test_sparse_reduce_goldilocks(benchmark, rng):
+    red = SparseReducer(GOLDILOCKS.modulus)
+    x = rng.getrandbits(128)
+    result = benchmark(red.reduce, x)
+    assert result == x % GOLDILOCKS.modulus
+
+
+def test_goldilocks_modmul_on_cim(benchmark, rng):
+    """The paper's FHE scenario: 64-bit modular multiplication."""
+    mm = ModularMultiplier(GOLDILOCKS.modulus)
+    p = GOLDILOCKS.modulus
+    x, y = rng.randrange(p), rng.randrange(p)
+    result = benchmark(mm.modmul, x, y)
+    assert result == (x * y) % p
+
+
+def test_modmul_cycle_model(benchmark):
+    """Cycle cost of one modular multiplication per strategy, derived
+    from the pipeline's closed forms (Sec. IV-F building blocks)."""
+
+    def table():
+        rows = []
+        for n in (64, 256, 384):
+            dc = cost.design_cost(n, 2)
+            mult_cc = dc.bottleneck_cc          # pipelined issue rate
+            adder_cc = cost.adder_latency_cc(3 * n // 2)
+            rows.append((n, "montgomery (3 mults)", 3 * mult_cc))
+            rows.append((n, "barrett (3 mults)", 3 * mult_cc))
+            rows.append((n, "sparse (1 mult + 2 adds)", mult_cc + 2 * adder_cc))
+        return rows
+
+    rows = benchmark(table)
+    by_key = {(n, kind): cc for n, kind, cc in rows}
+    # Sparse reduction is the cheapest path at every width.
+    for n in (64, 256, 384):
+        assert (
+            by_key[(n, "sparse (1 mult + 2 adds)")]
+            < by_key[(n, "montgomery (3 mults)")]
+        )
+    register_report(
+        "crypto-cycles",
+        format_table(
+            ("n", "strategy", "cycles/modmul (pipelined)"),
+            rows,
+            title="Sec. IV-F - modular multiplication cycle model",
+        ),
+    )
+
+
+@pytest.mark.parametrize(
+    "strategy", ["sparse", "montgomery", "barrett"]
+)
+def test_strategy_comparison_small(benchmark, strategy, rng):
+    p = (1 << 16) - 17
+    mm = ModularMultiplier(p, strategy=strategy)
+    x, y = rng.randrange(p), rng.randrange(p)
+    result = benchmark(mm.modmul, x, y)
+    assert result == (x * y) % p

@@ -1,0 +1,54 @@
+"""Benchmark: regenerate the paper's Fig. 4 (ATP vs unroll depth L).
+
+Asserts the figure's conclusion — L = 2 minimises the aggregate ATP
+over cryptographically relevant sizes, with the crossover structure at
+the range's extremes — and times the sweep.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import register_report
+from repro.eval import fig4
+from repro.karatsuba import cost
+
+
+def test_fig4_sweep(benchmark):
+    points = benchmark(fig4.generate)
+    curves = fig4.series(points)
+    assert set(curves) == {1, 2, 3, 4}
+    # Curve shape: for every depth ATP grows with n.
+    for curve in curves.values():
+        sizes = sorted(curve)
+        assert [curve[n] for n in sizes] == sorted(curve[n] for n in sizes)
+    register_report("fig4", fig4.render(points))
+
+
+def test_fig4_conclusion_l2(benchmark):
+    best = benchmark(fig4.best_overall_depth)
+    assert best == 2
+    agg = fig4.geomean_atp_by_depth()
+    register_report(
+        "fig4-conclusion",
+        "Fig. 4 conclusion: geomean ATP by depth over n=64..384 -> "
+        + ", ".join(f"L={d}: {v:.1f}" for d, v in sorted(agg.items()))
+        + "  (L=2 minimal, matching the paper's choice)",
+    )
+
+
+def test_fig4_per_size_optima(benchmark):
+    """Single-size optima cross over: L=1 at n=64, L=2 at 256-512,
+    L=3 by n=1024 — the visual structure of the figure."""
+
+    def optima():
+        return {n: cost.optimal_depth(n) for n in (64, 256, 384, 512, 1024)}
+
+    result = benchmark(optima)
+    assert result[64] == 1
+    assert result[256] == result[384] == result[512] == 2
+    assert result[1024] == 3
+
+
+def test_design_cost_single_point(benchmark):
+    dc = benchmark(cost.design_cost, 384, 2)
+    assert dc.area_cells == 25044
+    assert dc.bottleneck_cc == 2061

@@ -1,0 +1,104 @@
+"""Benchmark: regenerate the paper's Table I (Sec. V).
+
+Asserts the table's structure — areas cell-exact, throughputs within
+tolerance, the relative factors the paper highlights — and times both
+the analytic generation and representative simulated multiplications
+of each competing design.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.baselines import ALL_BASELINES, PAPER_TABLE1, TABLE1_SIZES
+from repro.eval import table1
+from repro.karatsuba.design import KaratsubaCimMultiplier
+
+
+def test_table1_regeneration(benchmark):
+    """Generate all 20 rows and validate them against the paper."""
+    entries = benchmark(table1.generate)
+    assert len(entries) == 20
+    errors = table1.compare_with_paper(entries)
+    for work, rows in errors.items():
+        for n, metrics in rows.items():
+            assert metrics["throughput"] < 0.07, (work, n)
+            assert metrics["area"] < 0.001, (work, n)
+    register_report("table1", table1.render(entries))
+
+
+def test_headline_factors(benchmark):
+    """Abstract claims: up to 916x throughput / 281x ATP (ours: ~930/~285)."""
+    factors = benchmark(table1.headline_factors)
+    assert 850 <= factors["throughput"] <= 1000
+    assert 260 <= factors["atp"] <= 310
+    register_report(
+        "headline",
+        "Headline factors vs best baseline case "
+        f"(paper: 916x tput, 281x ATP): "
+        f"{factors['throughput']:.0f}x tput, {factors['atp']:.0f}x ATP",
+    )
+
+
+def test_secv_row_length_and_writes(benchmark):
+    """Sec. V text: 4x shorter rows and up to 7.8x fewer writes vs [9]."""
+    ratio = benchmark(table1.row_length_vs_multpim, 384)
+    assert 4.0 <= ratio <= 5.0
+    assert table1.write_reduction_vs_multpim(384) == pytest.approx(7.76, abs=0.05)
+
+
+@pytest.mark.parametrize("n", [64, 128])
+def test_simulated_multiplication_ours(benchmark, n, rng):
+    """Time one full NOR-level multiplication on our design."""
+    cim = KaratsubaCimMultiplier(n)
+    a, b = rng.getrandbits(n), rng.getrandbits(n)
+    product = benchmark(cim.multiply, a, b)
+    assert product == a * b
+
+
+@pytest.mark.parametrize(
+    "baseline", ALL_BASELINES, ids=lambda b: b.name
+)
+def test_simulated_multiplication_baselines(benchmark, baseline, rng):
+    """Time one functional multiplication per baseline (16-bit keeps
+    the quadratic designs affordable)."""
+    a, b = rng.getrandbits(16), rng.getrandbits(16)
+    product = benchmark(baseline.multiply, a, b, 16)
+    assert product == a * b
+
+
+def test_metric_models_are_fast(benchmark):
+    """All 5 designs x 4 sizes of closed-form metrics in one call."""
+
+    def compute():
+        out = []
+        for n in TABLE1_SIZES:
+            out.append(table1.our_metrics(n))
+            out.extend(bl.metrics(n) for bl in ALL_BASELINES)
+        return out
+
+    metrics = benchmark(compute)
+    assert len(metrics) == 20
+    assert {m.n_bits for m in metrics} == set(TABLE1_SIZES)
+
+
+def test_max_writes_column(benchmark):
+    """The endurance column of Table I, all designs."""
+
+    def column():
+        return {
+            (work, n): PAPER_TABLE1[work][n].max_writes
+            for work in PAPER_TABLE1
+            for n in TABLE1_SIZES
+        }
+
+    paper = benchmark(column)
+    from repro.baselines import hajali, lakshmi, leitersdorf
+    from repro.karatsuba import cost
+
+    for n in TABLE1_SIZES:
+        assert hajali.max_writes_per_cell(n) == paper[("hajali2018", n)]
+        assert lakshmi.MAX_WRITES == paper[("lakshmi2022", n)]
+        assert leitersdorf.max_writes_per_cell(n) == paper[("leitersdorf2022", n)]
+        assert cost.max_writes_per_cell(n) == paper[("ours", n)]

@@ -1,0 +1,58 @@
+"""Benchmark: Sec. III-B Toom-Cook suitability numbers.
+
+Regenerates the 25/49/81 interpolation constant-multiplication counts,
+quantifies the fractional-constant problem, and times exact Toom-k
+multiplication against the Karatsuba references.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.algorithms import (
+    ToomCook,
+    multiply_recursive,
+    multiply_unrolled,
+    paper_interpolation_counts,
+)
+from repro.eval import explore_report
+
+
+def test_interpolation_counts(benchmark):
+    counts = benchmark(paper_interpolation_counts)
+    assert counts == {3: 25, 4: 49, 5: 81}
+    register_report("toomcook", explore_report.toomcook_table())
+
+
+def test_fractional_constants_grow_with_k(benchmark):
+    """Larger k brings more fractional inverse-matrix entries — the
+    CIM-hostility argument of Sec. III-B."""
+
+    def fractions_by_k():
+        return {k: ToomCook(k).cost().fractional_constants for k in (2, 3, 4, 5)}
+
+    result = benchmark(fractions_by_k)
+    assert result[2] == 0            # Karatsuba: integer constants only
+    assert result[3] > 0
+    assert result[3] < result[4] < result[5]
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5])
+def test_toomcook_multiplication(benchmark, k, rng):
+    tc = ToomCook(k)
+    a, b = rng.getrandbits(384), rng.getrandbits(384)
+    product = benchmark(tc.multiply, a, b, 384)
+    assert product == a * b
+
+
+def test_karatsuba_reference_recursive(benchmark, rng):
+    a, b = rng.getrandbits(384), rng.getrandbits(384)
+    product = benchmark(multiply_recursive, a, b, 384)
+    assert product == a * b
+
+
+def test_karatsuba_reference_unrolled(benchmark, rng):
+    a, b = rng.getrandbits(384), rng.getrandbits(384)
+    product = benchmark(multiply_unrolled, a, b, 384, 2)
+    assert product == a * b

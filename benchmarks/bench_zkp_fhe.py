@@ -1,0 +1,135 @@
+"""Benchmark: end-to-end cryptographic workload models.
+
+Projects the paper's two motivating applications onto the reproduced
+datapath: pairing-based ZKP proof generation (MSM over BLS12-381, the
+intro's 2^26-point scenario) and FHE ciphertext arithmetic (toy BFV
+over the Goldilocks ring).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.crypto.ec import BLS12_381_G1, TINY_CURVE, CimEllipticCurve
+from repro.crypto.msm import (
+    msm_cost,
+    naive_msm,
+    optimal_window,
+    paper_scale_projection,
+    pippenger_msm,
+)
+from repro.crypto.polyring import PolyRing, ToyBfv
+from repro.eval.report import format_table
+
+
+def test_msm_functional(benchmark, rng):
+    """Pippenger vs naive on the tiny curve, timed."""
+    curve = CimEllipticCurve(TINY_CURVE)
+    g = curve.generator()
+    points = [curve.scalar_mul(rng.randrange(1, 100), g) for _ in range(8)]
+    scalars = [rng.randrange(0, 100) for _ in range(8)]
+    result = benchmark(pippenger_msm, curve, scalars, points, 3)
+    assert result == naive_msm(curve, scalars, points)
+
+
+def test_msm_cost_model(benchmark):
+    """Operation counts across proof sizes, with optimal windows."""
+
+    def sweep():
+        rows = []
+        for log2_n in (16, 20, 24, 26):
+            cost = msm_cost(1 << log2_n, scalar_bits=255)
+            rows.append(
+                (
+                    f"2^{log2_n}",
+                    cost.window_bits,
+                    cost.point_additions,
+                    cost.field_multiplications,
+                    round(cost.cim_cycles(384) / 1e9, 1),
+                )
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    assert all(r[1] >= 10 for r in rows)          # large windows at scale
+    register_report(
+        "msm",
+        format_table(
+            ("points", "window", "point adds", "field mults", "Gcc @384b"),
+            rows,
+            title="ZKP workload - Pippenger MSM on the CIM datapath",
+        ),
+    )
+
+
+def test_paper_scale_msm(benchmark):
+    """The intro's 2^26 scenario end to end."""
+    projection = benchmark(paper_scale_projection, 26, 384)
+    assert projection["field_multiplications"] > 1e9
+    register_report(
+        "msm-paper-scale",
+        "Paper-scale MSM (2^26 points, 384-bit field): "
+        f"{projection['field_multiplications'] / 1e9:.1f}G field mults, "
+        f"{projection['cycles'] / 1e12:.1f} Tcc on one datapath "
+        f"(~{projection['seconds_at_1ghz_one_tile'] / 3600:.1f} h at 1 GHz; "
+        f"{projection['tiles_for_one_minute']:,} tiles for a one-minute proof)",
+    )
+
+
+def test_ec_operation_costs(benchmark):
+    curve = CimEllipticCurve(BLS12_381_G1)
+    model = benchmark(curve.cycle_model_per_op, 384)
+    assert model["double_cc"] < model["add_cc"]
+
+
+def test_optimal_window_model(benchmark):
+    windows = benchmark(
+        lambda: {n: optimal_window(1 << n) for n in (10, 16, 20, 26)}
+    )
+    assert sorted(windows.values()) == list(windows.values())
+
+
+def test_bfv_homomorphic_pipeline(benchmark, rng):
+    """Encrypt -> add -> plaintext-multiply -> decrypt on the ring."""
+    ring = PolyRing(32)
+    bfv = ToyBfv(ring, plaintext_modulus=16)
+    m1 = [rng.randrange(16) for _ in range(32)]
+    m2 = [rng.randrange(16) for _ in range(32)]
+
+    def pipeline():
+        ct = bfv.add(bfv.encrypt(m1), bfv.encrypt(m2))
+        return bfv.decrypt(ct)
+
+    result = benchmark(pipeline)
+    assert result == [(a + b) % 16 for a, b in zip(m1, m2)]
+
+
+def test_fhe_ring_mult_projection(benchmark):
+    """Ring-multiplication cycle budget per FHE parameter set."""
+    from repro.crypto.ntt import CimNtt, NttParams
+
+    def sweep():
+        rows = []
+        for size in (1024, 4096, 16384):
+            model = CimNtt(
+                NttParams.goldilocks(size), simulate=False
+            ).cycle_model(64)
+            rows.append(
+                (size, model["butterfly_mults_per_ntt"],
+                 round(model["ring_multiplication_cc"] / 1e6, 1))
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    assert rows[-1][2] > rows[0][2]
+    register_report(
+        "fhe-ring",
+        format_table(
+            ("N", "mults/NTT", "ring mult (Mcc)"),
+            rows,
+            title="FHE workload - ring multiplication on one 64-bit datapath",
+        ),
+    )

@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark harness.
+
+Every module regenerates one table or figure of the paper.  The
+`--benchmark-only` run measures our simulator's host-side speed, while
+each bench *asserts* the paper-facing numbers (cycle counts, areas,
+factors) so a passing run certifies the reproduction, and prints the
+regenerated artefact at the end of the session.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xBE9C)
+
+
+#: Reports registered by benches, printed once at the end of the run.
+_REPORTS = []
+
+
+def register_report(title: str, body: str) -> None:
+    _REPORTS.append((title, body))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced paper artefacts")
+    seen = set()
+    for title, body in _REPORTS:
+        if title in seen:
+            continue
+        seen.add(title)
+        terminalreporter.write_line("")
+        terminalreporter.write_line(body)

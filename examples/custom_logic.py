@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Compile custom boolean logic to MAGIC and run it SIMD in memory.
+
+Beyond the fixed arithmetic blocks, the reproduction includes a small
+NOR-synthesis compiler (`repro.magic.compiler`): give it any boolean
+expression and it emits a protocol-correct MAGIC program — lowered to
+NOR/NOT, common subexpressions shared, scratch rows register-allocated.
+This example compiles a 1-bit ALU slice (add/and/or/xor selected by two
+mode bits) and evaluates it for 32 bit-lanes simultaneously, the SIMD
+property the paper's designs exploit.
+
+Run:  python examples/custom_logic.py
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.crossbar import CrossbarArray
+from repro.magic import MagicExecutor, dump_asm
+from repro.magic.compiler import (
+    and_,
+    compile_expression,
+    evaluate,
+    maj,
+    not_,
+    or_,
+    v,
+    xor,
+)
+
+
+def alu_slice():
+    """result = m1 ? (m0 ? a+b sum : a XOR b) : (m0 ? a OR b : a AND b),
+    plus the carry of the add path."""
+    a, b, cin = v("a"), v("b"), v("cin")
+    m0, m1 = v("m0"), v("m1")
+    fa_sum = xor(xor(a, b), cin)
+    and_ab = and_(a, b)
+    or_ab = or_(a, b)
+    xor_ab = xor(a, b)
+    # 4:1 mux from the mode bits.
+    sel_add = and_(m1, m0)
+    sel_xor = and_(m1, not_(m0))
+    sel_or = and_(not_(m1), m0)
+    sel_and = and_(not_(m1), not_(m0))
+    result = or_(
+        or_(and_(sel_add, fa_sum), and_(sel_xor, xor_ab)),
+        or_(and_(sel_or, or_ab), and_(sel_and, and_ab)),
+    )
+    carry = maj(a, b, cin)
+    return result, carry
+
+
+def main() -> None:
+    rng = random.Random(4)
+    result_expr, carry_expr = alu_slice()
+
+    names = ["a", "b", "cin", "m0", "m1"]
+    input_rows = {name: i for i, name in enumerate(names)}
+    out_row = len(names)
+    carry_row = out_row + 1
+    scratch = list(range(carry_row + 1, carry_row + 1 + 16))
+
+    compiled = compile_expression(
+        result_expr, input_rows, out_row, scratch, label="alu-slice"
+    )
+    compiled_carry = compile_expression(
+        carry_expr, input_rows, carry_row, scratch, label="alu-carry"
+    )
+    print(f"ALU slice compiled: {compiled.gate_count} NOR gates, "
+          f"{compiled.cycles} cc, {compiled.scratch_rows_used} scratch rows")
+    print(f"carry compiled    : {compiled_carry.gate_count} NOR gates")
+    print()
+    print("First lines of the emitted MAGIC assembly:")
+    for line in dump_asm(compiled.program).splitlines()[:8]:
+        print(f"  {line}")
+    print("  ...")
+
+    # Run all 32 lanes at once: each column carries an independent
+    # evaluation (SIMD across bit lines, Sec. II-B).
+    lanes = 32
+    array = CrossbarArray(carry_row + 1 + len(scratch), lanes)
+    executor = MagicExecutor(array)
+    lane_envs = [
+        {name: rng.randint(0, 1) for name in names} for _ in range(lanes)
+    ]
+    for name, row in input_rows.items():
+        word = np.array([env[name] for env in lane_envs], dtype=bool)
+        array.write_row(row, word)
+    executor.execute(compiled.program)
+    executor.execute(compiled_carry.program)
+
+    got = array.read_row(out_row)
+    got_carry = array.read_row(carry_row)
+    ok = 0
+    for lane, env in enumerate(lane_envs):
+        expected = evaluate(result_expr, env)
+        expected_carry = evaluate(carry_expr, env)
+        assert int(got[lane]) == expected, (lane, env)
+        assert int(got_carry[lane]) == expected_carry, (lane, env)
+        ok += 1
+    print()
+    print(f"{ok}/{lanes} SIMD lanes verified against the reference "
+          "evaluator.")
+    mode_names = {(0, 0): "AND", (0, 1): "OR", (1, 0): "XOR", (1, 1): "ADD"}
+    print("Sample lanes:")
+    for lane in range(4):
+        env = lane_envs[lane]
+        mode = mode_names[(env["m1"], env["m0"])]
+        print(f"  lane {lane}: a={env['a']} b={env['b']} cin={env['cin']} "
+              f"mode={mode:<3} -> out={int(got[lane])} "
+              f"carry={int(got_carry[lane])}")
+    print()
+    print(f"Total cycles for both programs: "
+          f"{executor.clock.cycles} cc — independent of the lane count.")
+
+
+if __name__ == "__main__":
+    main()

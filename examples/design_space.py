@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Design-space exploration: regenerate Fig. 4 and Table I on the CLI.
+
+Sweeps the Karatsuba unroll depth L against operand width n (the
+paper's Fig. 4), prints the resulting ATP surface with the optimal
+depth per size, and renders the full Table I comparison against the
+four scaled-up baselines.
+
+Run:  python examples/design_space.py
+"""
+
+from __future__ import annotations
+
+from repro.eval import explore_report, fig4, table1
+from repro.karatsuba import cost
+
+
+def ascii_curves(curves: dict) -> str:
+    """Plot ATP (log scale) vs n as crude ASCII art."""
+    import math
+
+    sizes = sorted({n for c in curves.values() for n in c})
+    values = [v for c in curves.values() for v in c.values()]
+    lo, hi = math.log10(min(values)), math.log10(max(values))
+    height = 14
+    grid = [[" "] * (len(sizes) * 6) for _ in range(height + 1)]
+    marks = {1: "1", 2: "2", 3: "3", 4: "4"}
+    for depth, curve in sorted(curves.items()):
+        for i, n in enumerate(sizes):
+            if n not in curve:
+                continue
+            y = round((math.log10(curve[n]) - lo) / (hi - lo) * height)
+            grid[height - y][i * 6 + 2] = marks[depth]
+    lines = ["ATP (log scale; digits mark unroll depth L)"]
+    lines += ["".join(row) for row in grid]
+    lines.append("".join(f"{n:<6}" for n in sizes) + "  <- n bits")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Sec. III — algorithm exploration")
+    print("=" * 72)
+    print(explore_report.render(256))
+
+    print()
+    print("=" * 72)
+    print("Fig. 4 — ATP vs unroll depth")
+    print("=" * 72)
+    points = fig4.generate()
+    print(fig4.render(points))
+    print()
+    print(ascii_curves(fig4.series(points)))
+    print()
+    for n in (64, 128, 256, 384, 512, 1024):
+        print(f"  best depth at n={n:<5}: L={cost.optimal_depth(n)}")
+    print(f"  best overall (geomean over 64..384): "
+          f"L={fig4.best_overall_depth()}  <- the paper's choice")
+
+    print()
+    print("=" * 72)
+    print("Table I — comparison to related works")
+    print("=" * 72)
+    print(table1.render())
+    factors = table1.headline_factors()
+    print()
+    print(f"Headline: up to {factors['throughput']:.0f}x throughput and "
+          f"{factors['atp']:.0f}x ATP improvement "
+          "(paper: 916x / 281x, both vs [7] at n=384)")
+    print(f"Row length vs MultPIM @384 : "
+          f"{table1.row_length_vs_multpim():.1f}x shorter (paper: 4x)")
+    print(f"Writes vs MultPIM @384     : "
+          f"{table1.write_reduction_vs_multpim():.1f}x fewer (paper: 7.8x)")
+
+
+if __name__ == "__main__":
+    main()

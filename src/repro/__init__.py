@@ -1,0 +1,24 @@
+"""repro: Karatsuba large-integer multiplication for resistive in-memory
+computing.
+
+A full reproduction of "Exploring Large Integer Multiplication for
+Cryptography Targeting In-Memory Computing" (DATE 2025): a cycle-accurate
+MAGIC/ReRAM crossbar simulator, the three-stage pipelined Karatsuba
+multiplier it hosts, the four scaled-up baseline designs of Table I, and
+the modular-arithmetic application layer for FHE/ZKP workloads.
+
+Quick start::
+
+    from repro import KaratsubaCimMultiplier
+    mul = KaratsubaCimMultiplier(256)
+    assert mul.multiply(3, 5) == 15
+    print(mul.metrics())
+"""
+
+from repro.karatsuba.design import KaratsubaCimMultiplier
+from repro.crypto.modmul import ModularMultiplier
+from repro.sim.stats import DesignMetrics
+
+__version__ = "1.0.0"
+
+__all__ = ["DesignMetrics", "KaratsubaCimMultiplier", "ModularMultiplier", "__version__"]

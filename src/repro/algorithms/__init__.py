@@ -1,0 +1,45 @@
+"""Multiplication-algorithm exploration layer (paper Sec. III)."""
+
+from repro.algorithms.explore import (
+    AlgorithmAssessment,
+    assess_karatsuba,
+    assess_schoolbook,
+    assess_toomcook,
+    exploration_report,
+    paper_interpolation_counts,
+)
+from repro.algorithms.karatsuba import (
+    KaratsubaTrace,
+    multiply_recursive,
+    multiply_unrolled,
+    operation_counts,
+)
+from repro.algorithms.schoolbook import SchoolbookCost
+from repro.algorithms.schoolbook import multiply as schoolbook_multiply
+from repro.algorithms.toomcook import (
+    INFINITY,
+    ToomCook,
+    ToomCookCost,
+    default_points,
+    interpolation_multiplications,
+)
+
+__all__ = [
+    "AlgorithmAssessment",
+    "INFINITY",
+    "KaratsubaTrace",
+    "SchoolbookCost",
+    "ToomCook",
+    "ToomCookCost",
+    "assess_karatsuba",
+    "assess_schoolbook",
+    "assess_toomcook",
+    "default_points",
+    "exploration_report",
+    "interpolation_multiplications",
+    "multiply_recursive",
+    "multiply_unrolled",
+    "operation_counts",
+    "paper_interpolation_counts",
+    "schoolbook_multiply",
+]

@@ -1,0 +1,99 @@
+"""Algorithm-suitability exploration for CIM (paper Sec. III).
+
+Produces the quantitative comparison behind the paper's algorithm
+choice: schoolbook scales quadratically, generic Toom-k interpolation
+explodes in constant multiplications (25/49/81 for k = 3/4/5) and needs
+fractional constants, while Karatsuba (Toom-2) needs only three
+multiplications, carry-free shifts and a handful of additions per
+level — making it the best CIM fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.algorithms.karatsuba import operation_counts
+from repro.algorithms.schoolbook import SchoolbookCost
+from repro.algorithms.toomcook import ToomCook, interpolation_multiplications
+
+
+@dataclass(frozen=True)
+class AlgorithmAssessment:
+    """One row of the Sec. III comparison."""
+
+    algorithm: str
+    multiplications: int
+    additions: int
+    interpolation_constant_mults: int
+    fractional_constants: int
+    uniform_operations: bool
+    cim_suitable: bool
+    notes: str
+
+
+def assess_schoolbook(n_bits: int) -> AlgorithmAssessment:
+    """Schoolbook: simple but O(n^2) AND operations (Sec. III-A)."""
+    cost = SchoolbookCost(n_bits)
+    return AlgorithmAssessment(
+        algorithm="schoolbook",
+        multiplications=cost.and_ops,
+        additions=cost.additions,
+        interpolation_constant_mults=0,
+        fractional_constants=0,
+        uniform_operations=True,
+        cim_suitable=n_bits <= 64,
+        notes="bit-level ANDs grow quadratically with operand width",
+    )
+
+
+def assess_toomcook(k: int) -> AlgorithmAssessment:
+    """Generic Toom-k: large-k interpolation is CIM-hostile (Sec. III-B)."""
+    instance = ToomCook(k)
+    cost = instance.cost()
+    return AlgorithmAssessment(
+        algorithm=f"toom-{k}",
+        multiplications=cost.pointwise_multiplications,
+        additions=2 * (2 * k - 2),
+        interpolation_constant_mults=cost.interpolation_multiplications,
+        fractional_constants=cost.fractional_constants,
+        uniform_operations=False,
+        cim_suitable=k == 2,
+        notes=(
+            "interpolation needs quadratically many constant "
+            "multiplications, many with fractional constants"
+        ),
+    )
+
+
+def assess_karatsuba(depth: int) -> AlgorithmAssessment:
+    """Unrolled Karatsuba: the paper's pick (Sec. III-C)."""
+    mults, adds = operation_counts(depth)
+    return AlgorithmAssessment(
+        algorithm=f"karatsuba-L{depth}",
+        multiplications=mults,
+        additions=adds,
+        interpolation_constant_mults=0,
+        fractional_constants=0,
+        uniform_operations=True,
+        cim_suitable=True,
+        notes=(
+            "postcomputation uses only additions/subtractions and "
+            "power-of-two shifts; unrolling uniformises addition widths"
+        ),
+    )
+
+
+def exploration_report(n_bits: int = 384) -> List[AlgorithmAssessment]:
+    """The full Sec. III comparison for one operand width."""
+    report = [assess_schoolbook(n_bits)]
+    for k in (3, 4, 5):
+        report.append(assess_toomcook(k))
+    for depth in (1, 2, 3, 4):
+        report.append(assess_karatsuba(depth))
+    return report
+
+
+def paper_interpolation_counts() -> Dict[int, int]:
+    """The exact figures quoted in Sec. III-B: k -> constant mults."""
+    return {k: interpolation_multiplications(k) for k in (3, 4, 5)}

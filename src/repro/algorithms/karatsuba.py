@@ -1,0 +1,148 @@
+"""Karatsuba multiplication references (Sec. III-C).
+
+Three functionally equivalent references, each mirroring a design the
+paper discusses:
+
+* :func:`multiply_recursive` — classic recursive Karatsuba, eq. (1)-(3).
+* :func:`multiply_unrolled` — the paper's depth-L unrolled variant that
+  keeps the mid operands in redundant chunk form so every precompute
+  addition stays narrow (Fig. 3).
+* :class:`KaratsubaTrace` — an instrumented recursive run that records
+  the non-uniform addition widths of the recursive form, evidencing the
+  uniformity argument of Sec. III-C.1.
+
+All references operate on arbitrary-precision Python integers and are
+property-tested against native multiplication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.arith.bitops import ceil_div, mask, split_chunks
+
+
+def multiply_recursive(a: int, b: int, n_bits: int, threshold: int = 8) -> int:
+    """Recursive Karatsuba product of two *n_bits*-wide operands.
+
+    Below *threshold* bits the recursion bottoms out into schoolbook
+    (native) multiplication, as every practical implementation does.
+    """
+    if a < 0 or b < 0:
+        raise ValueError("operands must be non-negative")
+    if a >> n_bits or b >> n_bits:
+        raise ValueError(f"operands must fit in {n_bits} bits")
+    return _recurse(a, b, n_bits, threshold)
+
+
+def _recurse(a: int, b: int, n_bits: int, threshold: int) -> int:
+    if n_bits <= threshold or a == 0 or b == 0:
+        return a * b
+    half = ceil_div(n_bits, 2)
+    low_mask = mask(half)
+    a_low, a_high = a & low_mask, a >> half
+    b_low, b_high = b & low_mask, b >> half
+    c_low = _recurse(a_low, b_low, half, threshold)
+    c_high = _recurse(a_high, b_high, n_bits - half, threshold)
+    c_mid = _recurse(a_low + a_high, b_low + b_high, half + 1, threshold)
+    return (c_high << (2 * half)) + ((c_mid - c_high - c_low) << half) + c_low
+
+
+def multiply_unrolled(a: int, b: int, n_bits: int, depth: int = 2) -> int:
+    """Unrolled Karatsuba product with explicit depth-L chunking (Fig. 3).
+
+    The operands are split into ``2**depth`` chunks *up front*; mid
+    operands are kept in redundant chunk form (per-chunk sums that may
+    exceed the chunk width) so that the precomputation stage consists
+    solely of narrow chunk additions — the property the paper's CIM
+    mapping depends on.
+    """
+    if depth < 1:
+        raise ValueError("unroll depth must be at least 1")
+    if n_bits % (1 << depth):
+        raise ValueError(f"n_bits must be divisible by 2**{depth}")
+    if a >> n_bits or b >> n_bits or a < 0 or b < 0:
+        raise ValueError(f"operands must fit in {n_bits} bits")
+    chunk_bits = n_bits >> depth
+    a_chunks = split_chunks(a, chunk_bits, 1 << depth)
+    b_chunks = split_chunks(b, chunk_bits, 1 << depth)
+    return _combine(a_chunks, b_chunks, chunk_bits)
+
+
+def _combine(a_chunks: List[int], b_chunks: List[int], chunk_bits: int) -> int:
+    """Karatsuba over chunk vectors in redundant representation."""
+    count = len(a_chunks)
+    if count == 1:
+        return a_chunks[0] * b_chunks[0]
+    half = count // 2
+    a_low, a_high = a_chunks[:half], a_chunks[half:]
+    b_low, b_high = b_chunks[:half], b_chunks[half:]
+    # Redundant mid operands: per-chunk sums, no carry normalisation.
+    a_mid = [lo + hi for lo, hi in zip(a_low, a_high)]
+    b_mid = [lo + hi for lo, hi in zip(b_low, b_high)]
+    c_low = _combine(a_low, b_low, chunk_bits)
+    c_high = _combine(a_high, b_high, chunk_bits)
+    c_mid = _combine(a_mid, b_mid, chunk_bits)
+    shift = half * chunk_bits
+    return (c_high << (2 * shift)) + ((c_mid - c_high - c_low) << shift) + c_low
+
+
+@dataclass
+class KaratsubaTrace:
+    """Instrumented recursive Karatsuba that records addition widths.
+
+    ``addition_widths`` collects the operand width of every
+    precomputation addition performed across the recursion; the spread
+    of distinct values demonstrates the non-uniformity problem of
+    Sec. III-C.1 (each level requires a different adder size).
+    """
+
+    n_bits: int
+    depth: int
+    addition_widths: List[int] = field(default_factory=list)
+    multiplication_widths: List[int] = field(default_factory=list)
+
+    def run(self, a: int, b: int) -> int:
+        if a >> self.n_bits or b >> self.n_bits or a < 0 or b < 0:
+            raise ValueError(f"operands must fit in {self.n_bits} bits")
+        self.addition_widths.clear()
+        self.multiplication_widths.clear()
+        return self._walk(a, b, self.n_bits, self.depth)
+
+    def _walk(self, a: int, b: int, n_bits: int, levels: int) -> int:
+        if levels == 0:
+            self.multiplication_widths.append(n_bits)
+            return a * b
+        half = ceil_div(n_bits, 2)
+        low_mask = mask(half)
+        a_low, a_high = a & low_mask, a >> half
+        b_low, b_high = b & low_mask, b >> half
+        # Two precomputation additions of `half`-bit operands per level.
+        self.addition_widths.extend([half, half])
+        c_low = self._walk(a_low, b_low, half, levels - 1)
+        c_high = self._walk(a_high, b_high, half, levels - 1)
+        c_mid = self._walk(a_low + a_high, b_low + b_high, half + 1, levels - 1)
+        return (c_high << (2 * half)) + ((c_mid - c_high - c_low) << half) + c_low
+
+    def distinct_addition_widths(self) -> List[int]:
+        """Sorted distinct adder sizes the recursive form needs."""
+        return sorted(set(self.addition_widths))
+
+
+def complexity_exponent() -> float:
+    """Karatsuba's asymptotic exponent log2(3) ~ 1.585."""
+    import math
+
+    return math.log2(3)
+
+
+def operation_counts(depth: int) -> Tuple[int, int]:
+    """(multiplications, precompute additions) of depth-L unrolled
+    Karatsuba: ``3**L`` multiplications and ``2*(3**L - 2**L)``
+    additions (9/27/81 mults and 10/38/130 adds for L = 2/3/4)."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    mults = 3**depth
+    adds = 2 * (3**depth - 2**depth)
+    return mults, adds

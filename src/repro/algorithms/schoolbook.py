@@ -1,0 +1,70 @@
+"""Schoolbook (long) multiplication reference and cost model (Sec. III-A).
+
+The schoolbook method multiplies every bit of one operand with every
+bit of the other (bit-level ANDs) and sums the partial products.  It is
+CIM-friendly (regular dataflow, Wallace-tree-parallelisable additions)
+but scales quadratically, which is why the paper rejects it for
+cryptographic operand sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arith.bitops import ceil_log2
+
+
+def multiply(a: int, b: int) -> int:
+    """Bit-level schoolbook multiplication (shift-and-add).
+
+    Implemented explicitly (not via ``a * b``) so the reference layer
+    exercises the same partial-product structure a CIM mapping would.
+    """
+    if a < 0 or b < 0:
+        raise ValueError("operands must be non-negative")
+    product = 0
+    shift = 0
+    while b:
+        if b & 1:
+            product += a << shift
+        b >>= 1
+        shift += 1
+    return product
+
+
+@dataclass(frozen=True)
+class SchoolbookCost:
+    """Operation counts of an n-bit schoolbook multiplication."""
+
+    n_bits: int
+
+    @property
+    def and_ops(self) -> int:
+        """Bit-level partial products: one AND per bit pair."""
+        return self.n_bits * self.n_bits
+
+    @property
+    def partial_products(self) -> int:
+        return self.n_bits
+
+    @property
+    def additions(self) -> int:
+        """Row-level additions to sum the partial products."""
+        return self.n_bits - 1
+
+    @property
+    def wallace_depth(self) -> int:
+        """Carry-save reduction depth with a Wallace tree (3->2 layers)."""
+        depth = 0
+        rows = self.n_bits
+        while rows > 2:
+            rows = rows - rows // 3
+            depth += 1
+        return depth
+
+    @property
+    def serial_latency_estimate_cc(self) -> int:
+        """Latency if partial products are added one by one with a
+        logarithmic adder: ``(n-1)`` additions of ~2n-bit operands."""
+        adder = 8 + 11 * ceil_log2(max(2 * self.n_bits, 2)) + 9
+        return self.additions * adder + self.and_ops // self.n_bits

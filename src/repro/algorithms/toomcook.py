@@ -1,0 +1,213 @@
+"""Generic Toom-Cook-k multiplication with exact interpolation (Sec. III-B).
+
+Toom-k splits each operand into ``k`` chunks interpreted as polynomial
+coefficients, evaluates both polynomials at ``2k - 1`` points,
+multiplies point-wise, and interpolates the ``2k - 1``-coefficient
+product polynomial by solving a Vandermonde system.  The paper's
+suitability analysis hinges on two facts this module makes measurable:
+
+* interpolation needs one constant multiplication per Vandermonde
+  inverse entry — ``(2k-1)^2`` of them (25 / 49 / 81 for k = 3 / 4 / 5),
+  growing quadratically with ``k``; and
+* for evaluation points other than {0, ±1, ∞}, the inverse matrix
+  contains non-power-of-two and *fractional* constants, which are
+  expensive to realise in a NOR-based crossbar.
+
+Interpolation is performed over exact rationals (:mod:`fractions`), so
+the reference is bit-exact for arbitrary operand sizes.  Karatsuba is
+recovered as the special case ``k = 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arith.bitops import ceil_div, mask
+
+#: Symbolic evaluation point at infinity (picks the leading coefficient).
+INFINITY = "inf"
+
+
+def default_points(k: int) -> List[object]:
+    """The customary small evaluation points: 0, ±1, ±2, ... and infinity.
+
+    ``2k - 1`` points are required; using 0 and infinity keeps two of
+    the point-wise products trivial, and small integers keep evaluation
+    cheap — the regime the paper's discussion assumes.
+    """
+    if k < 2:
+        raise ValueError("Toom-Cook requires k >= 2")
+    count = 2 * k - 1
+    points: List[object] = [0]
+    magnitude = 1
+    while len(points) < count - 1:
+        points.append(magnitude)
+        if len(points) < count - 1:
+            points.append(-magnitude)
+        magnitude += 1
+    points.append(INFINITY)
+    return points
+
+
+def _evaluate(coeffs: Sequence[int], point: object) -> int:
+    if point == INFINITY:
+        return coeffs[-1]
+    value = 0
+    for coeff in reversed(coeffs):
+        value = value * point + coeff
+    return value
+
+
+def vandermonde(points: Sequence[object], size: int) -> List[List[Fraction]]:
+    """Evaluation matrix rows ``[p**0, p**1, ...]`` (infinity row picks
+    the top coefficient)."""
+    matrix: List[List[Fraction]] = []
+    for point in points:
+        if point == INFINITY:
+            row = [Fraction(0)] * size
+            row[-1] = Fraction(1)
+        else:
+            row = [Fraction(point) ** j for j in range(size)]
+        matrix.append(row)
+    return matrix
+
+
+def invert_matrix(matrix: List[List[Fraction]]) -> List[List[Fraction]]:
+    """Exact Gauss-Jordan inverse over the rationals."""
+    size = len(matrix)
+    augmented = [
+        list(row) + [Fraction(int(i == j)) for j in range(size)]
+        for i, row in enumerate(matrix)
+    ]
+    for col in range(size):
+        pivot_row = next(
+            (r for r in range(col, size) if augmented[r][col] != 0), None
+        )
+        if pivot_row is None:
+            raise ValueError("evaluation points yield a singular system")
+        augmented[col], augmented[pivot_row] = augmented[pivot_row], augmented[col]
+        pivot = augmented[col][col]
+        augmented[col] = [value / pivot for value in augmented[col]]
+        for row in range(size):
+            if row != col and augmented[row][col] != 0:
+                factor = augmented[row][col]
+                augmented[row] = [
+                    value - factor * pivot_value
+                    for value, pivot_value in zip(augmented[row], augmented[col])
+                ]
+    return [row[size:] for row in augmented]
+
+
+@dataclass(frozen=True)
+class ToomCookCost:
+    """CIM-relevant cost indicators of a Toom-k instance (Sec. III-B)."""
+
+    k: int
+    interpolation_multiplications: int
+    fractional_constants: int
+    non_power_of_two_constants: int
+    pointwise_multiplications: int
+
+    @property
+    def chunk_fraction(self) -> float:
+        """Chunk size relative to the operand: 1/k."""
+        return 1.0 / self.k
+
+
+class ToomCook:
+    """Exact Toom-k multiplier over Python integers.
+
+    >>> ToomCook(3).multiply(1234567, 7654321, 64)
+    9449772114007
+
+
+    Parameters
+    ----------
+    k:
+        Splitting factor (k = 2 is Karatsuba).
+    points:
+        Optional custom evaluation points; ``2k - 1`` entries, integers
+        or :data:`INFINITY`.
+    """
+
+    def __init__(self, k: int, points: Optional[Sequence[object]] = None):
+        if k < 2:
+            raise ValueError("Toom-Cook requires k >= 2")
+        self.k = k
+        self.points = list(points) if points is not None else default_points(k)
+        if len(self.points) != 2 * k - 1:
+            raise ValueError(f"Toom-{k} needs {2 * k - 1} evaluation points")
+        if len(set(map(str, self.points))) != len(self.points):
+            raise ValueError("evaluation points must be distinct")
+        size = 2 * k - 1
+        self._inverse = invert_matrix(vandermonde(self.points, size))
+
+    # ------------------------------------------------------------------
+    def multiply(self, a: int, b: int, n_bits: int) -> int:
+        """Toom-k product of two operands of at most *n_bits* bits."""
+        if a < 0 or b < 0:
+            raise ValueError("operands must be non-negative")
+        if a >> n_bits or b >> n_bits:
+            raise ValueError(f"operands must fit in {n_bits} bits")
+        chunk_bits = ceil_div(n_bits, self.k)
+        chunk_mask = mask(chunk_bits)
+        a_chunks = [(a >> (i * chunk_bits)) & chunk_mask for i in range(self.k)]
+        b_chunks = [(b >> (i * chunk_bits)) & chunk_mask for i in range(self.k)]
+
+        # Evaluation at each point, then point-wise products.
+        products = [
+            _evaluate(a_chunks, point) * _evaluate(b_chunks, point)
+            for point in self.points
+        ]
+
+        # Interpolation: exact rational solve of the Vandermonde system.
+        size = 2 * self.k - 1
+        coeffs: List[Fraction] = []
+        for row in range(size):
+            total = Fraction(0)
+            for col in range(size):
+                total += self._inverse[row][col] * products[col]
+            coeffs.append(total)
+        result = 0
+        for i, coeff in enumerate(coeffs):
+            if coeff.denominator != 1:
+                raise ArithmeticError(
+                    "interpolation produced a non-integral coefficient; "
+                    "evaluation points are inconsistent"
+                )
+            result += int(coeff) << (i * chunk_bits)
+        return result
+
+    # ------------------------------------------------------------------
+    def cost(self) -> ToomCookCost:
+        """Quantify the CIM-unfriendliness of this instance's
+        interpolation step (the paper's 25/49/81 argument)."""
+        size = 2 * self.k - 1
+        fractional = 0
+        non_pow2 = 0
+        for row in self._inverse:
+            for value in row:
+                if value == 0:
+                    continue
+                if value.denominator != 1:
+                    fractional += 1
+                magnitude = abs(value.numerator * value.denominator)
+                if magnitude & (magnitude - 1):
+                    non_pow2 += 1
+        return ToomCookCost(
+            k=self.k,
+            interpolation_multiplications=size * size,
+            fractional_constants=fractional,
+            non_power_of_two_constants=non_pow2,
+            pointwise_multiplications=size,
+        )
+
+
+def interpolation_multiplications(k: int) -> int:
+    """The paper's interpolation cost figure: ``(2k-1)**2``
+    (25, 49, 81 for k = 3, 4, 5)."""
+    if k < 2:
+        raise ValueError("Toom-Cook requires k >= 2")
+    return (2 * k - 1) ** 2

@@ -1,0 +1,39 @@
+"""In-memory arithmetic blocks: adders and row multipliers."""
+
+from repro.arith.bitops import (
+    ceil_div,
+    ceil_log2,
+    from_bits,
+    join_chunks,
+    mask,
+    split_chunks,
+    to_bits,
+)
+from repro.arith.condsub import ConditionalSubtractor, CondSubResult
+from repro.arith.koggestone import (
+    KoggeStoneAdder,
+    KoggeStoneLayout,
+    standalone_adder,
+)
+from repro.arith.ripple import RippleAdder, RippleLayout, standalone_ripple
+from repro.arith.rowmul import RowMultiplier, RowMultiplierSpec
+
+__all__ = [
+    "CondSubResult",
+    "ConditionalSubtractor",
+    "KoggeStoneAdder",
+    "KoggeStoneLayout",
+    "RippleAdder",
+    "RippleLayout",
+    "standalone_ripple",
+    "RowMultiplier",
+    "RowMultiplierSpec",
+    "ceil_div",
+    "ceil_log2",
+    "from_bits",
+    "join_chunks",
+    "mask",
+    "split_chunks",
+    "standalone_adder",
+    "to_bits",
+]

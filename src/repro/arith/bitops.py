@@ -1,0 +1,87 @@
+"""Integer/bit-vector helpers shared by the arithmetic generators.
+
+All bit vectors in this project are LSB-first, matching the crossbar
+column layout where column 0 holds the least significant bit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def bit_length_at_least(value: int, width: int) -> bool:
+    """True when *value* fits in *width* bits."""
+    return value >= 0 and (value >> width) == 0
+
+
+def mask(width: int) -> int:
+    """Bit mask of *width* ones."""
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    return (1 << width) - 1
+
+
+def split_chunks(value: int, chunk_bits: int, count: int) -> List[int]:
+    """Split *value* into *count* chunks of *chunk_bits* bits, LSB-first.
+
+    >>> split_chunks(0xABCD, 4, 4)
+    [13, 12, 11, 10]
+    """
+    if chunk_bits <= 0:
+        raise ValueError("chunk width must be positive")
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value >> (chunk_bits * count):
+        raise ValueError(
+            f"value needs more than {count} chunks of {chunk_bits} bits"
+        )
+    chunk_mask = mask(chunk_bits)
+    return [(value >> (i * chunk_bits)) & chunk_mask for i in range(count)]
+
+
+def join_chunks(chunks: List[int], chunk_bits: int) -> int:
+    """Inverse of :func:`split_chunks` for non-overlapping chunks.
+
+    Chunks wider than *chunk_bits* are accepted and carry into the next
+    position (the redundant-representation case of unrolled Karatsuba).
+    """
+    if chunk_bits <= 0:
+        raise ValueError("chunk width must be positive")
+    value = 0
+    for i, chunk in enumerate(chunks):
+        if chunk < 0:
+            raise ValueError("chunks must be non-negative")
+        value += chunk << (i * chunk_bits)
+    return value
+
+
+def to_bits(value: int, width: int) -> List[int]:
+    """LSB-first bit list of *value* over *width* bits."""
+    if not bit_length_at_least(value, width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def from_bits(bits: List[int]) -> int:
+    """Integer from an LSB-first bit list."""
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit not in (0, 1) and bit is not True and bit is not False:
+            raise ValueError(f"bit {i} is not 0/1: {bit!r}")
+        if bit:
+            value |= 1 << i
+    return value
+
+
+def ceil_log2(value: int) -> int:
+    """Smallest k with 2**k >= value (the paper's ceil(log2 n))."""
+    if value <= 0:
+        raise ValueError("ceil_log2 requires a positive argument")
+    return (value - 1).bit_length()
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division of non-negative integers."""
+    if b <= 0:
+        raise ValueError("divisor must be positive")
+    return -(-a // b)

@@ -1,0 +1,186 @@
+"""In-memory conditional subtraction: ``u mod m`` for ``u < 2m``.
+
+Montgomery and Barrett reductions (paper Sec. IV-F) end with a
+conditional final subtraction — *if u >= m then u - m else u*.  On a
+crossbar this maps to one Kogge-Stone pass plus a MAGIC select:
+
+1. **Add the complement**: ``t = u + (2^W - m)`` on a W-bit adder
+   (W = modulus bits + 1 so any ``u < 2m`` fits).  The carry-out
+   column holds 1 exactly when ``u >= m``, and the low W bits of ``t``
+   are then ``u - m``.
+2. **Broadcast the carry**: the periphery senses the carry column and
+   writes it across a mask row pair (2 cc — one read, one write, the
+   same costing as the adder's shifts).
+3. **Select**: ``out = (t AND mask) OR (u AND ~mask)`` in six
+   row-parallel NOR/NOT ops, bracketed by two one-cycle INITs that
+   arm the temporaries and re-arm the borrowed adder scratch rows.
+
+Total: ``(11*ceil(log2 W) + 17) + 2 + 8`` cc per reduction (operand
+writes excluded, matching the paper's stage accounting), constant
+scratch, and no data leaves the array except the single carry bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arith.bitops import ceil_log2
+from repro.arith.koggestone import (
+    SCRATCH_ROWS,
+    KoggeStoneAdder,
+    KoggeStoneLayout,
+)
+from repro.crossbar.array import CrossbarArray
+from repro.magic.executor import MagicExecutor, int_to_bits
+from repro.magic.program import Program, ProgramBuilder
+from repro.sim.clock import Clock
+from repro.sim.exceptions import DesignError
+
+#: Rows beyond the embedded adder: the mask pair, the two operand
+#: inverses, and the result row.
+EXTRA_ROWS = 5
+
+#: Cycles of the select block: leading INIT + 6 NOR/NOT + trailing INIT.
+SELECT_CYCLES = 8
+
+
+def latency_cc(modulus_bits: int) -> int:
+    """One conditional subtraction (adder pass + broadcast + select)."""
+    width = modulus_bits + 1
+    return (11 * ceil_log2(width) + 17) + 2 + SELECT_CYCLES
+
+
+@dataclass(frozen=True)
+class CondSubResult:
+    """Result and observed condition of one conditional subtraction."""
+
+    value: int
+    subtracted: bool
+    cycles: int
+
+
+class ConditionalSubtractor:
+    """Crossbar-resident ``u mod m`` for ``u`` in ``[0, 2m)``.
+
+    The modulus complement is a resident constant row (programmed once
+    at power-up); each :meth:`reduce` is one adder pass plus the select
+    sequence.
+    """
+
+    def __init__(self, modulus: int, device=None):
+        if modulus < 2:
+            raise DesignError("modulus must be at least 2")
+        self.modulus = modulus
+        self.width = modulus.bit_length() + 1
+        cols = self.width + 1
+        rows = 3 + SCRATCH_ROWS + EXTRA_ROWS
+        self.array = CrossbarArray(rows, cols, device=device)
+        self.clock = Clock()
+        self.executor = MagicExecutor(self.array, clock=self.clock)
+        # Row map: 0 = u, 1 = complement constant, 2 = t (adder sum),
+        # 3..14 = adder scratch (rows 3-5 double as select temps),
+        # 15 = mask, 16 = ~mask, 17 = ~t, 18 = ~u, 19 = result.
+        self.u_row, self.k_row, self.t_row = 0, 1, 2
+        scratch = tuple(range(3, 3 + SCRATCH_ROWS))
+        base = 3 + SCRATCH_ROWS
+        self.mask_row = base
+        self.nmask_row = base + 1
+        self.nt_row = base + 2
+        self.nu_row = base + 3
+        self.result_row = base + 4
+        self._tmp_and_t = scratch[0]       # t AND mask
+        self._tmp_and_u = scratch[1]       # u AND ~mask
+        self._tmp_nres = scratch[2]        # NOT(result)
+        self.adder = KoggeStoneAdder(
+            KoggeStoneLayout(
+                width=self.width,
+                col0=0,
+                x_row=self.u_row,
+                y_row=self.k_row,
+                out_row=self.t_row,
+                scratch_rows=scratch,
+            )
+        )
+        self._carry_col = self.width
+        self._select = self._build_select_program()
+        self._initialised = False
+
+    # ------------------------------------------------------------------
+    def _build_select_program(self) -> Program:
+        """``result = (t AND mask) OR (u AND ~mask)`` in 8 cc."""
+        win = (0, self.width + 1)
+        builder = ProgramBuilder(label="condsub-select")
+        builder.init([self.nt_row, self.nu_row, self.result_row], win)
+        builder.not_(self.t_row, self.nt_row, win)
+        builder.not_(self.u_row, self.nu_row, win)
+        builder.nor([self.nt_row, self.nmask_row], self._tmp_and_t, win)
+        builder.nor([self.nu_row, self.mask_row], self._tmp_and_u, win)
+        builder.nor([self._tmp_and_t, self._tmp_and_u], self._tmp_nres, win)
+        builder.not_(self._tmp_nres, self.result_row, win)
+        # Re-arm the borrowed adder scratch rows for the next pass.
+        builder.init([self._tmp_and_t, self._tmp_and_u, self._tmp_nres], win)
+        return builder.build()
+
+    # ------------------------------------------------------------------
+    def reduce(self, u: int) -> CondSubResult:
+        """Return ``u mod m`` for ``0 <= u < 2m``."""
+        if not 0 <= u < 2 * self.modulus:
+            raise DesignError("input must lie in [0, 2m)")
+        start = self.clock.cycles
+        complement = (1 << self.width) - self.modulus
+        cols = self.width + 1
+
+        if not self._initialised:
+            # Power-up: arm the scratch region and program the constant.
+            self.array.init_rows(self.adder.layout.scratch_rows)
+            self.array.init_rows([self.t_row, self.result_row])
+            self.array.write_row(self.k_row, int_to_bits(complement, cols))
+            self._initialised = True
+
+        self.array.write_row(self.u_row, int_to_bits(u, cols))
+        self.clock.tick(1, category="write")
+
+        # One adder pass: t = u + (2^W - m); sense the carry column.
+        self.executor.execute(self.adder.program("add"))
+        carry = self.array.read_bit(self.t_row, self._carry_col)
+
+        # Broadcast the sensed carry across the mask pair (2 cc).
+        all_ones = (1 << cols) - 1
+        self.array.write_row(
+            self.mask_row, int_to_bits(all_ones if carry else 0, cols)
+        )
+        self.array.write_row(
+            self.nmask_row, int_to_bits(0 if carry else all_ones, cols)
+        )
+        self.clock.tick(2, category="shift")
+
+        self.executor.execute(self._select)
+        value = self._read(self.result_row)
+
+        expected = u - self.modulus if u >= self.modulus else u
+        if value != expected:
+            raise AssertionError(
+                f"conditional subtract produced {value}, expected {expected}"
+            )
+        return CondSubResult(
+            value=value,
+            subtracted=bool(carry),
+            cycles=self.clock.cycles - start,
+        )
+
+    def _read(self, row: int) -> int:
+        word = self.array.read_row(row)
+        value = 0
+        for i in range(self.width):
+            if word[i]:
+                value |= 1 << i
+        return value
+
+    # ------------------------------------------------------------------
+    @property
+    def area_cells(self) -> int:
+        return self.array.cells
+
+    def select_program(self) -> Program:
+        """The MAGIC select program (for inspection and tooling)."""
+        return self._select

@@ -1,0 +1,310 @@
+"""In-memory Kogge-Stone adder/subtractor (paper Sec. IV-B).
+
+The adder operates on two operand rows inside a column window of
+``width + 1`` bit lines and produces the ``width + 1``-bit sum (the
+extra column naturally captures the carry out).  Its schedule matches
+the paper's cycle budget exactly:
+
+* **p/g stage — 8 cc**: eight NOR/NOT ops that compute propagate
+  ``p = x XOR y`` and generate ``g = x AND y`` bit-parallel across the
+  window (scratch rows arrive pre-initialised from the previous pass's
+  reset, so no leading INIT cycle is needed).
+* **prefix levels — 11 cc each**, ``ceil(log2 width)`` levels: two
+  periphery shifts (2 cc each, carrying piggy-backed row inits) plus
+  seven NOR/NOT ops evaluating the Kogge-Stone node
+  ``(P, G) <- (P1 P2, G1 + P1 G2)``.
+* **sum stage — 9 cc**: a 1-bit shift of the carries (2 cc), five
+  NOR/NOT ops emulating the final XOR, and a 2 cc reset of the scratch
+  region, leaving the array ready for the next operation.
+
+Total: ``8 + 11*ceil(log2 n) + 9`` cc for an n-bit addition — the
+paper's closed form.
+
+**Subtraction** runs in the *same* cycle budget using the borrow
+formulation: borrow-generate ``g = ~x AND y``, borrow-propagate
+``p = XNOR(x, y)``, an unchanged prefix graph, and a final XNOR instead
+of XOR.  No +1 carry injection is needed, which is how the paper's
+postcomputation can count subtractions at the same cost as additions.
+
+**Batching** (paper Sec. IV-E): two independent operations can share
+one pass by placing both operand pairs in disjoint column ranges of the
+same rows.  Zeroed gap columns give ``(p, g) = (0, 0)`` for addition
+(carry killed) and ``(1, 0)`` for subtraction (a zero borrow forwarded),
+so no cross-talk occurs in either mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.arith.bitops import ceil_log2
+from repro.crossbar.array import CrossbarArray
+from repro.magic.executor import MagicExecutor
+from repro.magic.program import Program, ProgramBuilder
+from repro.sim.exceptions import DesignError
+
+#: Scratch rows the adder needs, independent of width (paper Sec. IV-B).
+SCRATCH_ROWS = 12
+
+OP_ADD = "add"
+OP_SUB = "sub"
+
+
+def latency_cc(width: int) -> int:
+    """Closed-form adder latency: ``8 + 11*ceil(log2 n) + 9`` cc."""
+    if width < 1:
+        raise DesignError("adder width must be at least 1 bit")
+    return 8 + 11 * ceil_log2(width) + 9 if width > 1 else 8 + 9
+
+
+def writes_per_cell(width: int) -> int:
+    """Paper's bound on writes to any scratch cell per addition."""
+    return 2 * ceil_log2(max(width, 2))
+
+
+@dataclass(frozen=True)
+class KoggeStoneLayout:
+    """Placement of one Kogge-Stone adder instance in a crossbar.
+
+    Attributes
+    ----------
+    width:
+        Operand width in bits; the window spans ``width + 1`` columns.
+    col0:
+        First column of the window.
+    x_row, y_row:
+        Rows holding the two operands (LSB at ``col0``).
+    out_row:
+        Row receiving the ``width + 1``-bit sum.
+    scratch_rows:
+        Exactly :data:`SCRATCH_ROWS` rows reserved for intermediates.
+    """
+
+    width: int
+    col0: int
+    x_row: int
+    y_row: int
+    out_row: int
+    scratch_rows: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise DesignError("adder width must be at least 1 bit")
+        if len(self.scratch_rows) != SCRATCH_ROWS:
+            raise DesignError(
+                f"Kogge-Stone needs exactly {SCRATCH_ROWS} scratch rows, "
+                f"got {len(self.scratch_rows)}"
+            )
+        rows = {self.x_row, self.y_row, self.out_row, *self.scratch_rows}
+        if len(rows) != 3 + SCRATCH_ROWS:
+            raise DesignError("adder rows must be pairwise distinct")
+
+    @property
+    def window(self) -> Tuple[int, int]:
+        """Half-open column range of the adder window."""
+        return (self.col0, self.col0 + self.width + 1)
+
+    @property
+    def columns(self) -> int:
+        return self.width + 1
+
+
+class KoggeStoneAdder:
+    """Program generator for one placed Kogge-Stone adder instance.
+
+    The generated program contains only compute micro-ops; writing the
+    operands into ``x_row``/``y_row`` and reading the result are the
+    caller's responsibility (stage schedules account for those cycles
+    separately, as the paper does).
+    """
+
+    def __init__(self, layout: KoggeStoneLayout):
+        self.layout = layout
+        self._programs: dict = {}
+
+    # ------------------------------------------------------------------
+    def program(self, op: str = OP_ADD) -> Program:
+        """Return (and cache) the compute program for ``add`` or ``sub``."""
+        if op not in (OP_ADD, OP_SUB):
+            raise DesignError(f"unknown adder op {op!r}")
+        if op not in self._programs:
+            self._programs[op] = self._generate(op)
+        return self._programs[op]
+
+    @property
+    def levels(self) -> int:
+        """Number of prefix-graph levels: ``ceil(log2 width)``."""
+        return ceil_log2(self.layout.width) if self.layout.width > 1 else 0
+
+    def latency_cc(self) -> int:
+        """Latency of one pass; equals :func:`latency_cc` of the width."""
+        return 8 + 11 * self.levels + 9
+
+    # ------------------------------------------------------------------
+    def _generate(self, op: str) -> Program:
+        lay = self.layout
+        win = lay.window
+        pool = list(lay.scratch_rows)
+        builder = ProgramBuilder(label=f"koggestone-{op}-{lay.width}b")
+
+        # ---------------- p/g stage: 8 cc --------------------------------
+        # Scratch rows are already at logic one: the previous pass ends
+        # with a full scratch reset (and the stage controller initialises
+        # them once at power-up), so no leading INIT is needed here.
+        t1, n2, n3, aux, aux2, xnr, p_row, g_row = pool[:8]
+        if op == OP_ADD:
+            # p = XOR(x, y) (XNOR + NOT); g = AND(x, y).  8 ops.
+            builder.not_(lay.x_row, aux, win)           # ~x
+            builder.not_(lay.y_row, aux2, win)          # ~y
+            builder.nor([aux, aux2], g_row, win)        # x AND y
+            builder.nor([lay.x_row, lay.y_row], t1, win)
+            builder.nor([lay.x_row, t1], n2, win)       # ~x AND y
+            builder.nor([lay.y_row, t1], n3, win)       # x AND ~y
+            builder.nor([n2, n3], xnr, win)             # XNOR(x, y)
+            builder.not_(xnr, p_row, win)               # XOR(x, y)
+        else:
+            # Borrow form: p = XNOR(x, y); g = ~x AND y, which falls out
+            # of the XNOR computation for free (4 ops; the remaining
+            # cycles are controller alignment so that subtraction fits
+            # the same 8 cc budget the paper charges for additions).
+            builder.nor([lay.x_row, lay.y_row], t1, win)
+            builder.nor([lay.x_row, t1], g_row, win)    # ~x AND y
+            builder.nor([lay.y_row, t1], n3, win)       # x AND ~y
+            builder.nor([g_row, n3], p_row, win)        # XNOR(x, y)
+            builder.nop(4)
+
+        # ---------------- prefix levels: 11 cc each --------------------
+        # The original bit-wise propagate row stays live until the sum
+        # stage (s = p XOR carry); together with the running (P, G) pair
+        # and the nine per-level temporaries this accounts for exactly
+        # the 12 scratch rows the paper reserves.
+        orig_p = p_row
+        p_cur, g_cur = p_row, g_row
+        for level in range(self.levels):
+            distance = 1 << level
+            free = [r for r in pool if r not in (orig_p, p_cur, g_cur)]
+            ps, gs, ra, rb, rc, rd, re, rf, rg = free[:9]
+            # Shift P and G towards the MSB; identity element (1, 0)
+            # fills the vacated positions so low bits pass through.
+            builder.shift(p_cur, ps, distance, fill=1, cols=win,
+                          also_init=(ra, rb, rc, rd))
+            builder.shift(g_cur, gs, distance, fill=0, cols=win,
+                          also_init=(re, rf, rg))
+            builder.not_(p_cur, ra, win)                # ~P1
+            builder.not_(ps, rb, win)                   # ~P2
+            builder.nor([ra, rb], rc, win)              # P = P1 AND P2
+            builder.not_(gs, rd, win)                   # ~G2
+            builder.nor([ra, rd], re, win)              # P1 AND G2
+            builder.nor([g_cur, re], rf, win)
+            builder.not_(rf, rg, win)                   # G = G1 OR (P1 AND G2)
+            p_cur, g_cur = rc, rg
+
+        # ---------------- sum stage: 2 + 5 + 2 = 9 cc ------------------
+        free = [r for r in pool if r not in (orig_p, g_cur)]
+        c_row, w1, w2, w3, w4 = free[:5]
+        # Carries are the prefix generates shifted up by one; carry-in 0.
+        builder.shift(g_cur, c_row, 1, fill=0, cols=win,
+                      also_init=(w1, w2, w3, w4, lay.out_row))
+        if op == OP_ADD:
+            # s = XOR(p, c): shared-NOR XNOR then a final NOT (5 ops).
+            builder.nor([orig_p, c_row], w1, win)
+            builder.nor([orig_p, w1], w2, win)
+            builder.nor([c_row, w1], w3, win)
+            builder.nor([w2, w3], w4, win)              # XNOR(p, c)
+            builder.not_(w4, lay.out_row, win)          # XOR(p, c)
+        else:
+            # s = XNOR(p, borrow): the difference bit is x^y^borrow and
+            # p already holds XNOR(x, y).  4 ops + 1 alignment cycle.
+            builder.nor([orig_p, c_row], w1, win)
+            builder.nor([orig_p, w1], w2, win)
+            builder.nor([c_row, w1], w3, win)
+            builder.nor([w2, w3], lay.out_row, win)     # XNOR(p, c)
+            builder.nop(1)
+        # Reset the scratch region for the next operation (2 cc).
+        builder.init(pool[:6], win)
+        builder.init(pool[6:], win)
+        return builder.build()
+
+    # ------------------------------------------------------------------
+    # Convenience execution helpers (used by tests and examples)
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        executor: MagicExecutor,
+        x: int,
+        y: int,
+        op: str = OP_ADD,
+        first_use: bool = False,
+    ) -> int:
+        """Write operands, run one pass, and return the integer result.
+
+        Operand writes and the result read go through the array directly
+        (cycle accounting for I/O belongs to the surrounding stage).  On
+        *first_use* the scratch region is initialised out-of-band, a
+        condition the stage schedules establish once at power-up.
+        """
+        lay = self.layout
+        array = executor.array
+        if max(x, y) >> lay.width:
+            raise DesignError(
+                f"operands must fit in {lay.width} bits, got {x} and {y}"
+            )
+        if op == OP_SUB and y > x:
+            raise DesignError("subtraction requires x >= y (non-negative result)")
+        self._place_word(array, lay.x_row, x)
+        self._place_word(array, lay.y_row, y)
+        if first_use:
+            mask = self._window_mask(array)
+            array.init_rows(lay.scratch_rows, mask)
+            array.init_rows([lay.out_row], mask)
+        executor.execute(self.program(op))
+        return self._read_word(array, lay.out_row)
+
+    def _window_mask(self, array: CrossbarArray):
+        import numpy as np
+
+        mask = np.zeros(array.cols, dtype=bool)
+        mask[self.layout.col0 : self.layout.col0 + self.layout.columns] = True
+        return mask
+
+    def _place_word(self, array: CrossbarArray, row: int, value: int) -> None:
+        import numpy as np
+
+        lay = self.layout
+        word = array.state[row].copy()
+        for i in range(lay.columns):
+            word[lay.col0 + i] = bool((value >> i) & 1)
+        mask = self._window_mask(array)
+        array.write_row(row, word, mask)
+
+    def _read_word(self, array: CrossbarArray, row: int) -> int:
+        lay = self.layout
+        word = array.read_row(row)
+        value = 0
+        for i in range(lay.columns):
+            if word[lay.col0 + i]:
+                value |= 1 << i
+        return value
+
+
+def standalone_adder(
+    width: int, device=None, strict_magic: bool = True
+) -> Tuple[KoggeStoneAdder, MagicExecutor]:
+    """Build a self-contained adder instance on a fresh crossbar.
+
+    Returns the adder and an executor over a ``(3 + 12) x (width + 1)``
+    array — the paper's "n+1 columns by 12 scratch rows plus operands"
+    footprint.
+    """
+    array = CrossbarArray(3 + SCRATCH_ROWS, width + 1, device=device,
+                          strict_magic=strict_magic)
+    layout = KoggeStoneLayout(
+        width=width,
+        col0=0,
+        x_row=0,
+        y_row=1,
+        out_row=2,
+        scratch_rows=tuple(range(3, 3 + SCRATCH_ROWS)),
+    )
+    return KoggeStoneAdder(layout), MagicExecutor(array)

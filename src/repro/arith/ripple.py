@@ -1,0 +1,155 @@
+"""Bit-serial ripple-carry adder as real MAGIC programs.
+
+The MAGIC schoolbook baseline [7] adds with a serial full adder: one
+bit position per step, the carry rippling through a scratch cell.
+This module generates that adder as an executable program using the
+classic 9-NOR full adder:
+
+    m1 = NOR(x, y)            m5 = NOR(m4, c)
+    m2 = NOR(x, m1)           m6 = NOR(m4, m5)
+    m3 = NOR(y, m1)           m7 = NOR(c, m5)
+    m4 = NOR(m2, m3)          sum   = NOR(m6, m7)
+                              carry = NOR(m1, m5)
+
+Per bit position: 1 init + 9 NORs + a 2-cc periphery shift forwarding
+the carry to the next column + 1 alignment cycle = **13 cc/bit**, the
+constant behind the baseline's ``13 n^2`` multiplication latency.
+
+It exists both as the substrate for [7]'s on-array functional model
+and as the measured counterpoint to the Kogge-Stone adder: same
+function, ``O(n)`` versus ``O(log n)`` latency, on the same simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.crossbar.array import CrossbarArray
+from repro.magic.executor import MagicExecutor, int_to_bits
+from repro.magic.program import Program, ProgramBuilder
+from repro.sim.exceptions import DesignError
+
+#: Cycles per bit position (init + 9 NOR + 2-cc shift + 1 alignment).
+CYCLES_PER_BIT = 13
+
+#: Scratch rows: m1..m7 plus the carry-out staging cell.
+SCRATCH_ROWS = 8
+
+
+def latency_cc(width: int) -> int:
+    """Serial addition latency: ``13 (n+1)`` cc (the +1 position emits
+    the carry-out)."""
+    if width < 1:
+        raise DesignError("adder width must be at least 1 bit")
+    return CYCLES_PER_BIT * (width + 1)
+
+
+@dataclass(frozen=True)
+class RippleLayout:
+    """Row placement of one serial adder instance."""
+
+    width: int
+    x_row: int
+    y_row: int
+    out_row: int
+    carry_row: int
+    scratch_rows: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise DesignError("adder width must be at least 1 bit")
+        if len(self.scratch_rows) != SCRATCH_ROWS:
+            raise DesignError(
+                f"ripple adder needs {SCRATCH_ROWS} scratch rows"
+            )
+        rows = {
+            self.x_row, self.y_row, self.out_row, self.carry_row,
+            *self.scratch_rows,
+        }
+        if len(rows) != 4 + SCRATCH_ROWS:
+            raise DesignError("adder rows must be pairwise distinct")
+
+    @property
+    def columns(self) -> int:
+        """Window: width operand bits + the carry-out column + slack."""
+        return self.width + 2
+
+
+class RippleAdder:
+    """Program generator for the serial MAGIC adder."""
+
+    def __init__(self, layout: RippleLayout):
+        self.layout = layout
+        self._program = None
+
+    def program(self) -> Program:
+        if self._program is None:
+            self._program = self._generate()
+        return self._program
+
+    def latency_cc(self) -> int:
+        return latency_cc(self.layout.width)
+
+    def _generate(self) -> Program:
+        lay = self.layout
+        m1, m2, m3, m4, m5, m6, m7, ctmp = lay.scratch_rows
+        full = (0, lay.columns)
+        builder = ProgramBuilder(label=f"ripple-add-{lay.width}b")
+        for bit in range(lay.width + 1):
+            col = (bit, bit + 1)
+            builder.init(
+                [m1, m2, m3, m4, m5, m6, m7, ctmp, lay.out_row], col
+            )
+            builder.nor([lay.x_row, lay.y_row], m1, col)
+            builder.nor([lay.x_row, m1], m2, col)
+            builder.nor([lay.y_row, m1], m3, col)
+            builder.nor([m2, m3], m4, col)            # XNOR(x, y)
+            builder.nor([m4, lay.carry_row], m5, col)
+            builder.nor([m4, m5], m6, col)
+            builder.nor([lay.carry_row, m5], m7, col)
+            builder.nor([m6, m7], lay.out_row, col)   # x ^ y ^ c
+            builder.nor([m1, m5], ctmp, col)          # maj(x, y, c)
+            # Forward the carry one column to the right; columns at or
+            # below `bit` in the carry row become stale, which is fine
+            # because each carry bit is consumed before its column is
+            # overwritten.
+            builder.shift(ctmp, lay.carry_row, 1, fill=0, cols=full)
+            builder.nop(1)                            # controller alignment
+        return builder.build()
+
+    # ------------------------------------------------------------------
+    def run(
+        self, executor: MagicExecutor, x: int, y: int, carry_in: int = 0
+    ) -> int:
+        """Write operands, run one serial pass, return ``x + y + cin``."""
+        lay = self.layout
+        array = executor.array
+        if max(x, y) >> lay.width:
+            raise DesignError(f"operands must fit in {lay.width} bits")
+        if carry_in not in (0, 1):
+            raise DesignError("carry-in must be 0 or 1")
+        array.write_row(lay.x_row, int_to_bits(x, lay.columns))
+        array.write_row(lay.y_row, int_to_bits(y, lay.columns))
+        array.write_row(lay.carry_row, int_to_bits(carry_in, lay.columns))
+        executor.execute(self.program())
+        word = array.read_row(lay.out_row)
+        value = 0
+        for i in range(lay.width + 1):
+            if word[i]:
+                value |= 1 << i
+        return value
+
+
+def standalone_ripple(width: int) -> Tuple[RippleAdder, MagicExecutor]:
+    """Build a self-contained serial adder on a fresh crossbar."""
+    array = CrossbarArray(4 + SCRATCH_ROWS, width + 2)
+    layout = RippleLayout(
+        width=width,
+        x_row=0,
+        y_row=1,
+        out_row=2,
+        carry_row=3,
+        scratch_rows=tuple(range(4, 4 + SCRATCH_ROWS)),
+    )
+    return RippleAdder(layout), MagicExecutor(array)

@@ -1,0 +1,50 @@
+"""Scaled-up baseline CIM multipliers from the literature ([6]-[9])."""
+
+from repro.baselines import hajali, lakshmi, leitersdorf, onarray, radakovits
+from repro.baselines.common import (
+    PAPER_TABLE1,
+    TABLE1_SIZES,
+    BaselineDesign,
+    Table1Row,
+)
+
+#: All four baselines as uniform handles.
+ALL_BASELINES = (
+    BaselineDesign(
+        name=radakovits.NAME,
+        citation=radakovits.CITATION,
+        metrics=radakovits.metrics,
+        multiply=radakovits.multiply,
+    ),
+    BaselineDesign(
+        name=hajali.NAME,
+        citation=hajali.CITATION,
+        metrics=hajali.metrics,
+        multiply=hajali.multiply,
+    ),
+    BaselineDesign(
+        name=lakshmi.NAME,
+        citation=lakshmi.CITATION,
+        metrics=lakshmi.metrics,
+        multiply=lakshmi.multiply,
+    ),
+    BaselineDesign(
+        name=leitersdorf.NAME,
+        citation=leitersdorf.CITATION,
+        metrics=leitersdorf.metrics,
+        multiply=leitersdorf.multiply,
+    ),
+)
+
+__all__ = [
+    "ALL_BASELINES",
+    "BaselineDesign",
+    "PAPER_TABLE1",
+    "TABLE1_SIZES",
+    "Table1Row",
+    "hajali",
+    "onarray",
+    "lakshmi",
+    "leitersdorf",
+    "radakovits",
+]

@@ -1,0 +1,138 @@
+"""Baseline [7]: MAGIC NOR schoolbook multiplier (IMAGING).
+
+Haj-Ali et al. (TCAS-I 2018) present in-memory algorithms for image
+processing built on MAGIC NOR, including a fixed-point schoolbook
+multiplier.  Each of the n shift-and-add iterations runs a NOR-level
+ripple full adder over the accumulator window (~13 cc per bit).
+
+Scaled-up cost model (matches the paper's Table I row):
+
+* area = ``20n - 5`` cells (five rows of ``4n - 1`` bit lines;
+  cell-exact: 1,275 / 2,555 / 5,115 / 7,675 for n = 64..384);
+* latency = ``13 n^2`` cc (throughput 19.0 / 4.7 / 1.2 / 0.5 per Mcc
+  against the paper's 19 / 5 / 1.2 / 0.5);
+* max writes per cell = ``2^(ceil(log2 n)+1)`` — the accumulator cells
+  are rewritten (init plus result) every iteration of the power-of-two
+  provisioned array (128 / 256 / 512 / 1,024, Table I exact).
+
+The functional model performs the same iteration structure with a
+NOR-gate-level ripple adder, so a simulated multiplication both yields
+the exact product and charges ``13 n^2`` cycles.
+"""
+
+from __future__ import annotations
+
+from repro.arith.bitops import ceil_log2
+from repro.sim.clock import Clock
+from repro.sim.exceptions import DesignError
+from repro.sim.stats import DesignMetrics
+
+NAME = "hajali2018"
+CITATION = (
+    "A. Haj-Ali et al., 'IMAGING: In-memory algorithms for image "
+    "processing', IEEE TCAS-I 65(12), 2018"
+)
+
+#: NOR-level steps per full-adder bit (init + 12 NOR/NOT ops).
+CYCLES_PER_BIT = 13
+
+
+def area_cells(n_bits: int) -> int:
+    """``20n - 5`` cells (cell-exact to Table I)."""
+    _check(n_bits)
+    return 20 * n_bits - 5
+
+
+def latency_cc(n_bits: int) -> int:
+    """``13 n^2`` cc: n iterations of a 13 cc/bit ripple addition."""
+    _check(n_bits)
+    return CYCLES_PER_BIT * n_bits * n_bits
+
+
+def max_writes_per_cell(n_bits: int) -> int:
+    """``2^(ceil(log2 n) + 1)``: accumulator cells rewritten twice per
+    iteration with the iteration count rounded up to the power-of-two
+    array provisioning (128 / 256 / 512 / 1,024 — Table I exact)."""
+    _check(n_bits)
+    return 1 << (ceil_log2(n_bits) + 1)
+
+
+def _check(n_bits: int) -> None:
+    if n_bits < 2:
+        raise DesignError("width must be at least 2 bits")
+
+
+def metrics(n_bits: int) -> DesignMetrics:
+    latency = latency_cc(n_bits)
+    return DesignMetrics(
+        name=NAME,
+        n_bits=n_bits,
+        latency_cc=latency,
+        area_cells=area_cells(n_bits),
+        throughput_per_mcc=1e6 / latency,
+        max_writes_per_cell=max_writes_per_cell(n_bits),
+    )
+
+
+def _nor(a: int, b: int) -> int:
+    """1-bit NOR."""
+    return (a | b) ^ 1
+
+
+def _nor_full_adder(a: int, b: int, carry: int):
+    """Full adder from NOR gates only (the MAGIC gate library).
+
+    Returns (sum, carry_out) computed through 12 NOR/NOT evaluations,
+    mirroring one 13 cc iteration slot (the 13th cycle initialises the
+    output cells).
+    """
+    # First half adder: XOR via shared-NOR XNOR + NOT.
+    t1 = _nor(a, b)
+    u1 = _nor(a, t1)
+    v1 = _nor(b, t1)
+    xnor1 = _nor(u1, v1)
+    x1 = _nor(xnor1, xnor1)        # NOT -> a XOR b
+    # Second half adder versus carry-in.
+    t2 = _nor(x1, carry)
+    u2 = _nor(x1, t2)
+    v2 = _nor(carry, t2)
+    xnor2 = _nor(u2, v2)
+    s = _nor(xnor2, xnor2)         # NOT -> sum bit
+    # Carry out = (a AND b) OR (cin AND (a XOR b)), all in NOR form:
+    # a AND b = NOR(NOT a, NOT b); cin AND x1 = NOR(NOT cin, xnor1).
+    na = _nor(a, a)
+    nb = _nor(b, b)
+    ab = _nor(na, nb)
+    nc = _nor(carry, carry)
+    xc = _nor(nc, xnor1)
+    z = _nor(ab, xc)
+    carry_out = _nor(z, z)         # NOT -> (a AND b) OR (cin AND x1)
+    return s, carry_out
+
+
+def multiply(a: int, b: int, n_bits: int, clock: Clock = None) -> int:
+    """Functional MAGIC schoolbook multiplication.
+
+    Executes n shift-and-add iterations; every iteration ripples a
+    NOR-gate full adder across the n-bit accumulator window and charges
+    ``13n`` cycles whether or not the multiplier bit is set (the
+    original design is data-independent for timing).
+    """
+    if a < 0 or b < 0:
+        raise DesignError("operands must be non-negative")
+    if a >> n_bits or b >> n_bits:
+        raise DesignError(f"operands must fit in {n_bits} bits")
+    accumulator = 0
+    for t in range(n_bits):
+        addend = a if (b >> t) & 1 else 0
+        carry = 0
+        window = accumulator >> t
+        result = 0
+        for i in range(n_bits + 1):
+            s, carry = _nor_full_adder((window >> i) & 1, (addend >> i) & 1, carry)
+            result |= s << i
+        result |= (window >> (n_bits + 1)) << (n_bits + 1)  # untouched top
+        accumulator = (accumulator & ((1 << t) - 1)) | (result << t)
+        if clock is not None:
+            clock.tick(CYCLES_PER_BIT * n_bits, category="nor_ripple")
+    return accumulator

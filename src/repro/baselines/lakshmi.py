@@ -1,0 +1,114 @@
+"""Baseline [8]: MAJORITY-logic Wallace-tree multiplier.
+
+Lakshmi et al. (TCAS-I 2022) trade area for latency: all ``n^2``
+partial products are materialised at once and reduced by a Wallace
+tree built from in-memory MAJORITY gates (a full adder is one MAJ for
+the carry plus MAJ/NOT steps for the sum), finishing with a fast final
+adder.  Only two writes ever hit the same cell — the design's
+endurance advantage — but the area grows quadratically, reaching 1.18M
+cells at n = 384.
+
+Scaled-up cost model (matches the paper's Table I row):
+
+* area = ``8n^2 + 48*(ceil(log2 n) - 2)`` cells — partial products in
+  carry-save pairs across the reduction layers plus logarithmic
+  final-adder overhead (cell-exact: 32,960 / 131,312 / 524,576 /
+  1,179,984 for n = 64..384, the paper printing the last as 1.18M);
+* latency: calibrated at the paper's four sizes (404 / 866 / 1,905 /
+  3,195 cc, i.e. throughput 2,475 / 1,155 / 525 / 313 per Mcc); other
+  sizes use a least-squares quadratic of those points;
+* max writes per cell = 2.
+
+The functional model reduces the full partial-product matrix through
+3:2 majority/XOR carry-save layers exactly as a Wallace tree does.
+"""
+
+from __future__ import annotations
+
+from repro.arith.bitops import ceil_log2
+from repro.sim.exceptions import DesignError
+from repro.sim.stats import DesignMetrics
+
+NAME = "lakshmi2022"
+CITATION = (
+    "V. Lakshmi, J. Reuben, V. Pudi, 'A novel in-memory Wallace tree "
+    "multiplier architecture using majority logic', IEEE TCAS-I 69(3), 2022"
+)
+
+#: Latencies at the paper's evaluation sizes (from its throughputs).
+_CALIBRATED_LATENCY = {64: 404, 128: 866, 256: 1905, 384: 3195}
+
+#: Least-squares quadratic through the calibrated points, used for
+#: sizes the paper does not report.
+_QUAD = (4.68e-3, 6.32, -19.7)
+
+MAX_WRITES = 2
+
+
+def area_cells(n_bits: int) -> int:
+    """``8n^2 + 48(ceil(log2 n) - 2)`` cells (cell-exact to Table I)."""
+    _check(n_bits)
+    return 8 * n_bits * n_bits + 48 * (ceil_log2(n_bits) - 2)
+
+
+def latency_cc(n_bits: int) -> int:
+    """Calibrated latency (exact at n = 64/128/256/384)."""
+    _check(n_bits)
+    if n_bits in _CALIBRATED_LATENCY:
+        return _CALIBRATED_LATENCY[n_bits]
+    a, b, c = _QUAD
+    return max(1, round(a * n_bits * n_bits + b * n_bits + c))
+
+
+def _check(n_bits: int) -> None:
+    if n_bits < 4:
+        raise DesignError("width must be at least 4 bits")
+
+
+def metrics(n_bits: int) -> DesignMetrics:
+    latency = latency_cc(n_bits)
+    return DesignMetrics(
+        name=NAME,
+        n_bits=n_bits,
+        latency_cc=latency,
+        area_cells=area_cells(n_bits),
+        throughput_per_mcc=1e6 / latency,
+        max_writes_per_cell=MAX_WRITES,
+    )
+
+
+def wallace_depth(rows: int) -> int:
+    """Number of 3:2 reduction layers to compress *rows* to two."""
+    depth = 0
+    while rows > 2:
+        rows = rows - rows // 3
+        depth += 1
+    return depth
+
+
+def multiply(a: int, b: int, n_bits: int) -> int:
+    """Functional Wallace-tree multiplication with MAJ-based CSA layers.
+
+    Every 3:2 layer computes, for each triple of rows, the bit-wise
+    ``sum = a XOR b XOR c`` and ``carry = MAJ(a, b, c) << 1`` — the two
+    outputs a majority-logic full adder produces in memory.
+    """
+    if a < 0 or b < 0:
+        raise DesignError("operands must be non-negative")
+    if a >> n_bits or b >> n_bits:
+        raise DesignError(f"operands must fit in {n_bits} bits")
+    rows = [(a << i) if (b >> i) & 1 else 0 for i in range(n_bits)]
+    if not rows:
+        return 0
+    while len(rows) > 2:
+        next_rows = []
+        for i in range(0, len(rows) - 2, 3):
+            x, y, z = rows[i], rows[i + 1], rows[i + 2]
+            next_rows.append(x ^ y ^ z)
+            next_rows.append(((x & y) | (x & z) | (y & z)) << 1)
+        remainder = len(rows) % 3
+        if remainder:
+            next_rows.extend(rows[-remainder:])
+        rows = next_rows
+    # Final carry-propagate addition (the design's fast final adder).
+    return sum(rows)

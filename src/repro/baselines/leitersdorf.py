@@ -1,0 +1,76 @@
+"""Baseline [9]: MultPIM — stateful single-row multiplication.
+
+Leitersdorf et al. (TCAS-II 2022) multiply two n-bit integers entirely
+within one memory row by dividing the row into partitions that compute
+in parallel, reaching O(n log n) time with O(n) area.  The paper's own
+multiplication stage adopts this technique (Sec. IV-D), so the
+functional model here is the same :class:`RowMultiplier` engine, at
+full operand width and with MultPIM's standalone row layout:
+
+* area = ``14n - 7`` cells, all in a *single row* — 5,369 memristors in
+  one bit line at n = 384, which is the practicality concern the paper
+  raises (parasitic IR drop on long lines [7], [20]);
+* latency = ``n*(ceil(log2 n) + 14) + 3`` cc — throughput 779 / 372 /
+  177 / 113 per Mcc (the paper prints 115 at n = 384, having evaluated
+  the non-integral log; both values are reported by the benches);
+* max writes per cell = ``4n`` (256 / 512 / 1,024 / 1,536).
+"""
+
+from __future__ import annotations
+
+from repro.arith import rowmul
+from repro.arith.rowmul import RowMultiplier, RowMultiplierSpec
+from repro.sim.exceptions import DesignError
+from repro.sim.stats import DesignMetrics
+
+NAME = "leitersdorf2022"
+CITATION = (
+    "O. Leitersdorf, R. Ronen, S. Kvatinsky, 'MultPIM: Fast stateful "
+    "multiplication for processing-in-memory', IEEE TCAS-II 69(3), 2022"
+)
+
+
+def area_cells(n_bits: int) -> int:
+    """``14n - 7`` cells in one row (cell-exact to Table I)."""
+    _check(n_bits)
+    return 14 * n_bits - 7
+
+
+def row_length(n_bits: int) -> int:
+    """Bit-line length — identical to the area, single-row design."""
+    return area_cells(n_bits)
+
+
+def latency_cc(n_bits: int) -> int:
+    """``n (ceil(log2 n) + 14) + 3`` cc."""
+    _check(n_bits)
+    return rowmul.latency_cc(n_bits)
+
+
+def max_writes_per_cell(n_bits: int) -> int:
+    """``4n`` writes to the hottest partition cell."""
+    _check(n_bits)
+    return 4 * n_bits
+
+
+def _check(n_bits: int) -> None:
+    if n_bits < 2:
+        raise DesignError("width must be at least 2 bits")
+
+
+def metrics(n_bits: int) -> DesignMetrics:
+    latency = latency_cc(n_bits)
+    return DesignMetrics(
+        name=NAME,
+        n_bits=n_bits,
+        latency_cc=latency,
+        area_cells=area_cells(n_bits),
+        throughput_per_mcc=1e6 / latency,
+        max_writes_per_cell=max_writes_per_cell(n_bits),
+    )
+
+
+def multiply(a: int, b: int, n_bits: int) -> int:
+    """Functional MultPIM multiplication (carry-save serial engine)."""
+    engine = RowMultiplier(RowMultiplierSpec(n_bits))
+    return engine.multiply(a, b)

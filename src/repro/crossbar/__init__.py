@@ -1,0 +1,56 @@
+"""ReRAM crossbar substrate: devices, arrays, endurance, energy."""
+
+from repro.crossbar.array import (
+    FAULT_STUCK_AT_0,
+    FAULT_STUCK_AT_1,
+    CrossbarArray,
+)
+from repro.crossbar.device import (
+    ENDURANCE_HIGH_CYCLES,
+    ENDURANCE_LOW_CYCLES,
+    DeviceModel,
+    Memristor,
+)
+from repro.crossbar.endurance import (
+    EnduranceReport,
+    WearLevelingController,
+    analyze,
+    row_write_histogram,
+)
+from repro.crossbar.energy import EnergyBreakdown, EnergyModel
+from repro.crossbar import variability
+from repro.crossbar.periphery import (
+    PeripheryEstimate,
+    PeripheryModel,
+)
+from repro.crossbar.yieldsim import (
+    CriticalityReport,
+    FaultTrial,
+    adder_fault_trial,
+    cell_criticality,
+    yield_curve,
+)
+
+__all__ = [
+    "CriticalityReport",
+    "CrossbarArray",
+    "PeripheryEstimate",
+    "variability",
+    "PeripheryModel",
+    "FaultTrial",
+    "adder_fault_trial",
+    "cell_criticality",
+    "yield_curve",
+    "DeviceModel",
+    "ENDURANCE_HIGH_CYCLES",
+    "ENDURANCE_LOW_CYCLES",
+    "EnduranceReport",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "FAULT_STUCK_AT_0",
+    "FAULT_STUCK_AT_1",
+    "Memristor",
+    "WearLevelingController",
+    "analyze",
+    "row_write_histogram",
+]

@@ -1,0 +1,295 @@
+"""Bit-level ReRAM crossbar array with in-memory logic primitives.
+
+The array stores one bit per memristor in a ``rows x cols`` grid
+(Fig. 1a of the paper): horizontal word lines select rows, vertical bit
+lines carry write voltages and sense currents.  On top of plain
+read/write words it implements the stateful-logic primitives the paper
+and its baselines rely on:
+
+* **MAGIC NOR / NOT** (Sec. II-B): row-parallel NOR of one or more input
+  rows into an output row whose cells were initialised to logic one.
+* **IMPLY** (baseline [6]): material implication, destructive on the
+  second operand row.
+* **MAJORITY** (baseline [8]): row-parallel three-input majority.
+
+The array is purely *spatial*: it tracks state, per-cell write counts
+and injected faults, but not time.  Cycle accounting belongs to the
+executors (:mod:`repro.magic.executor` and the baseline models), which
+call into this class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.crossbar.device import DeviceModel
+from repro.sim.exceptions import AddressError, FaultInjectionError, MagicProtocolError
+
+#: Supported stuck-at fault kinds.
+FAULT_STUCK_AT_0 = "sa0"
+FAULT_STUCK_AT_1 = "sa1"
+_FAULT_KINDS = (FAULT_STUCK_AT_0, FAULT_STUCK_AT_1)
+
+
+class CrossbarArray:
+    """A simulated memristive crossbar.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions (word lines x bit lines).
+    device:
+        Electrical/lifetime parameters shared by every cell.
+    strict_magic:
+        When true (the default), executing a MAGIC NOR whose output
+        cells are not initialised to logic one raises
+        :class:`MagicProtocolError` instead of silently computing a
+        wrong value.  Disable only for fault-injection studies.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        device: Optional[DeviceModel] = None,
+        strict_magic: bool = True,
+    ):
+        if rows <= 0 or cols <= 0:
+            raise ValueError(f"crossbar dimensions must be positive, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self.device = device if device is not None else DeviceModel()
+        self.strict_magic = strict_magic
+        self.state = np.zeros((rows, cols), dtype=bool)
+        self.writes = np.zeros((rows, cols), dtype=np.int64)
+        self.energy_fj = 0.0
+        self._faults: Dict[Tuple[int, int], str] = {}
+
+    # ------------------------------------------------------------------
+    # Addressing helpers
+    # ------------------------------------------------------------------
+    @property
+    def cells(self) -> int:
+        """Total number of memristors in the array."""
+        return self.rows * self.cols
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise AddressError(f"row {row} outside 0..{self.rows - 1}")
+
+    def _check_col(self, col: int) -> None:
+        if not 0 <= col < self.cols:
+            raise AddressError(f"col {col} outside 0..{self.cols - 1}")
+
+    def _mask(self, mask: Optional[np.ndarray]) -> np.ndarray:
+        if mask is None:
+            return np.ones(self.cols, dtype=bool)
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.cols,):
+            raise AddressError(
+                f"column mask shape {mask.shape} != ({self.cols},)"
+            )
+        return mask
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def inject_fault(self, row: int, col: int, kind: str) -> None:
+        """Pin cell (*row*, *col*) to a stuck-at fault."""
+        self._check_row(row)
+        self._check_col(col)
+        if kind not in _FAULT_KINDS:
+            raise FaultInjectionError(f"unknown fault kind {kind!r}")
+        self._faults[(row, col)] = kind
+        self.state[row, col] = kind == FAULT_STUCK_AT_1
+
+    def clear_faults(self) -> None:
+        """Remove all injected faults (cell values keep their last state)."""
+        self._faults.clear()
+
+    @property
+    def fault_count(self) -> int:
+        return len(self._faults)
+
+    def _apply_faults(self) -> None:
+        for (row, col), kind in self._faults.items():
+            self.state[row, col] = kind == FAULT_STUCK_AT_1
+
+    # ------------------------------------------------------------------
+    # Plain memory operations
+    # ------------------------------------------------------------------
+    def write_row(
+        self, row: int, bits: Sequence[int], mask: Optional[np.ndarray] = None
+    ) -> None:
+        """Program a full word: the word-line driver selects *row* and
+        the write circuit drives every (unmasked) bit line at once."""
+        self._check_row(row)
+        mask = self._mask(mask)
+        bits = np.asarray(bits, dtype=bool)
+        if bits.shape != (self.cols,):
+            raise AddressError(f"word shape {bits.shape} != ({self.cols},)")
+        self.state[row, mask] = bits[mask]
+        self.writes[row, mask] += 1
+        self.energy_fj += float(
+            np.where(bits[mask], self.device.e_set_fj, self.device.e_reset_fj).sum()
+        )
+        self._apply_faults()
+
+    def read_row(self, row: int) -> np.ndarray:
+        """Sense a full word via the bit-line sense amplifiers."""
+        self._check_row(row)
+        self.energy_fj += self.device.e_read_fj * self.cols
+        return self.state[row].copy()
+
+    def write_bit(self, row: int, col: int, bit: int) -> None:
+        """Program a single cell."""
+        self._check_row(row)
+        self._check_col(col)
+        self.state[row, col] = bool(bit)
+        self.writes[row, col] += 1
+        self.energy_fj += self.device.write_energy_fj(int(bit))
+        self._apply_faults()
+
+    def read_bit(self, row: int, col: int) -> int:
+        self._check_row(row)
+        self._check_col(col)
+        self.energy_fj += self.device.e_read_fj
+        return int(self.state[row, col])
+
+    # ------------------------------------------------------------------
+    # Stateful logic primitives
+    # ------------------------------------------------------------------
+    def init_rows(
+        self, rows: Iterable[int], mask: Optional[np.ndarray] = None
+    ) -> None:
+        """Initialise cells in *rows* to logic one (MAGIC preparation).
+
+        Multiple word lines are driven simultaneously, so the MAGIC
+        literature counts this as a single cycle regardless of how many
+        rows are initialised; it is still one write pulse per cell.
+        """
+        mask = self._mask(mask)
+        for row in rows:
+            self._check_row(row)
+            self.state[row, mask] = True
+            self.writes[row, mask] += 1
+            self.energy_fj += self.device.e_set_fj * int(mask.sum())
+        self._apply_faults()
+
+    def nor_rows(
+        self,
+        in_rows: Sequence[int],
+        out_row: int,
+        mask: Optional[np.ndarray] = None,
+    ) -> None:
+        """Row-parallel MAGIC NOR: ``out = NOR(in_rows)`` per bit line.
+
+        Electrically, input word lines are driven at ``V0`` and the
+        output row is grounded; output cells conduct enough current to
+        switch to logic zero exactly when at least one input cell in the
+        same bit line stores logic one.  A single-element *in_rows* is a
+        MAGIC NOT.  Output cells must hold logic one beforehand.
+        """
+        if not in_rows:
+            raise MagicProtocolError("MAGIC NOR requires at least one input row")
+        for row in in_rows:
+            self._check_row(row)
+        self._check_row(out_row)
+        if out_row in in_rows:
+            raise MagicProtocolError(
+                f"output row {out_row} cannot also be a NOR input"
+            )
+        mask = self._mask(mask)
+        if self.strict_magic and not bool(self.state[out_row, mask].all()):
+            raise MagicProtocolError(
+                f"NOR output row {out_row} not initialised to logic one"
+            )
+        any_one = np.zeros(self.cols, dtype=bool)
+        for row in in_rows:
+            any_one |= self.state[row]
+        switching = mask & any_one & self.state[out_row]
+        self.state[out_row, mask] = ~any_one[mask]
+        # Every output cell receives the pulse; switching cells dissipate
+        # the reset energy.
+        self.writes[out_row, mask] += 1
+        self.energy_fj += self.device.e_reset_fj * int(switching.sum())
+        self._apply_faults()
+
+    def not_row(
+        self, in_row: int, out_row: int, mask: Optional[np.ndarray] = None
+    ) -> None:
+        """MAGIC NOT: single-input special case of :meth:`nor_rows`."""
+        self.nor_rows([in_row], out_row, mask)
+
+    def imply_rows(
+        self, p_row: int, q_row: int, mask: Optional[np.ndarray] = None
+    ) -> None:
+        """Row-parallel IMPLY: ``q <- p IMPLY q`` (destructive on *q*).
+
+        Used by the IMPLY-based baseline [6].  Truth table: the result
+        is 0 only when ``p = 1`` and ``q = 0``; since ``q`` already
+        holds 0 in that case, only ``p = 0`` cells may switch ``q`` to 1.
+        """
+        self._check_row(p_row)
+        self._check_row(q_row)
+        if p_row == q_row:
+            raise MagicProtocolError("IMPLY operand rows must differ")
+        mask = self._mask(mask)
+        p = self.state[p_row]
+        result = ~p | self.state[q_row]
+        switching = mask & result & ~self.state[q_row]
+        self.state[q_row, mask] = result[mask]
+        self.writes[q_row, mask] += 1
+        self.energy_fj += self.device.e_set_fj * int(switching.sum())
+        self._apply_faults()
+
+    def maj_rows(
+        self,
+        in_rows: Sequence[int],
+        out_row: int,
+        mask: Optional[np.ndarray] = None,
+    ) -> None:
+        """Row-parallel three-input MAJORITY into *out_row*.
+
+        Used by the MAJORITY-logic baseline [8] (Reuben-style adders).
+        """
+        if len(in_rows) != 3:
+            raise MagicProtocolError("MAJORITY requires exactly three input rows")
+        for row in in_rows:
+            self._check_row(row)
+        self._check_row(out_row)
+        if out_row in in_rows:
+            raise MagicProtocolError("MAJORITY output row cannot be an input")
+        mask = self._mask(mask)
+        total = np.zeros(self.cols, dtype=np.int8)
+        for row in in_rows:
+            total += self.state[row].astype(np.int8)
+        self.state[out_row, mask] = (total >= 2)[mask]
+        self.writes[out_row, mask] += 1
+        self.energy_fj += self.device.e_set_fj * int(mask.sum())
+        self._apply_faults()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def max_writes(self) -> int:
+        """Maximum write count over all cells (the paper's endurance metric)."""
+        return int(self.writes.max())
+
+    def total_writes(self) -> int:
+        return int(self.writes.sum())
+
+    def reset_write_counters(self) -> None:
+        self.writes.fill(0)
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the full bit state (rows x cols)."""
+        return self.state.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CrossbarArray({self.rows}x{self.cols}, "
+            f"max_writes={self.max_writes()}, faults={self.fault_count})"
+        )

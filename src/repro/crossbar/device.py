@@ -1,0 +1,136 @@
+"""Behavioural memristor (ReRAM cell) device model.
+
+The paper (Sec. II-A) treats memristors behaviourally: a cell stores one
+bit in its resistance (high resistance = logic 0, low resistance =
+logic 1), is written by applying ``V_set`` / ``V_reset`` across it, read
+non-destructively with a small ``V_read``, and wears out after 1e10 to
+1e11 write cycles.  :class:`DeviceModel` captures these parameters;
+:class:`Memristor` is a single simulated cell used by scalar-level tests
+and the fault model (the bulk array stores state in numpy for speed and
+consults the :class:`DeviceModel` only for thresholds and energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.exceptions import EnduranceExhaustedError
+
+#: Endurance bounds reported in the paper's Sec. II-A [10]-[12].
+ENDURANCE_LOW_CYCLES = 10**10
+ENDURANCE_HIGH_CYCLES = 10**11
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Electrical and lifetime parameters of one ReRAM technology.
+
+    The defaults follow typical HfOx/TaOx values used by the MAGIC
+    literature the paper builds on (Kvatinsky et al. [15], Talati et
+    al. [10]).
+
+    Attributes
+    ----------
+    r_on_ohm / r_off_ohm:
+        Low-resistance (logic 1) and high-resistance (logic 0) states.
+    v_set / v_reset:
+        Write voltages for programming logic 1 / logic 0.
+    v_read:
+        Non-destructive sensing voltage, below the switching threshold.
+    v_threshold:
+        Minimum voltage magnitude across the device that can switch it.
+    t_write_ns:
+        Write pulse duration; one simulator clock cycle is one pulse.
+    endurance_cycles:
+        Rated writes per cell before the cell is considered worn out.
+    e_set_fj / e_reset_fj / e_read_fj:
+        Energy per set / reset / read event in femtojoules.
+    """
+
+    r_on_ohm: float = 1.0e3
+    r_off_ohm: float = 1.0e6
+    v_set: float = 2.0
+    v_reset: float = -2.0
+    v_read: float = 0.3
+    v_threshold: float = 1.1
+    t_write_ns: float = 1.1
+    endurance_cycles: int = ENDURANCE_LOW_CYCLES
+    e_set_fj: float = 115.0
+    e_reset_fj: float = 61.0
+    e_read_fj: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.r_on_ohm >= self.r_off_ohm:
+            raise ValueError("r_on must be lower than r_off")
+        if abs(self.v_read) >= abs(self.v_threshold):
+            raise ValueError("v_read must be below the switching threshold")
+        if self.endurance_cycles <= 0:
+            raise ValueError("endurance must be positive")
+
+    def resistance_for(self, bit: int) -> float:
+        """Resistance encoding the given logic value."""
+        return self.r_on_ohm if bit else self.r_off_ohm
+
+    def can_switch(self, voltage: float) -> bool:
+        """True when *voltage* magnitude suffices to switch the cell."""
+        return abs(voltage) >= abs(self.v_threshold)
+
+    def write_energy_fj(self, bit: int) -> float:
+        """Energy of one write pulse programming *bit*."""
+        return self.e_set_fj if bit else self.e_reset_fj
+
+
+class Memristor:
+    """A single simulated ReRAM cell with endurance tracking.
+
+    This scalar model is used for device-level tests and documentation
+    examples; :class:`repro.crossbar.array.CrossbarArray` vectorises the
+    same semantics with numpy.
+    """
+
+    __slots__ = ("model", "_bit", "writes", "worn_out")
+
+    def __init__(self, model: DeviceModel, initial_bit: int = 0):
+        self.model = model
+        self._bit = 1 if initial_bit else 0
+        self.writes = 0
+        self.worn_out = False
+
+    @property
+    def bit(self) -> int:
+        """Current stored logic value (0 or 1)."""
+        return self._bit
+
+    @property
+    def resistance_ohm(self) -> float:
+        """Current resistance implied by the stored bit."""
+        return self.model.resistance_for(self._bit)
+
+    def write(self, bit: int, enforce_endurance: bool = True) -> None:
+        """Program the cell to *bit*, counting the write pulse.
+
+        Rewriting the same value still applies a pulse and counts
+        against endurance, matching the pessimistic accounting used by
+        the MAGIC literature.
+        """
+        if enforce_endurance and self.writes >= self.model.endurance_cycles:
+            self.worn_out = True
+            raise EnduranceExhaustedError(
+                f"cell exceeded endurance of {self.model.endurance_cycles} writes"
+            )
+        self._bit = 1 if bit else 0
+        self.writes += 1
+
+    def read(self) -> int:
+        """Non-destructively sense the stored bit."""
+        return self._bit
+
+    def apply_voltage(self, voltage: float) -> None:
+        """Apply a raw voltage across the cell, switching it if above
+        threshold (positive polarity sets, negative resets)."""
+        if self.model.can_switch(voltage):
+            self.write(1 if voltage > 0 else 0)
+
+    def remaining_lifetime(self) -> int:
+        """Writes remaining before the rated endurance is exhausted."""
+        return max(0, self.model.endurance_cycles - self.writes)

@@ -1,0 +1,174 @@
+"""Monte Carlo fault/yield analysis for CIM arithmetic blocks.
+
+ReRAM arrays ship with stuck-at cells and develop more as endurance
+wears out (Sec. II-A).  This module measures how the paper's
+Kogge-Stone adder degrades under stuck-at faults:
+
+* :func:`adder_fault_trial` — one trial: inject random stuck-at cells
+  into a standalone adder array, run random additions, report whether
+  all results were correct;
+* :func:`yield_curve` — failure probability versus fault density;
+* :func:`cell_criticality` — exhaustive single-fault scan classifying
+  every cell of the adder as critical (any fault breaks results) or
+  tolerated for a fixed operand set.
+
+Faulty NOR outputs violate the MAGIC init precondition, so trials run
+with ``strict_magic`` disabled — the array then models the electrical
+reality of a defective cell (it simply holds its stuck value).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.crossbar.array import (
+    FAULT_STUCK_AT_0,
+    FAULT_STUCK_AT_1,
+    CrossbarArray,
+)
+from repro.sim.exceptions import DesignError, SimulationError
+
+
+def _build_adder(width: int) -> Tuple["KoggeStoneAdder", CrossbarArray]:
+    # Imported lazily: this analysis module sits above the arithmetic
+    # layer, which itself builds on the crossbar package.
+    from repro.arith.koggestone import (
+        SCRATCH_ROWS,
+        KoggeStoneAdder,
+        KoggeStoneLayout,
+    )
+
+    array = CrossbarArray(3 + SCRATCH_ROWS, width + 1, strict_magic=False)
+    layout = KoggeStoneLayout(
+        width=width,
+        col0=0,
+        x_row=0,
+        y_row=1,
+        out_row=2,
+        scratch_rows=tuple(range(3, 3 + SCRATCH_ROWS)),
+    )
+    return KoggeStoneAdder(layout), array
+
+
+def _run_additions(
+    adder: "KoggeStoneAdder",
+    array: CrossbarArray,
+    operand_pairs: List[Tuple[int, int]],
+) -> bool:
+    """True when every addition returns the correct sum."""
+    from repro.magic.executor import MagicExecutor
+
+    executor = MagicExecutor(array)
+    first = True
+    for x, y in operand_pairs:
+        try:
+            result = adder.run(executor, x, y, "add", first_use=first)
+        except SimulationError:
+            return False
+        first = False
+        if result != x + y:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class FaultTrial:
+    """Outcome of one randomized fault-injection trial."""
+
+    faults: int
+    correct: bool
+
+
+def adder_fault_trial(
+    width: int,
+    fault_count: int,
+    rng: random.Random,
+    additions: int = 4,
+) -> FaultTrial:
+    """Inject *fault_count* random stuck-at cells and test the adder."""
+    if fault_count < 0:
+        raise DesignError("fault count must be non-negative")
+    adder, array = _build_adder(width)
+    cells = [(r, c) for r in range(array.rows) for c in range(array.cols)]
+    rng.shuffle(cells)
+    for row, col in cells[:fault_count]:
+        kind = FAULT_STUCK_AT_1 if rng.random() < 0.5 else FAULT_STUCK_AT_0
+        array.inject_fault(row, col, kind)
+    pairs = [
+        (rng.getrandbits(width), rng.getrandbits(width))
+        for _ in range(additions)
+    ]
+    return FaultTrial(
+        faults=fault_count, correct=_run_additions(adder, array, pairs)
+    )
+
+
+def yield_curve(
+    width: int = 16,
+    densities: Tuple[float, ...] = (0.0, 0.005, 0.01, 0.02, 0.05),
+    trials: int = 20,
+    seed: int = 0xFA17,
+) -> List[Tuple[float, float]]:
+    """(fault density, survival probability) sampled by Monte Carlo."""
+    rng = random.Random(seed)
+    adder, array = _build_adder(width)
+    total_cells = array.cells
+    curve: List[Tuple[float, float]] = []
+    for density in densities:
+        fault_count = round(density * total_cells)
+        survived = sum(
+            adder_fault_trial(width, fault_count, rng).correct
+            for _ in range(trials)
+        )
+        curve.append((density, survived / trials))
+    return curve
+
+
+@dataclass(frozen=True)
+class CriticalityReport:
+    """Single-fault sensitivity of the adder array."""
+
+    width: int
+    total_cells: int
+    critical_cells: int
+    tolerated_cells: int
+
+    @property
+    def critical_fraction(self) -> float:
+        return self.critical_cells / self.total_cells
+
+
+def cell_criticality(
+    width: int = 8,
+    operand_pairs: Optional[List[Tuple[int, int]]] = None,
+    kind: str = FAULT_STUCK_AT_0,
+) -> CriticalityReport:
+    """Exhaustive single-stuck-at scan over every cell.
+
+    A cell is *critical* when a single fault there corrupts at least
+    one of the probe additions.  Operand rows and the carry chain are
+    expected to be critical; some scratch cells are tolerated because
+    the probe set never exercises them with a differing value.
+    """
+    if operand_pairs is None:
+        top = (1 << width) - 1
+        operand_pairs = [(top, 1), (0x55 & top, 0x2A & top), (top, top)]
+    critical = 0
+    tolerated = 0
+    probe_adder, probe_array = _build_adder(width)
+    for row in range(probe_array.rows):
+        for col in range(probe_array.cols):
+            adder, array = _build_adder(width)
+            array.inject_fault(row, col, kind)
+            if _run_additions(adder, array, list(operand_pairs)):
+                tolerated += 1
+            else:
+                critical += 1
+    return CriticalityReport(
+        width=width,
+        total_cells=probe_array.cells,
+        critical_cells=critical,
+        tolerated_cells=tolerated,
+    )

@@ -1,0 +1,106 @@
+"""Cryptographic application layer: modular arithmetic on the CIM
+multiplier (paper Sec. IV-F)."""
+
+from repro.crypto.barrett import BarrettReducer, BarrettStats
+from repro.crypto.modmul import (
+    STRATEGY_BARRETT,
+    STRATEGY_MONTGOMERY,
+    STRATEGY_SPARSE,
+    ModularMultiplier,
+    choose_strategy,
+)
+from repro.crypto.datapath import DatapathCycleModel, InMemoryModMul
+from repro.crypto.ec import (
+    BLS12_381_G1,
+    PRIME_ORDER_CURVE,
+    TINY_CURVE,
+    CimEllipticCurve,
+    CurveParams,
+    Point,
+)
+from repro.crypto.montgomery import MontgomeryMultiplier, MontgomeryStats
+from repro.crypto.msm import (
+    MsmCost,
+    msm_cost,
+    naive_msm,
+    optimal_window,
+    paper_scale_projection,
+    pippenger_msm,
+)
+from repro.crypto.signatures import KeyPair, SchnorrSigner, Signature
+from repro.crypto.polyring import Ciphertext, PolyRing, RingElement, ToyBfv
+from repro.crypto.params import (
+    ALL_MODULI,
+    BLS12_381_P,
+    BN254_P,
+    FHE_RNS_PRIME,
+    GOLDILOCKS,
+    SECP256K1_P,
+    ModulusParam,
+    modulus_for_width,
+)
+from repro.crypto.ntt import (
+    CimNtt,
+    NttParams,
+    NttStats,
+    reference_negacyclic_convolve,
+)
+from repro.crypto.rns import CimRnsMultiplier, RnsBase, default_fhe_base
+from repro.crypto.sparse import (
+    SparseModMultiplier,
+    SparseReducer,
+    SparseStats,
+    signed_power_decomposition,
+)
+
+__all__ = [
+    "ALL_MODULI",
+    "BLS12_381_G1",
+    "CimEllipticCurve",
+    "CurveParams",
+    "DatapathCycleModel",
+    "InMemoryModMul",
+    "MsmCost",
+    "Ciphertext",
+    "KeyPair",
+    "PRIME_ORDER_CURVE",
+    "Point",
+    "SchnorrSigner",
+    "Signature",
+    "PolyRing",
+    "RingElement",
+    "ToyBfv",
+    "TINY_CURVE",
+    "msm_cost",
+    "naive_msm",
+    "optimal_window",
+    "paper_scale_projection",
+    "pippenger_msm",
+    "CimNtt",
+    "CimRnsMultiplier",
+    "NttParams",
+    "NttStats",
+    "RnsBase",
+    "default_fhe_base",
+    "reference_negacyclic_convolve",
+    "BLS12_381_P",
+    "BN254_P",
+    "BarrettReducer",
+    "BarrettStats",
+    "FHE_RNS_PRIME",
+    "GOLDILOCKS",
+    "ModularMultiplier",
+    "ModulusParam",
+    "MontgomeryMultiplier",
+    "MontgomeryStats",
+    "SECP256K1_P",
+    "STRATEGY_BARRETT",
+    "STRATEGY_MONTGOMERY",
+    "STRATEGY_SPARSE",
+    "SparseModMultiplier",
+    "SparseReducer",
+    "SparseStats",
+    "choose_strategy",
+    "modulus_for_width",
+    "signed_power_decomposition",
+]

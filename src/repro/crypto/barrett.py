@@ -1,0 +1,84 @@
+"""Barrett modular reduction on the CIM multiplier (Sec. IV-F).
+
+Barrett's method [30] reduces ``x mod m`` using two multiplications by
+a precomputed reciprocal estimate ``mu = floor(2^(2k) / m)``:
+
+    q = ((x >> (k-1)) * mu) >> (k+1)        # quotient estimate
+    r = x - q*m;  subtract m at most twice  # exact remainder
+
+Both inner products run on the paper's Karatsuba multiplier; the final
+corrections are additions/subtractions on the Kogge-Stone adder.  The
+multiplier is provisioned a nibble wider than the modulus so the
+(k+1)-bit intermediates fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.karatsuba.design import KaratsubaCimMultiplier
+from repro.sim.exceptions import DesignError
+
+
+@dataclass
+class BarrettStats:
+    """Operation counts accumulated by a :class:`BarrettReducer`."""
+
+    multiplications: int = 0
+    reductions: int = 0
+    correction_subtractions: int = 0
+
+
+class BarrettReducer:
+    """Barrett reducer over one CIM multiplier instance.
+
+    >>> red = BarrettReducer(0xFFFF_FFFB)   # 2^32 - 5
+    >>> red.reduce(123456789 * 987654321) == (123456789 * 987654321) % red.modulus
+    True
+    """
+
+    def __init__(self, modulus: int, multiplier: KaratsubaCimMultiplier = None):
+        if modulus < 3:
+            raise DesignError("Barrett needs a modulus >= 3")
+        self.modulus = modulus
+        self.k_bits = modulus.bit_length()
+        width = self.k_bits + 4
+        width += (-width) % 4
+        self.width = max(16, width)
+        self.multiplier = (
+            multiplier
+            if multiplier is not None
+            else KaratsubaCimMultiplier(self.width)
+        )
+        if self.multiplier.n_bits < self.width:
+            raise DesignError(
+                f"multiplier width {self.multiplier.n_bits} below "
+                f"required {self.width}"
+            )
+        self.mu = (1 << (2 * self.k_bits)) // modulus
+        self.stats = BarrettStats()
+
+    # ------------------------------------------------------------------
+    def _cim_mul(self, x: int, y: int) -> int:
+        self.stats.multiplications += 1
+        return self.multiplier.multiply(x, y)
+
+    def reduce(self, x: int) -> int:
+        """Reduce ``x mod m`` for ``0 <= x < m^2``."""
+        if not 0 <= x < self.modulus * self.modulus:
+            raise DesignError("Barrett input out of range [0, m^2)")
+        k = self.k_bits
+        q = self._cim_mul(x >> (k - 1), self.mu) >> (k + 1)
+        r = x - self._cim_mul(q, self.modulus)
+        self.stats.reductions += 1
+        while r >= self.modulus:
+            r -= self.modulus
+            self.stats.correction_subtractions += 1
+        return r
+
+    def modmul(self, x: int, y: int) -> int:
+        """``x * y mod m`` — one product plus one Barrett reduction
+        (three multiplier passes in total)."""
+        if not (0 <= x < self.modulus and 0 <= y < self.modulus):
+            raise DesignError("operands must be residues modulo m")
+        return self.reduce(self._cim_mul(x, y))

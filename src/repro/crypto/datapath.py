@@ -1,0 +1,113 @@
+"""Fully in-memory modular multiplication datapath.
+
+:class:`~repro.crypto.montgomery.MontgomeryMultiplier` and friends use
+the CIM multiplier for products but perform reductions' glue arithmetic
+(masks, shifts, the final conditional subtraction) in Python.  This
+module closes the loop for the final step: an end-to-end composition of
+
+* the pipelined CIM Karatsuba multiplier (products),
+* Montgomery's REDC decomposition (mask/shift by the power-of-two R —
+  free wiring on a crossbar: they are column selections), and
+* the in-memory :class:`~repro.arith.condsub.ConditionalSubtractor`
+  (the final ``u mod m``),
+
+with a cycle account that covers every component, giving the complete
+Sec. IV-F story: a modular multiplication that never leaves memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arith.condsub import ConditionalSubtractor
+from repro.arith.condsub import latency_cc as condsub_latency_cc
+from repro.crypto.montgomery import MontgomeryMultiplier
+from repro.karatsuba import cost
+from repro.karatsuba.design import KaratsubaCimMultiplier
+from repro.sim.exceptions import DesignError
+
+
+@dataclass(frozen=True)
+class DatapathCycleModel:
+    """Cycle budget of one in-memory Montgomery modmul."""
+
+    n_bits: int
+    multiplier_passes: int
+    multiplier_cc_pipelined: int
+    condsub_cc: int
+
+    @property
+    def total_cc(self) -> int:
+        return (
+            self.multiplier_passes * self.multiplier_cc_pipelined
+            + self.condsub_cc
+        )
+
+
+class InMemoryModMul:
+    """Montgomery modular multiplication with an in-memory final step.
+
+    The three multiplier passes run through the NOR-level Karatsuba
+    pipeline; REDC's ``mod R`` / ``div R`` are column selections
+    (zero-cost wiring); the conditional final subtraction executes on
+    its own crossbar through :class:`ConditionalSubtractor`.  Products
+    and the reduction are therefore *both* computed in memory and both
+    bit-exact.
+    """
+
+    def __init__(self, modulus: int, simulate: bool = True):
+        if modulus < 3 or modulus % 2 == 0:
+            raise DesignError("Montgomery needs an odd modulus >= 3")
+        self.modulus = modulus
+        width = MontgomeryMultiplier._width_for(modulus.bit_length())
+        if simulate:
+            multiplier = KaratsubaCimMultiplier(width)
+        else:
+            from repro.karatsuba.reference import ReferenceMultiplier
+
+            multiplier = ReferenceMultiplier(width)
+        self.mont = MontgomeryMultiplier(modulus, multiplier=multiplier)
+        self.condsub = ConditionalSubtractor(modulus)
+        self.simulate = simulate
+
+    # ------------------------------------------------------------------
+    def modmul(self, x: int, y: int) -> int:
+        """``x * y mod m`` with the final subtraction in memory."""
+        if not (0 <= x < self.modulus and 0 <= y < self.modulus):
+            raise DesignError("operands must be residues modulo m")
+        mont = self.mont
+        # Product and REDC, leaving u in [0, 2m) *before* the final
+        # conditional subtraction (we re-derive u so the subtraction
+        # can run on the in-memory unit instead of mont.redc's branch).
+        t = mont._cim_mul(x, y)
+        low = t & mont.r_mask
+        m_factor = mont._cim_mul(low, mont.m_prime) & mont.r_mask
+        u = (t + mont._cim_mul(m_factor, mont.modulus)) >> mont.r_bits
+        reduced = self.condsub.reduce(u).value
+        # Undo the Montgomery factor with one more product + REDC pass.
+        t2 = mont._cim_mul(reduced, mont.r2_mod_m)
+        low2 = t2 & mont.r_mask
+        m2 = mont._cim_mul(low2, mont.m_prime) & mont.r_mask
+        u2 = (t2 + mont._cim_mul(m2, mont.modulus)) >> mont.r_bits
+        return self.condsub.reduce(u2).value
+
+    # ------------------------------------------------------------------
+    def cycle_model(self) -> DatapathCycleModel:
+        """Pipelined budget: six multiplier passes + two in-memory
+        conditional subtractions per plain-domain modmul (three passes
+        and one subtraction when operands stay Montgomery-resident)."""
+        n_bits = self.mont.multiplier.n_bits
+        return DatapathCycleModel(
+            n_bits=n_bits,
+            multiplier_passes=6,
+            multiplier_cc_pipelined=cost.design_cost(n_bits, 2).bottleneck_cc,
+            condsub_cc=2 * condsub_latency_cc(self.modulus.bit_length()),
+        )
+
+    @property
+    def area_cells(self) -> int:
+        """Multiplier pipeline plus the conditional-subtract unit."""
+        return (
+            cost.design_cost(self.mont.multiplier.n_bits, 2).area_cells
+            + self.condsub.area_cells
+        )

@@ -1,0 +1,211 @@
+"""Elliptic-curve arithmetic over the CIM modular multiplier.
+
+Pairing-based ZKP — the paper's n = 384 motivation — spends most of its
+time on elliptic-curve point operations over large prime fields, each a
+fixed bundle of field multiplications (the CIM multiplier's job) and
+additions (the Kogge-Stone adder's).  This module provides short
+Weierstrass curves ``y^2 = x^3 + ax + b`` with Jacobian-coordinate
+group operations whose every field multiplication routes through a
+pluggable multiplier (the simulated CIM datapath or the reference
+drop-in), plus per-operation multiplication counts for cycle models.
+
+Included curve parameters: BLS12-381 G1 (the 384-bit ZKP workhorse)
+and a tiny test curve for exhaustive checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.modmul import ModularMultiplier
+from repro.crypto.params import BLS12_381_P
+from repro.sim.exceptions import DesignError
+
+#: Field multiplications per Jacobian operation (standard a=0 counts:
+#: doubling 5M+2S -> 7, mixed/general addition ~ 11M+5S -> 16).
+DOUBLE_FIELD_MULTS = 7
+ADD_FIELD_MULTS = 16
+
+
+@dataclass(frozen=True)
+class CurveParams:
+    """Short Weierstrass curve over a prime field."""
+
+    name: str
+    p: int
+    a: int
+    b: int
+    gx: int
+    gy: int
+    order: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.p < 5:
+            raise DesignError("field characteristic too small")
+        lhs = (self.gy * self.gy) % self.p
+        rhs = (self.gx**3 + self.a * self.gx + self.b) % self.p
+        if lhs != rhs:
+            raise DesignError(f"{self.name}: generator not on the curve")
+
+
+#: BLS12-381 G1: y^2 = x^3 + 4 over the 381-bit base field.
+BLS12_381_G1 = CurveParams(
+    name="bls12-381-g1",
+    p=BLS12_381_P.modulus,
+    a=0,
+    b=4,
+    gx=int(
+        "17f1d3a73197d7942695638c4fa9ac0fc3688c4f9774b905a14e3a3f171bac58"
+        "6c55e83ff97a1aeffb3af00adb22c6bb",
+        16,
+    ),
+    gy=int(
+        "08b3f481e3aaa0f1a09e30ed741d8ae4fcf5e095d5d00af600db18cb2c04b3ed"
+        "d03cc744a2888ae40caa232946c5e7e1",
+        16,
+    ),
+)
+
+#: A tiny curve for exhaustive tests: y^2 = x^3 + 2x + 3 over F_97,
+#: generator (3, 6), group order 100 (the generator itself has order 20;
+#: composite structure exercises the identity/doubling corner cases).
+TINY_CURVE = CurveParams(
+    name="tiny-97", p=97, a=2, b=3, gx=3, gy=6, order=100
+)
+
+#: A prime-order toy curve for protocol tests: y^2 = x^3 + x + 1 over
+#: F_211 with exactly 223 points — every non-identity point generates
+#: the whole group, giving Schnorr a clean 223-element challenge space.
+PRIME_ORDER_CURVE = CurveParams(
+    name="prime-211", p=211, a=1, b=1, gx=0, gy=1, order=223
+)
+
+
+@dataclass(frozen=True)
+class Point:
+    """Affine point; ``None`` coordinates encode the identity."""
+
+    x: Optional[int]
+    y: Optional[int]
+
+    @property
+    def is_identity(self) -> bool:
+        return self.x is None
+
+    @classmethod
+    def identity(cls) -> "Point":
+        return cls(x=None, y=None)
+
+
+class CimEllipticCurve:
+    """Group operations with CIM-backed field arithmetic.
+
+    Parameters
+    ----------
+    params:
+        Curve parameters.
+    field:
+        Modular multiplier for the base field; defaults to the
+        reference (non-simulating) drop-in so workload studies run at
+        host speed.  Pass a simulating :class:`ModularMultiplier` to
+        route every field product through the NOR-level datapath.
+    """
+
+    def __init__(
+        self, params: CurveParams, field: Optional[ModularMultiplier] = None
+    ):
+        self.params = params
+        if field is None:
+            from repro.karatsuba.reference import ReferenceMultiplier
+
+            width = max(16, params.p.bit_length() + (-params.p.bit_length()) % 4)
+            field = ModularMultiplier(
+                params.p, multiplier=ReferenceMultiplier(width)
+            )
+        self.field = field
+        self.field_multiplications = 0
+        self.point_adds = 0
+        self.point_doubles = 0
+
+    # ------------------------------------------------------------------
+    def _mul(self, x: int, y: int) -> int:
+        self.field_multiplications += 1
+        return self.field.modmul(x % self.params.p, y % self.params.p)
+
+    def _inv(self, x: int) -> int:
+        """Field inversion by Fermat exponentiation (chained modmuls)."""
+        return self.field.modexp(x % self.params.p, self.params.p - 2)
+
+    # ------------------------------------------------------------------
+    def is_on_curve(self, point: Point) -> bool:
+        if point.is_identity:
+            return True
+        p, a, b = self.params.p, self.params.a, self.params.b
+        lhs = self._mul(point.y, point.y)
+        x_sq = self._mul(point.x, point.x)
+        rhs = (self._mul(x_sq, point.x) + self._mul(a, point.x) + b) % p
+        return lhs == rhs
+
+    def generator(self) -> Point:
+        return Point(x=self.params.gx, y=self.params.gy)
+
+    # ------------------------------------------------------------------
+    def add(self, p1: Point, p2: Point) -> Point:
+        """Affine group addition (inversions via Fermat modexp)."""
+        if p1.is_identity:
+            return p2
+        if p2.is_identity:
+            return p1
+        p = self.params.p
+        if p1.x == p2.x:
+            if (p1.y + p2.y) % p == 0:
+                return Point.identity()
+            return self.double(p1)
+        self.point_adds += 1
+        slope = self._mul(
+            (p2.y - p1.y) % p, self._inv((p2.x - p1.x) % p)
+        )
+        x3 = (self._mul(slope, slope) - p1.x - p2.x) % p
+        y3 = (self._mul(slope, (p1.x - x3) % p) - p1.y) % p
+        return Point(x=x3, y=y3)
+
+    def double(self, pt: Point) -> Point:
+        if pt.is_identity:
+            return pt
+        p, a = self.params.p, self.params.a
+        if pt.y == 0:
+            return Point.identity()
+        self.point_doubles += 1
+        numerator = (3 * self._mul(pt.x, pt.x) + a) % p
+        slope = self._mul(numerator, self._inv((2 * pt.y) % p))
+        x3 = (self._mul(slope, slope) - 2 * pt.x) % p
+        y3 = (self._mul(slope, (pt.x - x3) % p) - pt.y) % p
+        return Point(x=x3, y=y3)
+
+    def scalar_mul(self, scalar: int, pt: Point) -> Point:
+        """Double-and-add scalar multiplication."""
+        if scalar < 0:
+            raise DesignError("scalar must be non-negative")
+        result = Point.identity()
+        addend = pt
+        k = scalar
+        while k:
+            if k & 1:
+                result = self.add(result, addend)
+            addend = self.double(addend)
+            k >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    def cycle_model_per_op(self, n_bits: int = 384) -> dict:
+        """Pipelined CIM cycles per point double/add (Jacobian counts,
+        3 multiplier passes per field multiplication)."""
+        from repro.karatsuba import cost
+
+        modmul_cc = 3 * cost.design_cost(n_bits, 2).bottleneck_cc
+        return {
+            "field_modmul_cc": modmul_cc,
+            "double_cc": DOUBLE_FIELD_MULTS * modmul_cc,
+            "add_cc": ADD_FIELD_MULTS * modmul_cc,
+        }

@@ -1,0 +1,90 @@
+"""Unified modular-multiplication facade over the CIM multiplier.
+
+Chooses the reduction strategy per modulus, mirroring how a
+cryptographic accelerator would configure the paper's datapath:
+
+* sparse folding when the modulus has a short signed-power form
+  (cheapest: shifts + Kogge-Stone additions only);
+* Montgomery for odd generic moduli on long residue chains;
+* Barrett otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crypto.barrett import BarrettReducer
+from repro.crypto.montgomery import MontgomeryMultiplier
+from repro.crypto.sparse import SparseModMultiplier, signed_power_decomposition
+from repro.karatsuba.design import KaratsubaCimMultiplier
+from repro.sim.exceptions import DesignError
+
+STRATEGY_SPARSE = "sparse"
+STRATEGY_MONTGOMERY = "montgomery"
+STRATEGY_BARRETT = "barrett"
+
+
+def choose_strategy(modulus: int, sparse_limit: int = 4) -> str:
+    """Pick the cheapest reduction strategy for *modulus*."""
+    if modulus < 3:
+        raise DesignError("modulus must be >= 3")
+    try:
+        terms = signed_power_decomposition(
+            (1 << modulus.bit_length()) - modulus, max_terms=sparse_limit
+        )
+        if len(terms) <= sparse_limit:
+            return STRATEGY_SPARSE
+    except DesignError:
+        pass
+    return STRATEGY_MONTGOMERY if modulus % 2 else STRATEGY_BARRETT
+
+
+class ModularMultiplier:
+    """Modular multiplication with automatic strategy selection.
+
+    >>> mm = ModularMultiplier((1 << 64) - (1 << 32) + 1)
+    >>> mm.strategy
+    'sparse'
+    >>> mm.modmul(3, 5)
+    15
+    """
+
+    def __init__(
+        self,
+        modulus: int,
+        strategy: Optional[str] = None,
+        multiplier: KaratsubaCimMultiplier = None,
+    ):
+        self.modulus = modulus
+        self.strategy = strategy or choose_strategy(modulus)
+        if self.strategy == STRATEGY_SPARSE:
+            self._engine = SparseModMultiplier(modulus, multiplier=multiplier)
+        elif self.strategy == STRATEGY_MONTGOMERY:
+            self._engine = MontgomeryMultiplier(modulus, multiplier=multiplier)
+        elif self.strategy == STRATEGY_BARRETT:
+            self._engine = BarrettReducer(modulus, multiplier=multiplier)
+        else:
+            raise DesignError(f"unknown strategy {self.strategy!r}")
+
+    def modmul(self, x: int, y: int) -> int:
+        """``x * y mod m`` through the selected reduction path."""
+        return self._engine.modmul(x, y)
+
+    def modexp(self, base: int, exponent: int) -> int:
+        """Square-and-multiply exponentiation via :meth:`modmul`."""
+        if exponent < 0:
+            raise DesignError("exponent must be non-negative")
+        result = 1 % self.modulus
+        acc = base % self.modulus
+        e = exponent
+        while e:
+            if e & 1:
+                result = self.modmul(result, acc)
+            acc = self.modmul(acc, acc)
+            e >>= 1
+        return result
+
+    @property
+    def engine(self):
+        """The underlying reducer (exposes its operation statistics)."""
+        return self._engine

@@ -1,0 +1,153 @@
+"""Montgomery modular multiplication on the CIM multiplier (Sec. IV-F).
+
+Montgomery's method [29] replaces trial division by multiplications
+modulo a power of two, so every inner operation is either a large
+integer multiplication (the paper's multiplier) or an addition/shift
+(the paper's Kogge-Stone adder) — exactly the point of Sec. IV-F.
+
+With ``R = 2^k`` and an odd modulus ``m < R``:
+
+    REDC(t) = (t + ((t mod R) * m' mod R) * m) / R,   m' = -m^-1 mod R
+
+requires two k-bit multiplications plus one addition per reduction, and
+a modular multiplication of residues costs three multiplier passes in
+total (one for a*b, two inside REDC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.karatsuba.design import KaratsubaCimMultiplier
+from repro.sim.exceptions import DesignError
+
+
+def _invert_mod_power_of_two(value: int, k_bits: int) -> int:
+    """Inverse of an odd *value* modulo ``2^k`` by Newton iteration."""
+    if value % 2 == 0:
+        raise DesignError("only odd values are invertible mod 2^k")
+    inverse = 1
+    bits = 1
+    while bits < k_bits:
+        bits *= 2
+        mask = (1 << min(bits, k_bits)) - 1
+        inverse = (inverse * (2 - value * inverse)) & mask
+    return inverse & ((1 << k_bits) - 1)
+
+
+@dataclass
+class MontgomeryStats:
+    """Operation counts accumulated by a :class:`MontgomeryMultiplier`."""
+
+    multiplications: int = 0
+    reductions: int = 0
+    final_subtractions: int = 0
+
+
+class MontgomeryMultiplier:
+    """Montgomery modular multiplier over one CIM multiplier instance.
+
+    Parameters
+    ----------
+    modulus:
+        Odd modulus, at most ``n_bits`` wide.
+    multiplier:
+        A :class:`KaratsubaCimMultiplier` to run the inner products on;
+        a fresh one of the right width is created when omitted.
+
+    >>> mont = MontgomeryMultiplier((1 << 64) - (1 << 32) + 1)
+    >>> mont.modmul(12345, 67890) == (12345 * 67890) % mont.modulus
+    True
+    """
+
+    def __init__(self, modulus: int, multiplier: KaratsubaCimMultiplier = None):
+        if modulus < 3 or modulus % 2 == 0:
+            raise DesignError("Montgomery needs an odd modulus >= 3")
+        self.modulus = modulus
+        self.k_bits = self._width_for(modulus.bit_length())
+        self.multiplier = (
+            multiplier
+            if multiplier is not None
+            else KaratsubaCimMultiplier(self.k_bits)
+        )
+        if self.multiplier.n_bits < self.k_bits:
+            raise DesignError(
+                f"multiplier width {self.multiplier.n_bits} below "
+                f"required {self.k_bits}"
+            )
+        self.r_bits = self.multiplier.n_bits
+        self.r = 1 << self.r_bits
+        self.r_mask = self.r - 1
+        self.m_prime = (-_invert_mod_power_of_two(modulus, self.r_bits)) & self.r_mask
+        self.r2_mod_m = (self.r * self.r) % modulus
+        self.stats = MontgomeryStats()
+
+    @staticmethod
+    def _width_for(bit_length: int) -> int:
+        """Smallest supported multiplier width covering *bit_length*."""
+        width = max(16, bit_length)
+        return width + (-width) % 4
+
+    # ------------------------------------------------------------------
+    def _cim_mul(self, x: int, y: int) -> int:
+        self.stats.multiplications += 1
+        return self.multiplier.multiply(x, y)
+
+    def redc(self, t: int) -> int:
+        """Montgomery reduction: returns ``t * R^-1 mod m``.
+
+        *t* must be below ``m * R`` (true for products of residues).
+        """
+        if t < 0 or t >= self.modulus * self.r:
+            raise DesignError("REDC input out of range [0, m*R)")
+        low = t & self.r_mask
+        m_factor = self._cim_mul(low, self.m_prime) & self.r_mask
+        u = (t + self._cim_mul(m_factor, self.modulus)) >> self.r_bits
+        self.stats.reductions += 1
+        if u >= self.modulus:
+            u -= self.modulus
+            self.stats.final_subtractions += 1
+        return u
+
+    # ------------------------------------------------------------------
+    def to_montgomery(self, value: int) -> int:
+        """Map a residue into the Montgomery domain: ``value * R mod m``."""
+        if not 0 <= value < self.modulus:
+            raise DesignError("value must be a residue modulo m")
+        return self.redc(self._cim_mul(value, self.r2_mod_m))
+
+    def from_montgomery(self, value: int) -> int:
+        """Map out of the Montgomery domain: ``value * R^-1 mod m``."""
+        return self.redc(value)
+
+    def mont_mul(self, x_mont: int, y_mont: int) -> int:
+        """Multiply two Montgomery-domain residues (stays in domain)."""
+        return self.redc(self._cim_mul(x_mont, y_mont))
+
+    def modmul(self, x: int, y: int) -> int:
+        """Plain-domain modular multiplication ``x * y mod m``.
+
+        Three multiplier passes: one for the product, two in REDC, plus
+        a domain-correction multiply by R^2 — the textbook flow when
+        operands arrive outside the Montgomery domain.
+        """
+        if not (0 <= x < self.modulus and 0 <= y < self.modulus):
+            raise DesignError("operands must be residues modulo m")
+        t = self._cim_mul(x, y)
+        reduced = self.redc(t)             # x*y*R^-1 mod m
+        return self.redc(self._cim_mul(reduced, self.r2_mod_m))
+
+    def modexp(self, base: int, exponent: int) -> int:
+        """Modular exponentiation by square-and-multiply in the
+        Montgomery domain (each step is one :meth:`mont_mul`)."""
+        if exponent < 0:
+            raise DesignError("exponent must be non-negative")
+        result = self.to_montgomery(1)
+        acc = self.to_montgomery(base % self.modulus)
+        e = exponent
+        while e:
+            if e & 1:
+                result = self.mont_mul(result, acc)
+            acc = self.mont_mul(acc, acc)
+            e >>= 1
+        return self.from_montgomery(result)

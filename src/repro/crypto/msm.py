@@ -1,0 +1,165 @@
+"""Multi-scalar multiplication (MSM) — the ZKP workload model.
+
+The paper's introduction motivates CIM with ZKP proof generation:
+proofs of circuit size 2^26 with 384-bit curve points need gigabytes of
+data and millions of field multiplications, most of them inside one
+giant MSM ``sum_i(k_i * P_i)``.  This module provides:
+
+* a functional **Pippenger (bucket) MSM** over
+  :class:`~repro.crypto.ec.CimEllipticCurve`, verified against naive
+  double-and-add on small curves;
+* the standard **operation-count model** (point additions as a function
+  of N, scalar bits b, and window width c), with the optimal window
+  chooser; and
+* a **CIM cycle projection** composing the operation counts with the
+  paper's pipelined multiplier cost — the end-to-end number the ZKP
+  story rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.crypto.ec import (
+    ADD_FIELD_MULTS,
+    DOUBLE_FIELD_MULTS,
+    CimEllipticCurve,
+    Point,
+)
+from repro.sim.exceptions import DesignError
+
+
+def pippenger_msm(
+    curve: CimEllipticCurve,
+    scalars: Sequence[int],
+    points: Sequence[Point],
+    window_bits: int = 4,
+) -> Point:
+    """Bucket-method MSM: ``sum_i scalars[i] * points[i]``."""
+    if len(scalars) != len(points):
+        raise DesignError("scalars and points length mismatch")
+    if window_bits < 1:
+        raise DesignError("window width must be at least 1 bit")
+    if not scalars:
+        return Point.identity()
+    max_bits = max(s.bit_length() for s in scalars) or 1
+    windows = -(-max_bits // window_bits)
+    result = Point.identity()
+    for w in range(windows - 1, -1, -1):
+        for _ in range(window_bits):
+            result = curve.double(result)
+        buckets: List[Point] = [
+            Point.identity() for _ in range(1 << window_bits)
+        ]
+        shift = w * window_bits
+        mask = (1 << window_bits) - 1
+        for scalar, point in zip(scalars, points):
+            digit = (scalar >> shift) & mask
+            if digit:
+                buckets[digit] = curve.add(buckets[digit], point)
+        # Running-sum bucket aggregation: sum_j j * B_j.
+        running = Point.identity()
+        window_sum = Point.identity()
+        for digit in range(len(buckets) - 1, 0, -1):
+            running = curve.add(running, buckets[digit])
+            window_sum = curve.add(window_sum, running)
+        result = curve.add(result, window_sum)
+    return result
+
+
+def naive_msm(
+    curve: CimEllipticCurve,
+    scalars: Sequence[int],
+    points: Sequence[Point],
+) -> Point:
+    """Reference MSM by per-term double-and-add (test oracle)."""
+    result = Point.identity()
+    for scalar, point in zip(scalars, points):
+        result = curve.add(result, curve.scalar_mul(scalar, point))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MsmCost:
+    """Operation counts of one Pippenger MSM."""
+
+    num_points: int
+    scalar_bits: int
+    window_bits: int
+    point_additions: int
+    point_doublings: int
+
+    @property
+    def field_multiplications(self) -> int:
+        return (
+            self.point_additions * ADD_FIELD_MULTS
+            + self.point_doublings * DOUBLE_FIELD_MULTS
+        )
+
+    def cim_cycles(self, n_bits: int = 384) -> int:
+        """Projected pipelined CIM cycles for the whole MSM."""
+        from repro.karatsuba import cost
+
+        modmul_cc = 3 * cost.design_cost(n_bits, 2).bottleneck_cc
+        return self.field_multiplications * modmul_cc
+
+
+def msm_cost(
+    num_points: int, scalar_bits: int = 255, window_bits: int = None
+) -> MsmCost:
+    """Operation-count model of Pippenger's algorithm.
+
+    Per window: ~N bucket insertions plus ``2 * 2^c`` aggregation adds;
+    ``b`` doublings overall.  The optimal window balances the N term
+    against the bucket count.
+    """
+    if num_points < 1:
+        raise DesignError("MSM needs at least one point")
+    if window_bits is None:
+        window_bits = optimal_window(num_points)
+    windows = -(-scalar_bits // window_bits)
+    additions = windows * (num_points + 2 * (1 << window_bits))
+    doublings = scalar_bits
+    return MsmCost(
+        num_points=num_points,
+        scalar_bits=scalar_bits,
+        window_bits=window_bits,
+        point_additions=additions,
+        point_doublings=doublings,
+    )
+
+
+def optimal_window(num_points: int, scalar_bits: int = 255) -> int:
+    """Window width minimising the modelled addition count."""
+    best = (None, None)
+    for c in range(1, 22):
+        windows = -(-scalar_bits // c)
+        additions = windows * (num_points + 2 * (1 << c))
+        if best[0] is None or additions < best[0]:
+            best = (additions, c)
+    return best[1]
+
+
+def paper_scale_projection(
+    log2_points: int = 26, n_bits: int = 384
+) -> dict:
+    """The intro's scenario: a 2^26-point MSM with 384-bit points.
+
+    Returns the modelled cost and the wall-clock on one pipelined CIM
+    datapath at 1 GHz, plus the tile count for a one-minute proof.
+    """
+    cost_model = msm_cost(1 << log2_points, scalar_bits=255)
+    cycles = cost_model.cim_cycles(n_bits)
+    seconds_one_tile = cycles / 1e9
+    return {
+        "window_bits": cost_model.window_bits,
+        "point_additions": cost_model.point_additions,
+        "field_multiplications": cost_model.field_multiplications,
+        "cycles": cycles,
+        "seconds_at_1ghz_one_tile": seconds_one_tile,
+        "tiles_for_one_minute": max(1, round(seconds_one_tile / 60)),
+    }

@@ -1,0 +1,246 @@
+"""Number-theoretic transform on the CIM datapath.
+
+FHE schemes multiply ring polynomials in R_q = Z_q[X]/(X^N + 1) via the
+negacyclic NTT; every butterfly is one modular multiplication — the
+exact workload the paper's 64-bit design point targets (Sec. I, IV-F).
+This module provides an NTT engine whose butterflies run through a
+:class:`repro.crypto.modmul.ModularMultiplier`, i.e. through the
+simulated CIM multiplier, plus a cycle model for the whole transform on
+the pipelined datapath.
+
+The default parameterisation uses the Goldilocks prime
+``q = 2^64 - 2^32 + 1`` (with ``2^32 | q - 1``, supporting transform
+sizes up to 2^31) and generator 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.crypto.modmul import ModularMultiplier
+from repro.crypto.params import GOLDILOCKS
+from repro.karatsuba import cost
+from repro.sim.exceptions import DesignError
+
+#: A generator of the Goldilocks multiplicative group.
+_GOLDILOCKS_GENERATOR = 7
+
+
+def is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+@dataclass(frozen=True)
+class NttParams:
+    """Parameters of one negacyclic NTT instance.
+
+    Attributes
+    ----------
+    modulus:
+        NTT-friendly prime with ``2N | modulus - 1``.
+    size:
+        Transform length N (a power of two).
+    psi:
+        Primitive 2N-th root of unity (``psi^2`` generates the N-th
+        roots); negacyclic convolution needs the 2N-th root.
+    """
+
+    modulus: int
+    size: int
+    psi: int
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.size):
+            raise DesignError("transform size must be a power of two")
+        if (self.modulus - 1) % (2 * self.size):
+            raise DesignError(
+                f"modulus does not support a size-{self.size} negacyclic NTT"
+            )
+        if pow(self.psi, 2 * self.size, self.modulus) != 1:
+            raise DesignError("psi is not a 2N-th root of unity")
+        if pow(self.psi, self.size, self.modulus) == 1:
+            raise DesignError("psi is not primitive (order divides N)")
+
+    @classmethod
+    def goldilocks(cls, size: int) -> "NttParams":
+        """Goldilocks parameters for transform length *size*."""
+        q = GOLDILOCKS.modulus
+        if (q - 1) % (2 * size):
+            raise DesignError(f"size {size} unsupported by Goldilocks")
+        psi = pow(_GOLDILOCKS_GENERATOR, (q - 1) // (2 * size), q)
+        return cls(modulus=q, size=size, psi=psi)
+
+    @property
+    def omega(self) -> int:
+        """Primitive N-th root of unity (``psi^2``)."""
+        return (self.psi * self.psi) % self.modulus
+
+
+def _bit_reverse_permute(values: List[int]) -> List[int]:
+    n = len(values)
+    bits = n.bit_length() - 1
+    out = list(values)
+    for i in range(n):
+        j = int(format(i, f"0{bits}b")[::-1], 2) if bits else 0
+        if j > i:
+            out[i], out[j] = out[j], out[i]
+    return out
+
+
+@dataclass
+class NttStats:
+    """Operation counts of one CimNtt instance."""
+
+    butterflies: int = 0
+    transforms: int = 0
+    pointwise_multiplications: int = 0
+
+
+class CimNtt:
+    """Negacyclic NTT whose modular multiplications run on CIM.
+
+    Parameters
+    ----------
+    params:
+        Transform parameters (see :class:`NttParams`).
+    modmul:
+        Modular multiplier to route butterflies through; defaults to a
+        sparse-reduction multiplier on the simulated CIM datapath.
+        Passing ``None`` with ``simulate=False`` uses plain Python
+        modular arithmetic (useful for large-N cycle modelling without
+        paying NOR-level simulation time).
+    simulate:
+        Route every butterfly product through the CIM simulator.
+    """
+
+    def __init__(
+        self,
+        params: NttParams,
+        modmul: Optional[ModularMultiplier] = None,
+        simulate: bool = True,
+    ):
+        self.params = params
+        self.simulate = simulate
+        if simulate:
+            self.modmul = (
+                modmul if modmul is not None else ModularMultiplier(params.modulus)
+            )
+        else:
+            self.modmul = None
+        self.stats = NttStats()
+        q, n = params.modulus, params.size
+        # Precomputed twiddle tables, psi-powers in bit-reversed order
+        # (the standard iterative negacyclic formulation).
+        self._psi_powers = [pow(params.psi, i, q) for i in range(n)]
+        self._psi_inv_powers = [
+            pow(params.psi, -i % (2 * n), q) for i in range(n)
+        ]
+        self._n_inv = pow(n, -1, q)
+
+    # ------------------------------------------------------------------
+    def _mul(self, x: int, y: int) -> int:
+        q = self.params.modulus
+        if self.simulate:
+            return self.modmul.modmul(x % q, y % q)
+        return (x * y) % q
+
+    # ------------------------------------------------------------------
+    def forward(self, poly: Sequence[int]) -> List[int]:
+        """Negacyclic forward NTT of a length-N coefficient vector."""
+        q, n = self.params.modulus, self.params.size
+        if len(poly) != n:
+            raise DesignError(f"expected {n} coefficients, got {len(poly)}")
+        values = [c % q for c in poly]
+        # Pre-multiply by psi^i, then a standard cyclic NTT.
+        values = [self._mul(c, self._psi_powers[i]) for i, c in enumerate(values)]
+        self.stats.pointwise_multiplications += n
+        values = self._cyclic(values, self.params.omega)
+        self.stats.transforms += 1
+        return values
+
+    def inverse(self, spectrum: Sequence[int]) -> List[int]:
+        """Inverse negacyclic NTT."""
+        q, n = self.params.modulus, self.params.size
+        if len(spectrum) != n:
+            raise DesignError(f"expected {n} points, got {len(spectrum)}")
+        omega_inv = pow(self.params.omega, -1, q)
+        values = self._cyclic([c % q for c in spectrum], omega_inv)
+        values = [
+            self._mul(self._mul(c, self._n_inv), self._psi_inv_powers[i])
+            for i, c in enumerate(values)
+        ]
+        self.stats.pointwise_multiplications += 2 * n
+        self.stats.transforms += 1
+        return values
+
+    def _cyclic(self, values: List[int], root: int) -> List[int]:
+        """Iterative Cooley-Tukey cyclic NTT with the given root."""
+        q, n = self.params.modulus, self.params.size
+        values = _bit_reverse_permute(values)
+        length = 2
+        while length <= n:
+            w_step = pow(root, n // length, q)
+            for start in range(0, n, length):
+                w = 1
+                for offset in range(length // 2):
+                    lo = values[start + offset]
+                    hi = values[start + offset + length // 2]
+                    t = self._mul(w, hi)
+                    values[start + offset] = (lo + t) % q
+                    values[start + offset + length // 2] = (lo - t) % q
+                    self.stats.butterflies += 1
+                    w = (w * w_step) % q
+            length *= 2
+        return values
+
+    # ------------------------------------------------------------------
+    def negacyclic_convolve(
+        self, a: Sequence[int], b: Sequence[int]
+    ) -> List[int]:
+        """Polynomial product modulo ``X^N + 1`` (the FHE ring product)."""
+        spectrum_a = self.forward(a)
+        spectrum_b = self.forward(b)
+        pointwise = [self._mul(x, y) for x, y in zip(spectrum_a, spectrum_b)]
+        self.stats.pointwise_multiplications += self.params.size
+        return self.inverse(pointwise)
+
+    # ------------------------------------------------------------------
+    def cycle_model(self, n_bits: int = 64) -> dict:
+        """Pipelined cycle cost of one forward NTT on the CIM datapath.
+
+        Butterfly products dominate; additions ride the Kogge-Stone
+        adder.  Returns totals for one transform and one full ring
+        multiplication (2 forward + pointwise + 1 inverse).
+        """
+        n = self.params.size
+        mults_per_ntt = (n // 2) * (n.bit_length() - 1) + n  # + psi scaling
+        dc = cost.design_cost(n_bits, 2)
+        modmul_cc = dc.bottleneck_cc + 2 * cost.adder_latency_cc(3 * n_bits // 2)
+        ntt_cc = mults_per_ntt * modmul_cc
+        ring_mults = 3 * mults_per_ntt + 2 * n
+        return {
+            "butterfly_mults_per_ntt": mults_per_ntt,
+            "modmul_cc": modmul_cc,
+            "ntt_cc": ntt_cc,
+            "ring_multiplication_cc": ring_mults * modmul_cc,
+        }
+
+
+def reference_negacyclic_convolve(
+    a: Sequence[int], b: Sequence[int], modulus: int
+) -> List[int]:
+    """Schoolbook negacyclic convolution (test oracle)."""
+    n = len(a)
+    if len(b) != n:
+        raise DesignError("length mismatch")
+    out = [0] * n
+    for i, ai in enumerate(a):
+        for j, bj in enumerate(b):
+            k = i + j
+            term = (ai * bj) % modulus
+            if k < n:
+                out[k] = (out[k] + term) % modulus
+            else:
+                out[k - n] = (out[k - n] - term) % modulus
+    return [c % modulus for c in out]

@@ -1,0 +1,99 @@
+"""Named cryptographic moduli used by the examples and benchmarks.
+
+The paper motivates its operand sizes with concrete workloads: 64-bit
+words for RNS-based FHE (OpenFHE [4]) and up to 384-bit field elements
+for pairing-based ZKP (PipeZK [2], BLS12-381 curves [18]).  This module
+collects representative moduli at each size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class ModulusParam:
+    """One named modulus with its CIM-relevant properties."""
+
+    name: str
+    modulus: int
+    n_bits: int
+    description: str
+    sparse_form: str = ""
+
+    def __post_init__(self) -> None:
+        if self.modulus.bit_length() > self.n_bits:
+            raise ValueError(
+                f"{self.name}: modulus needs {self.modulus.bit_length()} bits, "
+                f"declared {self.n_bits}"
+            )
+
+    @property
+    def is_sparse(self) -> bool:
+        return bool(self.sparse_form)
+
+
+#: The 64-bit "Goldilocks" prime 2^64 - 2^32 + 1: the workhorse of
+#: RNS-based FHE and STARK provers; its sparse form reduces with two
+#: additions/subtractions (Sec. IV-F, sparse modulus [31]).
+GOLDILOCKS = ModulusParam(
+    name="goldilocks",
+    modulus=(1 << 64) - (1 << 32) + 1,
+    n_bits=64,
+    description="2^64 - 2^32 + 1; RNS limb prime for FHE and STARKs",
+    sparse_form="2^64 - 2^32 + 1",
+)
+
+#: A typical 60-bit NTT-friendly RNS prime used by FHE libraries
+#: (congruent to 1 mod 2^17 so large power-of-two NTTs exist).
+FHE_RNS_PRIME = ModulusParam(
+    name="fhe-rns-60",
+    modulus=(1 << 60) - (1 << 18) + 1,
+    n_bits=64,
+    description="60-bit NTT-friendly RNS modulus (q = 1 mod 2^17)",
+    sparse_form="2^60 - 2^18 + 1",
+)
+
+#: secp256k1 base field prime: 2^256 - 2^32 - 977 (sparse).
+SECP256K1_P = ModulusParam(
+    name="secp256k1-p",
+    modulus=(1 << 256) - (1 << 32) - 977,
+    n_bits=256,
+    description="secp256k1 base field prime (ECDSA)",
+    sparse_form="2^256 - 2^32 - 977",
+)
+
+#: BN254 (alt_bn128) base field prime: the SNARK curve of Ethereum.
+BN254_P = ModulusParam(
+    name="bn254-p",
+    modulus=21888242871839275222246405745257275088696311157297823662689037894645226208583,
+    n_bits=256,
+    description="BN254 base field prime (Groth16 SNARKs)",
+)
+
+#: BLS12-381 base field prime: 381 bits, the pairing-based ZKP field
+#: that motivates the paper's n = 384 design point.
+BLS12_381_P = ModulusParam(
+    name="bls12-381-p",
+    modulus=int(
+        "1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f624"
+        "1eabfffeb153ffffb9feffffffffaaab",
+        16,
+    ),
+    n_bits=384,
+    description="BLS12-381 base field prime (pairing-based ZKP)",
+)
+
+ALL_MODULI: Dict[str, ModulusParam] = {
+    param.name: param
+    for param in (GOLDILOCKS, FHE_RNS_PRIME, SECP256K1_P, BN254_P, BLS12_381_P)
+}
+
+
+def modulus_for_width(n_bits: int) -> ModulusParam:
+    """A representative modulus for a given multiplier width."""
+    for param in ALL_MODULI.values():
+        if param.n_bits == n_bits:
+            return param
+    raise KeyError(f"no named modulus for {n_bits}-bit operands")

@@ -1,0 +1,245 @@
+"""Polynomial ring R_q = Z_q[X]/(X^N + 1) and a toy BFV-style scheme.
+
+The paper's FHE motivation bottoms out in ring arithmetic: ciphertexts
+are pairs of polynomials in R_q, and every homomorphic operation is
+built from ring additions (Kogge-Stone territory) and ring
+multiplications (NTT + the CIM multiplier).  This module provides:
+
+* :class:`RingElement` / :class:`PolyRing` — negacyclic ring arithmetic
+  with NTT-accelerated multiplication over a pluggable
+  :class:`~repro.crypto.ntt.CimNtt`;
+* :class:`ToyBfv` — a deliberately small BFV-flavoured symmetric
+  scheme (ternary secret, additive noise, plaintext modulus t) with
+  encryption, decryption, homomorphic addition and
+  plaintext-ciphertext multiplication — enough to demonstrate an FHE
+  working set flowing through the CIM datapath end to end.
+
+The scheme is a pedagogical model for workload generation, **not** a
+secure construction (parameters are tiny and there is no relinearisation
+or modulus switching).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.crypto.ntt import CimNtt, NttParams
+from repro.sim.exceptions import DesignError
+
+
+@dataclass(frozen=True)
+class RingElement:
+    """An element of R_q, stored as a coefficient tuple (LSC first)."""
+
+    coeffs: tuple
+    modulus: int
+
+    def __post_init__(self) -> None:
+        if any(not 0 <= c < self.modulus for c in self.coeffs):
+            raise DesignError("coefficients must be reduced modulo q")
+
+    @property
+    def degree_bound(self) -> int:
+        return len(self.coeffs)
+
+
+class PolyRing:
+    """Arithmetic in R_q with CIM-backed NTT multiplication."""
+
+    def __init__(
+        self,
+        size: int,
+        modulus: Optional[int] = None,
+        ntt: Optional[CimNtt] = None,
+        simulate: bool = False,
+    ):
+        if ntt is not None:
+            self.ntt = ntt
+        else:
+            params = (
+                NttParams.goldilocks(size)
+                if modulus is None
+                else NttParams(
+                    modulus=modulus,
+                    size=size,
+                    psi=_find_psi(modulus, size),
+                )
+            )
+            self.ntt = CimNtt(params, simulate=simulate)
+        self.size = self.ntt.params.size
+        self.modulus = self.ntt.params.modulus
+
+    # ------------------------------------------------------------------
+    def element(self, coeffs: Sequence[int]) -> RingElement:
+        """Build an element, reducing coefficients (including negatives)."""
+        if len(coeffs) != self.size:
+            raise DesignError(f"expected {self.size} coefficients")
+        return RingElement(
+            coeffs=tuple(c % self.modulus for c in coeffs),
+            modulus=self.modulus,
+        )
+
+    def zero(self) -> RingElement:
+        return self.element([0] * self.size)
+
+    def random_element(self, rng: random.Random) -> RingElement:
+        return self.element(
+            [rng.randrange(self.modulus) for _ in range(self.size)]
+        )
+
+    def ternary_element(self, rng: random.Random) -> RingElement:
+        """Coefficients in {-1, 0, 1} (secret keys, noise)."""
+        return self.element(
+            [rng.choice((-1, 0, 1)) for _ in range(self.size)]
+        )
+
+    def small_noise(self, rng: random.Random, bound: int = 2) -> RingElement:
+        """Bounded noise in [-bound, bound]."""
+        return self.element(
+            [rng.randint(-bound, bound) for _ in range(self.size)]
+        )
+
+    # ------------------------------------------------------------------
+    def add(self, a: RingElement, b: RingElement) -> RingElement:
+        self._check(a, b)
+        return self.element(
+            [x + y for x, y in zip(a.coeffs, b.coeffs)]
+        )
+
+    def sub(self, a: RingElement, b: RingElement) -> RingElement:
+        self._check(a, b)
+        return self.element(
+            [x - y for x, y in zip(a.coeffs, b.coeffs)]
+        )
+
+    def neg(self, a: RingElement) -> RingElement:
+        return self.element([-x for x in a.coeffs])
+
+    def mul(self, a: RingElement, b: RingElement) -> RingElement:
+        """Negacyclic product through the (CIM-backed) NTT."""
+        self._check(a, b)
+        return self.element(
+            self.ntt.negacyclic_convolve(list(a.coeffs), list(b.coeffs))
+        )
+
+    def scalar_mul(self, scalar: int, a: RingElement) -> RingElement:
+        return self.element([scalar * c for c in a.coeffs])
+
+    def _check(self, a: RingElement, b: RingElement) -> None:
+        if a.modulus != self.modulus or b.modulus != self.modulus:
+            raise DesignError("ring element modulus mismatch")
+        if a.degree_bound != self.size or b.degree_bound != self.size:
+            raise DesignError("ring element size mismatch")
+
+
+def _find_psi(modulus: int, size: int) -> int:
+    """Search a primitive 2N-th root of unity for custom moduli."""
+    if (modulus - 1) % (2 * size):
+        raise DesignError("modulus does not admit a negacyclic NTT")
+    exponent = (modulus - 1) // (2 * size)
+    for candidate in range(2, 1000):
+        psi = pow(candidate, exponent, modulus)
+        if pow(psi, size, modulus) != 1 and pow(psi, 2 * size, modulus) == 1:
+            return psi
+    raise DesignError("no primitive root found (modulus too small?)")
+
+
+# ----------------------------------------------------------------------
+# Toy BFV
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Ciphertext:
+    """A (c0, c1) BFV-style ciphertext: ``c0 + c1*s ~ delta*m + e``."""
+
+    c0: RingElement
+    c1: RingElement
+
+
+class ToyBfv:
+    """Symmetric BFV-flavoured scheme over a :class:`PolyRing`.
+
+    ``q`` is the ring modulus, ``t`` the plaintext modulus, and
+    ``delta = floor(q / t)`` the scaling factor.  Decryption recovers
+    ``round(t/q * (c0 + c1*s)) mod t`` as in textbook BFV.
+    """
+
+    def __init__(self, ring: PolyRing, plaintext_modulus: int = 16,
+                 seed: int = 0x5EED):
+        if plaintext_modulus < 2:
+            raise DesignError("plaintext modulus must be >= 2")
+        if plaintext_modulus * plaintext_modulus > ring.modulus:
+            raise DesignError("plaintext modulus too large for the ring")
+        self.ring = ring
+        self.t = plaintext_modulus
+        self.delta = ring.modulus // plaintext_modulus
+        self.rng = random.Random(seed)
+        self.secret = ring.ternary_element(self.rng)
+
+    # ------------------------------------------------------------------
+    def encode(self, message: Sequence[int]) -> RingElement:
+        if any(not 0 <= m < self.t for m in message):
+            raise DesignError("message coefficients must be < t")
+        return self.ring.element([self.delta * m for m in message])
+
+    def encrypt(self, message: Sequence[int]) -> Ciphertext:
+        """``c0 = -(a*s) + delta*m + e``, ``c1 = a`` for random a."""
+        ring = self.ring
+        a = ring.random_element(self.rng)
+        noise = ring.small_noise(self.rng, bound=2)
+        encoded = self.encode(message)
+        c0 = ring.add(ring.sub(encoded, ring.mul(a, self.secret)), noise)
+        return Ciphertext(c0=c0, c1=a)
+
+    def decrypt(self, ciphertext: Ciphertext) -> List[int]:
+        """Recover the message by rounding away the noise."""
+        ring = self.ring
+        phase = ring.add(
+            ciphertext.c0, ring.mul(ciphertext.c1, self.secret)
+        )
+        q, t = ring.modulus, self.t
+        message = []
+        for coeff in phase.coeffs:
+            message.append(round(coeff * t / q) % t)
+        return message
+
+    # ------------------------------------------------------------------
+    def add(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
+        """Homomorphic addition: component-wise ring additions."""
+        return Ciphertext(
+            c0=self.ring.add(x.c0, y.c0),
+            c1=self.ring.add(x.c1, y.c1),
+        )
+
+    def plain_mul(self, x: Ciphertext, plain: Sequence[int]) -> Ciphertext:
+        """Plaintext-ciphertext multiplication: two ring products.
+
+        The plaintext is *not* delta-scaled (the ciphertext already
+        carries one delta factor)."""
+        if any(not 0 <= m < self.t for m in plain):
+            raise DesignError("plaintext coefficients must be < t")
+        p = self.ring.element(list(plain))
+        return Ciphertext(
+            c0=self.ring.mul(x.c0, p),
+            c1=self.ring.mul(x.c1, p),
+        )
+
+    def noise_budget_bits(self, ciphertext: Ciphertext,
+                          message: Sequence[int]) -> int:
+        """Remaining noise margin: bits between the noise magnitude and
+        delta/2 (decryption fails when this reaches zero)."""
+        ring = self.ring
+        phase = ring.add(
+            ciphertext.c0, ring.mul(ciphertext.c1, self.secret)
+        )
+        q = ring.modulus
+        worst = 0
+        for coeff, m in zip(phase.coeffs, message):
+            noise = (coeff - self.delta * m) % q
+            noise = min(noise, q - noise)
+            worst = max(worst, noise)
+        margin = self.delta // 2
+        if worst == 0:
+            return margin.bit_length()
+        return max(0, margin.bit_length() - worst.bit_length())

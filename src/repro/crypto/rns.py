@@ -1,0 +1,190 @@
+"""Residue number system (RNS) arithmetic over CIM multipliers.
+
+RNS-based FHE (the paper's 64-bit motivation, Sec. IV) represents wide
+ciphertext coefficients as vectors of 64-bit residues so that every
+operation decomposes into independent word-size modular operations —
+one per limb, each an ideal job for one pipelined CIM multiplier.  This
+module provides:
+
+* :class:`RnsBase` — a pairwise-coprime modulus set with conversion to
+  and from RNS (CRT reconstruction);
+* :class:`CimRnsMultiplier` — wide modular-free multiplication whose
+  limb products run on per-limb CIM datapaths, with a pipelined cycle
+  model for the limb-parallel arrangement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd, prod
+from typing import Dict, List, Optional, Sequence
+
+from repro.crypto.modmul import ModularMultiplier
+from repro.karatsuba import cost
+from repro.sim.exceptions import DesignError
+
+
+def default_fhe_base(limbs: int) -> List[int]:
+    """A set of *limbs* pairwise-coprime 59-62-bit NTT-friendly primes.
+
+    Primes of the form ``k * 2^20 + 1`` below 2^62, as FHE libraries
+    pick for RNS bases.
+    """
+    if limbs < 1:
+        raise DesignError("need at least one limb")
+    primes: List[int] = []
+    k = (1 << 41)
+    while len(primes) < limbs:
+        candidate = k * (1 << 20) + 1
+        if candidate.bit_length() > 62:
+            raise DesignError("ran out of candidate primes")
+        if _is_prime(candidate):
+            primes.append(candidate)
+        k += 1
+    return primes
+
+
+def _is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for 64-bit-class integers."""
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class RnsBase:
+    """A pairwise-coprime RNS modulus set."""
+
+    moduli: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.moduli) < 1:
+            raise DesignError("RNS base needs at least one modulus")
+        for i, m in enumerate(self.moduli):
+            if m < 2:
+                raise DesignError(f"modulus {m} too small")
+            for other in self.moduli[i + 1:]:
+                if gcd(m, other) != 1:
+                    raise DesignError(
+                        f"moduli {m} and {other} are not coprime"
+                    )
+
+    @classmethod
+    def of(cls, moduli: Sequence[int]) -> "RnsBase":
+        return cls(moduli=tuple(moduli))
+
+    @classmethod
+    def fhe_default(cls, limbs: int) -> "RnsBase":
+        return cls(moduli=tuple(default_fhe_base(limbs)))
+
+    @property
+    def dynamic_range(self) -> int:
+        """Product of all moduli: the representable range [0, M)."""
+        return prod(self.moduli)
+
+    @property
+    def limbs(self) -> int:
+        return len(self.moduli)
+
+    # ------------------------------------------------------------------
+    def to_rns(self, value: int) -> List[int]:
+        """Residue vector of *value* (must lie in [0, M))."""
+        if not 0 <= value < self.dynamic_range:
+            raise DesignError("value outside the RNS dynamic range")
+        return [value % m for m in self.moduli]
+
+    def from_rns(self, residues: Sequence[int]) -> int:
+        """CRT reconstruction of a residue vector."""
+        if len(residues) != self.limbs:
+            raise DesignError(
+                f"expected {self.limbs} residues, got {len(residues)}"
+            )
+        total = 0
+        big_m = self.dynamic_range
+        for residue, modulus in zip(residues, self.moduli):
+            if not 0 <= residue < modulus:
+                raise DesignError(f"residue {residue} out of range")
+            partial = big_m // modulus
+            total += residue * partial * pow(partial, -1, modulus)
+        return total % big_m
+
+
+class CimRnsMultiplier:
+    """Wide multiplication via limb-parallel CIM modular multipliers.
+
+    Each limb gets its own :class:`ModularMultiplier` (its own simulated
+    datapath); a wide product is ``limbs`` independent 64-bit-class
+    modular multiplications that hardware would run fully in parallel.
+    """
+
+    def __init__(self, base: RnsBase, simulate: bool = True):
+        self.base = base
+        self.simulate = simulate
+        self._limb_multipliers: Optional[List[ModularMultiplier]] = None
+        if simulate:
+            self._limb_multipliers = [
+                ModularMultiplier(m) for m in base.moduli
+            ]
+        self.limb_multiplications = 0
+
+    # ------------------------------------------------------------------
+    def multiply(self, x: int, y: int) -> int:
+        """``x * y mod M`` over the full dynamic range M."""
+        rx = self.base.to_rns(x)
+        ry = self.base.to_rns(y)
+        rz = self.multiply_rns(rx, ry)
+        return self.base.from_rns(rz)
+
+    def multiply_rns(
+        self, rx: Sequence[int], ry: Sequence[int]
+    ) -> List[int]:
+        """Limb-wise modular products (stays in RNS form)."""
+        if len(rx) != self.base.limbs or len(ry) != self.base.limbs:
+            raise DesignError("residue vector length mismatch")
+        out = []
+        for i, modulus in enumerate(self.base.moduli):
+            if self.simulate:
+                out.append(self._limb_multipliers[i].modmul(rx[i], ry[i]))
+            else:
+                out.append(rx[i] * ry[i] % modulus)
+            self.limb_multiplications += 1
+        return out
+
+    def add_rns(self, rx: Sequence[int], ry: Sequence[int]) -> List[int]:
+        """Limb-wise modular additions (Kogge-Stone territory)."""
+        return [
+            (a + b) % m for a, b, m in zip(rx, ry, self.base.moduli)
+        ]
+
+    # ------------------------------------------------------------------
+    def cycle_model(self, n_bits: int = 64) -> Dict[str, float]:
+        """Cycle cost of one wide product with limb-parallel datapaths
+        versus a single time-shared datapath."""
+        dc = cost.design_cost(n_bits, 2)
+        modmul_cc = 3 * dc.bottleneck_cc       # Montgomery-style bound
+        limbs = self.base.limbs
+        return {
+            "limb_modmul_cc": modmul_cc,
+            "parallel_cc": float(modmul_cc),
+            "serial_cc": float(limbs * modmul_cc),
+            "area_cells_parallel": float(limbs * dc.area_cells),
+            "speedup": float(limbs),
+        }

@@ -1,0 +1,146 @@
+"""Sparse-modulus reduction using only shifts and additions (Sec. IV-F).
+
+For a modulus of the form ``p = 2^k - e`` where ``e`` has a short
+signed-power-of-two representation (Goldilocks ``2^64 - 2^32 + 1``,
+secp256k1's ``2^256 - 2^32 - 977``, Solinas primes generally [31]),
+folding replaces division entirely:
+
+    x = x1 * 2^k + x0   =>   x === x1 * e + x0   (mod p)
+
+and ``x1 * e`` expands into a handful of shifted additions or
+subtractions — operations the paper's Kogge-Stone adder natively
+provides, which is the point of Sec. IV-F's "sparse modulus" remark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.karatsuba.design import KaratsubaCimMultiplier
+from repro.sim.exceptions import DesignError
+
+
+def signed_power_decomposition(value: int, max_terms: int = 8) -> List[Tuple[int, int]]:
+    """Non-adjacent-form decomposition ``value = sum(sign * 2^shift)``.
+
+    Returns at most *max_terms* ``(sign, shift)`` pairs or raises if the
+    value is not sparse enough to benefit from folding.
+    """
+    if value <= 0:
+        raise DesignError("decomposition requires a positive value")
+    terms: List[Tuple[int, int]] = []
+    shift = 0
+    v = value
+    while v:
+        if v & 1:
+            # Non-adjacent form: digit in {-1, +1} chosen so the next
+            # bit becomes zero, minimising the number of terms.
+            if (v & 3) == 3:
+                terms.append((-1, shift))
+                v += 1
+            else:
+                terms.append((1, shift))
+                v -= 1
+        v >>= 1
+        shift += 1
+    if len(terms) > max_terms:
+        raise DesignError(
+            f"value has {len(terms)} signed-power terms; not sparse "
+            f"(limit {max_terms})"
+        )
+    return terms
+
+
+@dataclass
+class SparseStats:
+    """Operation counts of a :class:`SparseReducer`."""
+
+    folds: int = 0
+    shift_adds: int = 0
+    final_subtractions: int = 0
+
+
+class SparseReducer:
+    """Fold-based reducer for ``p = 2^k - e`` with sparse ``e``.
+
+    >>> red = SparseReducer((1 << 64) - (1 << 32) + 1)
+    >>> x = 0x1234567890ABCDEF * 0xFEDCBA0987654321
+    >>> red.reduce(x) == x % red.modulus
+    True
+    """
+
+    def __init__(self, modulus: int, max_terms: int = 8):
+        if modulus < 3:
+            raise DesignError("modulus must be >= 3")
+        self.modulus = modulus
+        self.k_bits = modulus.bit_length()
+        excess = (1 << self.k_bits) - modulus
+        if excess <= 0:
+            raise DesignError("modulus must be below 2^bit_length")
+        self.terms = signed_power_decomposition(excess, max_terms=max_terms)
+        self.stats = SparseStats()
+
+    # ------------------------------------------------------------------
+    def _fold_once(self, x: int) -> int:
+        """One folding step: ``x1*2^k + x0 -> x1*e + x0``."""
+        high = x >> self.k_bits
+        low = x & ((1 << self.k_bits) - 1)
+        acc = low
+        for sign, shift in self.terms:
+            # One Kogge-Stone addition or subtraction of a shifted copy.
+            self.stats.shift_adds += 1
+            if sign > 0:
+                acc += high << shift
+            else:
+                acc -= high << shift
+        self.stats.folds += 1
+        return acc
+
+    def reduce(self, x: int) -> int:
+        """Reduce any non-negative ``x`` modulo the sparse modulus."""
+        if x < 0:
+            raise DesignError("input must be non-negative")
+        guard = 0
+        while x >> self.k_bits:
+            x = self._fold_once(x)
+            if x < 0:
+                # A negative fold (possible when e has negative terms)
+                # is lifted back by adding a multiple of p.
+                multiples = (-x) // self.modulus + 1
+                x += multiples * self.modulus
+            guard += 1
+            if guard > 4 * self.k_bits:  # pragma: no cover - safety net
+                raise AssertionError("sparse reduction failed to converge")
+        while x >= self.modulus:
+            x -= self.modulus
+            self.stats.final_subtractions += 1
+        return x
+
+    @property
+    def adds_per_fold(self) -> int:
+        """Kogge-Stone operations per folding step."""
+        return len(self.terms)
+
+
+class SparseModMultiplier:
+    """Modular multiplier: CIM Karatsuba product + sparse folding."""
+
+    def __init__(
+        self,
+        modulus: int,
+        multiplier: KaratsubaCimMultiplier = None,
+        max_terms: int = 8,
+    ):
+        self.reducer = SparseReducer(modulus, max_terms=max_terms)
+        width = max(16, self.reducer.k_bits + (-self.reducer.k_bits) % 4)
+        self.multiplier = (
+            multiplier if multiplier is not None else KaratsubaCimMultiplier(width)
+        )
+        self.modulus = modulus
+
+    def modmul(self, x: int, y: int) -> int:
+        """``x * y mod p`` — one multiplier pass plus shift-add folds."""
+        if not (0 <= x < self.modulus and 0 <= y < self.modulus):
+            raise DesignError("operands must be residues modulo p")
+        return self.reducer.reduce(self.multiplier.multiply(x, y))

@@ -1,0 +1,17 @@
+"""Evaluation harness: regenerates every table and figure of the paper."""
+
+from repro.eval import (
+    artifacts,
+    asciiplot,
+    claims,
+    energy,
+    explore_report,
+    fig4,
+    scaling,
+    sensitivity,
+    table1,
+    workloads,
+)
+from repro.eval.report import format_ratio, format_table
+
+__all__ = ["artifacts", "asciiplot", "claims", "sensitivity", "energy", "explore_report", "scaling", "workloads", "fig4", "format_ratio", "format_table", "table1"]

@@ -1,0 +1,146 @@
+"""Terminal plotting for the evaluation harness.
+
+Renders multi-series scatter/line data as ASCII, with optional log
+scales — enough to eyeball Fig. 4-style curves and scaling fits without
+leaving the terminal (the repository is plotting-library-free by
+design: everything must run offline).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.exceptions import DesignError
+
+
+@dataclass
+class Series:
+    """One named curve: sorted (x, y) points and a single-char marker."""
+
+    name: str
+    points: List[Tuple[float, float]]
+    marker: str = "*"
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise DesignError(f"series {self.name!r} has no points")
+        if len(self.marker) != 1:
+            raise DesignError("marker must be a single character")
+        self.points = sorted(self.points)
+
+
+@dataclass
+class AsciiPlot:
+    """A fixed-size character canvas with data-space mapping."""
+
+    width: int = 64
+    height: int = 18
+    log_x: bool = False
+    log_y: bool = False
+    title: str = ""
+    series: List[Series] = field(default_factory=list)
+
+    def add_series(
+        self, name: str, points, marker: Optional[str] = None
+    ) -> "AsciiPlot":
+        markers = "123456789abcdef"
+        chosen = marker or markers[len(self.series) % len(markers)]
+        self.series.append(Series(name=name, points=list(points), marker=chosen))
+        return self
+
+    # ------------------------------------------------------------------
+    def _transform(self, value: float, log: bool) -> float:
+        if log:
+            if value <= 0:
+                raise DesignError("log-scale axes need positive values")
+            return math.log10(value)
+        return value
+
+    def render(self) -> str:
+        if not self.series:
+            raise DesignError("nothing to plot")
+        xs = [
+            self._transform(x, self.log_x)
+            for s in self.series
+            for x, _ in s.points
+        ]
+        ys = [
+            self._transform(y, self.log_y)
+            for s in self.series
+            for _, y in s.points
+        ]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        x_span = (x_hi - x_lo) or 1.0
+        y_span = (y_hi - y_lo) or 1.0
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for s in self.series:
+            for x, y in s.points:
+                tx = self._transform(x, self.log_x)
+                ty = self._transform(y, self.log_y)
+                col = round((tx - x_lo) / x_span * (self.width - 1))
+                row = round((ty - y_lo) / y_span * (self.height - 1))
+                grid[self.height - 1 - row][col] = s.marker
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        y_top = f"{(10 ** y_hi if self.log_y else y_hi):,.4g}"
+        y_bot = f"{(10 ** y_lo if self.log_y else y_lo):,.4g}"
+        lines.append(f"{y_top:>10} +" + "-" * self.width + "+")
+        for row in grid:
+            lines.append(f"{'':>10} |" + "".join(row) + "|")
+        lines.append(f"{y_bot:>10} +" + "-" * self.width + "+")
+        x_left = f"{(10 ** x_lo if self.log_x else x_lo):,.4g}"
+        x_right = f"{(10 ** x_hi if self.log_x else x_hi):,.4g}"
+        pad = self.width - len(x_left) - len(x_right)
+        lines.append(f"{'':>12}{x_left}{'':<{max(pad, 1)}}{x_right}")
+        legend = "  ".join(f"{s.marker}={s.name}" for s in self.series)
+        lines.append(f"{'':>12}{legend}")
+        return "\n".join(lines)
+
+
+def plot_fig4(width: int = 64, height: int = 16) -> str:
+    """Fig. 4 as an ASCII log-log plot (one marker per unroll depth)."""
+    from repro.eval import fig4
+
+    curves = fig4.series()
+    plot = AsciiPlot(
+        width=width,
+        height=height,
+        log_x=True,
+        log_y=True,
+        title="Fig. 4 - ATP vs n (log-log; digits mark unroll depth L)",
+    )
+    for depth in sorted(curves):
+        plot.add_series(
+            f"L={depth}",
+            [(float(n), atp) for n, atp in sorted(curves[depth].items())],
+            marker=str(depth),
+        )
+    return plot.render()
+
+
+def plot_scaling(metric: str = "latency", width: int = 64) -> str:
+    """Design latencies/areas vs n (the Sec. II-C scaling picture)."""
+    from repro.eval.scaling import _DESIGNS
+
+    plot = AsciiPlot(
+        width=width,
+        height=16,
+        log_x=True,
+        log_y=True,
+        title=f"Sec. II-C - {metric} scaling (log-log)",
+    )
+    sizes = (64, 128, 256, 512, 1024)
+    markers = {"radakovits2020": "r", "hajali2018": "h", "lakshmi2022": "w",
+               "leitersdorf2022": "m", "ours": "K"}
+    for design, (area_fn, latency_fn) in _DESIGNS.items():
+        fn = area_fn if metric == "area" else latency_fn
+        plot.add_series(
+            design,
+            [(float(n), float(fn(n))) for n in sizes],
+            marker=markers[design],
+        )
+    return plot.render()

@@ -1,0 +1,69 @@
+"""Plain-text table rendering for the evaluation harness."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table.
+
+    Numbers are right-aligned, text left-aligned; floats print with up
+    to one decimal unless they are integral.
+    """
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "-"
+            if abs(value - round(value)) < 1e-9 and abs(value) < 1e15:
+                return f"{int(round(value)):,}"
+            return f"{value:,.1f}"
+        if isinstance(value, int):
+            return f"{value:,}"
+        return str(value)
+
+    rendered: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def align(text: str, width: int, numeric: bool) -> str:
+        return text.rjust(width) if numeric else text.ljust(width)
+
+    numeric_cols = [
+        all(
+            isinstance(row[i], (int, float))
+            for row in rows
+        ) and bool(rows)
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(align(headers[i], widths[i], False) for i in range(len(headers)))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            "  ".join(
+                align(row[i], widths[i], numeric_cols[i]) for i in range(len(row))
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_ratio(value: float) -> str:
+    """Render a speedup/improvement factor the way the paper does."""
+    if value >= 100:
+        return f"{value:,.0f}x"
+    if value >= 10:
+        return f"{value:.0f}x"
+    return f"{value:.1f}x"

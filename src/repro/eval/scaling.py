@@ -1,0 +1,151 @@
+"""Asymptotic-scaling analysis of the compared designs (Sec. II-C).
+
+The paper frames its related-work discussion in complexity classes:
+schoolbook designs have quadratic time or area, MultPIM achieves
+O(n log n) time / O(n) area, and Karatsuba's algorithmic complexity is
+O(n^1.58).  This module fits the measured cost models over a geometric
+range of operand widths (log-log least squares) and recovers those
+exponents numerically, turning the complexity table of Sec. II-C into
+a testable artefact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines import hajali, lakshmi, leitersdorf, radakovits
+from repro.karatsuba import cost
+from repro.sim.exceptions import DesignError
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Power-law fit ``metric ~ c * n^exponent``."""
+
+    design: str
+    metric: str
+    exponent: float
+    r_squared: float
+
+    def classify(self) -> str:
+        """Rough complexity-class label for reports.
+
+        A pure power fit cannot separate O(n) from O(n log n) exactly;
+        over the evaluated range n log n fits an exponent of ~1.1-1.3,
+        which is what the O(n log n) bucket captures.
+        """
+        e = self.exponent
+        if e < 0.25:
+            return "O(1)"
+        if e < 1.02:
+            return "O(n)"
+        if e < 1.45:
+            return "O(n log n)"
+        if e < 1.8:
+            return "O(n^1.58)"
+        return "O(n^2)"
+
+
+def fit_power_law(
+    sizes: Sequence[int], values: Sequence[float], design: str, metric: str
+) -> ScalingFit:
+    """Least-squares slope in log-log space."""
+    if len(sizes) != len(values) or len(sizes) < 3:
+        raise DesignError("need at least three (size, value) samples")
+    if any(v <= 0 for v in values) or any(s <= 1 for s in sizes):
+        raise DesignError("samples must be positive (and sizes > 1)")
+    log_n = np.log(np.asarray(sizes, dtype=float))
+    log_v = np.log(np.asarray(values, dtype=float))
+    slope, intercept = np.polyfit(log_n, log_v, 1)
+    prediction = slope * log_n + intercept
+    ss_res = float(((log_v - prediction) ** 2).sum())
+    ss_tot = float(((log_v - log_v.mean()) ** 2).sum())
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return ScalingFit(
+        design=design, metric=metric, exponent=float(slope),
+        r_squared=r_squared,
+    )
+
+
+#: Cost-model accessors per design: (area(n), latency(n)).
+_DESIGNS: Dict[str, Tuple[Callable[[int], int], Callable[[int], int]]] = {
+    "radakovits2020": (radakovits.area_cells, radakovits.latency_cc),
+    "hajali2018": (hajali.area_cells, hajali.latency_cc),
+    "lakshmi2022": (lakshmi.area_cells, lakshmi.latency_cc),
+    "leitersdorf2022": (leitersdorf.area_cells, leitersdorf.latency_cc),
+    "ours": (
+        lambda n: cost.design_cost(n, 2).area_cells,
+        # The asymptotic driver: the multiplication stage
+        # (m(ceil(log2 m)+14)+3 with m = n/4+2).  Total latency is
+        # constant-dominated at the window's low end (the postcompute
+        # stage's 121*log term), which would mask the growth law.
+        lambda n: cost.multiply_cost(n, 2).latency_cc,
+    ),
+}
+
+#: Default geometric sweep (wide enough for stable exponents).
+DEFAULT_SIZES = (64, 128, 256, 512, 1024)
+
+
+def scaling_fits(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+) -> List[ScalingFit]:
+    """Area and latency exponents of every design."""
+    fits: List[ScalingFit] = []
+    for design, (area_fn, latency_fn) in _DESIGNS.items():
+        fits.append(
+            fit_power_law(
+                sizes, [area_fn(n) for n in sizes], design, "area"
+            )
+        )
+        fits.append(
+            fit_power_law(
+                sizes, [latency_fn(n) for n in sizes], design, "latency"
+            )
+        )
+    return fits
+
+
+def expected_classes() -> Dict[Tuple[str, str], str]:
+    """The complexity classes Sec. II-C assigns to each design."""
+    return {
+        ("radakovits2020", "area"): "O(n^2)",
+        ("radakovits2020", "latency"): "O(n log n)",
+        ("hajali2018", "area"): "O(n)",
+        ("hajali2018", "latency"): "O(n^2)",
+        ("lakshmi2022", "area"): "O(n^2)",
+        # The paper's scaled [8] numbers grow slightly superlinearly
+        # (Wallace depth + widening final adder).
+        ("lakshmi2022", "latency"): "O(n log n)",
+        ("leitersdorf2022", "area"): "O(n)",
+        ("leitersdorf2022", "latency"): "O(n log n)",
+        ("ours", "area"): "O(n)",
+        ("ours", "latency"): "O(n log n)",
+    }
+
+
+def render(sizes: Sequence[int] = DEFAULT_SIZES) -> str:
+    """Text table of fitted exponents and complexity classes."""
+    from repro.eval.report import format_table
+
+    expected = expected_classes()
+    rows = []
+    for fit in scaling_fits(sizes):
+        rows.append(
+            (
+                fit.design,
+                fit.metric,
+                round(fit.exponent, 2),
+                fit.classify(),
+                expected[(fit.design, fit.metric)],
+                round(fit.r_squared, 4),
+            )
+        )
+    return format_table(
+        ("design", "metric", "exponent", "fitted class", "paper class", "R^2"),
+        rows,
+        title="Sec. II-C - complexity classes recovered from the cost models",
+    )

@@ -1,0 +1,160 @@
+"""Regeneration of the paper's Table I (Sec. V).
+
+For each operand width n in {64, 128, 256, 384} and each design —
+the four scaled-up baselines [6]-[9] and ours — the harness computes
+throughput (multiplications per Mcc), area (cells), ATP
+(cells/throughput) and max writes per cell, plus the relative factors
+the paper prints in parentheses (normalised to our design).  It also
+derives the two Sec. V textual claims: the row-length reduction versus
+MultPIM and the write reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.baselines import ALL_BASELINES, PAPER_TABLE1, TABLE1_SIZES
+from repro.baselines import leitersdorf
+from repro.eval.report import format_ratio, format_table
+from repro.karatsuba import cost
+from repro.sim.stats import DesignMetrics
+
+
+@dataclass(frozen=True)
+class Table1Entry:
+    """One computed row of Table I, with factors relative to ours."""
+
+    work: str
+    n_bits: int
+    throughput_per_mcc: float
+    area_cells: int
+    atp: float
+    max_writes: Optional[int]
+    throughput_factor_vs_ours: float
+    atp_factor_vs_ours: float
+
+
+def our_metrics(n_bits: int) -> DesignMetrics:
+    """Our design point from the analytic model (Sec. IV closed forms)."""
+    return cost.design_metrics(n_bits, depth=2)
+
+
+def generate(sizes=TABLE1_SIZES) -> List[Table1Entry]:
+    """Compute every row of Table I."""
+    entries: List[Table1Entry] = []
+    for n_bits in sizes:
+        ours = our_metrics(n_bits)
+        for baseline in ALL_BASELINES:
+            m = baseline.metrics(n_bits)
+            entries.append(
+                Table1Entry(
+                    work=baseline.name,
+                    n_bits=n_bits,
+                    throughput_per_mcc=m.throughput_per_mcc,
+                    area_cells=m.area_cells,
+                    atp=m.atp,
+                    max_writes=m.max_writes_per_cell,
+                    throughput_factor_vs_ours=(
+                        ours.throughput_per_mcc / m.throughput_per_mcc
+                    ),
+                    atp_factor_vs_ours=m.atp / ours.atp,
+                )
+            )
+        entries.append(
+            Table1Entry(
+                work="ours",
+                n_bits=n_bits,
+                throughput_per_mcc=ours.throughput_per_mcc,
+                area_cells=ours.area_cells,
+                atp=ours.atp,
+                max_writes=ours.max_writes_per_cell,
+                throughput_factor_vs_ours=1.0,
+                atp_factor_vs_ours=1.0,
+            )
+        )
+    return entries
+
+
+def render(entries: Optional[List[Table1Entry]] = None) -> str:
+    """Render the computed table in the paper's layout."""
+    entries = entries if entries is not None else generate()
+    rows = []
+    for e in entries:
+        rows.append(
+            (
+                e.work,
+                e.n_bits,
+                round(e.throughput_per_mcc, 1),
+                e.area_cells,
+                round(e.atp, 1),
+                e.max_writes if e.max_writes is not None else "n.r.",
+                format_ratio(e.throughput_factor_vs_ours),
+                format_ratio(e.atp_factor_vs_ours),
+            )
+        )
+    return format_table(
+        headers=(
+            "work", "n", "tput/Mcc", "area", "ATP", "max wr",
+            "tput vs ours", "ATP vs ours",
+        ),
+        rows=rows,
+        title="Table I - comparison of area and throughput to related works",
+    )
+
+
+def compare_with_paper(
+    entries: Optional[List[Table1Entry]] = None,
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Relative error of every computed cell against the paper's value.
+
+    Returns ``{work: {n: {metric: relative_error}}}`` for throughput,
+    area and ATP.
+    """
+    entries = entries if entries is not None else generate()
+    errors: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for e in entries:
+        ref = PAPER_TABLE1[e.work][e.n_bits]
+        cell = errors.setdefault(e.work, {}).setdefault(e.n_bits, {})
+        cell["throughput"] = (
+            abs(e.throughput_per_mcc - ref.throughput_per_mcc)
+            / ref.throughput_per_mcc
+        )
+        cell["area"] = abs(e.area_cells - ref.area_cells) / ref.area_cells
+        cell["atp"] = abs(e.atp - ref.atp) / ref.atp
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Sec. V textual claims
+# ----------------------------------------------------------------------
+def headline_factors(sizes=TABLE1_SIZES) -> Dict[str, float]:
+    """The abstract's headline numbers: max throughput and ATP factors
+    versus any baseline (916x and 281x, both against [7] at n=384)."""
+    best_throughput = 0.0
+    best_atp = 0.0
+    for e in generate(sizes):
+        if e.work == "ours":
+            continue
+        best_throughput = max(best_throughput, e.throughput_factor_vs_ours)
+        best_atp = max(best_atp, e.atp_factor_vs_ours)
+    return {"throughput": best_throughput, "atp": best_atp}
+
+
+def row_length_vs_multpim(n_bits: int = 384) -> float:
+    """Sec. V: our longest crossbar row versus MultPIM's single row.
+
+    Our longest row is a multiplication-stage row of ``12*(n/4+2)``
+    cells; MultPIM needs ``14n - 7`` cells in one bit line.  The paper
+    reports a 4x reduction at n = 384.
+    """
+    ours = 12 * (n_bits // 4 + 2)
+    theirs = leitersdorf.row_length(n_bits)
+    return theirs / ours
+
+
+def write_reduction_vs_multpim(n_bits: int = 384) -> float:
+    """Sec. V: max-writes reduction versus [9] (up to 7.8x)."""
+    ours = cost.max_writes_per_cell(n_bits)
+    theirs = leitersdorf.max_writes_per_cell(n_bits)
+    return theirs / ours

@@ -1,0 +1,124 @@
+"""Banked deployment of pipelined CIM multipliers.
+
+The paper evaluates a single three-stage datapath; real FHE/ZKP
+accelerators would tile many of them across a memory die (its intro
+cites multi-gigabyte working sets).  This module models a *bank* of
+identical pipelined multipliers fed from one job queue:
+
+* functional path — every job still runs bit-exactly through a
+  simulated datapath;
+* timing path — jobs are issued round-robin; each datapath accepts one
+  job per bottleneck interval, so the bank's steady-state throughput is
+  ``k * 1e6 / bottleneck_cc`` for ``k`` datapaths;
+* cost path — area scales linearly; ATP is invariant in ``k`` (the
+  useful figure is throughput per area, which banking preserves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.karatsuba.pipeline import KaratsubaPipeline, PipelineTiming
+from repro.sim.exceptions import DesignError
+
+
+@dataclass(frozen=True)
+class BankTiming:
+    """Static timing of a k-wide multiplier bank."""
+
+    n_bits: int
+    ways: int
+    pipeline: PipelineTiming
+
+    @property
+    def throughput_per_mcc(self) -> float:
+        return self.ways * self.pipeline.throughput_per_mcc
+
+    @property
+    def area_cells(self) -> int:
+        from repro.karatsuba import cost
+
+        return self.ways * cost.design_cost(self.n_bits, 2).area_cells
+
+    @property
+    def atp(self) -> float:
+        """Banking leaves the area-time product unchanged."""
+        return self.area_cells / self.throughput_per_mcc
+
+    def makespan_cc(self, jobs: int) -> int:
+        """Cycles to drain *jobs* multiplications over the bank."""
+        if jobs < 0:
+            raise DesignError("job count must be non-negative")
+        if jobs == 0:
+            return 0
+        per_way = -(-jobs // self.ways)     # ceiling division
+        return self.pipeline.makespan_cc(per_way)
+
+
+@dataclass(frozen=True)
+class BankStreamResult:
+    """Outcome of draining a job stream through the bank."""
+
+    products: List[int]
+    makespan_cc: int
+    per_way_jobs: List[int]
+
+    @property
+    def achieved_throughput_per_mcc(self) -> float:
+        if self.makespan_cc == 0:
+            return 0.0
+        return len(self.products) * 1e6 / self.makespan_cc
+
+
+class MultiplierBank:
+    """A bank of ``ways`` identical pipelined Karatsuba multipliers."""
+
+    def __init__(self, n_bits: int, ways: int, wear_leveling: bool = True):
+        if ways < 1:
+            raise DesignError("a bank needs at least one way")
+        self.n_bits = n_bits
+        self.ways = ways
+        self.pipelines = [
+            KaratsubaPipeline(n_bits, wear_leveling=wear_leveling)
+            for _ in range(ways)
+        ]
+
+    # ------------------------------------------------------------------
+    def timing(self) -> BankTiming:
+        return BankTiming(
+            n_bits=self.n_bits,
+            ways=self.ways,
+            pipeline=self.pipelines[0].timing(),
+        )
+
+    def run_stream(
+        self, operand_pairs: Iterable[Tuple[int, int]]
+    ) -> BankStreamResult:
+        """Round-robin the jobs over the ways; all products bit-exact."""
+        pairs = list(operand_pairs)
+        products: List[int] = [0] * len(pairs)
+        per_way = [0] * self.ways
+        for index, (a, b) in enumerate(pairs):
+            way = index % self.ways
+            products[index] = self.pipelines[way].multiply(a, b)
+            per_way[way] += 1
+        timing = self.pipelines[0].timing()
+        makespan = max(
+            (timing.makespan_cc(count) for count in per_way if count),
+            default=0,
+        )
+        return BankStreamResult(
+            products=products, makespan_cc=makespan, per_way_jobs=per_way
+        )
+
+    # ------------------------------------------------------------------
+    def scaling_table(self, max_ways: int = 8) -> List[Tuple[int, float, int]]:
+        """(ways, throughput, area) rows for a scaling study."""
+        from repro.karatsuba import cost
+
+        base = self.pipelines[0].timing().throughput_per_mcc
+        area = cost.design_cost(self.n_bits, 2).area_cells
+        return [
+            (k, k * base, k * area) for k in range(1, max_ways + 1)
+        ]

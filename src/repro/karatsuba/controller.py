@@ -1,0 +1,115 @@
+"""Karatsuba Multiplication Controller (paper Fig. 5, centre).
+
+The controller owns the three stage subarrays, feeds input operands to
+the precomputation stage, moves intermediate results across stage
+boundaries, and stores the final product back to main memory.  It is
+the only component that sees whole operands; each stage works purely on
+named chunk values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.arith.bitops import split_chunks
+from repro.karatsuba.multiply import MultiplicationStage
+from repro.karatsuba.postcompute import PostcomputeStage
+from repro.karatsuba.precompute import PrecomputeStage
+from repro.sim.exceptions import DesignError
+
+#: Smallest multiplication the L = 2 design supports (the postcompute
+#: batching layout needs n/4 >= 4).
+MIN_BITS = 16
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Result and per-stage cycle counts of one multiplication job."""
+
+    a: int
+    b: int
+    product: int
+    precompute_cycles: int
+    multiply_cycles: int
+    postcompute_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        """Unpipelined latency of this job."""
+        return (
+            self.precompute_cycles
+            + self.multiply_cycles
+            + self.postcompute_cycles
+        )
+
+
+class KaratsubaController:
+    """Drives one multiplication through the three-stage datapath."""
+
+    def __init__(self, n_bits: int, wear_leveling: bool = True, device=None):
+        if n_bits < MIN_BITS or n_bits % 4:
+            raise DesignError(
+                f"operand width must be a multiple of 4 and >= {MIN_BITS}, "
+                f"got {n_bits}"
+            )
+        self.n_bits = n_bits
+        self.precompute = PrecomputeStage(
+            n_bits, wear_leveling=wear_leveling, device=device
+        )
+        self.multiply_stage = MultiplicationStage(
+            n_bits, wear_leveling=wear_leveling
+        )
+        self.postcompute = PostcomputeStage(
+            n_bits, wear_leveling=wear_leveling, device=device
+        )
+        self.jobs = 0
+
+    # ------------------------------------------------------------------
+    def run_job(self, a: int, b: int) -> JobRecord:
+        """Multiply two *n_bits*-wide operands through all three stages."""
+        if a < 0 or b < 0:
+            raise DesignError("operands must be non-negative")
+        if a >> self.n_bits or b >> self.n_bits:
+            raise DesignError(f"operands must fit in {self.n_bits} bits")
+        chunk_bits = self.n_bits // 4
+        pre = self.precompute.process(
+            split_chunks(a, chunk_bits, 4), split_chunks(b, chunk_bits, 4)
+        )
+        mul = self.multiply_stage.process(pre.chunk_sums)
+        post = self.postcompute.process(mul.products)
+        self.jobs += 1
+        return JobRecord(
+            a=a,
+            b=b,
+            product=post.product,
+            precompute_cycles=pre.cycles,
+            multiply_cycles=mul.cycles,
+            postcompute_cycles=post.cycles,
+        )
+
+    # ------------------------------------------------------------------
+    def stage_latencies(self) -> Tuple[int, int, int]:
+        """Static (precompute, multiply, postcompute) latencies in cc."""
+        return (
+            self.precompute.latency_cc(),
+            self.multiply_stage.latency_cc(),
+            self.postcompute.latency_cc(),
+        )
+
+    @property
+    def area_cells(self) -> int:
+        """Total memory cells across the three subarrays."""
+        return (
+            self.precompute.area_cells
+            + self.multiply_stage.area_cells
+            + self.postcompute.area_cells
+        )
+
+    def max_writes(self) -> int:
+        """Hottest-cell write count across all subarrays so far."""
+        return max(
+            self.precompute.max_writes(),
+            self.multiply_stage.max_writes(),
+            self.postcompute.max_writes(),
+        )

@@ -1,0 +1,306 @@
+"""Analytic area/latency/throughput model of the CIM Karatsuba design.
+
+Implements the closed forms of Sec. IV for the shipped L = 2 design and
+generalises every stage over the unroll depth L, which is what the
+paper's Fig. 4 sweeps to justify choosing L = 2.
+
+Generalisation over L (the paper fixes L = 2; these reductions follow
+the same construction):
+
+* **precompute** — ``2^(L+1)`` input writes, ``2*(3^L - 2^L)`` additions
+  on a Kogge-Stone of the widest chunk-sum width ``n/2^L + L - 1``,
+  one reset cycle.
+* **multiply** — ``3^L`` parallel rows of width ``n/2^L + L``.
+* **postcompute** — a 1.5n-wide adder (the top-level LSB pass-through
+  works for every L); the number of passes comes from a greedy batching
+  scheduler over the plan's combine tree, which reproduces the paper's
+  11 passes exactly at L = 2.
+
+The max-writes-per-cell model reflects wear-leveling (which halves the
+per-region accumulation) plus the small reorder/reset constants; it
+reproduces the paper's 81 / 92 / 134 / 198 column cell-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.arith import rowmul
+from repro.arith.bitops import ceil_div, ceil_log2
+from repro.arith.koggestone import SCRATCH_ROWS
+from repro.karatsuba.unroll import UnrolledPlan, build_plan
+from repro.sim.exceptions import DesignError
+from repro.sim.stats import DesignMetrics
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Area and latency of one pipeline stage."""
+
+    name: str
+    area_cells: int
+    latency_cc: int
+
+
+@dataclass(frozen=True)
+class DesignCost:
+    """Full cost breakdown of one (n, L) design point."""
+
+    n_bits: int
+    depth: int
+    precompute: StageCost
+    multiply: StageCost
+    postcompute: StageCost
+
+    @property
+    def stages(self) -> Tuple[StageCost, StageCost, StageCost]:
+        return (self.precompute, self.multiply, self.postcompute)
+
+    @property
+    def area_cells(self) -> int:
+        return sum(stage.area_cells for stage in self.stages)
+
+    @property
+    def latency_cc(self) -> int:
+        return sum(stage.latency_cc for stage in self.stages)
+
+    @property
+    def bottleneck_cc(self) -> int:
+        return max(stage.latency_cc for stage in self.stages)
+
+    @property
+    def throughput_per_mcc(self) -> float:
+        return 1e6 / self.bottleneck_cc
+
+    @property
+    def atp(self) -> float:
+        """Area-time product: cells / throughput (the paper's metric)."""
+        return self.area_cells / self.throughput_per_mcc
+
+
+# ----------------------------------------------------------------------
+# Stage models, generalised over L
+# ----------------------------------------------------------------------
+def _validate(n_bits: int, depth: int) -> None:
+    if depth < 1:
+        raise DesignError("unroll depth must be at least 1")
+    if n_bits <= 0 or n_bits % (1 << depth):
+        raise DesignError(
+            f"n_bits must be a positive multiple of 2**{depth}, got {n_bits}"
+        )
+
+
+def adder_latency_cc(width: int) -> int:
+    """Kogge-Stone pass latency: ``11*ceil(log2 w) + 17`` cc."""
+    return 11 * ceil_log2(max(width, 2)) + 17
+
+
+def precompute_cost(n_bits: int, depth: int = 2) -> StageCost:
+    """Generalised precompute stage cost (paper Sec. IV-C at L = 2)."""
+    _validate(n_bits, depth)
+    inputs = 2 << depth                      # 2^(L+1) chunks
+    additions = 2 * (3**depth - 2**depth)
+    adder_width = n_bits // (1 << depth) + depth - 1 if depth > 1 else (
+        n_bits // 2
+    )
+    cols = adder_width + 1
+    rows = inputs + additions + SCRATCH_ROWS
+    latency = inputs + additions * adder_latency_cc(adder_width) + 1
+    return StageCost(name="precompute", area_cells=rows * cols, latency_cc=latency)
+
+
+def multiply_cost(n_bits: int, depth: int = 2) -> StageCost:
+    """Generalised multiplication stage cost (paper Sec. IV-D at L = 2)."""
+    _validate(n_bits, depth)
+    width = n_bits // (1 << depth) + depth
+    rows = 3**depth
+    return StageCost(
+        name="multiply",
+        area_cells=rows * rowmul.area_cells(width),
+        latency_cc=rowmul.latency_cc(width),
+    )
+
+
+def postcompute_passes(plan: UnrolledPlan, window_bits: int) -> int:
+    """Adder passes of the batched postcompute schedule.
+
+    Batching: operations of the same kind at the same tree level share
+    a full-width pass when their operand blocks (each spanning its
+    result width plus one gap column) pack side by side into the
+    window; the pass count per group is a first-fit-decreasing bin
+    packing, mirroring how the stage lays blocks out.  The top node
+    always contributes three passes (t-add, subtract, and the final
+    top-1.5n addition; its low product appends for free).  Reproduces
+    the paper's 11 passes for L = 2 at every operand width.
+    """
+    by_level: Dict[int, List] = {}
+    for node in plan.combine_nodes[:-1]:
+        by_level.setdefault(node.level, []).append(node)
+
+    def packed(spans: List[int]) -> int:
+        """First-fit-decreasing bin count with bins of *window_bits*."""
+        if not spans:
+            return 0
+        bins: List[int] = []
+        for span in sorted(spans, reverse=True):
+            span = min(span, window_bits)   # a lone op always fits
+            for index, free in enumerate(bins):
+                if span <= free:
+                    bins[index] = free - span
+                    break
+            else:
+                bins.append(window_bits - span)
+        return len(bins)
+
+    passes = 0
+    for _, nodes in sorted(by_level.items()):
+        # t = low + high: block spans the high product plus carry + gap.
+        passes += packed(
+            [plan.product_widths[node.high] + 2 for node in nodes]
+        )
+        # ~c = mid - t: block spans the mid product plus gap.
+        passes += packed(
+            [plan.product_widths[node.mid] + 2 for node in nodes]
+        )
+        # u = low + (high << 2s) for nodes whose low cannot append.
+        passes += packed(
+            [
+                node.result_width + 2
+                for node in nodes
+                if not node.appendable
+            ]
+        )
+        # c = (high || low) + ~c << s, one per node.
+        passes += packed([node.result_width + 2 for node in nodes])
+    # Top node: t-add, subtract, final top-window addition.
+    passes += 3
+    return passes
+
+
+def postcompute_cost(n_bits: int, depth: int = 2) -> StageCost:
+    """Generalised postcompute stage cost (paper Sec. IV-E at L = 2)."""
+    _validate(n_bits, depth)
+    plan = build_plan(n_bits, depth)
+    window = (3 * n_bits) // 2
+    passes = postcompute_passes(plan, window)
+    reorder = 2 * 3**depth
+    latency = passes * adder_latency_cc(window) + reorder
+    # Data rows: the partial products packed into 1.5n-wide rows, doubled
+    # for reordering headroom, plus the 12 adder scratch rows.
+    product_bits = sum(
+        step.product_width + 1 for step in plan.multiplications
+    )
+    data_rows = 2 * ceil_div(product_bits, window)
+    rows = data_rows + SCRATCH_ROWS
+    return StageCost(
+        name="postcompute", area_cells=rows * window, latency_cc=latency
+    )
+
+
+# ----------------------------------------------------------------------
+# Design-point aggregation
+# ----------------------------------------------------------------------
+def design_cost(n_bits: int, depth: int = 2) -> DesignCost:
+    """Full analytic cost of one (n, L) design point."""
+    return DesignCost(
+        n_bits=n_bits,
+        depth=depth,
+        precompute=precompute_cost(n_bits, depth),
+        multiply=multiply_cost(n_bits, depth),
+        postcompute=postcompute_cost(n_bits, depth),
+    )
+
+
+def squaring_cost(n_bits: int) -> DesignCost:
+    """Cost of a dedicated squarer variant (extension).
+
+    Squaring halves the precompute work: only the five a-side chunk
+    additions exist (b = a), and the eight input writes drop to four.
+    The nine partial multiplications become squarings of the same
+    widths (same row-multiplier latency), and postcompute is unchanged.
+    Crypto workloads are squaring-heavy (about 2/3 of a modexp), so the
+    precompute saving lifts the stage balance.
+    """
+    _validate(n_bits, 2)
+    base = design_cost(n_bits, 2)
+    adds = 5
+    inputs = 4
+    adder_width = n_bits // 4 + 1
+    pre_latency = inputs + adds * adder_latency_cc(adder_width) + 1
+    pre_rows = inputs + adds + SCRATCH_ROWS
+    precompute = StageCost(
+        name="precompute",
+        area_cells=pre_rows * (adder_width + 1),
+        latency_cc=pre_latency,
+    )
+    return DesignCost(
+        n_bits=n_bits,
+        depth=2,
+        precompute=precompute,
+        multiply=base.multiply,
+        postcompute=base.postcompute,
+    )
+
+
+def max_writes_per_cell(n_bits: int) -> int:
+    """Hottest-cell writes per multiplication for the L = 2 design.
+
+    Two candidate hot spots, both wear-leveled (halved):
+
+    * postcompute scratch: 11 passes x 2*ceil(log2 1.5n) writes, halved,
+      plus 4 reorder writes -> ``11*ceil(log2 1.5n) + 4``;
+    * multiplier-row scratch: ``4*(n/4+2)`` writes, halved, plus 2
+      input writes -> ``2*(n/4+2) + 2``.
+
+    Reproduces the paper's 81 / 92 / 134 / 198 for n = 64..384.
+    """
+    _validate(n_bits, 2)
+    post = 11 * ceil_log2((3 * n_bits) // 2) + 4
+    mult = 2 * (n_bits // 4 + 2) + 2
+    return max(post, mult)
+
+
+def design_metrics(n_bits: int, depth: int = 2) -> DesignMetrics:
+    """Headline :class:`DesignMetrics` for Table I's "Our" rows."""
+    cost = design_cost(n_bits, depth)
+    return DesignMetrics(
+        name=f"ours-L{depth}",
+        n_bits=n_bits,
+        latency_cc=cost.latency_cc,
+        area_cells=cost.area_cells,
+        throughput_per_mcc=cost.throughput_per_mcc,
+        max_writes_per_cell=max_writes_per_cell(n_bits) if depth == 2 else None,
+    )
+
+
+def atp_sweep(
+    sizes: Tuple[int, ...] = (64, 128, 256, 384, 512, 768, 1024),
+    depths: Tuple[int, ...] = (1, 2, 3, 4),
+) -> Dict[int, Dict[int, float]]:
+    """Fig. 4 data: ATP per unroll depth across multiplication sizes.
+
+    Returns ``{depth: {n: atp}}``; sizes not divisible by ``2**depth``
+    are skipped for that depth.
+    """
+    sweep: Dict[int, Dict[int, float]] = {}
+    for depth in depths:
+        series: Dict[int, float] = {}
+        for n_bits in sizes:
+            if n_bits % (1 << depth):
+                continue
+            series[n_bits] = design_cost(n_bits, depth).atp
+        sweep[depth] = series
+    return sweep
+
+
+def optimal_depth(n_bits: int, depths: Tuple[int, ...] = (1, 2, 3, 4)) -> int:
+    """Depth with the lowest ATP at *n_bits* (the paper finds L = 2)."""
+    candidates = [
+        (design_cost(n_bits, depth).atp, depth)
+        for depth in depths
+        if n_bits % (1 << depth) == 0
+    ]
+    if not candidates:
+        raise DesignError(f"no feasible depth for n = {n_bits}")
+    return min(candidates)[1]

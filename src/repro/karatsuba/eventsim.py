@@ -1,0 +1,112 @@
+"""Discrete-event validation of the three-stage pipeline model.
+
+The pipeline timing used throughout the reproduction is a closed form
+(fill latency + bottleneck interval per extra job).  This module runs
+an explicit event-driven simulation of the three stages — each a
+unit-capacity resource with its own latency, jobs flowing in order —
+and exposes per-job timelines.  For identical jobs the simulated
+makespan provably equals the closed form; for *heterogeneous* job
+latencies (e.g. a stream mixing operand widths on a reconfigurable
+datapath) only the event simulation is exact, which is why it exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.sim.exceptions import DesignError
+
+
+@dataclass(frozen=True)
+class JobTimeline:
+    """Entry/exit times of one job through the three stages."""
+
+    job: int
+    stage_entry: Tuple[int, int, int]
+    stage_exit: Tuple[int, int, int]
+
+    @property
+    def completion(self) -> int:
+        return self.stage_exit[2]
+
+    @property
+    def latency(self) -> int:
+        return self.stage_exit[2] - self.stage_entry[0]
+
+
+@dataclass(frozen=True)
+class EventSimResult:
+    """Outcome of one pipeline event simulation."""
+
+    timelines: List[JobTimeline]
+
+    @property
+    def makespan_cc(self) -> int:
+        return self.timelines[-1].completion if self.timelines else 0
+
+    @property
+    def initiation_intervals(self) -> List[int]:
+        """Gaps between successive job completions (steady state =
+        bottleneck latency)."""
+        completions = [t.completion for t in self.timelines]
+        return [b - a for a, b in zip(completions, completions[1:])]
+
+
+def simulate(job_latencies: Sequence[Tuple[int, int, int]]) -> EventSimResult:
+    """Flow jobs through three in-order, unit-capacity stages.
+
+    *job_latencies* holds one (precompute, multiply, postcompute)
+    triple per job.  A stage starts job i when (a) the stage has
+    finished job i-1 and (b) the previous stage has delivered job i.
+    """
+    for triple in job_latencies:
+        if len(triple) != 3 or any(t <= 0 for t in triple):
+            raise DesignError(f"invalid stage latency triple {triple}")
+    stage_free = [0, 0, 0]
+    timelines: List[JobTimeline] = []
+    for index, triple in enumerate(job_latencies):
+        entries: List[int] = []
+        exits: List[int] = []
+        available = 0                     # operands ready at t = 0
+        for stage, latency in enumerate(triple):
+            start = max(available, stage_free[stage])
+            end = start + latency
+            stage_free[stage] = end
+            entries.append(start)
+            exits.append(end)
+            available = end
+        timelines.append(
+            JobTimeline(
+                job=index,
+                stage_entry=tuple(entries),
+                stage_exit=tuple(exits),
+            )
+        )
+    return EventSimResult(timelines=timelines)
+
+
+def simulate_uniform(
+    stage_latencies: Tuple[int, int, int], jobs: int
+) -> EventSimResult:
+    """Identical jobs — the paper's operating point."""
+    if jobs < 0:
+        raise DesignError("job count must be non-negative")
+    return simulate([stage_latencies] * jobs)
+
+
+def validates_closed_form(
+    stage_latencies: Tuple[int, int, int], jobs: int
+) -> bool:
+    """True when the event simulation reproduces the closed form
+    ``sum(stages) + (jobs-1) * max(stages)``."""
+    if jobs == 0:
+        return True
+    simulated = simulate_uniform(stage_latencies, jobs).makespan_cc
+    closed = sum(stage_latencies) + (jobs - 1) * max(stage_latencies)
+    return simulated == closed
+
+
+#: Public aliases with unambiguous names for the package namespace.
+simulate_pipeline_events = simulate
+simulate_uniform_pipeline = simulate_uniform

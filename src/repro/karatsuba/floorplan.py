@@ -1,0 +1,163 @@
+"""Physical floorplan model: subarray dimensions and line lengths.
+
+The paper's practicality argument against single-row designs (Sec. II-C
+and Sec. V) is electrical: long bit lines accumulate parasitic IR drop
+[7], [20], so a design's *longest line* matters as much as its cell
+count.  This module derives, for every design point, the dimensions of
+each subarray, the longest word line (columns driven at once) and the
+longest bit line (rows sharing a column), and checks them against a
+configurable practicality limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.arith import rowmul
+from repro.arith.koggestone import SCRATCH_ROWS
+from repro.baselines import leitersdorf
+from repro.sim.exceptions import DesignError
+
+#: Line length beyond which parasitic IR drop is considered impractical
+#: (the paper flags MultPIM's 5,369-cell row; typical crossbar tiles
+#: stay in the 512-2048 range [20]).
+DEFAULT_LINE_LIMIT = 2048
+
+
+@dataclass(frozen=True)
+class SubarrayPlan:
+    """Dimensions of one stage subarray."""
+
+    name: str
+    rows: int
+    cols: int
+
+    @property
+    def cells(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def word_line_length(self) -> int:
+        """Cells on one word line = number of columns."""
+        return self.cols
+
+    @property
+    def bit_line_length(self) -> int:
+        """Cells on one bit line = number of rows."""
+        return self.rows
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """All subarrays of one design point."""
+
+    n_bits: int
+    subarrays: List[SubarrayPlan]
+
+    @property
+    def total_cells(self) -> int:
+        return sum(sub.cells for sub in self.subarrays)
+
+    @property
+    def longest_word_line(self) -> int:
+        return max(sub.word_line_length for sub in self.subarrays)
+
+    @property
+    def longest_bit_line(self) -> int:
+        return max(sub.bit_line_length for sub in self.subarrays)
+
+    @property
+    def longest_line(self) -> int:
+        return max(self.longest_word_line, self.longest_bit_line)
+
+    def practical(self, limit: int = DEFAULT_LINE_LIMIT) -> bool:
+        """True when every line stays within the parasitic limit."""
+        return self.longest_line <= limit
+
+
+def ours(n_bits: int) -> Floorplan:
+    """Floorplan of the paper's three-stage design (L = 2)."""
+    _check(n_bits)
+    quarter = n_bits // 4
+    return Floorplan(
+        n_bits=n_bits,
+        subarrays=[
+            SubarrayPlan(
+                name="precompute",
+                rows=8 + 10 + SCRATCH_ROWS,
+                cols=quarter + 2,
+            ),
+            SubarrayPlan(
+                name="multiply",
+                rows=9,
+                cols=rowmul.area_cells(quarter + 2),
+            ),
+            SubarrayPlan(
+                name="postcompute",
+                rows=8 + SCRATCH_ROWS,
+                cols=(3 * n_bits) // 2,
+            ),
+        ],
+    )
+
+
+def multpim(n_bits: int) -> Floorplan:
+    """MultPIM's single-row arrangement [9]."""
+    _check(n_bits)
+    return Floorplan(
+        n_bits=n_bits,
+        subarrays=[
+            SubarrayPlan(
+                name="multpim-row", rows=1, cols=leitersdorf.row_length(n_bits)
+            )
+        ],
+    )
+
+
+def wallace(n_bits: int) -> Floorplan:
+    """The MAJORITY Wallace tree [8]: a near-square n^2-cell array."""
+    _check(n_bits)
+    from repro.baselines import lakshmi
+
+    cells = lakshmi.area_cells(n_bits)
+    cols = 4 * n_bits                      # partial products, 2 per row pair
+    rows = -(-cells // cols)
+    return Floorplan(
+        n_bits=n_bits,
+        subarrays=[SubarrayPlan(name="wallace-array", rows=rows, cols=cols)],
+    )
+
+
+def comparison(n_bits: int = 384) -> str:
+    """Sec. V's row-length argument as a table."""
+    from repro.eval.report import format_table
+
+    plans = [("ours", ours(n_bits)), ("multpim [9]", multpim(n_bits)),
+             ("wallace [8]", wallace(n_bits))]
+    rows = []
+    for name, plan in plans:
+        rows.append(
+            (
+                name,
+                plan.total_cells,
+                plan.longest_word_line,
+                plan.longest_bit_line,
+                "yes" if plan.practical() else "NO",
+            )
+        )
+    return format_table(
+        ("design", "cells", "longest WL", "longest BL", "practical"),
+        rows,
+        title=(
+            f"Floorplan at n = {n_bits} "
+            f"(practicality limit {DEFAULT_LINE_LIMIT} cells/line)"
+        ),
+    )
+
+
+def _check(n_bits: int) -> None:
+    if n_bits < 16 or n_bits % 4:
+        raise DesignError(
+            f"floorplans need n divisible by 4 and >= 16, got {n_bits}"
+        )

@@ -1,0 +1,132 @@
+"""Multiplication stage of the CIM Karatsuba multiplier (Sec. IV-D).
+
+Nine single-row multipliers (Sec. IV-D adopts the MultPIM approach [9]
+with shared input/output memory) run in parallel, one memory row each.
+The widest multiplication computes ``c_mm`` from ``n/4 + 2``-bit
+operands, so every row is provisioned for that width:
+
+* area: ``9 * 12 * (n/4 + 2)`` cells;
+* latency: ``(n/4+2) * (ceil(log2(n/4+2)) + 14) + 3`` cc (all rows
+  finish together because the controller schedules them in lock-step).
+
+Wear-leveling alternates each row's hot scratch cells between two
+partition-internal locations on successive multiplications, halving
+the hottest cell's write accumulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.arith import rowmul
+from repro.arith.rowmul import RowMultiplier, RowMultiplierSpec
+from repro.karatsuba.unroll import UnrolledPlan, build_plan
+from repro.sim.clock import Clock
+from repro.sim.exceptions import DesignError
+
+#: Parallel multiplier rows in the L = 2 design.
+NUM_ROWS = 9
+
+
+def operand_width(n_bits: int) -> int:
+    """Widest partial-multiplication operand: ``n/4 + 2`` bits."""
+    _check_width(n_bits)
+    return n_bits // 4 + 2
+
+
+def area_cells(n_bits: int) -> int:
+    """Stage footprint: ``9 * 12 * (n/4 + 2)`` cells."""
+    return NUM_ROWS * rowmul.area_cells(operand_width(n_bits))
+
+
+def latency_cc(n_bits: int) -> int:
+    """Stage latency, set by the widest row: ``m(ceil(log2 m)+14)+3``."""
+    return rowmul.latency_cc(operand_width(n_bits))
+
+
+def _check_width(n_bits: int) -> None:
+    if n_bits < 8 or n_bits % 4:
+        raise DesignError(
+            f"the L=2 design needs n divisible by 4 and >= 8, got {n_bits}"
+        )
+
+
+@dataclass(frozen=True)
+class MultiplicationResult:
+    """Outputs of one multiplication pass."""
+
+    products: Dict[str, int]
+    cycles: int
+
+
+class MultiplicationStage:
+    """Cycle-accurate multiplication subarray (nine parallel rows)."""
+
+    def __init__(self, n_bits: int, wear_leveling: bool = True):
+        _check_width(n_bits)
+        self.n_bits = n_bits
+        self.width = operand_width(n_bits)
+        self.plan: UnrolledPlan = build_plan(n_bits, 2)
+        self.wear_leveling = wear_leveling
+        spec = RowMultiplierSpec(self.width)
+        self.rows: Dict[str, RowMultiplier] = {
+            step.out: RowMultiplier(spec) for step in self.plan.multiplications
+        }
+        if len(self.rows) != NUM_ROWS:
+            raise AssertionError("unexpected L=2 multiplication count")
+        self.clock = Clock()
+        self.passes = 0
+
+    # ------------------------------------------------------------------
+    def process(self, operands: Dict[str, int]) -> MultiplicationResult:
+        """Run the nine partial multiplications on named chunk values.
+
+        *operands* must contain every name referenced by the plan
+        (the precompute stage's output mapping is exactly that).
+        """
+        start = self.clock.cycles
+        products: Dict[str, int] = {}
+        for step in self.plan.multiplications:
+            try:
+                lhs = operands[step.lhs]
+                rhs = operands[step.rhs]
+            except KeyError as missing:
+                raise DesignError(f"missing operand {missing} for {step.out}")
+            products[step.out] = self.rows[step.out].multiply(lhs, rhs)
+        # All nine rows operate in lock-step SIMD fashion; the stage
+        # advances by one row latency, not nine.
+        self.clock.tick(latency_cc(self.n_bits), category="rowmul")
+        if self.wear_leveling:
+            self._rotate_hot_cells()
+        self.passes += 1
+        return MultiplicationResult(
+            products=products, cycles=self.clock.cycles - start
+        )
+
+    def _rotate_hot_cells(self) -> None:
+        """Swap each row's hot scratch columns with a cold pair.
+
+        Modeled by rotating the per-partition write image so the 4x
+        hot cells alternate between two physical locations, halving
+        the long-run maximum (Sec. IV-B wear-leveling, applied to the
+        multiplier rows)."""
+        for row in self.rows.values():
+            cells = row.cell_writes.reshape(self.width, rowmul.CELLS_PER_PARTITION)
+            # Exchange the roles of columns (4,5) and (8,9) for the
+            # next pass by physically relabeling the accumulated image.
+            cells[:, [4, 5, 8, 9]] = cells[:, [8, 9, 4, 5]]
+
+    # ------------------------------------------------------------------
+    @property
+    def area_cells(self) -> int:
+        return area_cells(self.n_bits)
+
+    def latency_cc(self) -> int:
+        return latency_cc(self.n_bits)
+
+    def max_writes(self) -> int:
+        return max(row.max_writes() for row in self.rows.values())
+
+    def row_names(self) -> List[str]:
+        return list(self.rows)

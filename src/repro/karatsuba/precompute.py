@@ -1,0 +1,230 @@
+"""Precomputation stage of the CIM Karatsuba multiplier (Sec. IV-C).
+
+For the paper's L = 2 design the stage performs the ten chunk
+additions of Fig. 3 on one ``(8 + 10 + 12) x (n/4 + 2)`` subarray:
+
+* rows 0-7 hold the eight input chunks a0..a3, b0..b3;
+* rows 8-17 receive the ten addition results;
+* rows 18-29 are the Kogge-Stone scratch region.
+
+A single Kogge-Stone instance of ``n/4 + 1``-bit width serves all ten
+additions (eight have ``n/4``-bit inputs, the two deepest — a3210 and
+b3210 — have ``n/4 + 1``-bit inputs), which is the uniformity payoff of
+unrolling.  Stage latency:
+
+    ``8 + 10 * (17 + 11*ceil(log2(n/4 + 1))) + 1``  cc
+
+(8 input-row writes, ten adder passes, one reset cycle).
+
+Wear-leveling exchanges the physical rows of the scratch region with
+twelve of the data rows after every multiplication, halving the
+per-cell write accumulation at zero cycle cost (Sec. IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.arith.bitops import ceil_log2
+from repro.arith.koggestone import (
+    SCRATCH_ROWS,
+    KoggeStoneAdder,
+    KoggeStoneLayout,
+)
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.endurance import WearLevelingController
+from repro.karatsuba.unroll import UnrolledPlan, build_plan
+from repro.magic.executor import MagicExecutor, int_to_bits
+from repro.sim.clock import Clock
+from repro.sim.exceptions import DesignError
+
+#: Row budget of the stage (paper: 8 inputs + 10 results + 12 scratch).
+INPUT_ROWS = 8
+RESULT_ROWS = 10
+TOTAL_ROWS = INPUT_ROWS + RESULT_ROWS + SCRATCH_ROWS
+
+
+def area_cells(n_bits: int) -> int:
+    """Stage footprint: ``30 * (n/4 + 2)`` cells (1,980 at n = 256)."""
+    _check_width(n_bits)
+    return TOTAL_ROWS * (n_bits // 4 + 2)
+
+
+def latency_cc(n_bits: int) -> int:
+    """Stage latency: ``8 + 10*(17 + 11*ceil(log2(n/4+1))) + 1`` cc."""
+    _check_width(n_bits)
+    per_add = 17 + 11 * ceil_log2(n_bits // 4 + 1)
+    return INPUT_ROWS + RESULT_ROWS * per_add + 1
+
+
+def _check_width(n_bits: int) -> None:
+    if n_bits < 8 or n_bits % 4:
+        raise DesignError(
+            f"the L=2 design needs n divisible by 4 and >= 8, got {n_bits}"
+        )
+
+
+@dataclass(frozen=True)
+class PrecomputeResult:
+    """Outputs of one precomputation pass."""
+
+    chunk_sums: Dict[str, int]
+    cycles: int
+
+
+class PrecomputeStage:
+    """Cycle-accurate precomputation subarray.
+
+    The stage owns its crossbar, a wear-leveling controller, and one
+    Kogge-Stone program per (operation, wear-state) pair.  Calling
+    :meth:`process` writes the eight chunks, executes the ten additions
+    NOR-by-NOR, resets, and returns every named chunk sum.
+    """
+
+    def __init__(self, n_bits: int, wear_leveling: bool = True, device=None):
+        _check_width(n_bits)
+        self.n_bits = n_bits
+        self.cols = n_bits // 4 + 2
+        self.adder_width = n_bits // 4 + 1
+        self.array = CrossbarArray(TOTAL_ROWS, self.cols, device=device)
+        self.clock = Clock()
+        self.executor = MagicExecutor(self.array, clock=self.clock)
+        self.plan: UnrolledPlan = build_plan(n_bits, 2)
+        self.wear_leveling = wear_leveling
+        # Swap the 12 scratch rows with the first 12 data rows; both
+        # regions are rewritten from scratch every multiplication, so
+        # the exchange is transparent to the dataflow.
+        self.leveler = WearLevelingController(
+            region_a=list(range(SCRATCH_ROWS)),
+            region_b=list(range(INPUT_ROWS + RESULT_ROWS, TOTAL_ROWS)),
+        )
+        self._row_of = self._assign_rows()
+        self._adders: Dict[Tuple[str, bool], List[Tuple[str, KoggeStoneAdder]]] = {}
+        self._initialised_states = set()
+        self.passes = 0
+
+    # ------------------------------------------------------------------
+    def _assign_rows(self) -> Dict[str, int]:
+        """Logical row of every named operand (inputs then results)."""
+        rows: Dict[str, int] = {}
+        for i in range(4):
+            rows[f"a{i}"] = i
+            rows[f"b{i}"] = 4 + i
+        for offset, step in enumerate(self.plan.precompute_adds):
+            rows[step.out] = INPUT_ROWS + offset
+        if len(rows) != INPUT_ROWS + RESULT_ROWS:
+            raise AssertionError("unexpected L=2 precompute operand count")
+        return rows
+
+    def _scratch_rows(self) -> Tuple[int, ...]:
+        rows = range(INPUT_ROWS + RESULT_ROWS, TOTAL_ROWS)
+        return tuple(self.leveler.physical_row(r) for r in rows)
+
+    def _adder_for(self, step) -> KoggeStoneAdder:
+        """Adder program generator for one addition in the current
+        wear state (programs are cached per state)."""
+        key = (step.out, self.leveler.swapped)
+        cache = self._adders.setdefault(key, [])
+        if not cache:
+            layout = KoggeStoneLayout(
+                width=self.adder_width,
+                col0=0,
+                x_row=self.leveler.physical_row(self._row_of[step.lhs])
+                if self._row_of[step.lhs] < SCRATCH_ROWS
+                else self._row_of[step.lhs],
+                y_row=self.leveler.physical_row(self._row_of[step.rhs])
+                if self._row_of[step.rhs] < SCRATCH_ROWS
+                else self._row_of[step.rhs],
+                out_row=self.leveler.physical_row(self._row_of[step.out])
+                if self._row_of[step.out] < SCRATCH_ROWS
+                else self._row_of[step.out],
+                scratch_rows=self._scratch_rows(),
+            )
+            cache.append(("adder", KoggeStoneAdder(layout)))
+        return cache[0][1]
+
+    def _physical(self, logical_row: int) -> int:
+        if logical_row < SCRATCH_ROWS:
+            return self.leveler.physical_row(logical_row)
+        return logical_row
+
+    # ------------------------------------------------------------------
+    def process(self, a_chunks: List[int], b_chunks: List[int]) -> PrecomputeResult:
+        """Run one precomputation pass over the eight input chunks."""
+        if len(a_chunks) != 4 or len(b_chunks) != 4:
+            raise DesignError("L=2 precompute expects 4 chunks per operand")
+        chunk_bits = self.n_bits // 4
+        for chunk in (*a_chunks, *b_chunks):
+            if chunk >> chunk_bits:
+                raise DesignError(f"chunk {chunk} exceeds {chunk_bits} bits")
+        start = self.clock.cycles
+
+        state = self.leveler.swapped
+        if state not in self._initialised_states:
+            # Power-up: both wear states initialise their scratch region
+            # (and the result rows, which double as adder outputs) once.
+            self.array.init_rows(self._scratch_rows())
+            self.array.init_rows(
+                [self._physical(r) for r in range(INPUT_ROWS, INPUT_ROWS + RESULT_ROWS)]
+            )
+            self._initialised_states.add(state)
+
+        # (i) write the eight input chunks: one cycle per row.
+        inputs = {f"a{i}": a_chunks[i] for i in range(4)}
+        inputs.update({f"b{i}": b_chunks[i] for i in range(4)})
+        for name, value in inputs.items():
+            row = self._physical(self._row_of[name])
+            self.array.write_row(row, int_to_bits(value, self.cols))
+            self.clock.tick(1, category="write")
+
+        # (ii) the ten Kogge-Stone additions.
+        results: Dict[str, int] = dict(inputs)
+        for step in self.plan.precompute_adds:
+            adder = self._adder_for(step)
+            self.executor.execute(adder.program("add"))
+            results[step.out] = self._read_result(adder)
+            expected = results[step.lhs] + results[step.rhs]
+            if results[step.out] != expected:
+                raise AssertionError(
+                    f"precompute addition {step.out} produced "
+                    f"{results[step.out]}, expected {expected}"
+                )
+
+        # (iii) reset the whole data region (inputs and results) for the
+        # next pass in one multi-row INIT cycle; the adder already reset
+        # its own scratch region.  Covering the input rows matters under
+        # wear-leveling: after the swap they become the scratch region
+        # and must arrive at logic one.
+        self.array.init_rows(
+            [self._physical(r) for r in range(INPUT_ROWS + RESULT_ROWS)]
+        )
+        self.clock.tick(1, category="init")
+
+        if self.wear_leveling:
+            self.leveler.swap()
+        self.passes += 1
+        return PrecomputeResult(
+            chunk_sums=results, cycles=self.clock.cycles - start
+        )
+
+    def _read_result(self, adder: KoggeStoneAdder) -> int:
+        """Sense the sum row (periphery transfer to the next stage; the
+        transfer cost is accounted by the pipeline controller)."""
+        word = self.array.read_row(adder.layout.out_row)
+        value = 0
+        for i in range(self.cols):
+            if word[i]:
+                value |= 1 << i
+        return value
+
+    # ------------------------------------------------------------------
+    @property
+    def area_cells(self) -> int:
+        return self.array.cells
+
+    def latency_cc(self) -> int:
+        return latency_cc(self.n_bits)
+
+    def max_writes(self) -> int:
+        return self.array.max_writes()

@@ -1,0 +1,45 @@
+"""MAGIC stateful-logic layer: micro-ops, programs, executor, synthesis."""
+
+from repro.magic import compiler
+from repro.magic.asmtext import dumps as dump_asm
+from repro.magic.asmtext import loads as load_asm
+from repro.magic.executor import MagicExecutor, bits_to_int, int_to_bits
+from repro.magic.ops import Init, MicroOp, Nop, Nor, Not, Read, Shift, Write
+from repro.magic.optimize import (
+    ProtocolReport,
+    check_protocol,
+    coalesce_inits,
+    eliminate_dead_ops,
+    liveness,
+)
+from repro.magic.program import Program, ProgramBuilder
+from repro.magic.synth import emit_and, emit_maj3, emit_or, emit_xnor, emit_xor
+
+__all__ = [
+    "Init",
+    "compiler",
+    "ProtocolReport",
+    "check_protocol",
+    "coalesce_inits",
+    "dump_asm",
+    "eliminate_dead_ops",
+    "liveness",
+    "load_asm",
+    "MagicExecutor",
+    "MicroOp",
+    "Nop",
+    "Nor",
+    "Not",
+    "Program",
+    "ProgramBuilder",
+    "Read",
+    "Shift",
+    "Write",
+    "bits_to_int",
+    "emit_and",
+    "emit_maj3",
+    "emit_or",
+    "emit_xnor",
+    "emit_xor",
+    "int_to_bits",
+]

@@ -1,0 +1,337 @@
+"""Boolean-expression compiler targeting MAGIC NOR programs.
+
+The arithmetic generators hand-schedule their NOR sequences; this
+module automates the general case: give it a boolean expression over
+named inputs and it produces a protocol-correct MAGIC program —
+
+1. **lowering** — the expression tree is rewritten into a NOR/NOT-only
+   DAG (NOR is functionally complete, Sec. II-B), with common
+   subexpressions shared;
+2. **scheduling** — nodes are emitted in dependency order;
+3. **allocation** — scratch rows are assigned by a linear-scan
+   register allocator over node lifetimes, so deep expressions reuse
+   rows instead of growing the array;
+4. **arming** — every output row is INIT-ed before use, with adjacent
+   INITs coalesced into multi-row cycles.
+
+The result executes on :class:`~repro.magic.executor.MagicExecutor`
+bit-parallel across all columns, i.e. the compiled program evaluates
+the expression for every bit line simultaneously (the SIMD property
+the paper exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.magic.optimize import check_protocol
+from repro.magic.program import Program, ProgramBuilder
+from repro.sim.exceptions import ProgramError
+
+# ----------------------------------------------------------------------
+# Expression AST
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var:
+    """A named input (stored in a caller-designated row)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Gate:
+    """An operator node: NOT, NOR, AND, OR, XOR, XNOR, MAJ."""
+
+    op: str
+    args: Tuple["Expr", ...]
+
+
+Expr = Union[Var, Gate]
+
+_UNARY = {"not"}
+_BINARY = {"nor", "and", "or", "xor", "xnor"}
+_TERNARY = {"maj"}
+
+
+def v(name: str) -> Var:
+    return Var(name)
+
+
+def gate(op: str, *args: Expr) -> Gate:
+    op = op.lower()
+    if op in _UNARY and len(args) != 1:
+        raise ProgramError(f"{op} takes one argument")
+    if op in _BINARY and len(args) != 2:
+        raise ProgramError(f"{op} takes two arguments")
+    if op in _TERNARY and len(args) != 3:
+        raise ProgramError(f"{op} takes three arguments")
+    if op not in _UNARY | _BINARY | _TERNARY:
+        raise ProgramError(f"unknown operator {op!r}")
+    return Gate(op=op, args=tuple(args))
+
+
+def not_(a: Expr) -> Gate:
+    return gate("not", a)
+
+
+def nor(a: Expr, b: Expr) -> Gate:
+    return gate("nor", a, b)
+
+
+def and_(a: Expr, b: Expr) -> Gate:
+    return gate("and", a, b)
+
+
+def or_(a: Expr, b: Expr) -> Gate:
+    return gate("or", a, b)
+
+
+def xor(a: Expr, b: Expr) -> Gate:
+    return gate("xor", a, b)
+
+
+def xnor(a: Expr, b: Expr) -> Gate:
+    return gate("xnor", a, b)
+
+
+def maj(a: Expr, b: Expr, c: Expr) -> Gate:
+    return gate("maj", a, b, c)
+
+
+def evaluate(expr: Expr, env: Dict[str, int]) -> int:
+    """Reference evaluation over {0, 1} (the compiler's test oracle)."""
+    if isinstance(expr, Var):
+        value = env[expr.name]
+        if value not in (0, 1):
+            raise ProgramError(f"input {expr.name} must be 0/1")
+        return value
+    values = [evaluate(arg, env) for arg in expr.args]
+    if expr.op == "not":
+        return 1 - values[0]
+    if expr.op == "nor":
+        return 1 - (values[0] | values[1])
+    if expr.op == "and":
+        return values[0] & values[1]
+    if expr.op == "or":
+        return values[0] | values[1]
+    if expr.op == "xor":
+        return values[0] ^ values[1]
+    if expr.op == "xnor":
+        return 1 - (values[0] ^ values[1])
+    if expr.op == "maj":
+        return 1 if sum(values) >= 2 else 0
+    raise ProgramError(f"unknown operator {expr.op!r}")
+
+
+# ----------------------------------------------------------------------
+# NOR-only DAG
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Node:
+    """One NOR/NOT node in the lowered DAG."""
+
+    inputs: Tuple[int, ...]          # node ids (negative = input rows)
+    index: int = -1                  # schedule position
+    row: int = -1                    # allocated row
+
+
+class _Lowering:
+    """Expression -> NOR DAG with structural sharing."""
+
+    def __init__(self, input_ids: Dict[str, int]):
+        self.input_ids = input_ids
+        self.nodes: List[_Node] = []
+        self._memo: Dict[Tuple[int, ...], int] = {}
+
+    def _nor_of(self, *ids: int) -> int:
+        key = tuple(sorted(ids))
+        if key in self._memo:
+            return self._memo[key]
+        node_id = len(self.nodes)
+        self.nodes.append(_Node(inputs=tuple(ids)))
+        self._memo[key] = node_id
+        return node_id
+
+    def lower(self, expr: Expr) -> int:
+        """Return the DAG id computing *expr*."""
+        if isinstance(expr, Var):
+            try:
+                return self.input_ids[expr.name]
+            except KeyError:
+                raise ProgramError(f"unbound input {expr.name!r}") from None
+        args = [self.lower(arg) for arg in expr.args]
+        if expr.op == "not":
+            return self._nor_of(args[0])
+        if expr.op == "nor":
+            return self._nor_of(args[0], args[1])
+        if expr.op == "or":
+            return self._nor_of(self._nor_of(args[0], args[1]))
+        if expr.op == "and":
+            return self._nor_of(
+                self._nor_of(args[0]), self._nor_of(args[1])
+            )
+        if expr.op == "xnor":
+            t = self._nor_of(args[0], args[1])
+            return self._nor_of(
+                self._nor_of(args[0], t), self._nor_of(args[1], t)
+            )
+        if expr.op == "xor":
+            return self._nor_of(self.lower(Gate("xnor", expr.args)))
+        if expr.op == "maj":
+            a, b, c = args
+            ab = self.lower(Gate("and", (expr.args[0], expr.args[1])))
+            a_or_b = self._nor_of(self._nor_of(a, b))
+            c_and = self._nor_of(self._nor_of(c), self._nor_of(a_or_b))
+            return self._nor_of(self._nor_of(ab, c_and))
+        raise ProgramError(f"unknown operator {expr.op!r}")
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompiledExpression:
+    """A compiled MAGIC program plus its resource summary."""
+
+    program: Program
+    gate_count: int
+    scratch_rows_used: int
+    out_row: int
+
+    @property
+    def cycles(self) -> int:
+        return self.program.cycle_count
+
+
+def compile_expression(
+    expr: Expr,
+    input_rows: Dict[str, int],
+    out_row: int,
+    scratch_rows: Sequence[int],
+    cols: Tuple[int, int] = None,
+    label: str = "compiled",
+) -> CompiledExpression:
+    """Compile *expr* into a MAGIC program.
+
+    *input_rows* maps variable names to rows holding their bits;
+    *out_row* receives the result; *scratch_rows* is the pool for
+    intermediates (an informative error reports the needed count when
+    the pool is too small).  All rows must be distinct.
+    """
+    rows_seen = list(input_rows.values()) + [out_row] + list(scratch_rows)
+    if len(set(rows_seen)) != len(rows_seen):
+        raise ProgramError("input, output and scratch rows must be distinct")
+
+    # Lower with negative ids for inputs so node ids stay >= 0.
+    input_ids = {name: -(i + 1) for i, name in enumerate(input_rows)}
+    input_row_of = {
+        -(i + 1): input_rows[name] for i, name in enumerate(input_rows)
+    }
+    lowering = _Lowering(input_ids)
+    result_id = lowering.lower(expr)
+    if result_id < 0:
+        # The expression is a bare variable: copy via double NOT.
+        result_id = lowering._nor_of(lowering._nor_of(result_id))
+    nodes = lowering.nodes
+
+    # Keep only nodes reachable from the result, in dependency order.
+    order: List[int] = []
+    marks: Dict[int, bool] = {}
+
+    def visit(node_id: int) -> None:
+        if node_id < 0 or marks.get(node_id):
+            return
+        marks[node_id] = True
+        for dep in nodes[node_id].inputs:
+            visit(dep)
+        order.append(node_id)
+
+    visit(result_id)
+
+    # Last-use positions for linear-scan allocation.
+    position = {node_id: idx for idx, node_id in enumerate(order)}
+    last_use = dict(position)
+    for node_id in order:
+        for dep in nodes[node_id].inputs:
+            if dep >= 0:
+                last_use[dep] = max(last_use[dep], position[node_id])
+
+    free = list(scratch_rows)
+    releases: Dict[int, List[int]] = {}
+    row_of: Dict[int, int] = {}
+    needed = 0
+    for idx, node_id in enumerate(order):
+        for row in releases.pop(idx, []):
+            free.append(row)
+        if node_id == result_id:
+            row_of[node_id] = out_row
+        else:
+            if not free:
+                # Count the true requirement for the error message.
+                needed = _peak_live(order, nodes, result_id)
+                raise ProgramError(
+                    f"expression needs {needed} scratch rows, got "
+                    f"{len(scratch_rows)}"
+                )
+            row_of[node_id] = free.pop()
+            releases.setdefault(last_use[node_id] + 1, []).append(
+                row_of[node_id]
+            )
+
+    # Emit: arm each target row immediately before its NOR.  Rows are
+    # recycled by the allocator, so just-in-time arming is the simple
+    # always-correct policy (2 cc per gate; the hand-tuned generators
+    # amortise inits further, which is why they are hand-tuned).
+    builder = ProgramBuilder(label=label)
+    for node_id in order:
+        row = row_of[node_id]
+        builder.init([row], cols)
+        in_rows = tuple(
+            input_row_of[dep] if dep < 0 else row_of[dep]
+            for dep in nodes[node_id].inputs
+        )
+        builder.nor(list(in_rows), row, cols)
+    program = builder.build()
+    report = check_protocol(program)
+    if not report.ok:  # pragma: no cover - compiler invariant
+        raise ProgramError(
+            f"compiler emitted a protocol-violating program: "
+            f"{report.violations[:2]}"
+        )
+    return CompiledExpression(
+        program=program,
+        gate_count=len(order),
+        scratch_rows_used=len(
+            {row_of[n] for n in order if row_of[n] != out_row}
+        ),
+        out_row=out_row,
+    )
+
+
+def _peak_live(order, nodes, result_id) -> int:
+    """Maximum simultaneously-live intermediate count (for errors)."""
+    position = {node_id: idx for idx, node_id in enumerate(order)}
+    last_use = dict(position)
+    for node_id in order:
+        for dep in nodes[node_id].inputs:
+            if dep >= 0:
+                last_use[dep] = max(last_use[dep], position[node_id])
+    peak = 0
+    live = 0
+    events: Dict[int, int] = {}
+    for node_id in order:
+        if node_id == result_id:
+            continue
+        events[position[node_id]] = events.get(position[node_id], 0) + 1
+        events[last_use[node_id] + 1] = events.get(last_use[node_id] + 1, 0) - 1
+    for idx in sorted(events):
+        live += events[idx]
+        peak = max(peak, live)
+    return peak

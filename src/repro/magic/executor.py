@@ -1,0 +1,177 @@
+"""Cycle-accurate executor for MAGIC programs on a crossbar array.
+
+The executor applies micro-ops to a :class:`CrossbarArray`, advancing a
+:class:`Clock` by each op's cycle cost and collecting a
+:class:`RunStats`.  The per-op costs match the paper's accounting:
+1 cc for any row-parallel NOR/NOT/INIT/WRITE/READ, 2 cc for a periphery
+shift (read + write-back).
+
+Data enters a program through *bindings* (name -> integer) consumed by
+WRITE ops and leaves through *results* (name -> integer) produced by
+READ ops; both are LSB-first bit fields within a row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.crossbar.array import CrossbarArray
+from repro.magic.ops import Init, MicroOp, Nop, Nor, Not, Read, Shift, Write
+from repro.magic.program import Program
+from repro.sim.clock import Clock
+from repro.sim.exceptions import ProgramError
+from repro.sim.stats import RunStats
+from repro.sim.trace import Trace
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """LSB-first bit vector of *value* over *width* bits."""
+    if value < 0:
+        raise ValueError("only non-negative integers are storable")
+    if value >> width:
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return np.array([(value >> i) & 1 for i in range(width)], dtype=bool)
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Integer from an LSB-first bit vector."""
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit:
+            value |= 1 << i
+    return value
+
+
+class MagicExecutor:
+    """Executes :class:`Program` objects cycle-accurately.
+
+    Parameters
+    ----------
+    array:
+        Target crossbar.
+    clock:
+        Shared cycle counter; a fresh one is created when omitted.
+    trace:
+        Optional micro-op trace sink.
+    """
+
+    def __init__(
+        self,
+        array: CrossbarArray,
+        clock: Optional[Clock] = None,
+        trace: Optional[Trace] = None,
+    ):
+        self.array = array
+        self.clock = clock if clock is not None else Clock()
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self.results: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _col_mask(self, cols) -> Optional[np.ndarray]:
+        if cols is None:
+            return None
+        start, stop = cols
+        if not (0 <= start < stop <= self.array.cols):
+            raise ProgramError(
+                f"column range {cols} outside array width {self.array.cols}"
+            )
+        mask = np.zeros(self.array.cols, dtype=bool)
+        mask[start:stop] = True
+        return mask
+
+    def _field(self, col_offset: int, width: Optional[int]) -> slice:
+        if width is None:
+            width = self.array.cols - col_offset
+        if col_offset < 0 or col_offset + width > self.array.cols:
+            raise ProgramError(
+                f"field [{col_offset}, {col_offset + width}) outside array"
+            )
+        return slice(col_offset, col_offset + width)
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        program: Program,
+        bindings: Optional[Dict[str, int]] = None,
+    ) -> RunStats:
+        """Run *program* to completion and return its :class:`RunStats`.
+
+        READ results accumulate in :attr:`results` and are also returned
+        via the stats-independent :attr:`results` mapping.
+        """
+        bindings = bindings or {}
+        stats = RunStats()
+        energy_before = self.array.energy_fj
+        for op in program:
+            self._dispatch(op, bindings, stats)
+            stats.cycles += op.cycles
+            self.clock.tick(op.cycles, category=op.opcode)
+            stats.op_counts[op.opcode] = stats.op_counts.get(op.opcode, 0) + 1
+            self.trace.record(self.clock.cycles, op.opcode, repr(op))
+        stats.energy_fj = self.array.energy_fj - energy_before
+        return stats
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, op: MicroOp, bindings: Dict[str, int], stats: RunStats) -> None:
+        if isinstance(op, Init):
+            self.array.init_rows(op.rows, self._col_mask(op.cols))
+            stats.init_ops += 1
+        elif isinstance(op, Nor):
+            self.array.nor_rows(list(op.in_rows), op.out_row, self._col_mask(op.cols))
+            stats.nor_ops += 1
+        elif isinstance(op, Not):
+            self.array.not_row(op.in_row, op.out_row, self._col_mask(op.cols))
+            stats.not_ops += 1
+        elif isinstance(op, Write):
+            self._do_write(op, bindings)
+            stats.write_ops += 1
+        elif isinstance(op, Read):
+            self._do_read(op)
+            stats.read_ops += 1
+        elif isinstance(op, Shift):
+            self._do_shift(op)
+            stats.shift_ops += 1
+        elif isinstance(op, Nop):
+            pass
+        else:  # pragma: no cover - defensive
+            raise ProgramError(f"unknown micro-op {op!r}")
+
+    def _do_write(self, op: Write, bindings: Dict[str, int]) -> None:
+        if op.name not in bindings:
+            raise ProgramError(f"WRITE references unbound operand {op.name!r}")
+        field = self._field(op.col_offset, op.width)
+        width = field.stop - field.start
+        bits = int_to_bits(bindings[op.name], width)
+        word = self.array.state[op.row].copy()
+        word[field] = bits
+        mask = np.zeros(self.array.cols, dtype=bool)
+        mask[field] = True
+        self.array.write_row(op.row, word, mask)
+
+    def _do_read(self, op: Read) -> None:
+        field = self._field(op.col_offset, op.width)
+        word = self.array.read_row(op.row)
+        self.results[op.name] = bits_to_int(word[field])
+
+    def _do_shift(self, op: Shift) -> None:
+        mask = self._col_mask(op.cols)
+        window = slice(0, self.array.cols) if op.cols is None else slice(*op.cols)
+        src = self.array.read_row(op.src_row)[window]
+        shifted = np.full(src.shape, bool(op.fill))
+        if op.offset >= 0:
+            if op.offset < len(src):
+                shifted[op.offset:] = src[: len(src) - op.offset]
+        else:
+            amount = -op.offset
+            if amount < len(src):
+                shifted[: len(src) - amount] = src[amount:]
+        word = self.array.state[op.dst_row].copy()
+        word[window] = shifted
+        self.array.write_row(op.dst_row, word, mask)
+        if op.also_init:
+            # Piggy-backed initialisation during the write cycle: the
+            # word-line driver raises the listed rows while the write
+            # circuit programs the shifted word.  No extra cycles.
+            self.array.init_rows(op.also_init, mask)

@@ -1,0 +1,145 @@
+"""Micro-operation instruction set for MAGIC crossbar programs.
+
+A CIM *program* is a flat sequence of micro-ops executed by
+:class:`repro.magic.executor.MagicExecutor` against one crossbar array.
+The set mirrors what the paper's controller can issue:
+
+========  ===========================================================  ======
+opcode    semantics                                                    cycles
+========  ===========================================================  ======
+INIT      drive one or more word lines to set all (masked) cells to 1      1
+NOR       row-parallel MAGIC NOR of input rows into an output row          1
+NOT       single-input NOR (MAGIC NOT)                                     1
+WRITE     program one word from the periphery                              1
+READ      sense one word into a named result                               1
+SHIFT     read a row, shift it in the periphery, write it back             2
+NOP       idle cycles (controller overhead)                             n>=1
+========  ===========================================================  ======
+
+A SHIFT may carry ``also_init``: rows initialised to logic one during
+the shift's write cycle.  The word-line driver can drive multiple rows
+simultaneously while the write circuit programs the shifted word, so
+this costs no extra cycles — the same convention the paper uses to fit
+each Kogge-Stone level in 11 cc (2x2 cc shifts + 7 cc NOR/NOT).
+
+Column masks are half-open ranges ``(start, stop)``; ``None`` means the
+whole row.  All operand fields in the paper's layouts are contiguous,
+so ranges are sufficient and keep programs hashable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+ColumnRange = Optional[Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """Base class for all micro-ops."""
+
+    @property
+    def opcode(self) -> str:
+        return type(self).__name__.lower()
+
+    @property
+    def cycles(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Init(MicroOp):
+    """Initialise cells in *rows* (within *cols*) to logic one, 1 cc."""
+
+    rows: Tuple[int, ...]
+    cols: ColumnRange = None
+
+    def __post_init__(self) -> None:
+        if not self.rows:
+            raise ValueError("INIT requires at least one row")
+
+
+@dataclass(frozen=True)
+class Nor(MicroOp):
+    """Row-parallel MAGIC NOR: ``out_row <- NOR(in_rows)``, 1 cc."""
+
+    in_rows: Tuple[int, ...]
+    out_row: int
+    cols: ColumnRange = None
+
+    def __post_init__(self) -> None:
+        if not self.in_rows:
+            raise ValueError("NOR requires at least one input row")
+
+
+@dataclass(frozen=True)
+class Not(MicroOp):
+    """MAGIC NOT: ``out_row <- NOT(in_row)``, 1 cc."""
+
+    in_row: int
+    out_row: int
+    cols: ColumnRange = None
+
+
+@dataclass(frozen=True)
+class Write(MicroOp):
+    """Program one word from the periphery, 1 cc.
+
+    The data is looked up in the executor's *bindings* by *name*; the
+    word is placed LSB-first starting at column ``col_offset`` over
+    ``width`` columns.
+    """
+
+    row: int
+    name: str
+    col_offset: int = 0
+    width: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Read(MicroOp):
+    """Sense one word into the executor's *results* under *name*, 1 cc."""
+
+    row: int
+    name: str
+    col_offset: int = 0
+    width: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Shift(MicroOp):
+    """Read *src_row*, shift by *offset* columns in the periphery, and
+    write it to *dst_row*; 2 cc (one read + one write).
+
+    Positive *offset* moves bits towards higher column indices (a
+    left shift in LSB-first layout, i.e. multiplication by 2^offset).
+    Vacated positions are filled with *fill*.  Rows listed in
+    ``also_init`` are initialised to one during the write cycle.
+    """
+
+    src_row: int
+    dst_row: int
+    offset: int
+    fill: int = 0
+    cols: ColumnRange = None
+    also_init: Tuple[int, ...] = field(default=())
+
+    @property
+    def cycles(self) -> int:
+        return 2
+
+
+@dataclass(frozen=True)
+class Nop(MicroOp):
+    """Idle controller cycles."""
+
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("NOP must cover at least one cycle")
+
+    @property
+    def cycles(self) -> int:
+        return self.count

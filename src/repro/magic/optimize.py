@@ -1,0 +1,158 @@
+"""Static analysis and optimisation of MAGIC programs.
+
+The stage schedules in :mod:`repro.karatsuba` are hand-tuned to the
+paper's cycle budgets, but generated programs benefit from tooling:
+
+* :func:`liveness` — per-op read/write row sets and last-use analysis;
+* :func:`check_protocol` — static verification of the MAGIC execution
+  discipline (every NOR/NOT output row is initialised by an earlier
+  INIT, shift write, or piggy-backed init since its last clobber) —
+  the same rule the executor enforces dynamically, but without running;
+* :func:`eliminate_dead_ops` — drops logic ops whose results are never
+  read (conservative: READ, WRITE, SHIFT targets and out-of-program
+  rows count as live);
+* :func:`coalesce_inits` — merges adjacent INIT ops over disjoint row
+  sets into single multi-row cycles (the hardware can drive several
+  word lines at once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from repro.magic.ops import Init, MicroOp, Nop, Nor, Not, Read, Shift, Write
+from repro.magic.program import Program
+from repro.sim.exceptions import ProgramError
+
+
+@dataclass(frozen=True)
+class OpEffect:
+    """Rows an op reads and writes (column ranges ignored: the checks
+    are conservative across the whole row)."""
+
+    reads: Tuple[int, ...]
+    writes: Tuple[int, ...]
+    initialises: Tuple[int, ...]
+
+
+def effect_of(op: MicroOp) -> OpEffect:
+    """Classify one op's row effects."""
+    if isinstance(op, Init):
+        return OpEffect(reads=(), writes=op.rows, initialises=op.rows)
+    if isinstance(op, Nor):
+        return OpEffect(reads=op.in_rows, writes=(op.out_row,), initialises=())
+    if isinstance(op, Not):
+        return OpEffect(reads=(op.in_row,), writes=(op.out_row,), initialises=())
+    if isinstance(op, Write):
+        return OpEffect(reads=(), writes=(op.row,), initialises=())
+    if isinstance(op, Read):
+        return OpEffect(reads=(op.row,), writes=(), initialises=())
+    if isinstance(op, Shift):
+        return OpEffect(
+            reads=(op.src_row,),
+            writes=(op.dst_row,) + tuple(op.also_init),
+            initialises=tuple(op.also_init),
+        )
+    if isinstance(op, Nop):
+        return OpEffect(reads=(), writes=(), initialises=())
+    raise ProgramError(f"unknown op {op!r}")
+
+
+def liveness(program: Program) -> List[Set[int]]:
+    """Live-row sets *after* each op (backwards dataflow)."""
+    live: Set[int] = set()
+    result: List[Set[int]] = [set()] * len(program.ops)
+    out: List[Set[int]] = []
+    for op in reversed(program.ops):
+        out.append(set(live))
+        eff = effect_of(op)
+        live -= set(eff.writes)
+        live |= set(eff.reads)
+    out.reverse()
+    del result
+    return out
+
+
+@dataclass(frozen=True)
+class ProtocolReport:
+    """Result of the static MAGIC-discipline check."""
+
+    ok: bool
+    violations: Tuple[str, ...]
+
+
+def check_protocol(
+    program: Program, initially_ones: Set[int] = frozenset()
+) -> ProtocolReport:
+    """Statically verify that every NOR/NOT output row holds logic one.
+
+    A row is *one-armed* after an INIT covering it, after appearing in
+    a shift's ``also_init``, or if listed in *initially_ones* (rows the
+    surrounding stage guarantees, e.g. after the previous pass's
+    reset).  Any write de-arms the row.
+    """
+    armed: Set[int] = set(initially_ones)
+    violations: List[str] = []
+    for index, op in enumerate(program.ops):
+        eff = effect_of(op)
+        if isinstance(op, (Nor, Not)) and op.out_row not in armed:
+            violations.append(
+                f"op {index} ({op.opcode}): output row {op.out_row} "
+                "not initialised to logic one"
+            )
+        armed -= set(eff.writes)
+        armed |= set(eff.initialises)
+    return ProtocolReport(ok=not violations, violations=tuple(violations))
+
+
+def eliminate_dead_ops(
+    program: Program, keep_rows: Set[int] = frozenset()
+) -> Program:
+    """Drop NOR/NOT ops whose outputs are never subsequently read.
+
+    INIT/WRITE/SHIFT/READ ops are kept (they have architectural or
+    external effects); only pure logic ops are candidates.  Rows the
+    surrounding stage observes out-of-band (e.g. a sum row the
+    controller senses after the program ends) must be listed in
+    *keep_rows* or their producing ops would be considered dead.
+    """
+    live_after = liveness(program)
+    kept: List[MicroOp] = []
+    for op, live in zip(program.ops, live_after):
+        if (
+            isinstance(op, (Nor, Not))
+            and op.out_row not in live
+            and op.out_row not in keep_rows
+        ):
+            continue
+        kept.append(op)
+    return Program(ops=kept, label=program.label + "+dce")
+
+
+def coalesce_inits(program: Program) -> Program:
+    """Merge runs of adjacent INITs with identical column ranges into
+    one multi-row INIT (a single cycle on hardware)."""
+    merged: List[MicroOp] = []
+    for op in program.ops:
+        if (
+            isinstance(op, Init)
+            and merged
+            and isinstance(merged[-1], Init)
+            and merged[-1].cols == op.cols
+        ):
+            previous = merged.pop()
+            rows = tuple(dict.fromkeys(previous.rows + op.rows))
+            merged.append(Init(rows=rows, cols=op.cols))
+        else:
+            merged.append(op)
+    return Program(ops=merged, label=program.label + "+coalesce")
+
+
+def optimization_summary(before: Program, after: Program) -> str:
+    """Human-readable one-liner for logs and benches."""
+    return (
+        f"{before.label or 'program'}: {len(before)} ops / "
+        f"{before.cycle_count} cc -> {len(after)} ops / "
+        f"{after.cycle_count} cc"
+    )

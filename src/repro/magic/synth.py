@@ -1,0 +1,138 @@
+"""NOR-only synthesis macros for common boolean blocks.
+
+MAGIC natively provides only NOR and NOT (Sec. II-B), but NOR is
+functionally complete; these macros emit the canonical NOR/NOT
+decompositions used throughout the paper's arithmetic:
+
+=========  ==================================================  =========
+block      decomposition                                        ops (cc)
+=========  ==================================================  =========
+AND        ``NOR(NOT a, NOT b)``                                       3
+OR         ``NOT(NOR(a, b))``                                          2
+XNOR       ``NOR(NOR(a,t), NOR(b,t))`` with ``t = NOR(a,b)``           4
+XOR        ``NOT(XNOR(a, b))``                                         5
+MAJ3       ``OR(AND(a,b), AND(c, OR(a,b)))`` in NOR form               9
+=========  ==================================================  =========
+
+Note the asymmetry: with ``t = NOR(a, b)``, ``NOR(a, t) = ~a AND b``
+and ``NOR(b, t) = a AND ~b``, so ``NOR`` of those two is the *negated*
+disjunction — XNOR.  XOR therefore costs one extra NOT.
+
+Each macro appends micro-ops to a :class:`ProgramBuilder`; scratch rows
+are supplied by the caller and must be initialised to logic one (the
+macros do *not* emit INITs so that callers can batch initialisation,
+exactly as the paper batches it into shift cycles).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.magic.ops import ColumnRange
+from repro.magic.program import ProgramBuilder
+from repro.sim.exceptions import ProgramError
+
+
+def _need(scratch: Sequence[int], count: int, block: str) -> None:
+    if len(scratch) < count:
+        raise ProgramError(f"{block} needs {count} scratch rows, got {len(scratch)}")
+
+
+def emit_and(
+    builder: ProgramBuilder,
+    a_row: int,
+    b_row: int,
+    out_row: int,
+    scratch: Sequence[int],
+    cols: ColumnRange = None,
+) -> ProgramBuilder:
+    """``out = a AND b`` in 3 ops; needs 2 scratch rows."""
+    _need(scratch, 2, "AND")
+    na, nb = scratch[0], scratch[1]
+    builder.not_(a_row, na, cols)
+    builder.not_(b_row, nb, cols)
+    builder.nor([na, nb], out_row, cols)
+    return builder
+
+
+def emit_or(
+    builder: ProgramBuilder,
+    a_row: int,
+    b_row: int,
+    out_row: int,
+    scratch: Sequence[int],
+    cols: ColumnRange = None,
+) -> ProgramBuilder:
+    """``out = a OR b`` in 2 ops; needs 1 scratch row."""
+    _need(scratch, 1, "OR")
+    t = scratch[0]
+    builder.nor([a_row, b_row], t, cols)
+    builder.not_(t, out_row, cols)
+    return builder
+
+
+def emit_xnor(
+    builder: ProgramBuilder,
+    a_row: int,
+    b_row: int,
+    out_row: int,
+    scratch: Sequence[int],
+    cols: ColumnRange = None,
+) -> ProgramBuilder:
+    """``out = NOT(a XOR b)`` in 4 ops; needs 3 scratch rows.
+
+    Uses the shared-NOR form: with ``t = NOR(a, b)``,
+    ``NOR(a, t) = ~a AND b`` and ``NOR(b, t) = a AND ~b``, so
+    ``NOR`` of those two is exactly XNOR.
+    """
+    _need(scratch, 3, "XNOR")
+    t, u, v = scratch[0], scratch[1], scratch[2]
+    builder.nor([a_row, b_row], t, cols)
+    builder.nor([a_row, t], u, cols)
+    builder.nor([b_row, t], v, cols)
+    builder.nor([u, v], out_row, cols)
+    return builder
+
+
+def emit_xor(
+    builder: ProgramBuilder,
+    a_row: int,
+    b_row: int,
+    out_row: int,
+    scratch: Sequence[int],
+    cols: ColumnRange = None,
+) -> ProgramBuilder:
+    """``out = a XOR b`` in 5 ops; needs 4 scratch rows."""
+    _need(scratch, 4, "XOR")
+    emit_xnor(builder, a_row, b_row, scratch[3], scratch[:3], cols)
+    builder.not_(scratch[3], out_row, cols)
+    return builder
+
+
+def emit_maj3(
+    builder: ProgramBuilder,
+    a_row: int,
+    b_row: int,
+    c_row: int,
+    out_row: int,
+    scratch: Sequence[int],
+    cols: ColumnRange = None,
+) -> ProgramBuilder:
+    """``out = MAJ(a, b, c)`` in 9 ops; needs 6 scratch rows.
+
+    ``MAJ = (a AND b) OR (c AND (a OR b))``; used to cross-check the
+    MAJORITY-gate baseline against a pure-NOR implementation.
+    """
+    _need(scratch, 6, "MAJ3")
+    na, nb, ab, or_ab, nor_ab, t = scratch[:6]
+    builder.not_(a_row, na, cols)
+    builder.not_(b_row, nb, cols)
+    builder.nor([na, nb], ab, cols)          # a AND b
+    builder.nor([a_row, b_row], nor_ab, cols)
+    # c AND (a OR b) = NOR(NOT c, NOR(a, b)); reuse na as NOT c.
+    builder.init([na], cols)
+    builder.not_(c_row, na, cols)
+    builder.nor([na, nor_ab], or_ab, cols)   # c AND (a OR b)
+    builder.nor([ab, or_ab], t, cols)
+    builder.not_(t, out_row, cols)
+    return builder

@@ -1,0 +1,34 @@
+"""Simulation core: cycle accounting, statistics, tracing, exceptions."""
+
+from repro.sim.clock import Clock
+from repro.sim.exceptions import (
+    AddressError,
+    CrossbarError,
+    DesignError,
+    EnduranceExhaustedError,
+    FaultInjectionError,
+    MagicProtocolError,
+    ProgramError,
+    SimulationError,
+)
+from repro.sim.stats import DesignMetrics, RunStats
+from repro.sim.trace import Trace, TraceEntry
+
+# NOTE: repro.sim.waveform is intentionally not imported here — it sits
+# above the magic layer; import it directly as `repro.sim.waveform`.
+
+__all__ = [
+    "AddressError",
+    "Clock",
+    "CrossbarError",
+    "DesignError",
+    "DesignMetrics",
+    "EnduranceExhaustedError",
+    "FaultInjectionError",
+    "MagicProtocolError",
+    "ProgramError",
+    "RunStats",
+    "SimulationError",
+    "Trace",
+    "TraceEntry",
+]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the CIM simulator.
+
+All errors raised by the :mod:`repro` simulation stack derive from
+:class:`SimulationError` so that callers can catch simulator problems
+without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class CrossbarError(SimulationError):
+    """Base class for errors raised by the crossbar substrate."""
+
+
+class AddressError(CrossbarError):
+    """A row/column address is outside the crossbar dimensions."""
+
+
+class MagicProtocolError(SimulationError):
+    """A MAGIC micro-op violated the MAGIC execution discipline.
+
+    Typical causes: a NOR output memristor that was not initialised to
+    logic one, or input and output rows that do not share bit lines.
+    """
+
+
+class EnduranceExhaustedError(CrossbarError):
+    """A memristor exceeded its rated write endurance."""
+
+
+class FaultInjectionError(CrossbarError):
+    """A fault-injection request is inconsistent (e.g. unknown fault kind)."""
+
+
+class ProgramError(SimulationError):
+    """A MAGIC program is malformed (bad operand shapes, unknown opcode)."""
+
+
+class DesignError(SimulationError):
+    """A design-level constraint is violated (e.g. unsupported bit width)."""

@@ -1,0 +1,74 @@
+"""Optional execution tracing for MAGIC programs.
+
+A :class:`Trace` records one entry per executed micro-op.  Tracing is
+disabled by default (``Trace(enabled=False)`` is a cheap no-op sink) and
+is primarily useful for debugging stage schedules and for the examples
+that visualise array activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed micro-op: (cycle, opcode, human-readable detail)."""
+
+    cycle: int
+    opcode: str
+    detail: str
+
+
+@dataclass
+class Trace:
+    """Append-only log of executed micro-ops.
+
+    Parameters
+    ----------
+    enabled:
+        When false, :meth:`record` is a no-op, keeping the hot execution
+        path allocation-free.
+    limit:
+        Maximum number of retained entries; older entries are dropped
+        once the limit is exceeded (``None`` keeps everything).
+    """
+
+    enabled: bool = False
+    limit: Optional[int] = None
+    entries: List[TraceEntry] = field(default_factory=list)
+    dropped: int = 0
+
+    def record(self, cycle: int, opcode: str, detail: str = "") -> None:
+        """Append one entry if tracing is enabled."""
+        if not self.enabled:
+            return
+        self.entries.append(TraceEntry(cycle, opcode, detail))
+        if self.limit is not None and len(self.entries) > self.limit:
+            overflow = len(self.entries) - self.limit
+            del self.entries[:overflow]
+            self.dropped += overflow
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def opcode_histogram(self) -> List[Tuple[str, int]]:
+        """Return (opcode, count) pairs sorted by descending count."""
+        counts: dict = {}
+        for entry in self.entries:
+            counts[entry.opcode] = counts.get(entry.opcode, 0) + 1
+        return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def format(self, first: int = 20) -> str:
+        """Render the first *first* entries as an aligned text table."""
+        lines = [f"{'cycle':>8}  {'op':<10} detail"]
+        for entry in self.entries[:first]:
+            lines.append(f"{entry.cycle:>8}  {entry.opcode:<10} {entry.detail}")
+        remaining = len(self.entries) - first
+        if remaining > 0:
+            lines.append(f"... {remaining} more entries")
+        return "\n".join(lines)

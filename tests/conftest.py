@@ -1,0 +1,25 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic RNG so failures reproduce."""
+    return random.Random(0xC1A0)
+
+
+def random_operand(rng: random.Random, n_bits: int) -> int:
+    """A random n-bit operand, biased to sometimes hit edge patterns."""
+    choice = rng.random()
+    if choice < 0.1:
+        return 0
+    if choice < 0.2:
+        return (1 << n_bits) - 1
+    if choice < 0.3:
+        return 1 << (n_bits - 1)
+    return rng.getrandbits(n_bits)

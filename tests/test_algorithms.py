@@ -1,0 +1,212 @@
+"""Tests for the Sec. III algorithm-exploration layer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    INFINITY,
+    KaratsubaTrace,
+    SchoolbookCost,
+    ToomCook,
+    assess_karatsuba,
+    assess_schoolbook,
+    assess_toomcook,
+    default_points,
+    exploration_report,
+    interpolation_multiplications,
+    multiply_recursive,
+    multiply_unrolled,
+    operation_counts,
+    paper_interpolation_counts,
+    schoolbook_multiply,
+)
+from repro.algorithms.toomcook import invert_matrix, vandermonde
+
+
+class TestSchoolbook:
+    def test_known_products(self):
+        assert schoolbook_multiply(0, 5) == 0
+        assert schoolbook_multiply(7, 9) == 63
+        assert schoolbook_multiply(2**64 - 1, 2**64 - 1) == (2**64 - 1) ** 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            schoolbook_multiply(-1, 2)
+
+    @given(st.integers(0, 2**96 - 1), st.integers(0, 2**96 - 1))
+    def test_matches_native(self, a, b):
+        assert schoolbook_multiply(a, b) == a * b
+
+    def test_quadratic_and_count(self):
+        assert SchoolbookCost(64).and_ops == 4096
+        assert SchoolbookCost(384).and_ops == 147456
+
+    def test_wallace_depth_grows_slowly(self):
+        assert SchoolbookCost(8).wallace_depth < SchoolbookCost(64).wallace_depth
+        assert SchoolbookCost(64).wallace_depth <= 10
+
+
+class TestRecursiveKaratsuba:
+    def test_known_products(self):
+        assert multiply_recursive(3, 5, 8) == 15
+        assert multiply_recursive(0xFFFF, 0xFFFF, 16) == 0xFFFF * 0xFFFF
+
+    def test_operand_bounds_checked(self):
+        with pytest.raises(ValueError):
+            multiply_recursive(256, 1, 8)
+        with pytest.raises(ValueError):
+            multiply_recursive(-1, 1, 8)
+
+    @settings(max_examples=50)
+    @given(st.integers(0, 2**256 - 1), st.integers(0, 2**256 - 1))
+    def test_matches_native(self, a, b):
+        assert multiply_recursive(a, b, 256) == a * b
+
+    def test_odd_widths_supported(self):
+        a, b = 2**99 - 1, 2**98 + 17
+        assert multiply_recursive(a, b, 100) == a * b
+
+
+class TestUnrolledKaratsuba:
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4])
+    def test_known_products(self, depth):
+        n = 64
+        a, b = 0xDEADBEEF12345678, 0xC0FFEE0987654321
+        assert multiply_unrolled(a, b, n, depth) == a * b
+
+    def test_depth_must_divide_width(self):
+        with pytest.raises(ValueError):
+            multiply_unrolled(1, 1, 20, depth=3)
+
+    def test_depth_minimum(self):
+        with pytest.raises(ValueError):
+            multiply_unrolled(1, 1, 16, depth=0)
+
+    @settings(max_examples=50)
+    @given(
+        st.integers(0, 2**128 - 1),
+        st.integers(0, 2**128 - 1),
+        st.sampled_from([1, 2, 3]),
+    )
+    def test_matches_native(self, a, b, depth):
+        assert multiply_unrolled(a, b, 128, depth) == a * b
+
+    def test_operation_counts_match_paper(self):
+        """Sec. III-C: 9/27/81 multiplications for L = 2/3/4."""
+        assert operation_counts(2) == (9, 10)
+        assert operation_counts(3) == (27, 38)
+        # The construction yields 130 additions at L = 4 (the paper
+        # prints 140; see EXPERIMENTS.md).
+        assert operation_counts(4) == (81, 130)
+
+
+class TestKaratsubaTrace:
+    def test_result_correct(self):
+        trace = KaratsubaTrace(64, 2)
+        a, b = 0x123456789ABCDEF0, 0x0FEDCBA987654321
+        assert trace.run(a, b) == a * b
+
+    def test_recursive_addition_widths_nonuniform(self):
+        """Sec. III-C.1: each recursion level needs a different adder
+        size (n/2, n/4+1, ... for the mid operands)."""
+        trace = KaratsubaTrace(256, 3)
+        trace.run(2**256 - 1, 2**255 + 12345)
+        widths = trace.distinct_addition_widths()
+        assert len(widths) >= 3
+        assert 128 in widths          # level 1
+        assert 64 in widths or 65 in widths  # level 2
+
+    def test_multiplication_widths_recorded(self):
+        trace = KaratsubaTrace(64, 2)
+        trace.run(1, 1)
+        assert len(trace.multiplication_widths) == 9
+
+
+class TestToomCook:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_known_products(self, k):
+        tc = ToomCook(k)
+        a = 0xFEDCBA9876543210FEDCBA9876543210
+        b = 0x123456789ABCDEF0123456789ABCDEF
+        assert tc.multiply(a, b, 128) == a * b
+
+    def test_karatsuba_is_toom2(self):
+        tc = ToomCook(2)
+        assert tc.cost().pointwise_multiplications == 3
+
+    @settings(max_examples=30)
+    @given(
+        st.integers(0, 2**120 - 1),
+        st.integers(0, 2**120 - 1),
+        st.sampled_from([2, 3, 4, 5]),
+    )
+    def test_matches_native(self, a, b, k):
+        assert ToomCook(k).multiply(a, b, 120) == a * b
+
+    def test_point_count_enforced(self):
+        with pytest.raises(ValueError):
+            ToomCook(3, points=[0, 1, INFINITY])
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError):
+            ToomCook(3, points=[0, 1, 1, -1, INFINITY])
+
+    def test_k_minimum(self):
+        with pytest.raises(ValueError):
+            ToomCook(1)
+
+    def test_default_points_structure(self):
+        points = default_points(3)
+        assert len(points) == 5
+        assert points[0] == 0
+        assert points[-1] == INFINITY
+
+    def test_interpolation_mult_counts_match_paper(self):
+        """Sec. III-B: 25, 49, 81 constant mults for k = 3, 4, 5."""
+        assert paper_interpolation_counts() == {3: 25, 4: 49, 5: 81}
+        assert interpolation_multiplications(3) == 25
+
+    def test_fractional_constants_present_for_k3(self):
+        """Sec. III-B: interpolation needs fractional constants."""
+        assert ToomCook(3).cost().fractional_constants > 0
+
+    def test_vandermonde_inverse_is_exact(self):
+        points = default_points(3)
+        matrix = vandermonde(points, 5)
+        inverse = invert_matrix(matrix)
+        # M * M^-1 == I over the rationals.
+        for i in range(5):
+            for j in range(5):
+                entry = sum(matrix[i][k] * inverse[k][j] for k in range(5))
+                assert entry == (1 if i == j else 0)
+
+    def test_singular_points_detected(self):
+        from fractions import Fraction
+
+        singular = [[Fraction(1), Fraction(1)], [Fraction(1), Fraction(1)]]
+        with pytest.raises(ValueError):
+            invert_matrix(singular)
+
+
+class TestExploration:
+    def test_report_covers_all_methods(self):
+        report = exploration_report(384)
+        names = [a.algorithm for a in report]
+        assert "schoolbook" in names
+        assert "toom-3" in names and "toom-5" in names
+        assert "karatsuba-L2" in names
+
+    def test_karatsuba_l2_is_cim_suitable(self):
+        assert assess_karatsuba(2).cim_suitable
+        assert assess_karatsuba(2).multiplications == 9
+
+    def test_large_toom_not_suitable(self):
+        assert not assess_toomcook(5).cim_suitable
+        assert assess_toomcook(5).interpolation_constant_mults == 81
+
+    def test_schoolbook_unsuitable_at_crypto_sizes(self):
+        assert not assess_schoolbook(384).cim_suitable
+        assert assess_schoolbook(64).multiplications == 4096

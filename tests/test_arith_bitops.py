@@ -1,0 +1,104 @@
+"""Tests for the bit/chunk helpers, including property-based checks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arith.bitops import (
+    ceil_div,
+    ceil_log2,
+    from_bits,
+    join_chunks,
+    mask,
+    split_chunks,
+    to_bits,
+)
+
+
+class TestMask:
+    def test_values(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 255
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestCeilLog2:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4),
+         (96, 7), (97, 7), (384, 9), (576, 10)],
+    )
+    def test_known_values(self, value, expected):
+        assert ceil_log2(value) == expected
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_defining_property(self, value):
+        k = ceil_log2(value)
+        assert 2**k >= value
+        assert k == 0 or 2 ** (k - 1) < value
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a, b, expected", [(0, 3, 0), (1, 3, 1), (3, 3, 1), (4, 3, 2)]
+    )
+    def test_known_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_zero_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+
+class TestChunks:
+    def test_split_known(self):
+        assert split_chunks(0xABCD, 4, 4) == [0xD, 0xC, 0xB, 0xA]
+
+    def test_join_inverse(self):
+        assert join_chunks([0xD, 0xC, 0xB, 0xA], 4) == 0xABCD
+
+    def test_join_with_redundant_chunks(self):
+        # Chunks wider than the base carry into the next position:
+        # 3*16 + 17 = 65.
+        assert join_chunks([17, 3], 4) == 65
+
+    def test_split_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            split_chunks(256, 4, 2)
+
+    def test_split_negative_rejected(self):
+        with pytest.raises(ValueError):
+            split_chunks(-1, 4, 2)
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1),
+           st.sampled_from([4, 8, 16, 32]))
+    def test_roundtrip_property(self, value, chunk_bits):
+        count = 128 // chunk_bits
+        assert join_chunks(split_chunks(value, chunk_bits, count), chunk_bits) == value
+
+
+class TestBits:
+    def test_roundtrip_known(self):
+        assert from_bits(to_bits(0b1011, 4)) == 0b1011
+
+    def test_to_bits_overflow(self):
+        with pytest.raises(ValueError):
+            to_bits(16, 4)
+
+    def test_from_bits_validates(self):
+        with pytest.raises(ValueError):
+            from_bits([0, 2, 1])
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_roundtrip_property(self, value):
+        assert from_bits(to_bits(value, 64)) == value

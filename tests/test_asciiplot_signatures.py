@@ -1,0 +1,164 @@
+"""Tests for the ASCII plotting utility and the Schnorr protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.ec import Point, TINY_CURVE
+from repro.crypto.signatures import KeyPair, SchnorrSigner, Signature
+from repro.eval.asciiplot import AsciiPlot, Series, plot_fig4, plot_scaling
+from repro.sim.exceptions import DesignError
+
+
+class TestSeries:
+    def test_points_sorted(self):
+        series = Series("s", [(3, 1), (1, 2), (2, 3)])
+        assert [x for x, _ in series.points] == [1, 2, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(DesignError):
+            Series("s", [])
+
+    def test_marker_validated(self):
+        with pytest.raises(DesignError):
+            Series("s", [(1, 1)], marker="ab")
+
+
+class TestAsciiPlot:
+    def test_render_contains_markers_and_legend(self):
+        plot = AsciiPlot(width=20, height=6, title="T")
+        plot.add_series("alpha", [(0, 0), (1, 1)], marker="a")
+        plot.add_series("beta", [(0, 1), (1, 0)], marker="b")
+        text = plot.render()
+        assert "T" in text
+        assert "a=alpha" in text and "b=beta" in text
+        assert text.count("a") >= 2
+
+    def test_auto_markers_distinct(self):
+        plot = AsciiPlot(width=10, height=4)
+        plot.add_series("one", [(0, 0)])
+        plot.add_series("two", [(1, 1)])
+        assert plot.series[0].marker != plot.series[1].marker
+
+    def test_log_scale_requires_positive(self):
+        plot = AsciiPlot(log_y=True)
+        plot.add_series("s", [(1, 0)])
+        with pytest.raises(DesignError):
+            plot.render()
+
+    def test_empty_plot_rejected(self):
+        with pytest.raises(DesignError):
+            AsciiPlot().render()
+
+    def test_degenerate_single_point(self):
+        plot = AsciiPlot(width=12, height=4)
+        plot.add_series("s", [(5, 5)])
+        assert plot.render()       # no division-by-zero on flat spans
+
+    def test_fig4_plot(self):
+        text = plot_fig4(width=40, height=10)
+        assert "L=2" in text
+        for marker in "1234":
+            assert marker in text
+
+    def test_scaling_plot(self):
+        text = plot_scaling("latency", width=40)
+        assert "ours" in text
+        assert "hajali2018" in text
+
+
+class TestSchnorr:
+    @pytest.fixture(scope="class")
+    def signer(self) -> SchnorrSigner:
+        return SchnorrSigner()
+
+    def test_generator_has_prime_order(self, signer):
+        assert signer.order == 223
+        assert signer.curve.scalar_mul(
+            signer.order, signer.generator
+        ).is_identity
+        for k in (2, 5, 111):
+            assert not signer.curve.scalar_mul(k, signer.generator).is_identity
+
+    def test_sign_verify_roundtrip(self, signer):
+        keypair = signer.keygen()
+        for message in (b"a", b"the paper", b"\x00" * 16):
+            sig = signer.sign(keypair, message)
+            assert signer.verify(keypair.public, message, sig)
+
+    def test_tampered_message_rejected(self, signer):
+        keypair = signer.keygen()
+        sig = signer.sign(keypair, b"original")
+        assert not signer.verify(keypair.public, b"forged", sig)
+
+    def test_wrong_key_rejected(self, signer):
+        alice, mallory = signer.keygen(), signer.keygen()
+        sig = signer.sign(alice, b"msg")
+        assert not signer.verify(mallory.public, b"msg", sig)
+
+    def test_tampered_signature_rejected(self, signer):
+        keypair = signer.keygen()
+        sig = signer.sign(keypair, b"msg")
+        bad = Signature(r_point=sig.r_point, s=(sig.s + 1) % signer.order)
+        assert not signer.verify(keypair.public, b"msg", bad)
+
+    def test_off_curve_public_key_rejected(self, signer):
+        sig = signer.sign(signer.keygen(), b"msg")
+        fake = Point(x=1, y=2)
+        assert not signer.verify(fake, b"msg", sig)
+
+    def test_signatures_randomised(self, signer):
+        keypair = signer.keygen()
+        s1 = signer.sign(keypair, b"msg")
+        s2 = signer.sign(keypair, b"msg")
+        assert s1 != s2                       # fresh nonce each time
+        assert signer.verify(keypair.public, b"msg", s1)
+        assert signer.verify(keypair.public, b"msg", s2)
+
+    def test_unknown_order_requires_explicit_subgroup(self):
+        from dataclasses import replace
+
+        from repro.crypto.ec import PRIME_ORDER_CURVE
+
+        params = replace(PRIME_ORDER_CURVE, order=None)
+        with pytest.raises(DesignError):
+            SchnorrSigner(params)
+
+    def test_field_mult_cost_reporting(self, signer):
+        used, per_verify = signer.field_mult_cost()
+        assert used > 0 and per_verify > 0
+
+
+class TestEcdh:
+    def test_shared_secret_agrees(self):
+        from repro.crypto.signatures import EcdhExchange
+
+        exchange = EcdhExchange()
+        alice = exchange.keygen()
+        bob = exchange.keygen()
+        assert (
+            exchange.agree(alice, bob.public).value
+            == exchange.agree(bob, alice.public).value
+        )
+
+    def test_different_peers_different_secrets(self):
+        from repro.crypto.signatures import EcdhExchange
+
+        exchange = EcdhExchange()
+        alice, bob, carol = (exchange.keygen() for _ in range(3))
+        ab = exchange.agree(alice, bob.public).value
+        ac = exchange.agree(alice, carol.public).value
+        assert ab != ac
+
+    def test_off_curve_peer_rejected(self):
+        from repro.crypto.signatures import EcdhExchange
+
+        exchange = EcdhExchange()
+        with pytest.raises(DesignError):
+            exchange.agree(exchange.keygen(), Point(x=1, y=2))
+
+    def test_identity_secret_rejected(self):
+        from repro.crypto.signatures import EcdhExchange, SharedSecret
+
+        with pytest.raises(DesignError):
+            _ = SharedSecret(point=Point.identity()).value

@@ -1,0 +1,80 @@
+"""Tests for the banked multiplier deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.karatsuba.bank import MultiplierBank
+from repro.sim.exceptions import DesignError
+
+
+class TestBankTiming:
+    def test_throughput_scales_linearly(self):
+        one = MultiplierBank(64, ways=1).timing()
+        four = MultiplierBank(64, ways=4).timing()
+        assert four.throughput_per_mcc == pytest.approx(
+            4 * one.throughput_per_mcc
+        )
+
+    def test_atp_invariant_under_banking(self):
+        one = MultiplierBank(64, ways=1).timing()
+        eight = MultiplierBank(64, ways=8).timing()
+        assert eight.atp == pytest.approx(one.atp)
+
+    def test_area_scales_linearly(self):
+        assert MultiplierBank(64, ways=3).timing().area_cells == 3 * 4404
+
+    def test_makespan(self):
+        bank = MultiplierBank(64, ways=2)
+        timing = bank.timing()
+        # 5 jobs over 2 ways -> 3 on the fuller way.
+        assert timing.makespan_cc(5) == timing.pipeline.makespan_cc(3)
+        assert timing.makespan_cc(0) == 0
+        with pytest.raises(DesignError):
+            timing.makespan_cc(-1)
+
+    def test_at_least_one_way(self):
+        with pytest.raises(DesignError):
+            MultiplierBank(64, ways=0)
+
+
+class TestBankExecution:
+    def test_products_bit_exact(self, rng):
+        bank = MultiplierBank(64, ways=3)
+        pairs = [
+            (rng.getrandbits(64), rng.getrandbits(64)) for _ in range(7)
+        ]
+        result = bank.run_stream(pairs)
+        assert result.products == [a * b for a, b in pairs]
+
+    def test_round_robin_distribution(self, rng):
+        bank = MultiplierBank(64, ways=3)
+        pairs = [(1, 1)] * 8
+        result = bank.run_stream(pairs)
+        assert result.per_way_jobs == [3, 3, 2]
+
+    def test_empty_stream(self):
+        bank = MultiplierBank(64, ways=2)
+        result = bank.run_stream([])
+        assert result.products == []
+        assert result.makespan_cc == 0
+        assert result.achieved_throughput_per_mcc == 0.0
+
+    def test_achieved_throughput_approaches_model(self, rng):
+        bank = MultiplierBank(64, ways=2)
+        pairs = [
+            (rng.getrandbits(64), rng.getrandbits(64)) for _ in range(12)
+        ]
+        result = bank.run_stream(pairs)
+        model = bank.timing().throughput_per_mcc
+        assert 0.5 * model < result.achieved_throughput_per_mcc <= model
+
+
+class TestScalingTable:
+    def test_rows(self):
+        table = MultiplierBank(64, ways=1).scaling_table(max_ways=4)
+        assert len(table) == 4
+        ways, tput, area = zip(*table)
+        assert ways == (1, 2, 3, 4)
+        assert area == (4404, 8808, 13212, 17616)
+        assert tput[3] == pytest.approx(4 * tput[0])

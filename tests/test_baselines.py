@@ -1,0 +1,178 @@
+"""Tests for the four scaled-up baseline designs ([6]-[9])."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    ALL_BASELINES,
+    PAPER_TABLE1,
+    TABLE1_SIZES,
+    hajali,
+    lakshmi,
+    leitersdorf,
+    radakovits,
+)
+from repro.sim.clock import Clock
+from repro.sim.exceptions import DesignError
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("baseline", ALL_BASELINES, ids=lambda b: b.name)
+    def test_small_products(self, baseline):
+        assert baseline.multiply(0, 0, 8) == 0
+        assert baseline.multiply(255, 255, 8) == 255 * 255
+        assert baseline.multiply(1, 200, 8) == 200
+        assert baseline.multiply(13, 17, 8) == 221
+
+    @pytest.mark.parametrize("baseline", ALL_BASELINES, ids=lambda b: b.name)
+    def test_random_products(self, baseline, rng):
+        for _ in range(10):
+            n = rng.choice([8, 16, 24, 32])
+            a, b = rng.getrandbits(n), rng.getrandbits(n)
+            assert baseline.multiply(a, b, n) == a * b
+
+    @pytest.mark.parametrize("baseline", ALL_BASELINES, ids=lambda b: b.name)
+    def test_operand_validation(self, baseline):
+        with pytest.raises(DesignError):
+            baseline.multiply(256, 1, 8)
+        with pytest.raises(DesignError):
+            baseline.multiply(-1, 1, 8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    def test_all_baselines_agree(self, a, b):
+        results = {bl.name: bl.multiply(a, b, 16) for bl in ALL_BASELINES}
+        assert set(results.values()) == {a * b}
+
+
+class TestRadakovits:
+    """[6]: IMPLY semi-serial schoolbook."""
+
+    @pytest.mark.parametrize(
+        "n, area", [(64, 8258), (128, 32898), (256, 131330), (384, 295298)]
+    )
+    def test_area_cell_exact(self, n, area):
+        assert radakovits.area_cells(n) == area
+
+    def test_throughput_within_3pct(self):
+        for n in TABLE1_SIZES:
+            paper = PAPER_TABLE1["radakovits2020"][n].throughput_per_mcc
+            ours = radakovits.metrics(n).throughput_per_mcc
+            assert abs(ours - paper) / paper < 0.03
+
+    def test_max_writes_not_reported(self):
+        assert radakovits.metrics(64).max_writes_per_cell is None
+
+
+class TestHajali:
+    """[7]: MAGIC schoolbook (IMAGING)."""
+
+    @pytest.mark.parametrize(
+        "n, area", [(64, 1275), (128, 2555), (256, 5115), (384, 7675)]
+    )
+    def test_area_cell_exact(self, n, area):
+        assert hajali.area_cells(n) == area
+
+    def test_latency_is_13_n_squared(self):
+        assert hajali.latency_cc(64) == 13 * 64 * 64
+
+    @pytest.mark.parametrize(
+        "n, writes", [(64, 128), (128, 256), (256, 512), (384, 1024)]
+    )
+    def test_max_writes_cell_exact(self, n, writes):
+        assert hajali.max_writes_per_cell(n) == writes
+
+    def test_clock_charged_per_iteration(self):
+        clock = Clock()
+        hajali.multiply(3, 5, 8, clock=clock)
+        assert clock.cycles == hajali.latency_cc(8)
+
+    def test_throughput_within_7pct(self):
+        """The paper's column rounds aggressively at low throughput
+        (5 vs 4.7 at n = 128)."""
+        for n in TABLE1_SIZES:
+            paper = PAPER_TABLE1["hajali2018"][n].throughput_per_mcc
+            ours = hajali.metrics(n).throughput_per_mcc
+            assert abs(ours - paper) / paper < 0.07
+
+
+class TestLakshmi:
+    """[8]: MAJORITY Wallace tree."""
+
+    @pytest.mark.parametrize(
+        "n, area", [(64, 32960), (128, 131312), (256, 524576), (384, 1179984)]
+    )
+    def test_area_cell_exact(self, n, area):
+        assert lakshmi.area_cells(n) == area
+
+    def test_calibrated_latencies(self):
+        for n, latency in ((64, 404), (128, 866), (256, 1905), (384, 3195)):
+            assert lakshmi.latency_cc(n) == latency
+
+    def test_interpolated_latency_monotone(self):
+        values = [lakshmi.latency_cc(n) for n in (96, 160, 192, 320)]
+        assert values == sorted(values)
+        assert lakshmi.latency_cc(64) < lakshmi.latency_cc(96) < lakshmi.latency_cc(128)
+
+    def test_two_writes_per_cell(self):
+        assert lakshmi.metrics(384).max_writes_per_cell == 2
+
+    def test_wallace_depth(self):
+        assert lakshmi.wallace_depth(3) == 1
+        assert lakshmi.wallace_depth(64) == 10
+
+    def test_area_dwarfs_ours_at_384(self):
+        """Sec. V: 47x larger than our design at n = 384."""
+        from repro.karatsuba import cost
+
+        ratio = lakshmi.area_cells(384) / cost.design_cost(384, 2).area_cells
+        assert 45 < ratio < 49
+
+
+class TestLeitersdorf:
+    """[9]: MultPIM single-row."""
+
+    @pytest.mark.parametrize(
+        "n, area", [(64, 889), (128, 1785), (256, 3577), (384, 5369)]
+    )
+    def test_area_cell_exact(self, n, area):
+        assert leitersdorf.area_cells(n) == area
+
+    def test_single_row_practicality_concern(self):
+        """Sec. II-C: a 384-bit multiplication needs a 5,369-memristor
+        bit line in one row."""
+        assert leitersdorf.row_length(384) == 5369
+
+    @pytest.mark.parametrize(
+        "n, writes", [(64, 256), (128, 512), (256, 1024), (384, 1536)]
+    )
+    def test_max_writes_cell_exact(self, n, writes):
+        assert leitersdorf.max_writes_per_cell(n) == writes
+
+    def test_throughput_within_2pct(self):
+        for n in TABLE1_SIZES:
+            paper = PAPER_TABLE1["leitersdorf2022"][n].throughput_per_mcc
+            ours = leitersdorf.metrics(n).throughput_per_mcc
+            assert abs(ours - paper) / paper < 0.02
+
+
+class TestPaperTableTranscription:
+    def test_every_design_covered(self):
+        assert set(PAPER_TABLE1) == {
+            "radakovits2020", "hajali2018", "lakshmi2022",
+            "leitersdorf2022", "ours",
+        }
+
+    def test_all_sizes_present(self):
+        for rows in PAPER_TABLE1.values():
+            assert set(rows) == set(TABLE1_SIZES)
+
+    def test_atp_consistent_with_tput_and_area(self):
+        """The transcribed ATP ~ area / throughput (the paper rounds)."""
+        for rows in PAPER_TABLE1.values():
+            for row in rows.values():
+                implied = row.area_cells / row.throughput_per_mcc
+                assert abs(implied - row.atp) / row.atp < 0.12

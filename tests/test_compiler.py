@@ -1,0 +1,185 @@
+"""Tests for the NOR-synthesis compiler."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crossbar import CrossbarArray
+from repro.magic import MagicExecutor, check_protocol, eliminate_dead_ops
+from repro.magic.compiler import (
+    CompiledExpression,
+    and_,
+    compile_expression,
+    evaluate,
+    gate,
+    maj,
+    nor,
+    not_,
+    or_,
+    v,
+    xnor,
+    xor,
+)
+from repro.sim.exceptions import ProgramError
+
+NAMES = ("a", "b", "c")
+
+
+def _run(expr, assignment, scratch_count=12, cols=4):
+    """Compile and execute over every column simultaneously."""
+    input_rows = {name: i for i, name in enumerate(NAMES)}
+    out_row = len(NAMES)
+    scratch = list(range(out_row + 1, out_row + 1 + scratch_count))
+    compiled = compile_expression(expr, input_rows, out_row, scratch)
+    array = CrossbarArray(out_row + 1 + scratch_count, cols)
+    executor = MagicExecutor(array)
+    for name, row in input_rows.items():
+        word = np.full(cols, bool(assignment[name]))
+        array.write_row(row, word)
+    executor.execute(compiled.program)
+    word = array.read_row(out_row)
+    assert word.all() or not word.any(), "SIMD columns diverged"
+    return int(word[0]), compiled
+
+
+def _random_expr(rng: random.Random, depth: int):
+    if depth == 0 or rng.random() < 0.25:
+        return v(rng.choice(NAMES))
+    op = rng.choice(["not", "nor", "and", "or", "xor", "xnor", "maj"])
+    arity = {"not": 1, "maj": 3}.get(op, 2)
+    return gate(op, *[_random_expr(rng, depth - 1) for _ in range(arity)])
+
+
+class TestAst:
+    def test_arity_validation(self):
+        with pytest.raises(ProgramError):
+            gate("not", v("a"), v("b"))
+        with pytest.raises(ProgramError):
+            gate("maj", v("a"), v("b"))
+        with pytest.raises(ProgramError):
+            gate("nandish", v("a"), v("b"))
+
+    def test_evaluate_truth_tables(self):
+        env = {"a": 1, "b": 0, "c": 1}
+        assert evaluate(and_(v("a"), v("b")), env) == 0
+        assert evaluate(or_(v("a"), v("b")), env) == 1
+        assert evaluate(xor(v("a"), v("c")), env) == 0
+        assert evaluate(xnor(v("a"), v("c")), env) == 1
+        assert evaluate(maj(v("a"), v("b"), v("c")), env) == 1
+        assert evaluate(nor(v("a"), v("b")), env) == 0
+        assert evaluate(not_(v("b")), env) == 1
+
+    def test_evaluate_rejects_non_binary_inputs(self):
+        with pytest.raises(ProgramError):
+            evaluate(v("a"), {"a": 2})
+
+
+class TestCompilation:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            not_(v("a")),
+            nor(v("a"), v("b")),
+            and_(v("a"), v("b")),
+            or_(v("a"), v("b")),
+            xor(v("a"), v("b")),
+            xnor(v("a"), v("b")),
+            maj(v("a"), v("b"), v("c")),
+            xor(xor(v("a"), v("b")), v("c")),                 # FA sum
+            or_(and_(v("a"), v("b")), and_(v("c"), xor(v("a"), v("b")))),
+        ],
+        ids=lambda e: "expr",
+    )
+    def test_exhaustive_truth_tables(self, expr):
+        for bits in itertools.product((0, 1), repeat=3):
+            env = dict(zip(NAMES, bits))
+            got, _ = _run(expr, env)
+            assert got == evaluate(expr, env), env
+
+    def test_bare_variable_copy(self):
+        for value in (0, 1):
+            got, _ = _run(v("a"), {"a": value, "b": 0, "c": 0})
+            assert got == value
+
+    def test_common_subexpression_shared(self):
+        """a XOR b used twice lowers to one shared subtree."""
+        shared = xor(v("a"), v("b"))
+        expr = and_(shared, not_(shared))
+        _, compiled = _run(expr, {"a": 1, "b": 0, "c": 0})
+        # Without CSE the XOR's 5 nodes would appear twice.
+        assert compiled.gate_count <= 8
+
+    def test_programs_are_protocol_clean(self):
+        rng = random.Random(11)
+        for _ in range(10):
+            expr = _random_expr(rng, 3)
+            input_rows = {name: i for i, name in enumerate(NAMES)}
+            compiled = compile_expression(
+                expr, input_rows, 3, list(range(4, 20))
+            )
+            assert check_protocol(compiled.program).ok
+
+    def test_no_dead_gates_emitted(self):
+        rng = random.Random(13)
+        for _ in range(10):
+            expr = _random_expr(rng, 3)
+            compiled = compile_expression(
+                expr, {name: i for i, name in enumerate(NAMES)}, 3,
+                list(range(4, 20)),
+            )
+            optimised = eliminate_dead_ops(
+                compiled.program, keep_rows={compiled.out_row}
+            )
+            assert len(optimised) == len(compiled.program)
+
+    def test_register_reuse_bounds_scratch(self):
+        """A deep chain reuses rows instead of growing linearly."""
+        expr = v("a")
+        for _ in range(12):
+            expr = xor(expr, v("b"))
+        compiled = compile_expression(
+            expr, {"a": 0, "b": 1}, 2, list(range(3, 15))
+        )
+        assert compiled.scratch_rows_used <= 6
+
+    def test_insufficient_scratch_reports_requirement(self):
+        expr = maj(xor(v("a"), v("b")), xnor(v("b"), v("c")),
+                   or_(v("a"), v("c")))
+        with pytest.raises(ProgramError, match="needs"):
+            compile_expression(
+                expr, {name: i for i, name in enumerate(NAMES)}, 3, [4]
+            )
+
+    def test_overlapping_rows_rejected(self):
+        with pytest.raises(ProgramError):
+            compile_expression(v("a"), {"a": 0}, 0, [1, 2])
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(ProgramError):
+            compile_expression(v("zz"), {"a": 0}, 1, [2, 3])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 4))
+    def test_random_expressions_property(self, seed, depth):
+        rng = random.Random(seed)
+        expr = _random_expr(rng, depth)
+        for bits in itertools.product((0, 1), repeat=3):
+            env = dict(zip(NAMES, bits))
+            got, _ = _run(expr, env, scratch_count=24)
+            assert got == evaluate(expr, env)
+
+
+class TestResourceSummary:
+    def test_summary_fields(self):
+        compiled = compile_expression(
+            xor(v("a"), v("b")), {"a": 0, "b": 1}, 2, list(range(3, 10))
+        )
+        assert isinstance(compiled, CompiledExpression)
+        assert compiled.cycles == 2 * compiled.gate_count
+        assert compiled.out_row == 2

@@ -1,0 +1,115 @@
+"""Tests for the memristor device model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crossbar import (
+    ENDURANCE_HIGH_CYCLES,
+    ENDURANCE_LOW_CYCLES,
+    DeviceModel,
+    Memristor,
+)
+from repro.sim.exceptions import EnduranceExhaustedError
+
+
+class TestDeviceModel:
+    def test_defaults_are_consistent(self):
+        model = DeviceModel()
+        assert model.r_on_ohm < model.r_off_ohm
+        assert abs(model.v_read) < abs(model.v_threshold)
+
+    def test_paper_endurance_bounds(self):
+        assert ENDURANCE_LOW_CYCLES == 10**10
+        assert ENDURANCE_HIGH_CYCLES == 10**11
+
+    def test_resistance_encoding(self):
+        model = DeviceModel()
+        assert model.resistance_for(1) == model.r_on_ohm
+        assert model.resistance_for(0) == model.r_off_ohm
+
+    def test_can_switch_threshold(self):
+        model = DeviceModel(v_threshold=1.0, v_read=0.2)
+        assert model.can_switch(1.5)
+        assert model.can_switch(-1.5)
+        assert not model.can_switch(0.5)
+
+    def test_invalid_resistances_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceModel(r_on_ohm=1e6, r_off_ohm=1e3)
+
+    def test_read_voltage_must_be_below_threshold(self):
+        with pytest.raises(ValueError):
+            DeviceModel(v_read=2.0, v_threshold=1.0)
+
+    def test_endurance_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DeviceModel(endurance_cycles=0)
+
+    def test_write_energy_per_polarity(self):
+        model = DeviceModel(e_set_fj=100.0, e_reset_fj=50.0)
+        assert model.write_energy_fj(1) == 100.0
+        assert model.write_energy_fj(0) == 50.0
+
+
+class TestMemristor:
+    def test_initial_state(self):
+        cell = Memristor(DeviceModel(), initial_bit=1)
+        assert cell.bit == 1
+        assert cell.writes == 0
+
+    def test_write_and_read(self):
+        cell = Memristor(DeviceModel())
+        cell.write(1)
+        assert cell.read() == 1
+        cell.write(0)
+        assert cell.read() == 0
+        assert cell.writes == 2
+
+    def test_same_value_write_still_counts(self):
+        cell = Memristor(DeviceModel())
+        cell.write(1)
+        cell.write(1)
+        assert cell.writes == 2
+
+    def test_resistance_tracks_bit(self):
+        model = DeviceModel()
+        cell = Memristor(model)
+        cell.write(1)
+        assert cell.resistance_ohm == model.r_on_ohm
+        cell.write(0)
+        assert cell.resistance_ohm == model.r_off_ohm
+
+    def test_endurance_exhaustion(self):
+        cell = Memristor(DeviceModel(endurance_cycles=3))
+        for _ in range(3):
+            cell.write(1)
+        with pytest.raises(EnduranceExhaustedError):
+            cell.write(0)
+        assert cell.worn_out
+
+    def test_endurance_can_be_waived(self):
+        cell = Memristor(DeviceModel(endurance_cycles=1))
+        cell.write(1)
+        cell.write(0, enforce_endurance=False)
+        assert cell.read() == 0
+
+    def test_remaining_lifetime(self):
+        cell = Memristor(DeviceModel(endurance_cycles=10))
+        for _ in range(4):
+            cell.write(1)
+        assert cell.remaining_lifetime() == 6
+
+    def test_apply_voltage_switching(self):
+        cell = Memristor(DeviceModel(v_threshold=1.0, v_read=0.2))
+        cell.apply_voltage(2.0)
+        assert cell.read() == 1
+        cell.apply_voltage(-2.0)
+        assert cell.read() == 0
+
+    def test_apply_read_voltage_preserves_state(self):
+        cell = Memristor(DeviceModel(v_threshold=1.0, v_read=0.2))
+        cell.write(1)
+        cell.apply_voltage(0.2)
+        assert cell.read() == 1
+        assert cell.writes == 1

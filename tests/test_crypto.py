@@ -1,0 +1,229 @@
+"""Tests for the cryptographic application layer (Sec. IV-F)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    ALL_MODULI,
+    GOLDILOCKS,
+    BarrettReducer,
+    ModularMultiplier,
+    MontgomeryMultiplier,
+    SparseModMultiplier,
+    SparseReducer,
+    choose_strategy,
+    modulus_for_width,
+    signed_power_decomposition,
+)
+from repro.crypto.modmul import (
+    STRATEGY_BARRETT,
+    STRATEGY_MONTGOMERY,
+    STRATEGY_SPARSE,
+)
+from repro.karatsuba.design import KaratsubaCimMultiplier
+from repro.sim.exceptions import DesignError
+
+#: A small odd modulus keeps the NOR-level simulation fast.
+SMALL_PRIME = 65521          # largest 16-bit prime
+SMALL_EVEN = 65500
+
+
+class TestParams:
+    def test_goldilocks_value(self):
+        assert GOLDILOCKS.modulus == 2**64 - 2**32 + 1
+        assert GOLDILOCKS.is_sparse
+
+    def test_all_moduli_fit_their_widths(self):
+        for param in ALL_MODULI.values():
+            assert param.modulus.bit_length() <= param.n_bits
+
+    def test_modulus_for_width(self):
+        assert modulus_for_width(64).n_bits == 64
+        with pytest.raises(KeyError):
+            modulus_for_width(100)
+
+    def test_bls12_381_is_384_bit_class(self):
+        assert ALL_MODULI["bls12-381-p"].modulus.bit_length() == 381
+
+
+class TestMontgomery:
+    def test_modmul_small(self, rng):
+        mont = MontgomeryMultiplier(SMALL_PRIME)
+        for _ in range(5):
+            x, y = rng.randrange(SMALL_PRIME), rng.randrange(SMALL_PRIME)
+            assert mont.modmul(x, y) == (x * y) % SMALL_PRIME
+
+    def test_domain_roundtrip(self, rng):
+        mont = MontgomeryMultiplier(SMALL_PRIME)
+        x = rng.randrange(SMALL_PRIME)
+        assert mont.from_montgomery(mont.to_montgomery(x)) == x
+
+    def test_mont_mul_stays_in_domain(self, rng):
+        mont = MontgomeryMultiplier(SMALL_PRIME)
+        x, y = rng.randrange(SMALL_PRIME), rng.randrange(SMALL_PRIME)
+        xm, ym = mont.to_montgomery(x), mont.to_montgomery(y)
+        zm = mont.mont_mul(xm, ym)
+        assert mont.from_montgomery(zm) == (x * y) % SMALL_PRIME
+
+    def test_modexp(self):
+        mont = MontgomeryMultiplier(SMALL_PRIME)
+        assert mont.modexp(3, 20) == pow(3, 20, SMALL_PRIME)
+        assert mont.modexp(5, 0) == 1
+
+    def test_fermat_little_theorem(self):
+        mont = MontgomeryMultiplier(SMALL_PRIME)
+        assert mont.modexp(7, SMALL_PRIME - 1) == 1
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(DesignError):
+            MontgomeryMultiplier(SMALL_EVEN)
+
+    def test_redc_range_checked(self):
+        mont = MontgomeryMultiplier(SMALL_PRIME)
+        with pytest.raises(DesignError):
+            mont.redc(mont.modulus * mont.r)
+
+    def test_operand_range_checked(self):
+        mont = MontgomeryMultiplier(SMALL_PRIME)
+        with pytest.raises(DesignError):
+            mont.modmul(SMALL_PRIME, 1)
+
+    def test_multiplication_counting(self, rng):
+        mont = MontgomeryMultiplier(SMALL_PRIME)
+        before = mont.stats.multiplications
+        mont.modmul(123, 456)
+        # One product, then two REDCs at two multiplier passes each
+        # (m-factor and m*n), plus the domain-correction product: 6.
+        assert mont.stats.multiplications - before == 6
+
+    def test_shared_multiplier_instance(self, rng):
+        shared = KaratsubaCimMultiplier(16)
+        mont = MontgomeryMultiplier(SMALL_PRIME, multiplier=shared)
+        x, y = 1234, 4321
+        assert mont.modmul(x, y) == (x * y) % SMALL_PRIME
+
+    def test_undersized_multiplier_rejected(self):
+        small = KaratsubaCimMultiplier(16)
+        with pytest.raises(DesignError):
+            MontgomeryMultiplier((1 << 31) - 1, multiplier=small)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, SMALL_PRIME - 1), st.integers(0, SMALL_PRIME - 1))
+    def test_modmul_property(self, x, y):
+        mont = MontgomeryMultiplier(SMALL_PRIME)
+        assert mont.modmul(x, y) == (x * y) % SMALL_PRIME
+
+
+class TestBarrett:
+    def test_reduce_small(self, rng):
+        red = BarrettReducer(SMALL_PRIME)
+        for _ in range(5):
+            x = rng.randrange(SMALL_PRIME * SMALL_PRIME)
+            assert red.reduce(x) == x % SMALL_PRIME
+
+    def test_modmul(self, rng):
+        red = BarrettReducer(SMALL_PRIME)
+        x, y = rng.randrange(SMALL_PRIME), rng.randrange(SMALL_PRIME)
+        assert red.modmul(x, y) == (x * y) % SMALL_PRIME
+
+    def test_even_modulus_supported(self, rng):
+        red = BarrettReducer(SMALL_EVEN)
+        x, y = rng.randrange(SMALL_EVEN), rng.randrange(SMALL_EVEN)
+        assert red.modmul(x, y) == (x * y) % SMALL_EVEN
+
+    def test_input_range_checked(self):
+        red = BarrettReducer(SMALL_PRIME)
+        with pytest.raises(DesignError):
+            red.reduce(SMALL_PRIME * SMALL_PRIME)
+
+    def test_correction_bounded(self, rng):
+        """Barrett's quotient estimate is off by at most 2."""
+        red = BarrettReducer(SMALL_PRIME)
+        for _ in range(10):
+            red.reduce(rng.randrange(SMALL_PRIME * SMALL_PRIME))
+        assert red.stats.correction_subtractions <= 2 * red.stats.reductions
+
+
+class TestSparse:
+    def test_goldilocks_decomposition(self):
+        """e = 2^32 - 1 decomposes into two signed powers."""
+        red = SparseReducer(GOLDILOCKS.modulus)
+        assert red.adds_per_fold == 2
+
+    def test_decomposition_values(self):
+        terms = signed_power_decomposition(0xFFFF_FFFF)
+        value = sum(sign << shift for sign, shift in terms)
+        assert value == 0xFFFF_FFFF
+
+    def test_dense_value_rejected(self):
+        with pytest.raises(DesignError):
+            signed_power_decomposition(0b0101010101010101010101, max_terms=4)
+
+    def test_reduce_matches_mod(self, rng):
+        red = SparseReducer(GOLDILOCKS.modulus)
+        for _ in range(20):
+            x = rng.getrandbits(128)
+            assert red.reduce(x) == x % GOLDILOCKS.modulus
+
+    def test_reduce_small_inputs(self):
+        red = SparseReducer(GOLDILOCKS.modulus)
+        assert red.reduce(0) == 0
+        assert red.reduce(GOLDILOCKS.modulus) == 0
+        assert red.reduce(GOLDILOCKS.modulus - 1) == GOLDILOCKS.modulus - 1
+
+    def test_secp256k1_reduction(self, rng):
+        from repro.crypto import SECP256K1_P
+
+        red = SparseReducer(SECP256K1_P.modulus, max_terms=8)
+        for _ in range(10):
+            x = rng.getrandbits(512)
+            assert red.reduce(x) == x % SECP256K1_P.modulus
+
+    def test_modmul_small_width(self, rng):
+        """Sparse modmul through the CIM multiplier on a small prime
+        with sparse excess (2^16 - 17)."""
+        p = (1 << 16) - 17
+        mm = SparseModMultiplier(p)
+        for _ in range(3):
+            x, y = rng.randrange(p), rng.randrange(p)
+            assert mm.modmul(x, y) == (x * y) % p
+
+
+class TestModularMultiplierFacade:
+    def test_strategy_selection(self):
+        from repro.crypto import BN254_P
+
+        assert choose_strategy(GOLDILOCKS.modulus) == STRATEGY_SPARSE
+        # A 16-bit prime with sparse excess folds cheaply too.
+        assert choose_strategy(SMALL_PRIME) == STRATEGY_SPARSE
+        # BN254's excess is dense: odd -> Montgomery, even -> Barrett.
+        assert choose_strategy(BN254_P.modulus) == STRATEGY_MONTGOMERY
+        assert choose_strategy(BN254_P.modulus - 1) == STRATEGY_BARRETT
+
+    def test_modmul_via_each_strategy(self, rng):
+        p = (1 << 16) - 17   # sparse-capable, odd
+        for strategy in (STRATEGY_SPARSE, STRATEGY_MONTGOMERY, STRATEGY_BARRETT):
+            mm = ModularMultiplier(p, strategy=strategy)
+            x, y = rng.randrange(p), rng.randrange(p)
+            assert mm.modmul(x, y) == (x * y) % p, strategy
+
+    def test_modexp(self):
+        mm = ModularMultiplier(SMALL_PRIME)
+        assert mm.modexp(2, 30) == pow(2, 30, SMALL_PRIME)
+
+    def test_negative_exponent_rejected(self):
+        mm = ModularMultiplier(SMALL_PRIME)
+        with pytest.raises(DesignError):
+            mm.modexp(2, -1)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(DesignError):
+            ModularMultiplier(SMALL_PRIME, strategy="divide")
+
+    def test_engine_exposes_stats(self):
+        mm = ModularMultiplier(SMALL_PRIME, strategy=STRATEGY_MONTGOMERY)
+        mm.modmul(5, 7)
+        assert mm.engine.stats.multiplications > 0

@@ -1,0 +1,143 @@
+"""Tests for the CIM-backed number-theoretic transform."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import GOLDILOCKS
+from repro.crypto.ntt import (
+    CimNtt,
+    NttParams,
+    is_power_of_two,
+    reference_negacyclic_convolve,
+)
+from repro.sim.exceptions import DesignError
+
+Q = GOLDILOCKS.modulus
+
+
+class TestNttParams:
+    def test_goldilocks_parameterisation(self):
+        params = NttParams.goldilocks(8)
+        assert params.modulus == Q
+        assert pow(params.psi, 16, Q) == 1
+        assert pow(params.psi, 8, Q) != 1
+
+    def test_omega_is_psi_squared(self):
+        params = NttParams.goldilocks(8)
+        assert params.omega == params.psi * params.psi % Q
+        assert pow(params.omega, 8, Q) == 1
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(DesignError):
+            NttParams(modulus=Q, size=6, psi=3)
+
+    def test_bad_psi_rejected(self):
+        with pytest.raises(DesignError):
+            NttParams(modulus=Q, size=8, psi=1)   # order 1, not primitive
+
+    def test_unsupported_modulus_rejected(self):
+        with pytest.raises(DesignError):
+            NttParams(modulus=13, size=16, psi=2)  # 32 does not divide 12
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1) and is_power_of_two(1024)
+        assert not is_power_of_two(0) and not is_power_of_two(12)
+
+
+class TestForwardInverse:
+    @pytest.mark.parametrize("size", [2, 4, 8, 32])
+    def test_roundtrip(self, size, rng):
+        ntt = CimNtt(NttParams.goldilocks(size), simulate=False)
+        poly = [rng.randrange(Q) for _ in range(size)]
+        assert ntt.inverse(ntt.forward(poly)) == poly
+
+    def test_length_validation(self):
+        ntt = CimNtt(NttParams.goldilocks(8), simulate=False)
+        with pytest.raises(DesignError):
+            ntt.forward([1, 2, 3])
+        with pytest.raises(DesignError):
+            ntt.inverse([1] * 16)
+
+    def test_linearity(self, rng):
+        ntt = CimNtt(NttParams.goldilocks(8), simulate=False)
+        a = [rng.randrange(Q) for _ in range(8)]
+        b = [rng.randrange(Q) for _ in range(8)]
+        fa, fb = ntt.forward(a), ntt.forward(b)
+        fsum = ntt.forward([(x + y) % Q for x, y in zip(a, b)])
+        assert fsum == [(x + y) % Q for x, y in zip(fa, fb)]
+
+    def test_constant_polynomial(self):
+        """NTT of a constant is the constant at every point."""
+        ntt = CimNtt(NttParams.goldilocks(4), simulate=False)
+        spectrum = ntt.forward([5, 0, 0, 0])
+        assert all(point == 5 for point in spectrum)
+
+
+class TestNegacyclicConvolution:
+    @pytest.mark.parametrize("size", [2, 4, 8])
+    def test_matches_schoolbook(self, size, rng):
+        ntt = CimNtt(NttParams.goldilocks(size), simulate=False)
+        a = [rng.randrange(Q) for _ in range(size)]
+        b = [rng.randrange(Q) for _ in range(size)]
+        assert ntt.negacyclic_convolve(a, b) == reference_negacyclic_convolve(
+            a, b, Q
+        )
+
+    def test_x_times_x_wraps_negatively(self):
+        """In Z_q[X]/(X^2+1): X * X = -1."""
+        ntt = CimNtt(NttParams.goldilocks(2), simulate=False)
+        result = ntt.negacyclic_convolve([0, 1], [0, 1])
+        assert result == [Q - 1, 0]
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(0, Q - 1), min_size=4, max_size=4),
+           st.lists(st.integers(0, Q - 1), min_size=4, max_size=4))
+    def test_convolution_property(self, a, b):
+        ntt = CimNtt(NttParams.goldilocks(4), simulate=False)
+        assert ntt.negacyclic_convolve(a, b) == reference_negacyclic_convolve(
+            a, b, Q
+        )
+
+
+class TestSimulatedPath:
+    def test_simulated_convolution(self):
+        """Every butterfly product routed through the CIM datapath."""
+        rng = random.Random(17)
+        ntt = CimNtt(NttParams.goldilocks(4), simulate=True)
+        a = [rng.randrange(Q) for _ in range(4)]
+        b = [rng.randrange(Q) for _ in range(4)]
+        assert ntt.negacyclic_convolve(a, b) == reference_negacyclic_convolve(
+            a, b, Q
+        )
+        assert ntt.stats.butterflies > 0
+        assert ntt.modmul is not None
+
+    def test_stats_accumulate(self, rng):
+        ntt = CimNtt(NttParams.goldilocks(8), simulate=False)
+        ntt.forward([0] * 8)
+        # N/2 * log2(N) butterflies per transform.
+        assert ntt.stats.butterflies == 4 * 3
+        assert ntt.stats.transforms == 1
+
+
+class TestCycleModel:
+    def test_model_structure(self):
+        ntt = CimNtt(NttParams.goldilocks(1024), simulate=False)
+        model = ntt.cycle_model(64)
+        # N/2 log N butterflies + N psi-scalings.
+        assert model["butterfly_mults_per_ntt"] == 512 * 10 + 1024
+        assert model["ntt_cc"] == (
+            model["butterfly_mults_per_ntt"] * model["modmul_cc"]
+        )
+        assert model["ring_multiplication_cc"] > 3 * model["ntt_cc"]
+
+    def test_model_grows_n_log_n(self):
+        small = CimNtt(NttParams.goldilocks(256), simulate=False).cycle_model()
+        large = CimNtt(NttParams.goldilocks(1024), simulate=False).cycle_model()
+        ratio = large["ntt_cc"] / small["ntt_cc"]
+        assert 4 < ratio < 6      # ~ (4 * 11/9) for N log N

@@ -1,0 +1,110 @@
+"""Tests for the RNS layer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rns import (
+    CimRnsMultiplier,
+    RnsBase,
+    _is_prime,
+    default_fhe_base,
+)
+from repro.sim.exceptions import DesignError
+
+
+class TestPrimality:
+    def test_known_primes(self):
+        for p in (2, 3, 5, 65521, (1 << 61) - 1):
+            assert _is_prime(p)
+
+    def test_known_composites(self):
+        for c in (0, 1, 4, 65520, (1 << 61) - 2, 3215031751):
+            assert not _is_prime(c)
+
+
+class TestRnsBase:
+    def test_default_base_properties(self):
+        base = RnsBase.fhe_default(4)
+        assert base.limbs == 4
+        assert all(m.bit_length() == 62 for m in base.moduli)
+        assert all(_is_prime(m) for m in base.moduli)
+        # NTT-friendly: 2^20 divides m - 1.
+        assert all((m - 1) % (1 << 20) == 0 for m in base.moduli)
+
+    def test_coprimality_enforced(self):
+        with pytest.raises(DesignError):
+            RnsBase.of([6, 10])
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(DesignError):
+            RnsBase.of([])
+
+    def test_roundtrip_small(self):
+        base = RnsBase.of([3, 5, 7])
+        for value in range(105):
+            assert base.from_rns(base.to_rns(value)) == value
+
+    def test_range_checked(self):
+        base = RnsBase.of([3, 5])
+        with pytest.raises(DesignError):
+            base.to_rns(15)
+        with pytest.raises(DesignError):
+            base.to_rns(-1)
+
+    def test_residue_validation(self):
+        base = RnsBase.of([3, 5])
+        with pytest.raises(DesignError):
+            base.from_rns([1])
+        with pytest.raises(DesignError):
+            base.from_rns([3, 0])
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=0))
+    def test_crt_roundtrip_property(self, seed):
+        base = RnsBase.of([65521, 65519, 65497])
+        value = seed % base.dynamic_range
+        assert base.from_rns(base.to_rns(value)) == value
+
+    def test_default_base_is_deterministic(self):
+        assert default_fhe_base(2) == default_fhe_base(2)
+
+
+class TestCimRnsMultiplier:
+    def test_wide_multiplication_fast_path(self, rng):
+        base = RnsBase.fhe_default(3)
+        rm = CimRnsMultiplier(base, simulate=False)
+        big_m = base.dynamic_range
+        for _ in range(10):
+            x, y = rng.randrange(big_m), rng.randrange(big_m)
+            assert rm.multiply(x, y) == (x * y) % big_m
+
+    def test_simulated_limbs(self):
+        """Small moduli keep the NOR-level simulation affordable."""
+        base = RnsBase.of([65521, 65519])
+        rm = CimRnsMultiplier(base, simulate=True)
+        x, y = 123456789 % base.dynamic_range, 98765
+        assert rm.multiply(x, y) == (x * y) % base.dynamic_range
+        assert rm.limb_multiplications == 2
+
+    def test_rns_addition(self):
+        base = RnsBase.of([7, 11])
+        rm = CimRnsMultiplier(base, simulate=False)
+        rx, ry = base.to_rns(30), base.to_rns(40)
+        assert base.from_rns(rm.add_rns(rx, ry)) == 70
+
+    def test_residue_length_checked(self):
+        base = RnsBase.of([7, 11])
+        rm = CimRnsMultiplier(base, simulate=False)
+        with pytest.raises(DesignError):
+            rm.multiply_rns([1], [2, 3])
+
+    def test_cycle_model(self):
+        base = RnsBase.fhe_default(4)
+        rm = CimRnsMultiplier(base, simulate=False)
+        model = rm.cycle_model(64)
+        assert model["speedup"] == 4.0
+        assert model["serial_cc"] == 4 * model["parallel_cc"]
+        assert model["area_cells_parallel"] == 4 * 4404

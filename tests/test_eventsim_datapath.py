@@ -1,0 +1,128 @@
+"""Tests for the event-driven pipeline validator and the in-memory
+modular-multiplication datapath."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.datapath import InMemoryModMul
+from repro.karatsuba.eventsim import (
+    simulate,
+    simulate_uniform,
+    validates_closed_form,
+)
+from repro.karatsuba.pipeline import KaratsubaPipeline
+from repro.sim.exceptions import DesignError
+
+
+class TestEventSimulation:
+    def test_single_job_latency(self):
+        result = simulate_uniform((10, 20, 30), 1)
+        assert result.makespan_cc == 60
+        assert result.timelines[0].latency == 60
+
+    def test_empty_stream(self):
+        assert simulate_uniform((1, 1, 1), 0).makespan_cc == 0
+
+    def test_steady_state_interval_is_bottleneck(self):
+        result = simulate_uniform((10, 50, 20), 6)
+        assert set(result.initiation_intervals) == {50}
+
+    def test_closed_form_for_paper_design_points(self):
+        for n in (64, 128, 256, 384):
+            stages = KaratsubaPipeline(n).timing().stage_latencies
+            assert validates_closed_form(stages, 7), n
+
+    @settings(max_examples=50)
+    @given(
+        st.tuples(
+            st.integers(1, 1000), st.integers(1, 1000), st.integers(1, 1000)
+        ),
+        st.integers(0, 12),
+    )
+    def test_closed_form_property(self, stages, jobs):
+        """For identical jobs the event simulation always equals the
+        closed form — the pipeline model is exact, not approximate."""
+        assert validates_closed_form(stages, jobs)
+
+    def test_in_order_stage_occupancy(self):
+        result = simulate([(5, 5, 5), (5, 5, 5), (5, 5, 5)])
+        for earlier, later in zip(result.timelines, result.timelines[1:]):
+            for stage in range(3):
+                assert later.stage_entry[stage] >= earlier.stage_exit[stage]
+
+    def test_heterogeneous_jobs(self):
+        """A slow first job delays followers; the closed form would
+        not capture this mixed-latency case (the event sim does)."""
+        result = simulate([(100, 1, 1), (1, 1, 1)])
+        assert result.timelines[1].stage_entry[0] >= 100 or (
+            result.timelines[1].stage_entry[1] >= 101
+        )
+        assert result.makespan_cc == 103
+
+    def test_invalid_latencies_rejected(self):
+        with pytest.raises(DesignError):
+            simulate([(0, 1, 1)])
+        with pytest.raises(DesignError):
+            simulate([(1, 1)])
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(DesignError):
+            simulate_uniform((1, 1, 1), -1)
+
+
+class TestInMemoryModMul:
+    def test_simulated_modmul(self, rng):
+        m = 65521
+        datapath = InMemoryModMul(m, simulate=True)
+        for _ in range(4):
+            x, y = rng.randrange(m), rng.randrange(m)
+            assert datapath.modmul(x, y) == (x * y) % m
+
+    def test_fast_path_wide_modulus(self, rng):
+        m = (1 << 127) - 1
+        datapath = InMemoryModMul(m, simulate=False)
+        for _ in range(10):
+            x, y = rng.randrange(m), rng.randrange(m)
+            assert datapath.modmul(x, y) == (x * y) % m
+
+    def test_edge_residues(self):
+        m = 251
+        datapath = InMemoryModMul(m, simulate=True)
+        assert datapath.modmul(0, 123) == 0
+        assert datapath.modmul(m - 1, m - 1) == ((m - 1) ** 2) % m
+        assert datapath.modmul(1, m - 1) == m - 1
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(DesignError):
+            InMemoryModMul(100)
+
+    def test_operand_range_checked(self):
+        datapath = InMemoryModMul(251, simulate=False)
+        with pytest.raises(DesignError):
+            datapath.modmul(251, 1)
+
+    def test_cycle_model(self):
+        datapath = InMemoryModMul(65521, simulate=False)
+        model = datapath.cycle_model()
+        assert model.multiplier_passes == 6
+        assert model.total_cc == (
+            6 * model.multiplier_cc_pipelined + model.condsub_cc
+        )
+
+    def test_area_includes_both_units(self):
+        datapath = InMemoryModMul(65521, simulate=False)
+        from repro.karatsuba import cost
+
+        assert datapath.area_cells > cost.design_cost(
+            datapath.mont.multiplier.n_bits, 2
+        ).area_cells
+
+    def test_condsub_actually_used(self, rng):
+        m = 65521
+        datapath = InMemoryModMul(m, simulate=False)
+        before = datapath.condsub.clock.cycles
+        datapath.modmul(rng.randrange(m), rng.randrange(m))
+        assert datapath.condsub.clock.cycles > before

@@ -1,0 +1,174 @@
+"""Tests for the extension modules: design alternatives, conditional
+subtraction, and fault/yield analysis."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith.condsub import ConditionalSubtractor, latency_cc
+from repro.crossbar.yieldsim import (
+    adder_fault_trial,
+    cell_criticality,
+    yield_curve,
+)
+from repro.karatsuba import cost
+from repro.karatsuba.alternatives import (
+    comparison,
+    recursive_multi_adder,
+    recursive_shared_adder,
+    shared_adder_utilization,
+    toom3_cim,
+)
+from repro.sim.exceptions import DesignError
+
+
+class TestDesignAlternatives:
+    """Sec. III's rejected alternatives, priced (DESIGN.md ablations)."""
+
+    @pytest.mark.parametrize("n", [64, 256, 384])
+    def test_chosen_design_wins_atp(self, n):
+        rows = comparison(n)
+        assert rows[0].name == "unrolled-L2 (chosen)"
+
+    def test_multi_adder_costs_more_area(self):
+        """Option (i): extra addition arrays inflate area, same speed."""
+        alt = recursive_multi_adder(256)
+        chosen = cost.design_cost(256, 2)
+        assert alt.area_cells > chosen.area_cells
+        assert alt.bottleneck_cc == chosen.bottleneck_cc
+
+    def test_shared_adder_underutilised(self):
+        """Option (ii): ~60% average column utilisation (Sec. III-C.1
+        'underutilization of the array')."""
+        for n in (64, 256, 384):
+            util = shared_adder_utilization(n)
+            assert 0.55 < util < 0.7
+
+    def test_shared_adder_atp_penalty(self):
+        alt = recursive_shared_adder(256)
+        assert 1.0 < alt.atp_penalty_vs_chosen() < 1.2
+
+    def test_toom3_atp_much_worse(self):
+        """Sec. III-B: the 25 interpolation constant mults sink Toom-3
+        (4-7x worse ATP across the paper's sizes)."""
+        for n in (64, 256, 384):
+            penalty = toom3_cim(n).atp_penalty_vs_chosen()
+            assert penalty > 4.0, n
+
+    def test_toom3_bottleneck_is_interpolation(self):
+        alt = toom3_cim(256)
+        chosen = cost.design_cost(256, 2)
+        assert alt.bottleneck_cc > 3 * chosen.bottleneck_cc
+
+    def test_width_validation(self):
+        with pytest.raises(DesignError):
+            recursive_multi_adder(10)
+
+    def test_throughput_and_atp_consistent(self):
+        alt = toom3_cim(64)
+        assert alt.atp == pytest.approx(
+            alt.area_cells / alt.throughput_per_mcc
+        )
+
+
+class TestConditionalSubtractor:
+    def test_identity_below_modulus(self):
+        cs = ConditionalSubtractor(1000)
+        for u in (0, 1, 999):
+            result = cs.reduce(u)
+            assert result.value == u
+            assert not result.subtracted
+
+    def test_subtracts_above_modulus(self):
+        cs = ConditionalSubtractor(1000)
+        for u in (1000, 1001, 1999):
+            result = cs.reduce(u)
+            assert result.value == u - 1000
+            assert result.subtracted
+
+    def test_range_validation(self):
+        cs = ConditionalSubtractor(100)
+        with pytest.raises(DesignError):
+            cs.reduce(200)
+        with pytest.raises(DesignError):
+            cs.reduce(-1)
+
+    def test_modulus_validation(self):
+        with pytest.raises(DesignError):
+            ConditionalSubtractor(1)
+
+    def test_cycles_match_formula(self):
+        """reduce() = latency formula + 1 operand-write cycle."""
+        for m in (17, 65521):
+            cs = ConditionalSubtractor(m)
+            result = cs.reduce(m + 1)
+            assert result.cycles == latency_cc(m.bit_length()) + 1
+
+    def test_repeated_use(self, rng):
+        m = 65521
+        cs = ConditionalSubtractor(m)
+        for _ in range(15):
+            u = rng.randrange(2 * m)
+            assert cs.reduce(u).value == u % m
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2 * 251 - 1))
+    def test_reduce_property(self, u):
+        cs = ConditionalSubtractor(251)
+        assert cs.reduce(u).value == u % 251
+
+    def test_select_program_is_protocol_clean(self):
+        """The select sequence obeys the MAGIC discipline given the
+        state the adder pass leaves behind."""
+        from repro.magic.optimize import check_protocol
+
+        cs = ConditionalSubtractor(251)
+        armed = set(cs.adder.layout.scratch_rows)
+        report = check_protocol(cs.select_program(), initially_ones=armed)
+        assert report.ok, report.violations
+
+    def test_area_constant_rows(self):
+        small = ConditionalSubtractor(251)
+        large = ConditionalSubtractor((1 << 60) - 93)
+        assert small.array.rows == large.array.rows == 20
+
+
+class TestYieldAnalysis:
+    def test_zero_faults_always_survive(self):
+        rng = random.Random(1)
+        for _ in range(3):
+            assert adder_fault_trial(8, 0, rng).correct
+
+    def test_negative_faults_rejected(self):
+        with pytest.raises(DesignError):
+            adder_fault_trial(8, -1, random.Random(0))
+
+    def test_yield_curve_monotone_trend(self):
+        curve = yield_curve(width=8, densities=(0.0, 0.02, 0.2), trials=6)
+        survival = [s for _, s in curve]
+        assert survival[0] == 1.0
+        assert survival[-1] <= survival[0]
+
+    def test_faults_usually_fatal(self):
+        """A bare (unprotected) adder has almost no fault tolerance —
+        motivating spare rows/ECC in deployment."""
+        rng = random.Random(7)
+        outcomes = [adder_fault_trial(8, 3, rng).correct for _ in range(10)]
+        assert sum(outcomes) <= 5
+
+    def test_criticality_scan(self):
+        report = cell_criticality(width=4)
+        assert report.total_cells == 15 * 5
+        assert report.critical_cells + report.tolerated_cells == 75
+        # The vast majority of cells matter for correctness.
+        assert report.critical_fraction > 0.6
+
+    def test_criticality_with_stuck_at_one(self):
+        from repro.crossbar import FAULT_STUCK_AT_1
+
+        report = cell_criticality(width=4, kind=FAULT_STUCK_AT_1)
+        assert report.critical_cells > 0

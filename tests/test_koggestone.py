@@ -1,0 +1,203 @@
+"""Tests for the in-memory Kogge-Stone adder (paper Sec. IV-B)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith.bitops import ceil_log2
+from repro.arith.koggestone import (
+    SCRATCH_ROWS,
+    KoggeStoneAdder,
+    KoggeStoneLayout,
+    latency_cc,
+    standalone_adder,
+    writes_per_cell,
+)
+from repro.sim.exceptions import DesignError
+
+
+class TestLatencyFormula:
+    @pytest.mark.parametrize(
+        "width, expected",
+        [
+            (4, 8 + 11 * 2 + 9),
+            (16, 8 + 11 * 4 + 9),
+            (17, 8 + 11 * 5 + 9),     # precompute adder at n = 64
+            (65, 8 + 11 * 7 + 9),     # precompute adder at n = 256
+            (95, 8 + 11 * 7 + 9),     # postcompute adder at n = 64
+            (575, 8 + 11 * 10 + 9),   # postcompute adder at n = 384
+        ],
+    )
+    def test_closed_form(self, width, expected):
+        assert latency_cc(width) == expected
+
+    def test_program_matches_formula(self):
+        for width in (2, 3, 4, 8, 17, 33, 65, 97):
+            adder, _ = standalone_adder(width)
+            assert adder.program("add").cycle_count == latency_cc(width)
+            assert adder.program("sub").cycle_count == latency_cc(width)
+
+    def test_levels(self):
+        adder, _ = standalone_adder(17)
+        assert adder.levels == ceil_log2(17) == 5
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(DesignError):
+            latency_cc(0)
+
+    def test_writes_per_cell_bound(self):
+        assert writes_per_cell(64) == 2 * 6
+        assert writes_per_cell(96) == 2 * 7
+
+
+class TestLayoutValidation:
+    def test_needs_twelve_scratch_rows(self):
+        with pytest.raises(DesignError):
+            KoggeStoneLayout(
+                width=8, col0=0, x_row=0, y_row=1, out_row=2,
+                scratch_rows=tuple(range(3, 10)),
+            )
+
+    def test_rows_must_be_distinct(self):
+        with pytest.raises(DesignError):
+            KoggeStoneLayout(
+                width=8, col0=0, x_row=0, y_row=0, out_row=2,
+                scratch_rows=tuple(range(3, 15)),
+            )
+
+    def test_window_covers_carry_column(self):
+        layout = KoggeStoneLayout(
+            width=8, col0=2, x_row=0, y_row=1, out_row=2,
+            scratch_rows=tuple(range(3, 15)),
+        )
+        assert layout.window == (2, 11)
+        assert layout.columns == 9
+
+    def test_footprint_matches_paper(self):
+        """n+1 columns, 12 scratch rows, independent of n (Sec. IV-B)."""
+        adder, executor = standalone_adder(64)
+        assert executor.array.cols == 65
+        assert executor.array.rows == 3 + SCRATCH_ROWS
+
+
+class TestAddition:
+    def test_simple_cases(self):
+        adder, ex = standalone_adder(8)
+        assert adder.run(ex, 0, 0, "add", first_use=True) == 0
+        assert adder.run(ex, 1, 1) == 2
+        assert adder.run(ex, 255, 255) == 510  # carry out captured
+        assert adder.run(ex, 170, 85) == 255
+
+    def test_carry_chain_full_length(self):
+        adder, ex = standalone_adder(16)
+        assert adder.run(ex, 0xFFFF, 1, "add", first_use=True) == 0x10000
+
+    def test_repeated_use_stays_correct(self, rng):
+        adder, ex = standalone_adder(12)
+        first = True
+        for _ in range(30):
+            x, y = rng.getrandbits(12), rng.getrandbits(12)
+            assert adder.run(ex, x, y, "add", first_use=first) == x + y
+            first = False
+
+    def test_operand_width_enforced(self):
+        adder, ex = standalone_adder(8)
+        with pytest.raises(DesignError):
+            adder.run(ex, 256, 0, first_use=True)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    def test_addition_property(self, x, y):
+        adder, ex = standalone_adder(16)
+        assert adder.run(ex, x, y, "add", first_use=True) == x + y
+
+
+class TestSubtraction:
+    def test_simple_cases(self):
+        adder, ex = standalone_adder(8)
+        assert adder.run(ex, 5, 3, "sub", first_use=True) == 2
+        assert adder.run(ex, 255, 0, "sub") == 255
+        assert adder.run(ex, 128, 128, "sub") == 0
+
+    def test_borrow_chain(self):
+        adder, ex = standalone_adder(16)
+        assert adder.run(ex, 0x8000, 1, "sub", first_use=True) == 0x7FFF
+
+    def test_negative_result_rejected(self):
+        adder, ex = standalone_adder(8)
+        with pytest.raises(DesignError):
+            adder.run(ex, 3, 5, "sub", first_use=True)
+
+    def test_unknown_op_rejected(self):
+        adder, _ = standalone_adder(8)
+        with pytest.raises(DesignError):
+            adder.program("mul")
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    def test_subtraction_property(self, x, y):
+        x, y = max(x, y), min(x, y)
+        adder, ex = standalone_adder(16)
+        assert adder.run(ex, x, y, "sub", first_use=True) == x - y
+
+    def test_add_sub_interleaved(self, rng):
+        """Add and sub programs share the array without interference."""
+        adder, ex = standalone_adder(10)
+        first = True
+        for _ in range(20):
+            x, y = rng.getrandbits(10), rng.getrandbits(10)
+            assert adder.run(ex, x, y, "add", first_use=first) == x + y
+            first = False
+            hi, lo = max(x, y), min(x, y)
+            assert adder.run(ex, hi, lo, "sub") == hi - lo
+
+
+class TestBatchedOperation:
+    """Two independent operations share one pass via disjoint column
+    blocks — the paper's postcompute batching (Sec. IV-E)."""
+
+    def test_batched_addition(self):
+        adder, ex = standalone_adder(16)
+        # Blocks: [0, 7) and [8, 15); sums have 8 bits each, gap at 7.
+        xa, ya = 0x55, 0x2A
+        xb, yb = 0x7F, 0x01
+        x = xa | (xb << 8)
+        y = ya | (yb << 8)
+        got = adder.run(ex, x, y, "add", first_use=True)
+        assert got & 0xFF == xa + ya
+        assert (got >> 8) & 0xFF == xb + yb
+
+    def test_batched_subtraction_no_borrow_leak(self):
+        adder, ex = standalone_adder(16)
+        # Low block produces a zero result; the gap column's propagate=1
+        # must forward only a zero borrow into the high block.
+        xa, ya = 0x40, 0x40
+        xb, yb = 0x50, 0x01
+        x = xa | (xb << 8)
+        y = ya | (yb << 8)
+        got = adder.run(ex, x, y, "sub", first_use=True)
+        assert got & 0xFF == 0
+        assert (got >> 8) & 0xFF == xb - yb
+
+
+class TestWear:
+    def test_scratch_wear_bounded(self):
+        """Per-addition scratch wear stays within a small factor of the
+        paper's 2*ceil(log2 n) bound."""
+        adder, ex = standalone_adder(32)
+        adder.run(ex, 1, 2, "add", first_use=True)
+        baseline = ex.array.max_writes()
+        runs = 20
+        for i in range(runs):
+            adder.run(ex, i + 3, 2 * i + 1, "add")
+        per_run = (ex.array.max_writes() - baseline) / runs
+        assert per_run <= 3 * writes_per_cell(32)
+
+    def test_write_counters_monotone(self):
+        adder, ex = standalone_adder(8)
+        adder.run(ex, 1, 1, "add", first_use=True)
+        w1 = ex.array.total_writes()
+        adder.run(ex, 2, 2, "add")
+        assert ex.array.total_writes() > w1

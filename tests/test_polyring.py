@@ -1,0 +1,168 @@
+"""Tests for the polynomial ring and the toy BFV scheme."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import GOLDILOCKS
+from repro.crypto.ntt import reference_negacyclic_convolve
+from repro.crypto.polyring import PolyRing, RingElement, ToyBfv, _find_psi
+from repro.sim.exceptions import DesignError
+
+Q = GOLDILOCKS.modulus
+
+
+class TestPolyRing:
+    @pytest.fixture
+    def ring(self) -> PolyRing:
+        return PolyRing(8)
+
+    def test_element_construction(self, ring):
+        element = ring.element([1, 2, 3, 4, 5, 6, 7, 8])
+        assert element.coeffs == (1, 2, 3, 4, 5, 6, 7, 8)
+        assert element.modulus == Q
+
+    def test_negative_coefficients_reduced(self, ring):
+        element = ring.element([-1] + [0] * 7)
+        assert element.coeffs[0] == Q - 1
+
+    def test_wrong_length_rejected(self, ring):
+        with pytest.raises(DesignError):
+            ring.element([1, 2, 3])
+
+    def test_unreduced_element_rejected(self):
+        with pytest.raises(DesignError):
+            RingElement(coeffs=(Q,), modulus=Q)
+
+    def test_addition_subtraction(self, ring, rng):
+        a = ring.random_element(rng)
+        b = ring.random_element(rng)
+        total = ring.add(a, b)
+        assert ring.sub(total, b) == a
+        assert ring.add(a, ring.neg(a)) == ring.zero()
+
+    def test_multiplication_matches_schoolbook(self, ring, rng):
+        a = ring.random_element(rng)
+        b = ring.random_element(rng)
+        expected = reference_negacyclic_convolve(
+            list(a.coeffs), list(b.coeffs), Q
+        )
+        assert list(ring.mul(a, b).coeffs) == expected
+
+    def test_negacyclic_wraparound(self, ring):
+        """X^(N-1) * X = -1 in R_q."""
+        x = ring.element([0, 1] + [0] * 6)
+        x7 = ring.element([0] * 7 + [1])
+        product = ring.mul(x, x7)
+        assert product.coeffs[0] == Q - 1
+        assert all(c == 0 for c in product.coeffs[1:])
+
+    def test_scalar_multiplication(self, ring):
+        a = ring.element([1] * 8)
+        assert ring.scalar_mul(3, a).coeffs == (3,) * 8
+
+    def test_ring_mismatch_rejected(self, ring):
+        other = PolyRing(8, modulus=7681)
+        with pytest.raises(DesignError):
+            ring.add(ring.zero(), other.zero())
+
+    def test_custom_modulus_ring(self, rng):
+        ring = PolyRing(8, modulus=7681)
+        a, b = ring.random_element(rng), ring.random_element(rng)
+        expected = reference_negacyclic_convolve(
+            list(a.coeffs), list(b.coeffs), 7681
+        )
+        assert list(ring.mul(a, b).coeffs) == expected
+
+    def test_find_psi_rejects_bad_modulus(self):
+        with pytest.raises(DesignError):
+            _find_psi(13, 16)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(0, Q - 1), min_size=4, max_size=4),
+           st.lists(st.integers(0, Q - 1), min_size=4, max_size=4),
+           st.lists(st.integers(0, Q - 1), min_size=4, max_size=4))
+    def test_distributivity(self, ca, cb, cc):
+        ring = PolyRing(4)
+        a, b, c = ring.element(ca), ring.element(cb), ring.element(cc)
+        lhs = ring.mul(a, ring.add(b, c))
+        rhs = ring.add(ring.mul(a, b), ring.mul(a, c))
+        assert lhs == rhs
+
+
+class TestToyBfv:
+    @pytest.fixture
+    def bfv(self) -> ToyBfv:
+        return ToyBfv(PolyRing(16), plaintext_modulus=16)
+
+    def _message(self, rng, t=16, n=16):
+        return [rng.randrange(t) for _ in range(n)]
+
+    def test_encrypt_decrypt_roundtrip(self, bfv, rng):
+        for _ in range(5):
+            message = self._message(rng)
+            assert bfv.decrypt(bfv.encrypt(message)) == message
+
+    def test_homomorphic_addition(self, bfv, rng):
+        m1, m2 = self._message(rng), self._message(rng)
+        ct = bfv.add(bfv.encrypt(m1), bfv.encrypt(m2))
+        assert bfv.decrypt(ct) == [(a + b) % 16 for a, b in zip(m1, m2)]
+
+    def test_repeated_additions(self, bfv, rng):
+        message = self._message(rng)
+        ct = bfv.encrypt(message)
+        acc = ct
+        for _ in range(7):
+            acc = bfv.add(acc, ct)
+        assert bfv.decrypt(acc) == [(8 * m) % 16 for m in message]
+
+    def test_plaintext_multiplication(self, bfv, rng):
+        message = self._message(rng)
+        plain = self._message(rng)
+        ct = bfv.plain_mul(bfv.encrypt(message), plain)
+        expected = reference_negacyclic_convolve(message, plain, 16)
+        assert bfv.decrypt(ct) == expected
+
+    def test_noise_budget_decreases(self, bfv, rng):
+        message = self._message(rng)
+        plain = [1] * 16                      # dense multiplier
+        ct = bfv.encrypt(message)
+        fresh = bfv.noise_budget_bits(ct, message)
+        product = bfv.plain_mul(ct, plain)
+        expected = reference_negacyclic_convolve(message, plain, 16)
+        after = bfv.noise_budget_bits(product, expected)
+        assert after < fresh
+
+    def test_fresh_ciphertexts_differ(self, bfv, rng):
+        """Randomised encryption: same message, different ciphertexts."""
+        message = self._message(rng)
+        assert bfv.encrypt(message).c0 != bfv.encrypt(message).c0
+
+    def test_message_range_checked(self, bfv):
+        with pytest.raises(DesignError):
+            bfv.encrypt([16] + [0] * 15)
+        with pytest.raises(DesignError):
+            bfv.plain_mul(bfv.encrypt([0] * 16), [16] + [0] * 15)
+
+    def test_plaintext_modulus_validation(self):
+        with pytest.raises(DesignError):
+            ToyBfv(PolyRing(16), plaintext_modulus=1)
+
+    def test_deterministic_with_seed(self):
+        a = ToyBfv(PolyRing(8), plaintext_modulus=4, seed=7)
+        b = ToyBfv(PolyRing(8), plaintext_modulus=4, seed=7)
+        message = [1, 2, 3, 0, 1, 2, 3, 0]
+        assert a.encrypt(message).c0 == b.encrypt(message).c0
+
+    def test_simulated_ring_backend(self):
+        """One tiny homomorphic addition with the ring multiplication
+        routed through the NOR-level CIM datapath."""
+        ring = PolyRing(2, simulate=True)
+        bfv = ToyBfv(ring, plaintext_modulus=4)
+        m1, m2 = [1, 2], [3, 0]
+        ct = bfv.add(bfv.encrypt(m1), bfv.encrypt(m2))
+        assert bfv.decrypt(ct) == [(a + b) % 4 for a, b in zip(m1, m2)]

@@ -1,0 +1,107 @@
+"""Tests for the MultPIM-style single-row multiplier (Sec. IV-D)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import rowmul
+from repro.arith.rowmul import RowMultiplier, RowMultiplierSpec
+from repro.sim.clock import Clock
+from repro.sim.exceptions import DesignError
+
+
+class TestSpec:
+    def test_area_is_12m(self):
+        assert RowMultiplierSpec(18).cells == 216
+        assert rowmul.area_cells(98) == 1176
+
+    def test_latency_closed_form(self):
+        # m = n/4+2 for the paper's stage: n=64 -> m=18 -> 345 cc.
+        assert rowmul.latency_cc(18) == 18 * (5 + 14) + 3 == 345
+        assert rowmul.latency_cc(34) == 34 * (6 + 14) + 3 == 683
+        assert rowmul.latency_cc(66) == 66 * (7 + 14) + 3 == 1389
+        assert rowmul.latency_cc(98) == 98 * (7 + 14) + 3 == 2061
+
+    def test_multpim_scaled_throughputs(self):
+        """Full-width rows reproduce [9]'s Table I throughput column."""
+        for n, tput in ((64, 779), (128, 372), (256, 177)):
+            assert round(1e6 / rowmul.latency_cc(n)) == tput
+
+    def test_max_writes_is_4m(self):
+        assert rowmul.max_writes_per_cell(64) == 256
+        assert rowmul.max_writes_per_cell(384) == 1536
+
+    def test_product_bits(self):
+        assert RowMultiplierSpec(10).product_bits == 20
+
+    def test_invalid_width(self):
+        with pytest.raises(DesignError):
+            RowMultiplierSpec(0)
+        with pytest.raises(DesignError):
+            rowmul.latency_cc(0)
+
+
+class TestMultiplication:
+    def test_small_products(self):
+        mul = RowMultiplier(RowMultiplierSpec(4))
+        assert mul.multiply(0, 0) == 0
+        assert mul.multiply(15, 15) == 225
+        assert mul.multiply(1, 9) == 9
+        assert mul.multiply(8, 8) == 64
+
+    def test_operand_range_enforced(self):
+        mul = RowMultiplier(RowMultiplierSpec(4))
+        with pytest.raises(DesignError):
+            mul.multiply(16, 1)
+        with pytest.raises(DesignError):
+            mul.multiply(1, -1)
+
+    def test_clock_charged_full_latency(self):
+        spec = RowMultiplierSpec(8)
+        mul = RowMultiplier(spec)
+        clock = Clock()
+        mul.multiply(3, 5, clock=clock)
+        assert clock.cycles == spec.latency_cc
+
+    def test_clock_optional(self):
+        mul = RowMultiplier(RowMultiplierSpec(8))
+        assert mul.multiply(3, 5) == 15
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 2**18 - 1), st.integers(0, 2**18 - 1))
+    def test_product_property(self, a, b):
+        mul = RowMultiplier(RowMultiplierSpec(18))
+        assert mul.multiply(a, b) == a * b
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**66 - 1), st.integers(0, 2**66 - 1))
+    def test_wide_product_property(self, a, b):
+        """The widest row of the n=256 design (m = 66)."""
+        mul = RowMultiplier(RowMultiplierSpec(66))
+        assert mul.multiply(a, b) == a * b
+
+
+class TestWear:
+    def test_hot_cell_wear_per_multiplication(self):
+        spec = RowMultiplierSpec(16)
+        mul = RowMultiplier(spec)
+        mul.multiply(0xFFFF, 0xFFFF)
+        assert mul.max_writes() == spec.max_writes_per_cell
+
+    def test_wear_accumulates_linearly(self):
+        spec = RowMultiplierSpec(8)
+        mul = RowMultiplier(spec)
+        for _ in range(5):
+            mul.multiply(255, 255)
+        assert mul.max_writes() == 5 * spec.max_writes_per_cell
+
+    def test_stats(self):
+        spec = RowMultiplierSpec(8)
+        mul = RowMultiplier(spec)
+        mul.multiply(2, 3)
+        mul.multiply(4, 5)
+        stats = mul.stats()
+        assert stats.cycles == 2 * spec.latency_cc
+        assert stats.cell_writes > 0

@@ -1,0 +1,123 @@
+"""Tests for the unrolled Karatsuba plan generator (Sec. III-C.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.karatsuba.unroll import build_plan
+from repro.sim.exceptions import DesignError
+
+
+class TestPlanStructure:
+    def test_l2_operation_counts(self):
+        plan = build_plan(256, 2)
+        assert len(plan.precompute_adds) == 10
+        assert len(plan.multiplications) == 9
+        assert len(plan.combine_nodes) == 4  # l, h, m, top
+
+    @pytest.mark.parametrize(
+        "depth, mults, adds",
+        [(1, 3, 2), (2, 9, 10), (3, 27, 38), (4, 81, 130)],
+    )
+    def test_counts_by_depth(self, depth, mults, adds):
+        plan = build_plan(512, depth)
+        assert len(plan.multiplications) == mults
+        assert len(plan.precompute_adds) == adds
+
+    def test_l2_names_match_paper(self):
+        """Fig. 3's operand naming: pairwise chunk sums and a3210."""
+        plan = build_plan(64, 2)
+        add_outs = {step.out for step in plan.precompute_adds}
+        assert add_outs == {
+            "a10", "a32", "a20", "a31", "a3210",
+            "b10", "b32", "b20", "b31", "b3210",
+        }
+        mult_outs = {step.out for step in plan.multiplications}
+        assert mult_outs == {
+            "c_ll", "c_lh", "c_lm", "c_hl", "c_hh", "c_hm",
+            "c_ml", "c_mh", "c_mm",
+        }
+
+    def test_precompute_width_uniformity(self):
+        """Sec. III-C.2: additions span n/2^L .. n/2^L + L - 1 bits."""
+        for n, depth in ((256, 2), (256, 3), (384, 2), (512, 4)):
+            plan = build_plan(n, depth)
+            chunk = n >> depth
+            assert plan.min_precompute_input_width == chunk
+            assert plan.max_precompute_input_width == chunk + depth - 1
+
+    def test_widest_multiplication(self):
+        """Sec. IV-D: the widest multiplication is n/2^L + L bits."""
+        for n, depth in ((64, 2), (256, 2), (384, 2), (256, 3)):
+            plan = build_plan(n, depth)
+            assert plan.max_mult_width == (n >> depth) + depth
+
+    def test_l2_appendability(self):
+        """Only the mid node's low product (c_ml) fails to append —
+        the paper's reason c_m needs an extra addition (Sec. IV-E)."""
+        plan = build_plan(256, 2)
+        flags = {node.path: node.appendable for node in plan.combine_nodes}
+        assert flags["l"] and flags["h"] and flags["top"]
+        assert not flags["m"]
+
+    def test_combine_nodes_bottom_up(self):
+        plan = build_plan(128, 2)
+        assert plan.combine_nodes[-1].path == "top"
+        levels = [node.level for node in plan.combine_nodes]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            build_plan(100, 3)   # 100 not divisible by 8
+        with pytest.raises(DesignError):
+            build_plan(64, 0)
+        with pytest.raises(DesignError):
+            build_plan(-64, 2)
+
+
+class TestPlanEvaluation:
+    def test_simple_values(self):
+        plan = build_plan(16, 2)
+        assert plan.evaluate(0, 0) == 0
+        assert plan.evaluate(1, 1) == 1
+        assert plan.evaluate(0xFFFF, 0xFFFF) == 0xFFFF * 0xFFFF
+
+    def test_operand_bounds(self):
+        plan = build_plan(16, 2)
+        with pytest.raises(DesignError):
+            plan.evaluate(1 << 16, 1)
+
+    @settings(max_examples=40)
+    @given(
+        st.integers(0, 2**256 - 1),
+        st.integers(0, 2**256 - 1),
+        st.sampled_from([1, 2, 3, 4]),
+    )
+    def test_evaluate_property(self, a, b, depth):
+        plan = build_plan(256, depth)
+        assert plan.evaluate(a, b) == a * b
+
+    def test_deep_plan_with_double_digit_indices(self):
+        """L = 4 has 16 chunks; leaf a10 must not collide with sum
+        names (regression test for the naming scheme)."""
+        plan = build_plan(16, 4)
+        assert plan.evaluate(1, 1) == 1
+        assert plan.evaluate(0x5555, 0xAAAA) == 0x5555 * 0xAAAA
+
+    def test_intermediate_values_consistent(self):
+        plan = build_plan(64, 2)
+        a, b = 0xDEADBEEF, 0x12345678
+        values = plan.intermediate_values(a, b)
+        # Spot-check the redundant mid-chunk identities.
+        assert values["a10"] == values["a0"] + values["a1"]
+        assert values["a3210"] == values["a10"] + values["a32"]
+        assert values["c_mm"] == values["a3210"] * values["b3210"]
+        assert values["c"] == a * b
+
+    def test_product_width_bounds_hold(self):
+        plan = build_plan(64, 2)
+        values = plan.intermediate_values((1 << 64) - 1, (1 << 64) - 1)
+        for step in plan.multiplications:
+            assert values[step.out].bit_length() <= step.product_width

@@ -1,0 +1,99 @@
+"""Tests for the workload generator and smoke tests for every example."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.eval import workloads
+from repro.karatsuba import cost
+from repro.sim.exceptions import DesignError
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestTraces:
+    def test_fhe_trace_shape(self):
+        trace = workloads.fhe_limb_trace(50)
+        assert len(trace) == 50
+        assert all(item.n_bits == 64 for item in trace)
+        assert all(item.a < (1 << 64) and item.b < (1 << 64) for item in trace)
+
+    def test_fhe_trace_has_small_constants(self):
+        trace = workloads.fhe_limb_trace(200, small_constant_fraction=0.5)
+        small = sum(1 for item in trace if item.b < (1 << 16))
+        assert 40 < small < 160
+
+    def test_zkp_trace_shape(self):
+        trace = workloads.zkp_field_trace(10)
+        assert all(item.n_bits == 384 for item in trace)
+
+    def test_mixed_trace_widths(self):
+        trace = workloads.mixed_trace(100)
+        widths = {item.n_bits for item in trace}
+        assert widths <= {64, 128, 256, 384}
+        assert len(widths) >= 3
+
+    def test_traces_deterministic_by_seed(self):
+        assert workloads.fhe_limb_trace(5, seed=1) == workloads.fhe_limb_trace(
+            5, seed=1
+        )
+        assert workloads.fhe_limb_trace(5, seed=1) != workloads.fhe_limb_trace(
+            5, seed=2
+        )
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(DesignError):
+            workloads.fhe_limb_trace(-1)
+        with pytest.raises(DesignError):
+            workloads.zkp_field_trace(-1)
+
+
+class TestReplay:
+    def test_empty_trace(self):
+        result = workloads.replay([])
+        assert result.jobs == 0
+        assert result.makespan_cc == 0
+
+    def test_uniform_trace_matches_closed_form(self):
+        trace = workloads.fhe_limb_trace(6)
+        result = workloads.replay(trace)
+        dc = cost.design_cost(64, 2)
+        expected = dc.latency_cc + 5 * dc.bottleneck_cc
+        assert result.makespan_cc == expected
+
+    def test_bottleneck_stage_fully_utilised(self):
+        """In steady state the slowest stage approaches 100% busy."""
+        result = workloads.replay(workloads.fhe_limb_trace(40))
+        # n=64: postcompute is the bottleneck (index 2).
+        assert result.stage_utilisation[2] > 0.9
+        assert max(result.stage_utilisation) <= 1.0
+
+    def test_mixed_trace_replay(self):
+        result = workloads.replay(workloads.mixed_trace(20))
+        assert result.jobs == 20
+        assert result.makespan_cc > 0
+        assert result.throughput_per_mcc > 0
+
+    def test_render(self):
+        text = workloads.render(jobs=8)
+        assert "fhe-64b" in text and "zkp-384b" in text and "mixed" in text
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(p.name for p in EXAMPLES_DIR.glob("*.py")),
+)
+def test_example_runs_clean(script):
+    """Every example executes end-to-end without errors."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"

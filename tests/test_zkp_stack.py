@@ -1,0 +1,225 @@
+"""Tests for the ZKP application stack: EC arithmetic, MSM, and the
+reference multiplier drop-in."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ec import (
+    BLS12_381_G1,
+    TINY_CURVE,
+    CimEllipticCurve,
+    CurveParams,
+    Point,
+)
+from repro.crypto.modmul import ModularMultiplier
+from repro.crypto.msm import (
+    msm_cost,
+    naive_msm,
+    optimal_window,
+    paper_scale_projection,
+    pippenger_msm,
+)
+from repro.karatsuba.reference import ReferenceMultiplier
+from repro.sim.exceptions import DesignError
+
+
+class TestReferenceMultiplier:
+    def test_matches_native(self, rng):
+        ref = ReferenceMultiplier(64)
+        for _ in range(10):
+            a, b = rng.getrandbits(64), rng.getrandbits(64)
+            assert ref.multiply(a, b) == a * b
+
+    def test_width_checks_match_simulator(self):
+        ref = ReferenceMultiplier(64)
+        with pytest.raises(DesignError):
+            ref.multiply(1 << 64, 1)
+        with pytest.raises(DesignError):
+            ref.multiply(-1, 1)
+        with pytest.raises(DesignError):
+            ReferenceMultiplier(10)
+
+    def test_metrics_match_simulating_design(self):
+        from repro.karatsuba.design import KaratsubaCimMultiplier
+
+        ref = ReferenceMultiplier(128)
+        sim = KaratsubaCimMultiplier(128)
+        assert ref.metrics() == sim.metrics()
+        assert ref.timing() == sim.timing()
+        assert ref.area_cells == sim.area_cells
+
+    def test_cycle_accounting(self):
+        ref = ReferenceMultiplier(64)
+        ref.multiply(1, 1)
+        ref.multiply(2, 2)
+        assert ref.cycle_cost() == 2 * ref.timing().bottleneck_cc
+
+    def test_usable_as_engine_backend(self):
+        mm = ModularMultiplier(65521, multiplier=ReferenceMultiplier(20))
+        assert mm.modmul(1234, 4321) == (1234 * 4321) % 65521
+
+
+class TestCurveParams:
+    def test_generators_on_curve(self):
+        for params in (TINY_CURVE, BLS12_381_G1):
+            lhs = params.gy**2 % params.p
+            rhs = (params.gx**3 + params.a * params.gx + params.b) % params.p
+            assert lhs == rhs
+
+    def test_off_curve_generator_rejected(self):
+        with pytest.raises(DesignError):
+            CurveParams(name="bad", p=97, a=2, b=3, gx=3, gy=7)
+
+
+class TestTinyCurveGroup:
+    @pytest.fixture
+    def curve(self) -> CimEllipticCurve:
+        return CimEllipticCurve(TINY_CURVE)
+
+    def test_identity_laws(self, curve):
+        g = curve.generator()
+        assert curve.add(Point.identity(), g) == g
+        assert curve.add(g, Point.identity()) == g
+        assert curve.double(Point.identity()).is_identity
+
+    def test_inverse_points_cancel(self, curve):
+        g = curve.generator()
+        neg = Point(x=g.x, y=(-g.y) % TINY_CURVE.p)
+        assert curve.add(g, neg).is_identity
+
+    def test_group_order(self, curve):
+        assert curve.scalar_mul(TINY_CURVE.order, curve.generator()).is_identity
+
+    def test_scalar_mul_matches_repeated_add(self, curve):
+        g = curve.generator()
+        acc = Point.identity()
+        for k in range(1, 12):
+            acc = curve.add(acc, g)
+            assert curve.scalar_mul(k, g) == acc
+
+    def test_associativity_samples(self, curve, rng):
+        g = curve.generator()
+        pts = [curve.scalar_mul(rng.randrange(1, 100), g) for _ in range(3)]
+        a, b, c = pts
+        assert curve.add(curve.add(a, b), c) == curve.add(a, curve.add(b, c))
+
+    def test_commutativity(self, curve, rng):
+        g = curve.generator()
+        a = curve.scalar_mul(rng.randrange(1, 100), g)
+        b = curve.scalar_mul(rng.randrange(1, 100), g)
+        assert curve.add(a, b) == curve.add(b, a)
+
+    def test_closure(self, curve, rng):
+        g = curve.generator()
+        point = curve.scalar_mul(rng.randrange(1, 100), g)
+        assert curve.is_on_curve(point) or point.is_identity
+
+    def test_negative_scalar_rejected(self, curve):
+        with pytest.raises(DesignError):
+            curve.scalar_mul(-1, curve.generator())
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 99), st.integers(0, 99))
+    def test_scalar_distributivity(self, j, k):
+        curve = CimEllipticCurve(TINY_CURVE)
+        g = curve.generator()
+        lhs = curve.scalar_mul(j + k, g)
+        rhs = curve.add(curve.scalar_mul(j, g), curve.scalar_mul(k, g))
+        assert lhs == rhs
+
+
+class TestBls12381:
+    def test_generator_valid(self):
+        curve = CimEllipticCurve(BLS12_381_G1)
+        assert curve.is_on_curve(curve.generator())
+
+    def test_small_multiples_consistent(self):
+        curve = CimEllipticCurve(BLS12_381_G1)
+        g = curve.generator()
+        five_g = curve.scalar_mul(5, g)
+        assert five_g == curve.add(curve.double(curve.double(g)), g)
+        assert curve.is_on_curve(five_g)
+
+    def test_cycle_model(self):
+        curve = CimEllipticCurve(BLS12_381_G1)
+        model = curve.cycle_model_per_op(384)
+        assert model["add_cc"] > model["double_cc"] > model["field_modmul_cc"]
+
+    def test_simulated_field_backend_small_curve(self):
+        """A doubling with every field product through the NOR-level
+        simulator (small field keeps it affordable)."""
+        field = ModularMultiplier(TINY_CURVE.p)
+        curve = CimEllipticCurve(TINY_CURVE, field=field)
+        doubled = curve.double(curve.generator())
+        reference = CimEllipticCurve(TINY_CURVE).double(
+            CimEllipticCurve(TINY_CURVE).generator()
+        )
+        assert doubled == reference
+
+
+class TestMsm:
+    @pytest.fixture
+    def setup(self, rng):
+        curve = CimEllipticCurve(TINY_CURVE)
+        g = curve.generator()
+        points = [
+            curve.scalar_mul(rng.randrange(1, 100), g) for _ in range(5)
+        ]
+        scalars = [rng.randrange(0, 100) for _ in range(5)]
+        return curve, scalars, points
+
+    @pytest.mark.parametrize("window", [1, 2, 4, 6])
+    def test_pippenger_matches_naive(self, setup, window):
+        curve, scalars, points = setup
+        assert pippenger_msm(curve, scalars, points, window) == naive_msm(
+            curve, scalars, points
+        )
+
+    def test_zero_scalars(self, setup):
+        curve, _, points = setup
+        assert pippenger_msm(curve, [0] * len(points), points).is_identity
+
+    def test_empty_msm(self):
+        curve = CimEllipticCurve(TINY_CURVE)
+        assert pippenger_msm(curve, [], []).is_identity
+
+    def test_length_mismatch_rejected(self, setup):
+        curve, scalars, points = setup
+        with pytest.raises(DesignError):
+            pippenger_msm(curve, scalars[:-1], points)
+
+    def test_window_validation(self, setup):
+        curve, scalars, points = setup
+        with pytest.raises(DesignError):
+            pippenger_msm(curve, scalars, points, window_bits=0)
+
+    def test_cost_model_structure(self):
+        cost = msm_cost(1 << 16, scalar_bits=255)
+        assert cost.point_additions > 1 << 16
+        assert cost.point_doublings == 255
+        assert cost.field_multiplications > cost.point_additions
+
+    def test_optimal_window_grows_with_size(self):
+        assert optimal_window(1 << 10) < optimal_window(1 << 20) <= optimal_window(1 << 26)
+
+    def test_cost_minimised_at_optimal_window(self):
+        n = 1 << 14
+        best = optimal_window(n)
+        base = msm_cost(n, window_bits=best).point_additions
+        assert msm_cost(n, window_bits=best + 3).point_additions >= base
+        assert msm_cost(n, window_bits=max(1, best - 3)).point_additions >= base
+
+    def test_paper_scale_projection(self):
+        proj = paper_scale_projection(log2_points=26)
+        assert proj["field_multiplications"] > 1e9
+        assert proj["tiles_for_one_minute"] >= 1
+
+    def test_cim_cycle_projection_positive(self):
+        assert msm_cost(1024).cim_cycles(384) > 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DesignError):
+            msm_cost(0)
