@@ -1,0 +1,99 @@
+"""Benchmark: batched SIMD executor vs sequential scalar execution.
+
+The batched bit-plane engine exists for one reason — to make the
+simulator's hot path keep up with the row-parallel hardware it models.
+This bench replays the acceptance workload (32 jobs at n = 256 through
+``run_stream``) both ways, asserts bit-identical products against
+Python integer multiplication, and asserts the batched path is at
+least 5x faster than the sequential scalar path.
+
+Runs under pytest (``pytest benchmarks/bench_batched_pipeline.py``)
+and as a script (``python benchmarks/bench_batched_pipeline.py``),
+which exits non-zero when the speedup floor is missed — the CI perf
+smoke check.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+
+from repro.eval.report import format_table
+from repro.karatsuba.pipeline import KaratsubaPipeline
+
+#: Acceptance workload: one full batch at the paper's flagship width.
+N_BITS = 256
+JOBS = 32
+BATCH_SIZE = 32
+
+#: Required advantage of the batched path over job-by-job execution.
+MIN_SPEEDUP = 5.0
+
+
+def _measure(batch_size):
+    rng = random.Random(0xD47E)
+    pairs = [
+        (rng.randrange(2**N_BITS), rng.randrange(2**N_BITS))
+        for _ in range(JOBS)
+    ]
+    pipeline = KaratsubaPipeline(N_BITS)
+    begin = time.perf_counter()
+    result = pipeline.run_stream(pairs, batch_size=batch_size)
+    elapsed = time.perf_counter() - begin
+    assert result.products == [a * b for a, b in pairs]
+    return elapsed, result, pipeline
+
+
+def run_bench():
+    seq_seconds, seq_result, seq_pipeline = _measure(None)
+    bat_seconds, bat_result, bat_pipeline = _measure(BATCH_SIZE)
+    speedup = seq_seconds / bat_seconds
+
+    assert seq_result.products == bat_result.products
+    assert seq_result.makespan_cc == bat_result.makespan_cc
+    assert (
+        seq_pipeline.controller.total_energy_fj()
+        == bat_pipeline.controller.total_energy_fj()
+    )
+    assert (
+        seq_pipeline.controller.max_writes()
+        == bat_pipeline.controller.max_writes()
+    )
+
+    rows = [
+        ("sequential (oracle)", f"{seq_seconds:.3f}", f"{seq_seconds / JOBS * 1e3:.1f}"),
+        ("batched (SIMD x32)", f"{bat_seconds:.3f}", f"{bat_seconds / JOBS * 1e3:.1f}"),
+    ]
+    table = format_table(
+        ("path", "wall s", "ms/job"),
+        rows,
+        title=(
+            f"Batched executor, {JOBS} jobs at n = {N_BITS}: "
+            f"{speedup:.1f}x speedup (floor {MIN_SPEEDUP:.0f}x)"
+        ),
+    )
+    return speedup, table
+
+
+def test_batched_run_stream_speedup():
+    speedup, table = run_bench()
+    try:
+        from benchmarks.conftest import register_report
+
+        register_report("batched-pipeline", table)
+    except ImportError:  # script mode, no harness
+        pass
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched run_stream only {speedup:.2f}x faster than sequential "
+        f"(needs >= {MIN_SPEEDUP}x)"
+    )
+
+
+if __name__ == "__main__":
+    measured, report = run_bench()
+    print(report)
+    if measured < MIN_SPEEDUP:
+        print(f"FAIL: speedup {measured:.2f}x below floor {MIN_SPEEDUP}x")
+        sys.exit(1)
+    print(f"OK: speedup {measured:.2f}x")

@@ -39,8 +39,13 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.arith.bitops import ceil_log2
-from repro.crossbar.array import CrossbarArray
-from repro.magic.executor import MagicExecutor
+from repro.crossbar.array import BatchedCrossbarArray, CrossbarArray
+from repro.magic.executor import (
+    BatchedMagicExecutor,
+    MagicExecutor,
+    pack_ints,
+    unpack_ints,
+)
 from repro.magic.program import Program, ProgramBuilder
 from repro.sim.exceptions import DesignError
 
@@ -260,6 +265,54 @@ class KoggeStoneAdder:
             array.init_rows([lay.out_row], mask)
         executor.execute(self.program(op))
         return self._read_word(array, lay.out_row)
+
+    def run_batch(
+        self,
+        executor: MagicExecutor,
+        pairs,
+        op: str = OP_ADD,
+        first_use: bool = False,
+    ):
+        """Batched counterpart of :meth:`run`: one SIMD pass over many
+        operand pairs.
+
+        Lanes are seeded from the executor's current array state (which
+        is left untouched), operands are written lane-parallel, the
+        compute program runs once through the batched executor — the
+        shared clock advances by one pass, all lanes in lock-step — and
+        the sum row is sensed per lane.  Returns the list of results,
+        bit-identical to calling :meth:`run` per pair on per-lane
+        array copies.
+        """
+        lay = self.layout
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        for x, y in pairs:
+            if max(x, y) >> lay.width:
+                raise DesignError(
+                    f"operands must fit in {lay.width} bits, got {x} and {y}"
+                )
+            if op == OP_SUB and y > x:
+                raise DesignError(
+                    "subtraction requires x >= y (non-negative result)"
+                )
+        array = BatchedCrossbarArray.from_scalar(executor.array, len(pairs))
+        mask = self._window_mask(executor.array)
+        window = slice(lay.col0, lay.col0 + lay.columns)
+        for row, values in ((lay.x_row, [x for x, _ in pairs]),
+                            (lay.y_row, [y for _, y in pairs])):
+            word = array.state[:, row].copy()
+            word[:, window] = pack_ints(values, lay.columns)
+            array.write_row(row, word, mask)
+        if first_use:
+            array.init_rows(lay.scratch_rows, mask)
+            array.init_rows([lay.out_row], mask)
+        batched = BatchedMagicExecutor(
+            array, clock=executor.clock, trace=executor.trace
+        )
+        batched.execute(self.program(op), [{} for _ in pairs])
+        return unpack_ints(array.read_row(lay.out_row)[:, window])
 
     def _window_mask(self, array: CrossbarArray):
         import numpy as np

@@ -141,7 +141,7 @@ class RowMultiplier:
             product |= (new_sum & 1) << t
             sum_acc = new_sum >> 1
             carry_acc = new_carry >> 1
-            self._charge_iteration_writes()
+        self._charge_multiplication_writes()
         # Final carry propagation of the residual upper half, overlapped
         # with the epilogue cycles.
         product |= (sum_acc + carry_acc) << m
@@ -153,21 +153,23 @@ class RowMultiplier:
         self.multiplications += 1
         return product
 
-    def _charge_iteration_writes(self) -> None:
-        """Charge one iteration's write wear to the row image.
+    def _charge_multiplication_writes(self) -> None:
+        """Charge one multiplication's write wear to the row image.
 
         Per partition and iteration: the sum and carry cells are
         rewritten once each, and the two hot scratch cells absorb four
         write pulses each (initialise + conditional switch, twice).
+        The per-iteration increments are data-independent, so all ``m``
+        iterations are charged in one vectorised step.
         """
         m = self.spec.width
         cells = self.cell_writes.reshape(m, CELLS_PER_PARTITION)
-        cells[:, 2] += 1   # sum accumulator
-        cells[:, 3] += 1   # carry accumulator
-        cells[:, 4] += 4   # hot scratch A
-        cells[:, 5] += 4   # hot scratch B
-        cells[:, 6] += 2   # cool scratch
-        cells[:, 7] += 2   # cool scratch
+        cells[:, 2] += m       # sum accumulator
+        cells[:, 3] += m       # carry accumulator
+        cells[:, 4] += 4 * m   # hot scratch A
+        cells[:, 5] += 4 * m   # hot scratch B
+        cells[:, 6] += 2 * m   # cool scratch
+        cells[:, 7] += 2 * m   # cool scratch
 
     # ------------------------------------------------------------------
     def stats(self) -> RunStats:

@@ -3,6 +3,7 @@
 from repro.crossbar.array import (
     FAULT_STUCK_AT_0,
     FAULT_STUCK_AT_1,
+    BatchedCrossbarArray,
     CrossbarArray,
 )
 from repro.crossbar.device import (
@@ -32,6 +33,7 @@ from repro.crossbar.yieldsim import (
 )
 
 __all__ = [
+    "BatchedCrossbarArray",
     "CriticalityReport",
     "CrossbarArray",
     "PeripheryEstimate",

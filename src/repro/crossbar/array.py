@@ -16,6 +16,14 @@ The array is purely *spatial*: it tracks state, per-cell write counts
 and injected faults, but not time.  Cycle accounting belongs to the
 executors (:mod:`repro.magic.executor` and the baseline models), which
 call into this class.
+
+:class:`BatchedCrossbarArray` is the SIMD counterpart used by the
+batched executor: it holds ``(batch, rows, cols)`` state so one micro-op
+sequence evaluates *batch* independent operand sets in a single numpy
+pass.  Write-pulse counts are data-independent (every lane sees the
+same pulses for the same op sequence), so the write counters stay
+``(rows, cols)`` with per-lane semantics; energy is data-dependent and
+is tracked as one accumulator per lane.
 """
 
 from __future__ import annotations
@@ -137,10 +145,17 @@ class CrossbarArray:
         )
         self._apply_faults()
 
-    def read_row(self, row: int) -> np.ndarray:
-        """Sense a full word via the bit-line sense amplifiers."""
+    def read_row(self, row: int, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Sense a word via the bit-line sense amplifiers.
+
+        A column *mask* restricts which sense amplifiers are activated:
+        only masked cells are charged read energy.  The full row state
+        is still returned (callers slice out their window); the energy
+        model is what the mask exists for.
+        """
         self._check_row(row)
-        self.energy_fj += self.device.e_read_fj * self.cols
+        mask = self._mask(mask)
+        self.energy_fj += self.device.e_read_fj * int(mask.sum())
         return self.state[row].copy()
 
     def write_bit(self, row: int, col: int, bit: int) -> None:
@@ -168,10 +183,13 @@ class CrossbarArray:
 
         Multiple word lines are driven simultaneously, so the MAGIC
         literature counts this as a single cycle regardless of how many
-        rows are initialised; it is still one write pulse per cell.
+        rows are initialised; it is still one write pulse per cell.  A
+        row listed more than once still receives exactly one pulse (the
+        word line is either driven or not), so duplicates are counted
+        and charged once.
         """
         mask = self._mask(mask)
-        for row in rows:
+        for row in dict.fromkeys(rows):
             self._check_row(row)
             self.state[row, mask] = True
             self.writes[row, mask] += 1
@@ -266,9 +284,18 @@ class CrossbarArray:
         total = np.zeros(self.cols, dtype=np.int8)
         for row in in_rows:
             total += self.state[row].astype(np.int8)
-        self.state[out_row, mask] = (total >= 2)[mask]
+        result = total >= 2
+        # Like NOR/IMPLY, only cells whose value actually changes
+        # dissipate switching energy; 0->1 transitions cost a set pulse,
+        # 1->0 transitions a reset pulse.
+        switching = mask & (result != self.state[out_row])
+        sets = int((switching & result).sum())
+        resets = int((switching & ~result).sum())
+        self.state[out_row, mask] = result[mask]
         self.writes[out_row, mask] += 1
-        self.energy_fj += self.device.e_set_fj * int(mask.sum())
+        self.energy_fj += (
+            self.device.e_set_fj * sets + self.device.e_reset_fj * resets
+        )
         self._apply_faults()
 
     # ------------------------------------------------------------------
@@ -292,4 +319,254 @@ class CrossbarArray:
         return (
             f"CrossbarArray({self.rows}x{self.cols}, "
             f"max_writes={self.max_writes()}, faults={self.fault_count})"
+        )
+
+
+class BatchedCrossbarArray:
+    """``batch`` independent crossbar lanes evaluated in lock-step.
+
+    The batched array models the paper's row-parallel SIMD execution
+    across *B* replicated operand sets: one micro-op is applied to every
+    lane in a single vectorised numpy pass.  Semantics per lane are
+    identical to :class:`CrossbarArray` — the differential tests assert
+    this bit-for-bit.
+
+    Accounting:
+
+    * ``state`` is ``(batch, rows, cols)`` bool;
+    * ``writes`` stays ``(rows, cols)`` and counts pulses **per lane**
+      (pulse placement is data-independent, so every lane accumulates
+      the same counts — :meth:`max_writes` therefore matches what a
+      scalar array running any one lane would report);
+    * ``energy_fj`` is a ``(batch,)`` float vector, one accumulator per
+      lane (switching energy is data-dependent).
+
+    Stuck-at faults pin the same physical cell in every lane.
+    """
+
+    def __init__(
+        self,
+        batch: int,
+        rows: int,
+        cols: int,
+        device: Optional[DeviceModel] = None,
+        strict_magic: bool = True,
+    ):
+        if batch <= 0:
+            raise ValueError(f"batch size must be positive, got {batch}")
+        if rows <= 0 or cols <= 0:
+            raise ValueError(f"crossbar dimensions must be positive, got {rows}x{cols}")
+        self.batch = batch
+        self.rows = rows
+        self.cols = cols
+        self.device = device if device is not None else DeviceModel()
+        self.strict_magic = strict_magic
+        self.state = np.zeros((batch, rows, cols), dtype=bool)
+        self.writes = np.zeros((rows, cols), dtype=np.int64)
+        self.energy_fj = np.zeros(batch, dtype=np.float64)
+        self._faults: Dict[Tuple[int, int], str] = {}
+
+    @classmethod
+    def from_scalar(cls, array: CrossbarArray, batch: int) -> "BatchedCrossbarArray":
+        """Replicate a scalar array's current state into *batch* lanes.
+
+        Write counters and energy start at zero — the batched array
+        accounts only for what executes on it; faults carry over.
+        """
+        out = cls(
+            batch,
+            array.rows,
+            array.cols,
+            device=array.device,
+            strict_magic=array.strict_magic,
+        )
+        out.state[:] = array.state[np.newaxis]
+        out._faults = dict(array._faults)
+        out._apply_faults()
+        return out
+
+    # ------------------------------------------------------------------
+    @property
+    def cells(self) -> int:
+        """Memristors per lane (the physical array size)."""
+        return self.rows * self.cols
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise AddressError(f"row {row} outside 0..{self.rows - 1}")
+
+    def _mask(self, mask: Optional[np.ndarray]) -> np.ndarray:
+        if mask is None:
+            return np.ones(self.cols, dtype=bool)
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.cols,):
+            raise AddressError(f"column mask shape {mask.shape} != ({self.cols},)")
+        return mask
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def inject_fault(self, row: int, col: int, kind: str) -> None:
+        """Pin cell (*row*, *col*) of every lane to a stuck-at fault."""
+        self._check_row(row)
+        if not 0 <= col < self.cols:
+            raise AddressError(f"col {col} outside 0..{self.cols - 1}")
+        if kind not in _FAULT_KINDS:
+            raise FaultInjectionError(f"unknown fault kind {kind!r}")
+        self._faults[(row, col)] = kind
+        self.state[:, row, col] = kind == FAULT_STUCK_AT_1
+
+    def _apply_faults(self) -> None:
+        for (row, col), kind in self._faults.items():
+            self.state[:, row, col] = kind == FAULT_STUCK_AT_1
+
+    # ------------------------------------------------------------------
+    # Plain memory operations (per-lane words)
+    # ------------------------------------------------------------------
+    def write_row(
+        self, row: int, bits: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> None:
+        """Program one word per lane: *bits* is ``(batch, cols)``."""
+        self._check_row(row)
+        bits = np.asarray(bits, dtype=bool)
+        if bits.shape != (self.batch, self.cols):
+            raise AddressError(
+                f"word shape {bits.shape} != ({self.batch}, {self.cols})"
+            )
+        if mask is None:
+            self.state[:, row] = bits
+            self.writes[row] += 1
+            masked = bits
+        else:
+            mask = self._mask(mask)
+            self.state[:, row, mask] = bits[:, mask]
+            self.writes[row, mask] += 1
+            masked = bits[:, mask]
+        self.energy_fj += np.where(
+            masked, self.device.e_set_fj, self.device.e_reset_fj
+        ).sum(axis=1)
+        if self._faults:
+            self._apply_faults()
+
+    def read_row(self, row: int, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Sense one word per lane; returns ``(batch, cols)``.
+
+        As in the scalar array, a column *mask* restricts which sense
+        amplifiers fire and therefore which cells are charged read
+        energy; the full per-lane rows are returned regardless.
+        """
+        self._check_row(row)
+        if mask is None:
+            sensed = self.cols
+        else:
+            sensed = int(self._mask(mask).sum())
+        self.energy_fj += self.device.e_read_fj * sensed
+        return self.state[:, row].copy()
+
+    # ------------------------------------------------------------------
+    # Stateful logic primitives
+    # ------------------------------------------------------------------
+    def init_rows(
+        self, rows: Iterable[int], mask: Optional[np.ndarray] = None
+    ) -> None:
+        """Initialise cells in *rows* to logic one across all lanes."""
+        if mask is None:
+            for row in dict.fromkeys(rows):
+                self._check_row(row)
+                self.state[:, row] = True
+                self.writes[row] += 1
+                self.energy_fj += self.device.e_set_fj * self.cols
+        else:
+            mask = self._mask(mask)
+            cells = int(mask.sum())
+            for row in dict.fromkeys(rows):
+                self._check_row(row)
+                self.state[:, row, mask] = True
+                self.writes[row, mask] += 1
+                self.energy_fj += self.device.e_set_fj * cells
+        if self._faults:
+            self._apply_faults()
+
+    def nor_rows(
+        self,
+        in_rows: Sequence[int],
+        out_row: int,
+        mask: Optional[np.ndarray] = None,
+    ) -> None:
+        """Row-parallel MAGIC NOR evaluated in every lane at once."""
+        if not in_rows:
+            raise MagicProtocolError("MAGIC NOR requires at least one input row")
+        for row in in_rows:
+            self._check_row(row)
+        self._check_row(out_row)
+        if out_row in in_rows:
+            raise MagicProtocolError(
+                f"output row {out_row} cannot also be a NOR input"
+            )
+        state = self.state
+        if len(in_rows) == 1:
+            any_one = state[:, in_rows[0]]
+        else:
+            any_one = np.logical_or(state[:, in_rows[0]], state[:, in_rows[1]])
+            for row in in_rows[2:]:
+                np.logical_or(any_one, state[:, row], out=any_one)
+        out = state[:, out_row]
+        if mask is None:
+            if self.strict_magic and not bool(out.all()):
+                raise MagicProtocolError(
+                    f"NOR output row {out_row} not initialised to logic one "
+                    "in every lane"
+                )
+            switching = np.count_nonzero(any_one & out, axis=1)
+            np.logical_not(any_one, out=out)
+            self.writes[out_row] += 1
+            self.energy_fj += self.device.e_reset_fj * switching
+        else:
+            mask = self._mask(mask)
+            if self.strict_magic and not bool(out[:, mask].all()):
+                raise MagicProtocolError(
+                    f"NOR output row {out_row} not initialised to logic one "
+                    "in every lane"
+                )
+            switching = any_one & out
+            switching[:, ~mask] = False
+            state[:, out_row, mask] = ~any_one[:, mask]
+            self.writes[out_row, mask] += 1
+            self.energy_fj += self.device.e_reset_fj * switching.sum(axis=1)
+        if self._faults:
+            self._apply_faults()
+
+    def not_row(
+        self, in_row: int, out_row: int, mask: Optional[np.ndarray] = None
+    ) -> None:
+        """MAGIC NOT: single-input special case of :meth:`nor_rows`."""
+        self.nor_rows([in_row], out_row, mask)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def max_writes(self) -> int:
+        """Per-lane maximum write count (matches the scalar metric)."""
+        return int(self.writes.max())
+
+    def total_writes(self) -> int:
+        """Per-lane total write pulses."""
+        return int(self.writes.sum())
+
+    def lane_energy_fj(self, lane: int) -> float:
+        """Energy accumulated by one lane, in femtojoules."""
+        return float(self.energy_fj[lane])
+
+    def total_energy_fj(self) -> float:
+        """Energy summed over all lanes."""
+        return float(self.energy_fj.sum())
+
+    def snapshot(self, lane: int) -> np.ndarray:
+        """Copy of one lane's bit state (rows x cols)."""
+        return self.state[lane].copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BatchedCrossbarArray({self.batch}x{self.rows}x{self.cols}, "
+            f"max_writes={self.max_writes()})"
         )

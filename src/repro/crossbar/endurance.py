@@ -46,8 +46,13 @@ class EnduranceReport:
         return endurance_cycles // self.max_writes
 
 
-def analyze(array: CrossbarArray) -> EnduranceReport:
-    """Build an :class:`EnduranceReport` from an array's write counters."""
+def analyze(array) -> EnduranceReport:
+    """Build an :class:`EnduranceReport` from an array's write counters.
+
+    Accepts a :class:`CrossbarArray` or a
+    :class:`~repro.crossbar.array.BatchedCrossbarArray`; the latter's
+    counters are per-lane (every lane experiences the same pulses), so
+    the report reads as the wear of one lane."""
     writes = array.writes
     return EnduranceReport(
         max_writes=int(writes.max()),
@@ -104,6 +109,17 @@ class WearLevelingController:
     def swap(self) -> None:
         """Exchange the logical roles of the two regions."""
         self.swaps += 1
+        self._rebuild_mapping()
+
+    def advance(self, count: int) -> None:
+        """Apply *count* successive swaps in one step.
+
+        Batched stage execution retires B multiplications per pass; the
+        mapping only depends on swap parity, so advancing is O(1).
+        """
+        if count < 0:
+            raise ValueError("swap count must be non-negative")
+        self.swaps += count
         self._rebuild_mapping()
 
     @property

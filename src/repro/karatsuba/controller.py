@@ -10,7 +10,7 @@ named chunk values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Iterable, List, Tuple
 
 from repro.arith.bitops import split_chunks
 from repro.karatsuba.multiply import MultiplicationStage
@@ -88,6 +88,46 @@ class KaratsubaController:
             postcompute_cycles=post.cycles,
         )
 
+    def run_jobs_batch(self, pairs: Iterable[Tuple[int, int]]) -> List[JobRecord]:
+        """Multiply a batch of operand pairs through all three stages.
+
+        Every stage executes its whole batch in SIMD fashion (one
+        compiled pass per wear state) instead of job-by-job, which is
+        where the pipeline's throughput comes from.  Products, per-job
+        cycle counts, wear counters and energy are bit-identical to
+        calling :meth:`run_job` per pair; only the stage clocks differ,
+        advancing once per lock-step pass rather than once per job.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        for a, b in pairs:
+            if a < 0 or b < 0:
+                raise DesignError("operands must be non-negative")
+            if a >> self.n_bits or b >> self.n_bits:
+                raise DesignError(f"operands must fit in {self.n_bits} bits")
+        chunk_bits = self.n_bits // 4
+        pre = self.precompute.process_batch(
+            [
+                (split_chunks(a, chunk_bits, 4), split_chunks(b, chunk_bits, 4))
+                for a, b in pairs
+            ]
+        )
+        mul = self.multiply_stage.process_batch([r.chunk_sums for r in pre])
+        post = self.postcompute.process_batch([r.products for r in mul])
+        self.jobs += len(pairs)
+        return [
+            JobRecord(
+                a=a,
+                b=b,
+                product=post[i].product,
+                precompute_cycles=pre[i].cycles,
+                multiply_cycles=mul[i].cycles,
+                postcompute_cycles=post[i].cycles,
+            )
+            for i, (a, b) in enumerate(pairs)
+        ]
+
     # ------------------------------------------------------------------
     def stage_latencies(self) -> Tuple[int, int, int]:
         """Static (precompute, multiply, postcompute) latencies in cc."""
@@ -112,4 +152,13 @@ class KaratsubaController:
             self.precompute.max_writes(),
             self.multiply_stage.max_writes(),
             self.postcompute.max_writes(),
+        )
+
+    def total_energy_fj(self) -> float:
+        """Accumulated array energy across the crossbar stages, in fJ.
+
+        Covers the precompute and postcompute subarrays (the row
+        multipliers model wear but not device energy)."""
+        return float(
+            self.precompute.array.energy_fj + self.postcompute.array.energy_fj
         )

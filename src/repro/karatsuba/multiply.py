@@ -104,6 +104,39 @@ class MultiplicationStage:
             products=products, cycles=self.clock.cycles - start
         )
 
+    def process_batch(
+        self, operands_list: List[Dict[str, int]]
+    ) -> List[MultiplicationResult]:
+        """Run B multiplication passes, advancing the clock once.
+
+        The nine rows already run in lock-step within a pass; batching
+        extends the lock-step across operand sets, so the stage clock
+        advances by a single row latency for the whole batch.  Products
+        and wear accumulation are identical to calling :meth:`process`
+        per job (each job still charges its writes and rotates the hot
+        cells in order).
+        """
+        operands_list = list(operands_list)
+        if not operands_list:
+            return []
+        cycles = latency_cc(self.n_bits)
+        results: List[MultiplicationResult] = []
+        for operands in operands_list:
+            products: Dict[str, int] = {}
+            for step in self.plan.multiplications:
+                try:
+                    lhs = operands[step.lhs]
+                    rhs = operands[step.rhs]
+                except KeyError as missing:
+                    raise DesignError(f"missing operand {missing} for {step.out}")
+                products[step.out] = self.rows[step.out].multiply(lhs, rhs)
+            if self.wear_leveling:
+                self._rotate_hot_cells()
+            self.passes += 1
+            results.append(MultiplicationResult(products=products, cycles=cycles))
+        self.clock.tick(cycles, category="rowmul")
+        return results
+
     def _rotate_hot_cells(self) -> None:
         """Swap each row's hot scratch columns with a cold pair.
 

@@ -41,7 +41,7 @@ Result: ``c = (T << h) | (c_l mod 2^h)``.  Latency:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from repro.arith.bitops import ceil_log2, mask
 from repro.arith.koggestone import (
@@ -49,9 +49,10 @@ from repro.arith.koggestone import (
     KoggeStoneAdder,
     KoggeStoneLayout,
 )
-from repro.crossbar.array import CrossbarArray
+from repro.crossbar.array import BatchedCrossbarArray, CrossbarArray
 from repro.crossbar.endurance import WearLevelingController
-from repro.magic.executor import MagicExecutor, int_to_bits
+from repro.magic.executor import BatchedMagicExecutor, MagicExecutor, int_to_bits
+from repro.magic.program import Program, ProgramBuilder
 from repro.sim.clock import Clock
 from repro.sim.exceptions import DesignError
 
@@ -128,6 +129,8 @@ class PostcomputeStage:
         )
         self._adders: Dict[bool, KoggeStoneAdder] = {}
         self._initialised_states = set()
+        #: Per wear state: (mega program, clock histogram, cycles/job).
+        self._mega: Dict[bool, Tuple[Program, Dict[str, int], int]] = {}
         self.passes = 0
 
     # ------------------------------------------------------------------
@@ -159,65 +162,17 @@ class PostcomputeStage:
         if missing:
             raise DesignError(f"missing partial products: {sorted(missing)}")
         start = self.clock.cycles
-        n = self.n_bits
-        quarter, half = n // 4, n // 2
+        passes, product = self._plan_passes(products)
 
         adder = self._adder()
-        state = self.leveler.swapped
-        if state not in self._initialised_states:
-            self.array.init_rows(adder.layout.scratch_rows)
-            self.array.init_rows([adder.layout.out_row])
-            self._initialised_states.add(state)
+        self._power_up(adder)
 
         # Stage the incoming products in the packed data rows so wear
         # accounting sees their writes (2 products per row, Fig. 7a).
         self._store_inputs(products)
 
-        p = products
-        values: Dict[str, int] = {}
-
-        # Pass 1/2: level-2 tilde values for the l and h nodes, batched.
-        off = half + 2
-        t_lh = self._run(adder, "add",
-                         p["c_ll"] | (p["c_hl"] << off),
-                         p["c_lh"] | (p["c_hh"] << off))
-        values["t_l"] = t_lh & mask(off)
-        values["t_h"] = t_lh >> off
-        off = half + 4
-        tilde = self._run(adder, "sub",
-                          p["c_lm"] | (p["c_hm"] << off),
-                          values["t_l"] | (values["t_h"] << off))
-        values["~c_lm"] = tilde & mask(off)
-        values["~c_hm"] = tilde >> off
-
-        # Pass 3/4: the mm node (wider operands, runs alone).
-        values["t_m"] = self._run(adder, "add", p["c_ml"], p["c_mh"])
-        values["~c_mm"] = self._run(adder, "sub", p["c_mm"], values["t_m"])
-
-        # Pass 5/6: c_l and c_h — appending is free, one addition each.
-        values["c_l"] = self._run(adder, "add",
-                                  p["c_ll"] | (p["c_lh"] << half),
-                                  values["~c_lm"] << quarter)
-        values["c_h"] = self._run(adder, "add",
-                                  p["c_hl"] | (p["c_hh"] << half),
-                                  values["~c_hm"] << quarter)
-
-        # Pass 7/8: c_m needs two additions (c_ml is half+2 bits wide,
-        # so (c_mh || c_ml) cannot be formed by appending).
-        values["u_m"] = self._run(adder, "add", p["c_ml"], p["c_mh"] << half)
-        values["c_m"] = self._run(adder, "add",
-                                  values["u_m"], values["~c_mm"] << quarter)
-
-        # Pass 9/10: the level-1 tilde value.
-        values["t"] = self._run(adder, "add", values["c_l"], values["c_h"])
-        values["~c_m"] = self._run(adder, "sub", values["c_m"], values["t"])
-
-        # Pass 11: final addition on the top 1.5n bits only; the low
-        # n/2 bits of c_l pass straight through to the result.
-        top = self._run(adder, "add",
-                        (values["c_l"] >> half) | (values["c_h"] << half),
-                        values["~c_m"])
-        product = (top << half) | (values["c_l"] & mask(half))
+        for op, x, y in passes:
+            self._run(adder, op, x, y)
 
         # Reset the data region so that, after a wear-leveling swap, the
         # incoming scratch rows hold logic one.  The cycle is part of
@@ -232,6 +187,223 @@ class PostcomputeStage:
             self.leveler.swap()
         self.passes += 1
         return PostcomputeResult(product=product, cycles=self.clock.cycles - start)
+
+    #: Fixed op sequence of the 11-pass schedule (data-independent).
+    PASS_OPS = ("add", "sub", "add", "sub", "add",
+                "add", "add", "add", "add", "sub", "add")
+
+    #: Packed input slots, two per data row (Fig. 7a).
+    _INPUT_NAMES = ("c_ll", "c_lh", "c_lm", "c_hl", "c_hh", "c_hm",
+                    "c_ml", "c_mh", "c_mm")
+
+    def _plan_passes(
+        self, products: Dict[str, int]
+    ) -> Tuple[List[Tuple[str, int, int]], int]:
+        """Pure-integer unrolling of the 11-pass schedule.
+
+        Returns the operand pair of every pass plus the final product.
+        The in-memory execution (sequential or batched) follows this
+        plan and asserts each sensed sum against it, so arithmetic
+        remains verified bit-for-bit through the real adder.
+        """
+        n = self.n_bits
+        quarter, half = n // 4, n // 2
+        passes: List[Tuple[str, int, int]] = []
+
+        def run(op: str, x: int, y: int) -> int:
+            if x >> self.cols or y >> self.cols:
+                raise DesignError("postcompute operand exceeds the adder window")
+            if op == "sub" and y > x:
+                raise DesignError("postcompute subtraction went negative")
+            if op == "add" and (x + y) >> self.cols:
+                raise DesignError("postcompute addition would overflow the window")
+            passes.append((op, x, y))
+            return x + y if op == "add" else x - y
+
+        p = products
+        values: Dict[str, int] = {}
+
+        # Pass 1/2: level-2 tilde values for the l and h nodes, batched.
+        off = half + 2
+        t_lh = run("add",
+                   p["c_ll"] | (p["c_hl"] << off),
+                   p["c_lh"] | (p["c_hh"] << off))
+        values["t_l"] = t_lh & mask(off)
+        values["t_h"] = t_lh >> off
+        off = half + 4
+        tilde = run("sub",
+                    p["c_lm"] | (p["c_hm"] << off),
+                    values["t_l"] | (values["t_h"] << off))
+        values["~c_lm"] = tilde & mask(off)
+        values["~c_hm"] = tilde >> off
+
+        # Pass 3/4: the mm node (wider operands, runs alone).
+        values["t_m"] = run("add", p["c_ml"], p["c_mh"])
+        values["~c_mm"] = run("sub", p["c_mm"], values["t_m"])
+
+        # Pass 5/6: c_l and c_h — appending is free, one addition each.
+        values["c_l"] = run("add",
+                            p["c_ll"] | (p["c_lh"] << half),
+                            values["~c_lm"] << quarter)
+        values["c_h"] = run("add",
+                            p["c_hl"] | (p["c_hh"] << half),
+                            values["~c_hm"] << quarter)
+
+        # Pass 7/8: c_m needs two additions (c_ml is half+2 bits wide,
+        # so (c_mh || c_ml) cannot be formed by appending).
+        values["u_m"] = run("add", p["c_ml"], p["c_mh"] << half)
+        values["c_m"] = run("add", values["u_m"], values["~c_mm"] << quarter)
+
+        # Pass 9/10: the level-1 tilde value.
+        values["t"] = run("add", values["c_l"], values["c_h"])
+        values["~c_m"] = run("sub", values["c_m"], values["t"])
+
+        # Pass 11: final addition on the top 1.5n bits only; the low
+        # n/2 bits of c_l pass straight through to the result.
+        top = run("add",
+                  (values["c_l"] >> half) | (values["c_h"] << half),
+                  values["~c_m"])
+        product = (top << half) | (values["c_l"] & mask(half))
+        ops = tuple(op for op, _, _ in passes)
+        if ops != self.PASS_OPS:  # pragma: no cover - schedule invariant
+            raise AssertionError(f"pass schedule drifted: {ops}")
+        return passes, product
+
+    def _power_up(self, adder: KoggeStoneAdder) -> None:
+        """Once per wear state: initialise scratch and sum rows."""
+        state = self.leveler.swapped
+        if state not in self._initialised_states:
+            self.array.init_rows(adder.layout.scratch_rows)
+            self.array.init_rows([adder.layout.out_row])
+            self._initialised_states.add(state)
+
+    def _mega_program(self) -> Tuple[Program, Dict[str, int], int]:
+        """One full pass as a single replayable program for the
+        *current* wear state: nine packed input WRITEs, eleven
+        (stage x/y, adder pass, sense) rounds, and the closing data
+        INIT.  The clock histogram covers only what the sequential path
+        ticks — the adder programs plus the 18 cc reorder lump; operand
+        staging and sensing ride inside that lump."""
+        state = self.leveler.swapped
+        if state not in self._mega:
+            adder = self._adder()
+            lay = adder.layout
+            physical = self.leveler.physical_row
+            builder = ProgramBuilder(label=f"postcompute-pass-{int(state)}")
+            span = self.cols // 2
+            for slot, name in enumerate(self._INPUT_NAMES):
+                builder.write(
+                    physical(slot // 2),
+                    name,
+                    col_offset=(slot % 2) * span,
+                    width=min(span, self.cols - (slot % 2) * span),
+                )
+            hist: Dict[str, int] = {}
+            cycles = REORDER_CYCLES
+            for index, op in enumerate(self.PASS_OPS):
+                builder.write(lay.x_row, f"x{index}", width=self.cols)
+                builder.write(lay.y_row, f"y{index}", width=self.cols)
+                program = adder.program(op)
+                builder.concat(program)
+                builder.read(lay.out_row, f"out{index}", width=self.cols)
+                for opcode, cost in program.cycles_by_opcode().items():
+                    hist[opcode] = hist.get(opcode, 0) + cost
+                cycles += program.cycle_count
+            builder.init([physical(r) for r in range(DATA_ROWS)])
+            hist["reorder"] = REORDER_CYCLES
+            self._mega[state] = (builder.build(), hist, cycles)
+        return self._mega[state]
+
+    def process_batch(
+        self, products_list: List[Dict[str, int]]
+    ) -> List[PostcomputeResult]:
+        """Run B postcomputation passes in one SIMD sweep per wear state.
+
+        Same contract as the precompute stage's batch path: jobs are
+        grouped by sequential wear-state parity, each group replays the
+        state's mega-program on a batched crossbar seeded at the steady
+        all-ones state, every sensed pass result is asserted against the
+        pure-integer plan, and per-lane writes/energy fold back into the
+        stage array bit-identically to :meth:`process` per job.
+        """
+        products_list = list(products_list)
+        if not products_list:
+            return []
+        required = set(self._INPUT_NAMES)
+        plans = []
+        for products in products_list:
+            missing = required - products.keys()
+            if missing:
+                raise DesignError(f"missing partial products: {sorted(missing)}")
+            plans.append(self._plan_passes(products))
+
+        start_swaps = self.leveler.swaps
+        if self.wear_leveling:
+            groups = [
+                [j for j in range(len(products_list)) if j % 2 == 0],
+                [j for j in range(len(products_list)) if j % 2 == 1],
+            ]
+        else:
+            groups = [list(range(len(products_list)))]
+
+        span = self.cols // 2
+        products_out: Dict[int, int] = {}
+        cycles_per_job = 0
+        for group_index, group in enumerate(groups):
+            if not group:
+                continue
+            adder = self._adder()
+            self._power_up(adder)
+            program, hist, cycles_per_job = self._mega_program()
+            bindings = []
+            for j in group:
+                passes, _ = plans[j]
+                values: Dict[str, int] = {}
+                for slot, name in enumerate(self._INPUT_NAMES):
+                    width = min(span, self.cols - (slot % 2) * span)
+                    value = products_list[j][name]
+                    if value >> width:
+                        raise DesignError(f"product {name} does not fit its slot")
+                    values[name] = value
+                for index, (_, x, y) in enumerate(passes):
+                    values[f"x{index}"] = x
+                    values[f"y{index}"] = y
+                bindings.append(values)
+
+            batched = BatchedCrossbarArray.from_scalar(self.array, len(group))
+            batched.state[:] = True
+            executor = BatchedMagicExecutor(batched, clock=Clock())
+            stats = executor.execute(program, bindings)
+
+            for lane, j in enumerate(group):
+                passes, product = plans[j]
+                for index, (op, x, y) in enumerate(passes):
+                    sensed = stats[lane].results[f"out{index}"]
+                    expected = x + y if op == "add" else x - y
+                    if sensed != expected:
+                        raise AssertionError(
+                            f"postcompute {op} produced {sensed}, "
+                            f"expected {expected}"
+                        )
+                products_out[j] = product
+
+            self.array.writes += batched.writes * len(group)
+            self.array.energy_fj += float(batched.energy_fj.sum())
+            self.array.state[:] = True
+            for opcode, cost in hist.items():
+                self.clock.tick(cost, category=opcode)
+            self.passes += len(group)
+            if self.wear_leveling and group_index + 1 < len(groups):
+                self.leveler.swap()
+
+        if self.wear_leveling:
+            self.leveler.advance(
+                start_swaps + len(products_list) - self.leveler.swaps
+            )
+        return [
+            PostcomputeResult(product=products_out[j], cycles=cycles_per_job)
+            for j in range(len(products_list))
+        ]
 
     # ------------------------------------------------------------------
     def _run(self, adder: KoggeStoneAdder, op: str, x: int, y: int) -> int:
@@ -264,10 +436,8 @@ class PostcomputeStage:
     def _store_inputs(self, products: Dict[str, int]) -> None:
         """Pack the nine products two-per-row into the data rows."""
         physical = self.leveler.physical_row
-        names = ["c_ll", "c_lh", "c_lm", "c_hl", "c_hh", "c_hm",
-                 "c_ml", "c_mh", "c_mm"]
         span = self.cols // 2
-        for slot, name in enumerate(names):
+        for slot, name in enumerate(self._INPUT_NAMES):
             row = physical(slot // 2)
             offset = (slot % 2) * span
             width = min(span, self.cols - offset)

@@ -32,10 +32,11 @@ from repro.arith.koggestone import (
     KoggeStoneAdder,
     KoggeStoneLayout,
 )
-from repro.crossbar.array import CrossbarArray
+from repro.crossbar.array import BatchedCrossbarArray, CrossbarArray
 from repro.crossbar.endurance import WearLevelingController
 from repro.karatsuba.unroll import UnrolledPlan, build_plan
-from repro.magic.executor import MagicExecutor, int_to_bits
+from repro.magic.executor import BatchedMagicExecutor, MagicExecutor, int_to_bits
+from repro.magic.program import Program, ProgramBuilder
 from repro.sim.clock import Clock
 from repro.sim.exceptions import DesignError
 
@@ -102,6 +103,8 @@ class PrecomputeStage:
         self._row_of = self._assign_rows()
         self._adders: Dict[Tuple[str, bool], List[Tuple[str, KoggeStoneAdder]]] = {}
         self._initialised_states = set()
+        #: Per wear state: (mega program, clock histogram, cycles/job).
+        self._mega: Dict[bool, Tuple[Program, Dict[str, int], int]] = {}
         self.passes = 0
 
     # ------------------------------------------------------------------
@@ -159,16 +162,7 @@ class PrecomputeStage:
             if chunk >> chunk_bits:
                 raise DesignError(f"chunk {chunk} exceeds {chunk_bits} bits")
         start = self.clock.cycles
-
-        state = self.leveler.swapped
-        if state not in self._initialised_states:
-            # Power-up: both wear states initialise their scratch region
-            # (and the result rows, which double as adder outputs) once.
-            self.array.init_rows(self._scratch_rows())
-            self.array.init_rows(
-                [self._physical(r) for r in range(INPUT_ROWS, INPUT_ROWS + RESULT_ROWS)]
-            )
-            self._initialised_states.add(state)
+        self._power_up()
 
         # (i) write the eight input chunks: one cycle per row.
         inputs = {f"a{i}": a_chunks[i] for i in range(4)}
@@ -207,6 +201,143 @@ class PrecomputeStage:
         return PrecomputeResult(
             chunk_sums=results, cycles=self.clock.cycles - start
         )
+
+    def _power_up(self) -> None:
+        """Once per wear state: initialise the scratch region (and the
+        result rows, which double as adder outputs) out-of-band."""
+        state = self.leveler.swapped
+        if state not in self._initialised_states:
+            self.array.init_rows(self._scratch_rows())
+            self.array.init_rows(
+                [self._physical(r) for r in range(INPUT_ROWS, INPUT_ROWS + RESULT_ROWS)]
+            )
+            self._initialised_states.add(state)
+
+    # ------------------------------------------------------------------
+    _INPUT_NAMES = tuple(f"a{i}" for i in range(4)) + tuple(
+        f"b{i}" for i in range(4)
+    )
+
+    def _mega_program(self) -> Tuple[Program, Dict[str, int], int]:
+        """One full pass as a single replayable program, for the
+        *current* wear state: eight operand WRITEs, ten adder passes
+        each followed by a result READ, and the closing data-region
+        INIT.  Returns ``(program, clock histogram, cycles per job)``;
+        the histogram covers exactly what the sequential path ticks
+        (the READs are periphery transfers the stage never charges)."""
+        state = self.leveler.swapped
+        if state not in self._mega:
+            builder = ProgramBuilder(label=f"precompute-pass-{int(state)}")
+            hist: Dict[str, int] = {"write": INPUT_ROWS}
+            cycles = INPUT_ROWS + 1
+            for name in self._INPUT_NAMES:
+                builder.write(
+                    self._physical(self._row_of[name]), name, width=self.cols
+                )
+            for step in self.plan.precompute_adds:
+                adder = self._adder_for(step)
+                program = adder.program("add")
+                builder.concat(program)
+                builder.read(adder.layout.out_row, step.out, width=self.cols)
+                for opcode, cost in program.cycles_by_opcode().items():
+                    hist[opcode] = hist.get(opcode, 0) + cost
+                cycles += program.cycle_count
+            builder.init(
+                [self._physical(r) for r in range(INPUT_ROWS + RESULT_ROWS)]
+            )
+            hist["init"] = hist.get("init", 0) + 1
+            self._mega[state] = (builder.build(), hist, cycles)
+        return self._mega[state]
+
+    def process_batch(
+        self, jobs: List[Tuple[List[int], List[int]]]
+    ) -> List[PrecomputeResult]:
+        """Run B precomputation passes in one SIMD sweep per wear state.
+
+        Jobs are grouped by the wear state they would execute under in
+        sequential order (the leveler alternates per multiplication),
+        each group replays the state's mega-program over a
+        ``(K, rows, cols)`` batched crossbar seeded at the steady all-
+        ones state, and the per-lane writes/energy are folded back into
+        this stage's array — bit-identical counters and results to
+        calling :meth:`process` per job.  The stage clock advances by
+        one pass per group (lanes run in lock-step).
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        chunk_bits = self.n_bits // 4
+        for a_chunks, b_chunks in jobs:
+            if len(a_chunks) != 4 or len(b_chunks) != 4:
+                raise DesignError("L=2 precompute expects 4 chunks per operand")
+            for chunk in (*a_chunks, *b_chunks):
+                if chunk >> chunk_bits:
+                    raise DesignError(f"chunk {chunk} exceeds {chunk_bits} bits")
+
+        start_swaps = self.leveler.swaps
+        initial = self.leveler.swapped
+        if self.wear_leveling:
+            groups = [
+                [j for j in range(len(jobs)) if j % 2 == 0],
+                [j for j in range(len(jobs)) if j % 2 == 1],
+            ]
+        else:
+            groups = [list(range(len(jobs)))]
+
+        all_sums: Dict[int, Dict[str, int]] = {}
+        cycles_per_job = 0
+        for group_index, group in enumerate(groups):
+            if not group:
+                continue
+            if self.wear_leveling and self.leveler.swapped != (
+                initial if group_index == 0 else not initial
+            ):
+                raise AssertionError("wear-state grouping out of sync")
+            self._power_up()
+            program, hist, cycles_per_job = self._mega_program()
+            bindings = []
+            for j in group:
+                a_chunks, b_chunks = jobs[j]
+                values = {f"a{i}": a_chunks[i] for i in range(4)}
+                values.update({f"b{i}": b_chunks[i] for i in range(4)})
+                bindings.append(values)
+
+            batched = BatchedCrossbarArray.from_scalar(self.array, len(group))
+            # Steady state: every pass ends with the whole subarray at
+            # logic one (closing data INIT + the adder's scratch reset).
+            batched.state[:] = True
+            executor = BatchedMagicExecutor(batched, clock=Clock())
+            stats = executor.execute(program, bindings)
+
+            for lane, j in enumerate(group):
+                results = dict(bindings[lane])
+                results.update(stats[lane].results)
+                for step in self.plan.precompute_adds:
+                    expected = results[step.lhs] + results[step.rhs]
+                    if results[step.out] != expected:
+                        raise AssertionError(
+                            f"precompute addition {step.out} produced "
+                            f"{results[step.out]}, expected {expected}"
+                        )
+                all_sums[j] = results
+
+            # Fold the batch back into the persistent array: each lane
+            # experienced the same write pulses, energy is per-lane.
+            self.array.writes += batched.writes * len(group)
+            self.array.energy_fj += float(batched.energy_fj.sum())
+            self.array.state[:] = True
+            for opcode, cost in hist.items():
+                self.clock.tick(cost, category=opcode)
+            self.passes += len(group)
+            if self.wear_leveling and group_index + 1 < len(groups):
+                self.leveler.swap()
+
+        if self.wear_leveling:
+            self.leveler.advance(start_swaps + len(jobs) - self.leveler.swaps)
+        return [
+            PrecomputeResult(chunk_sums=all_sums[j], cycles=cycles_per_job)
+            for j in range(len(jobs))
+        ]
 
     def _read_result(self, adder: KoggeStoneAdder) -> int:
         """Sense the sum row (periphery transfer to the next stage; the

@@ -3,7 +3,16 @@
 from repro.magic import compiler
 from repro.magic.asmtext import dumps as dump_asm
 from repro.magic.asmtext import loads as load_asm
-from repro.magic.executor import MagicExecutor, bits_to_int, int_to_bits
+from repro.magic.executor import (
+    BatchedMagicExecutor,
+    CompiledProgram,
+    MagicExecutor,
+    bits_to_int,
+    compile_program,
+    int_to_bits,
+    pack_ints,
+    unpack_ints,
+)
 from repro.magic.ops import Init, MicroOp, Nop, Nor, Not, Read, Shift, Write
 from repro.magic.optimize import (
     ProtocolReport,
@@ -16,8 +25,13 @@ from repro.magic.program import Program, ProgramBuilder
 from repro.magic.synth import emit_and, emit_maj3, emit_or, emit_xnor, emit_xor
 
 __all__ = [
+    "BatchedMagicExecutor",
+    "CompiledProgram",
     "Init",
+    "compile_program",
     "compiler",
+    "pack_ints",
+    "unpack_ints",
     "ProtocolReport",
     "check_protocol",
     "coalesce_inits",

@@ -1,23 +1,36 @@
-"""Cycle-accurate executor for MAGIC programs on a crossbar array.
+"""Cycle-accurate executors for MAGIC programs on crossbar arrays.
 
-The executor applies micro-ops to a :class:`CrossbarArray`, advancing a
-:class:`Clock` by each op's cycle cost and collecting a
-:class:`RunStats`.  The per-op costs match the paper's accounting:
-1 cc for any row-parallel NOR/NOT/INIT/WRITE/READ, 2 cc for a periphery
-shift (read + write-back).
+Two execution paths share one instruction set:
+
+* :class:`MagicExecutor` — the scalar reference path.  It applies
+  micro-ops one at a time to a :class:`CrossbarArray`, advancing a
+  :class:`Clock` by each op's cycle cost and collecting a
+  :class:`RunStats`.  The per-op costs match the paper's accounting:
+  1 cc for any row-parallel NOR/NOT/INIT/WRITE/READ, 2 cc for a
+  periphery shift (read + write-back).
+* :class:`BatchedMagicExecutor` — the SIMD path (paper Sec. II-B).  A
+  :class:`Program` is *compiled once* (parsed, validated, column masks
+  and field slices precomputed) into a :class:`CompiledProgram`, then
+  replayed against a :class:`BatchedCrossbarArray` so one pass of numpy
+  kernels evaluates every lane of a ``(batch, rows, cols)`` state
+  tensor.  Per-lane results, cycle counts, write counters and energy
+  are bit-identical to running the scalar executor once per lane — the
+  scalar path is kept as the differential-testing oracle.
 
 Data enters a program through *bindings* (name -> integer) consumed by
 WRITE ops and leaves through *results* (name -> integer) produced by
-READ ops; both are LSB-first bit fields within a row.
+READ ops; both are LSB-first bit fields within a row.  Results are
+per-run: each :meth:`MagicExecutor.execute` clears the previous run's
+mapping and also attaches its own mapping to the returned stats.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.crossbar.array import CrossbarArray
+from repro.crossbar.array import BatchedCrossbarArray, CrossbarArray
 from repro.magic.ops import Init, MicroOp, Nop, Nor, Not, Read, Shift, Write
 from repro.magic.program import Program
 from repro.sim.clock import Clock
@@ -32,20 +45,214 @@ def int_to_bits(value: int, width: int) -> np.ndarray:
         raise ValueError("only non-negative integers are storable")
     if value >> width:
         raise ValueError(f"value {value} does not fit in {width} bits")
-    return np.array([(value >> i) & 1 for i in range(width)], dtype=bool)
+    raw = np.frombuffer(value.to_bytes((width + 7) // 8, "little"), dtype=np.uint8)
+    return np.unpackbits(raw, bitorder="little")[:width].astype(bool)
 
 
 def bits_to_int(bits: np.ndarray) -> int:
     """Integer from an LSB-first bit vector."""
-    value = 0
-    for i, bit in enumerate(bits):
-        if bit:
-            value |= 1 << i
-    return value
+    bits = np.ascontiguousarray(bits, dtype=bool)
+    if bits.size == 0:
+        return 0
+    return int.from_bytes(
+        np.packbits(bits, bitorder="little").tobytes(), "little"
+    )
+
+
+def pack_ints(values: Sequence[int], width: int) -> np.ndarray:
+    """Stack LSB-first bit vectors of *values* into a ``(len, width)``
+    bool matrix (the batched counterpart of :func:`int_to_bits`)."""
+    nbytes = (width + 7) // 8
+    chunks = []
+    for value in values:
+        if value < 0:
+            raise ValueError("only non-negative integers are storable")
+        if value >> width:
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        chunks.append(value.to_bytes(nbytes, "little"))
+    if not values:
+        return np.zeros((0, width), dtype=bool)
+    raw = np.frombuffer(b"".join(chunks), dtype=np.uint8).reshape(len(values), nbytes)
+    if width == 0:
+        return np.zeros((len(values), 0), dtype=bool)
+    return np.unpackbits(raw, axis=1, bitorder="little")[:, :width].astype(bool)
+
+
+def unpack_ints(words: np.ndarray) -> List[int]:
+    """Integers from a ``(batch, width)`` LSB-first bit matrix (the
+    batched counterpart of :func:`bits_to_int`)."""
+    words = np.ascontiguousarray(words, dtype=bool)
+    if words.ndim != 2:
+        raise ValueError(f"expected a (batch, width) bit matrix, got {words.shape}")
+    if words.shape[1] == 0:
+        return [0] * words.shape[0]
+    packed = np.packbits(words, axis=1, bitorder="little")
+    return [int.from_bytes(row.tobytes(), "little") for row in packed]
+
+
+#: Compiled-step opcodes (tuple dispatch in the batched inner loop).
+_INIT, _NOR, _WRITE, _READ, _SHIFT, _NOP = range(6)
+
+#: RunStats counter attribute per micro-op opcode.
+_STAT_FIELD = {
+    "init": "init_ops",
+    "nor": "nor_ops",
+    "not": "not_ops",
+    "write": "write_ops",
+    "read": "read_ops",
+    "shift": "shift_ops",
+}
+
+
+class CompiledProgram:
+    """A :class:`Program` lowered for replay at near-zero Python cost.
+
+    Compilation validates every op against the target array geometry,
+    materialises column masks and field slices once, and precomputes the
+    static stats (cycle count, op histogram, per-category cycles).  The
+    compiled form is immutable and reusable: one compile, any number of
+    :meth:`BatchedMagicExecutor.execute` replays with fresh bindings.
+    """
+
+    def __init__(self, program: Program, rows: int, cols: int):
+        self.program = program
+        self.rows = rows
+        self.cols = cols
+        self.label = program.label
+        self.cycle_count = 0
+        self.op_counts: Dict[str, int] = {}
+        self.cycles_by_opcode: Dict[str, int] = {}
+        self.stat_counts: Dict[str, int] = {}
+        #: Unique (name, width) pairs consumed by WRITE ops.
+        self.write_specs: List[Tuple[str, int]] = []
+        self.steps: List[tuple] = []
+        self._compile(program)
+
+    # ------------------------------------------------------------------
+    def _col_mask(self, cols) -> Optional[np.ndarray]:
+        if cols is None:
+            return None
+        start, stop = cols
+        if not (0 <= start < stop <= self.cols):
+            raise ProgramError(
+                f"column range {cols} outside array width {self.cols}"
+            )
+        if start == 0 and stop == self.cols:
+            # Full-width window: lower to the unmasked fast path (a
+            # full-ones mask selects the same cells, so accounting is
+            # unchanged).
+            return None
+        mask = np.zeros(self.cols, dtype=bool)
+        mask[start:stop] = True
+        return mask
+
+    def _field(self, col_offset: int, width: Optional[int]) -> slice:
+        if width is None:
+            width = self.cols - col_offset
+        if col_offset < 0 or col_offset + width > self.cols:
+            raise ProgramError(
+                f"field [{col_offset}, {col_offset + width}) outside array"
+            )
+        return slice(col_offset, col_offset + width)
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise ProgramError(f"row {row} outside array height {self.rows}")
+
+    def _compile(self, program: Program) -> None:
+        specs_seen: Dict[Tuple[str, int], None] = {}
+        for op in program:
+            op.validate(self.rows, self.cols)
+            self.cycle_count += op.cycles
+            self.op_counts[op.opcode] = self.op_counts.get(op.opcode, 0) + 1
+            self.cycles_by_opcode[op.opcode] = (
+                self.cycles_by_opcode.get(op.opcode, 0) + op.cycles
+            )
+            stat_field = _STAT_FIELD.get(op.opcode)
+            if stat_field:
+                self.stat_counts[stat_field] = self.stat_counts.get(stat_field, 0) + 1
+            if isinstance(op, Init):
+                self.steps.append(
+                    (_INIT, tuple(dict.fromkeys(op.rows)), self._col_mask(op.cols))
+                )
+            elif isinstance(op, Nor):
+                self.steps.append(
+                    (_NOR, list(op.in_rows), op.out_row, self._col_mask(op.cols))
+                )
+            elif isinstance(op, Not):
+                self.steps.append(
+                    (_NOR, [op.in_row], op.out_row, self._col_mask(op.cols))
+                )
+            elif isinstance(op, Write):
+                field = self._field(op.col_offset, op.width)
+                if field.start == 0 and field.stop == self.cols:
+                    mask = None
+                else:
+                    mask = np.zeros(self.cols, dtype=bool)
+                    mask[field] = True
+                spec = (op.name, field.stop - field.start)
+                specs_seen.setdefault(spec)
+                self.steps.append((_WRITE, op.row, field, mask, spec))
+            elif isinstance(op, Read):
+                field = self._field(op.col_offset, op.width)
+                self.steps.append((_READ, op.row, field, op.name))
+            elif isinstance(op, Shift):
+                mask = self._col_mask(op.cols)
+                window = (
+                    slice(0, self.cols) if op.cols is None else slice(*op.cols)
+                )
+                self.steps.append(
+                    (
+                        _SHIFT,
+                        op.src_row,
+                        op.dst_row,
+                        op.offset,
+                        bool(op.fill),
+                        window,
+                        mask,
+                        tuple(dict.fromkeys(op.also_init)),
+                    )
+                )
+            elif isinstance(op, Nop):
+                self.steps.append((_NOP,))
+            else:  # pragma: no cover - defensive
+                raise ProgramError(f"unknown micro-op {op!r}")
+        self.write_specs = list(specs_seen)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def compile_program(program: Program, rows: int, cols: int) -> CompiledProgram:
+    """Validate *program* against an array geometry and lower it."""
+    return CompiledProgram(program, rows, cols)
+
+
+class _CompileCache:
+    """Identity-keyed cache of compiled programs.
+
+    Keyed by ``(id(program), len(program))`` with a strong reference to
+    the program so ids cannot be recycled; extending a program through
+    :meth:`Program.extend` changes its length and misses the cache.
+    """
+
+    def __init__(self, rows: int, cols: int):
+        self.rows = rows
+        self.cols = cols
+        self._entries: Dict[Tuple[int, int], Tuple[Program, CompiledProgram]] = {}
+
+    def get(self, program: Program) -> CompiledProgram:
+        key = (id(program), len(program.ops))
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is program:
+            return entry[1]
+        compiled = CompiledProgram(program, self.rows, self.cols)
+        self._entries[key] = (program, compiled)
+        return compiled
 
 
 class MagicExecutor:
-    """Executes :class:`Program` objects cycle-accurately.
+    """Executes :class:`Program` objects cycle-accurately (scalar path).
 
     Parameters
     ----------
@@ -67,6 +274,7 @@ class MagicExecutor:
         self.clock = clock if clock is not None else Clock()
         self.trace = trace if trace is not None else Trace(enabled=False)
         self.results: Dict[str, int] = {}
+        self._compile_cache = _CompileCache(array.rows, array.cols)
 
     # ------------------------------------------------------------------
     def _col_mask(self, cols) -> Optional[np.ndarray]:
@@ -98,23 +306,62 @@ class MagicExecutor:
     ) -> RunStats:
         """Run *program* to completion and return its :class:`RunStats`.
 
-        READ results accumulate in :attr:`results` and are also returned
-        via the stats-independent :attr:`results` mapping.
+        READ results are collected per run: :attr:`results` holds the
+        mapping of the most recent run only (a previous run's names do
+        not leak into the next), and the same mapping is attached to the
+        returned stats as ``stats.results``.
         """
         bindings = bindings or {}
-        stats = RunStats()
+        run_results: Dict[str, int] = {}
+        self.results = run_results
+        stats = RunStats(results=run_results)
         energy_before = self.array.energy_fj
+        trace_enabled = self.trace.enabled
         for op in program:
-            self._dispatch(op, bindings, stats)
+            self._dispatch(op, bindings, stats, run_results)
             stats.cycles += op.cycles
             self.clock.tick(op.cycles, category=op.opcode)
             stats.op_counts[op.opcode] = stats.op_counts.get(op.opcode, 0) + 1
-            self.trace.record(self.clock.cycles, op.opcode, repr(op))
+            if trace_enabled:
+                self.trace.record(self.clock.cycles, op.opcode, repr(op))
         stats.energy_fj = self.array.energy_fj - energy_before
         return stats
 
+    def execute_batch(
+        self,
+        program: Program,
+        bindings_list: Sequence[Dict[str, int]],
+    ) -> List[RunStats]:
+        """Replay *program* over a batch of binding sets in one SIMD pass.
+
+        The program is compiled (validated, column-masked) once and
+        cached on this executor, so repeated calls replay it with fresh
+        bindings at near-zero Python overhead.  Each lane starts from a
+        copy of the scalar array's current state; the scalar array
+        itself is left untouched (lanes diverge, so there is no single
+        end state to write back).  The shared clock advances once by the
+        program's cycle count — the SIMD semantics of row-parallel MAGIC:
+        all lanes execute in lock-step.
+
+        Returns one :class:`RunStats` per lane, bit-identical (results,
+        cycles, op counts, energy) to running :meth:`execute` with that
+        lane's bindings on a scalar copy of the array.
+        """
+        if not bindings_list:
+            return []
+        compiled = self._compile_cache.get(program)
+        batched = BatchedCrossbarArray.from_scalar(self.array, len(bindings_list))
+        executor = BatchedMagicExecutor(batched, clock=self.clock, trace=self.trace)
+        return executor.execute(compiled, bindings_list)
+
     # ------------------------------------------------------------------
-    def _dispatch(self, op: MicroOp, bindings: Dict[str, int], stats: RunStats) -> None:
+    def _dispatch(
+        self,
+        op: MicroOp,
+        bindings: Dict[str, int],
+        stats: RunStats,
+        results: Dict[str, int],
+    ) -> None:
         if isinstance(op, Init):
             self.array.init_rows(op.rows, self._col_mask(op.cols))
             stats.init_ops += 1
@@ -128,7 +375,7 @@ class MagicExecutor:
             self._do_write(op, bindings)
             stats.write_ops += 1
         elif isinstance(op, Read):
-            self._do_read(op)
+            self._do_read(op, results)
             stats.read_ops += 1
         elif isinstance(op, Shift):
             self._do_shift(op)
@@ -150,15 +397,18 @@ class MagicExecutor:
         mask[field] = True
         self.array.write_row(op.row, word, mask)
 
-    def _do_read(self, op: Read) -> None:
+    def _do_read(self, op: Read, results: Dict[str, int]) -> None:
         field = self._field(op.col_offset, op.width)
         word = self.array.read_row(op.row)
-        self.results[op.name] = bits_to_int(word[field])
+        results[op.name] = bits_to_int(word[field])
 
     def _do_shift(self, op: Shift) -> None:
         mask = self._col_mask(op.cols)
         window = slice(0, self.array.cols) if op.cols is None else slice(*op.cols)
-        src = self.array.read_row(op.src_row)[window]
+        # Only the window's sense amplifiers fire: narrow shifts must
+        # not be charged a full-row read (the write below is already
+        # masked to the window).
+        src = self.array.read_row(op.src_row, mask)[window]
         shifted = np.full(src.shape, bool(op.fill))
         if op.offset >= 0:
             if op.offset < len(src):
@@ -175,3 +425,126 @@ class MagicExecutor:
             # word-line driver raises the listed rows while the write
             # circuit programs the shifted word.  No extra cycles.
             self.array.init_rows(op.also_init, mask)
+
+
+class BatchedMagicExecutor:
+    """Replays compiled programs against a :class:`BatchedCrossbarArray`.
+
+    One :meth:`execute` call evaluates every lane of the batch through a
+    single pass of vectorised numpy kernels — the software analogue of
+    the paper's row-parallel SIMD execution, extended across operand
+    sets.  The clock advances once per op (lanes run in lock-step), and
+    per-lane stats match the scalar executor bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        array: BatchedCrossbarArray,
+        clock: Optional[Clock] = None,
+        trace: Optional[Trace] = None,
+    ):
+        self.array = array
+        self.clock = clock if clock is not None else Clock()
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self._compile_cache = _CompileCache(array.rows, array.cols)
+
+    # ------------------------------------------------------------------
+    def compile(self, program: Program) -> CompiledProgram:
+        """Compile (and cache) *program* for this array's geometry."""
+        return self._compile_cache.get(program)
+
+    def execute(
+        self,
+        program,
+        bindings_list: Sequence[Dict[str, int]],
+    ) -> List[RunStats]:
+        """Execute a :class:`Program` or :class:`CompiledProgram` with
+        one binding set per lane; returns one :class:`RunStats` per lane.
+        """
+        compiled = (
+            program
+            if isinstance(program, CompiledProgram)
+            else self.compile(program)
+        )
+        if compiled.rows != self.array.rows or compiled.cols != self.array.cols:
+            raise ProgramError(
+                f"program compiled for {compiled.rows}x{compiled.cols} "
+                f"cannot run on {self.array.rows}x{self.array.cols}"
+            )
+        batch = self.array.batch
+        if len(bindings_list) != batch:
+            raise ProgramError(
+                f"got {len(bindings_list)} binding sets for {batch} lanes"
+            )
+        packed: Dict[Tuple[str, int], np.ndarray] = {}
+        for name, width in compiled.write_specs:
+            try:
+                values = [bindings[name] for bindings in bindings_list]
+            except KeyError:
+                raise ProgramError(
+                    f"WRITE references unbound operand {name!r}"
+                ) from None
+            packed[(name, width)] = pack_ints(values, width)
+
+        array = self.array
+        energy_before = array.energy_fj.copy()
+        results: List[Dict[str, int]] = [{} for _ in range(batch)]
+        trace_enabled = self.trace.enabled
+        for index, step in enumerate(compiled.steps):
+            code = step[0]
+            if code == _NOR:
+                array.nor_rows(step[1], step[2], step[3])
+            elif code == _INIT:
+                array.init_rows(step[1], step[2])
+            elif code == _WRITE:
+                _, row, field, mask, spec = step
+                word = array.state[:, row].copy()
+                word[:, field] = packed[spec]
+                array.write_row(row, word, mask)
+            elif code == _READ:
+                _, row, field, name = step
+                words = array.read_row(row)
+                for lane, value in enumerate(unpack_ints(words[:, field])):
+                    results[lane][name] = value
+            elif code == _SHIFT:
+                self._do_shift(step)
+            # _NOP: nothing to evaluate.
+            if trace_enabled:
+                op = compiled.program.ops[index]
+                self.trace.record(self.clock.cycles, op.opcode, repr(op))
+        for opcode, cycles in compiled.cycles_by_opcode.items():
+            self.clock.tick(cycles, category=opcode)
+
+        energy = array.energy_fj - energy_before
+        stats_list = []
+        for lane in range(batch):
+            stats = RunStats(
+                cycles=compiled.cycle_count,
+                energy_fj=float(energy[lane]),
+                op_counts=dict(compiled.op_counts),
+                results=results[lane],
+            )
+            for field_name, count in compiled.stat_counts.items():
+                setattr(stats, field_name, count)
+            stats_list.append(stats)
+        return stats_list
+
+    # ------------------------------------------------------------------
+    def _do_shift(self, step: tuple) -> None:
+        _, src_row, dst_row, offset, fill, window, mask, also_init = step
+        array = self.array
+        src = array.read_row(src_row, mask)[:, window]
+        width = src.shape[1]
+        shifted = np.full(src.shape, fill)
+        if offset >= 0:
+            if offset < width:
+                shifted[:, offset:] = src[:, : width - offset]
+        else:
+            amount = -offset
+            if amount < width:
+                shifted[:, : width - amount] = src[:, amount:]
+        word = array.state[:, dst_row].copy()
+        word[:, window] = shifted
+        array.write_row(dst_row, word, mask)
+        if also_init:
+            array.init_rows(also_init, mask)

@@ -32,7 +32,31 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.sim.exceptions import ProgramError
+
 ColumnRange = Optional[Tuple[int, int]]
+
+
+def _check_cols(cols: ColumnRange, width: int) -> None:
+    if cols is None:
+        return
+    start, stop = cols
+    if not (0 <= start < stop <= width):
+        raise ProgramError(f"column range {cols} outside array width {width}")
+
+
+def _check_row(row: int, height: int) -> None:
+    if not 0 <= row < height:
+        raise ProgramError(f"row {row} outside array height {height}")
+
+
+def _check_field(col_offset: int, width: Optional[int], cols: int) -> None:
+    if width is None:
+        width = cols - col_offset
+    if col_offset < 0 or col_offset + width > cols:
+        raise ProgramError(
+            f"field [{col_offset}, {col_offset + width}) outside array"
+        )
 
 
 @dataclass(frozen=True)
@@ -47,6 +71,11 @@ class MicroOp:
     def cycles(self) -> int:
         return 1
 
+    def validate(self, rows: int, cols: int) -> None:
+        """Raise :class:`ProgramError` if the op cannot run on a
+        *rows* x *cols* array.  Used by program compilation so geometry
+        errors surface once, before any replay."""
+
 
 @dataclass(frozen=True)
 class Init(MicroOp):
@@ -58,6 +87,11 @@ class Init(MicroOp):
     def __post_init__(self) -> None:
         if not self.rows:
             raise ValueError("INIT requires at least one row")
+
+    def validate(self, rows: int, cols: int) -> None:
+        for row in self.rows:
+            _check_row(row, rows)
+        _check_cols(self.cols, cols)
 
 
 @dataclass(frozen=True)
@@ -72,6 +106,12 @@ class Nor(MicroOp):
         if not self.in_rows:
             raise ValueError("NOR requires at least one input row")
 
+    def validate(self, rows: int, cols: int) -> None:
+        for row in self.in_rows:
+            _check_row(row, rows)
+        _check_row(self.out_row, rows)
+        _check_cols(self.cols, cols)
+
 
 @dataclass(frozen=True)
 class Not(MicroOp):
@@ -80,6 +120,11 @@ class Not(MicroOp):
     in_row: int
     out_row: int
     cols: ColumnRange = None
+
+    def validate(self, rows: int, cols: int) -> None:
+        _check_row(self.in_row, rows)
+        _check_row(self.out_row, rows)
+        _check_cols(self.cols, cols)
 
 
 @dataclass(frozen=True)
@@ -96,6 +141,10 @@ class Write(MicroOp):
     col_offset: int = 0
     width: Optional[int] = None
 
+    def validate(self, rows: int, cols: int) -> None:
+        _check_row(self.row, rows)
+        _check_field(self.col_offset, self.width, cols)
+
 
 @dataclass(frozen=True)
 class Read(MicroOp):
@@ -105,6 +154,10 @@ class Read(MicroOp):
     name: str
     col_offset: int = 0
     width: Optional[int] = None
+
+    def validate(self, rows: int, cols: int) -> None:
+        _check_row(self.row, rows)
+        _check_field(self.col_offset, self.width, cols)
 
 
 @dataclass(frozen=True)
@@ -128,6 +181,13 @@ class Shift(MicroOp):
     @property
     def cycles(self) -> int:
         return 2
+
+    def validate(self, rows: int, cols: int) -> None:
+        _check_row(self.src_row, rows)
+        _check_row(self.dst_row, rows)
+        for row in self.also_init:
+            _check_row(row, rows)
+        _check_cols(self.cols, cols)
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,15 @@ class Program:
             counts[op.opcode] = counts.get(op.opcode, 0) + 1
         return counts
 
+    def cycles_by_opcode(self) -> Dict[str, int]:
+        """Cycle cost per opcode — the clock categories one execution
+        ticks.  Batched stage schedules replay a program across many
+        lanes and advance their clock from this histogram once."""
+        cycles: Dict[str, int] = {}
+        for op in self.ops:
+            cycles[op.opcode] = cycles.get(op.opcode, 0) + op.cycles
+        return cycles
+
     def __len__(self) -> int:
         return len(self.ops)
 

@@ -28,9 +28,15 @@ class RunStats:
     cell_writes: int = 0
     energy_fj: float = 0.0
     op_counts: Dict[str, int] = field(default_factory=dict)
+    #: READ results (name -> value) produced by the run that built these
+    #: stats.  Per-run: never carries names from an earlier execute().
+    results: Dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "RunStats") -> "RunStats":
-        """Return a new :class:`RunStats` summing *self* and *other*."""
+        """Return a new :class:`RunStats` summing *self* and *other*.
+
+        Result names collide last-wins (*other* shadows *self*), the
+        same way a later READ to an existing name would."""
         merged = RunStats(
             cycles=self.cycles + other.cycles,
             nor_ops=self.nor_ops + other.nor_ops,
@@ -42,6 +48,7 @@ class RunStats:
             cell_writes=self.cell_writes + other.cell_writes,
             energy_fj=self.energy_fj + other.energy_fj,
             op_counts=dict(self.op_counts),
+            results={**self.results, **other.results},
         )
         for key, value in other.op_counts.items():
             merged.op_counts[key] = merged.op_counts.get(key, 0) + value

@@ -92,18 +92,23 @@ class TestExecutorEdgeCases:
         assert clock.cycles == 2
         assert clock.by_category["init"] == 2
 
-    def test_results_accumulate_across_programs(self):
+    def test_results_are_per_run(self):
         array = CrossbarArray(2, 8)
         ex = MagicExecutor(array)
-        ex.execute(
+        first = ex.execute(
             ProgramBuilder().write(0, "x", width=8).read(0, "first", width=8).build(),
             bindings={"x": 7},
         )
-        ex.execute(
+        assert ex.results == {"first": 7}
+        second = ex.execute(
             ProgramBuilder().write(1, "y", width=8).read(1, "second", width=8).build(),
             bindings={"y": 9},
         )
-        assert ex.results == {"first": 7, "second": 9}
+        # A previous run's READ results must not leak into the next run,
+        # and each run's mapping rides along on its RunStats.
+        assert ex.results == {"second": 9}
+        assert first.results == {"first": 7}
+        assert second.results == {"second": 9}
 
     def test_write_at_offset_preserves_rest(self):
         array = CrossbarArray(1, 8)
