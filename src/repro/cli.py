@@ -14,6 +14,7 @@ Commands
 ``artifacts``   write every table/figure to text + JSON files
 ``claims``      verify the machine-checkable paper-claims ledger
 ``variability`` MAGIC NOR sense-margin and device-spread study
+``service-bench`` drive a mixed-width stream through ``repro.service``
 """
 
 from __future__ import annotations
@@ -131,6 +132,87 @@ def _cmd_artifacts(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_service_bench(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.eval.report import format_table
+    from repro.service import MultiplicationService, ServiceConfig
+
+    widths = [int(w) for w in args.widths.split(",")]
+    rng = random.Random(args.seed)
+    service = MultiplicationService(
+        ServiceConfig(
+            batch_size=args.batch_size,
+            ways_per_width=args.ways,
+            max_wait_ticks=args.max_wait_ticks,
+        )
+    )
+    if args.inject_fault:
+        faulted = service.inject_fault(max(widths))
+        print(f"injected sa1 fault into way {faulted}")
+
+    expected = {}
+    history = []
+    for index in range(args.jobs):
+        n_bits = widths[index % len(widths)]
+        if history and index % 8 == 7:
+            a, b, n_bits = history[rng.randrange(len(history))]
+        else:
+            a = rng.getrandbits(n_bits)
+            b = rng.getrandbits(n_bits)
+            history.append((a, b, n_bits))
+        expected[service.submit(a, b, n_bits)] = a * b
+
+    results = service.drain()
+    mismatches = sum(
+        1 for r in results if r.product != expected[r.request_id]
+    )
+    snap = service.snapshot()
+    occupancy = snap["histograms"]["batch_occupancy"]
+    counters = snap["counters"]
+    rows = [
+        ("requests", f"{counters.get('requests_submitted', 0)}"),
+        ("batches flushed", f"{counters.get('batches_flushed', 0)}"),
+        ("mean batch occupancy", f"{occupancy['mean']:.2f}"),
+        ("operand-cache hits", f"{counters.get('operand_cache_hits', 0)}"),
+        ("compile-cache hits", f"{snap['caches']['compile']['hits']}"),
+        ("faults detected", f"{counters.get('faults_detected', 0)}"),
+        ("ways retired", f"{counters.get('ways_retired', 0)}"),
+        ("makespan", f"{snap['service']['makespan_cc']:,} cc"),
+        (
+            "throughput",
+            f"{snap['service']['throughput_per_mcc']:.1f} mult/Mcc",
+        ),
+    ]
+    print(
+        format_table(
+            ("metric", "value"),
+            rows,
+            title=(
+                f"Service bench: {args.jobs} jobs, widths {widths}, "
+                f"batch size {args.batch_size}"
+            ),
+        )
+    )
+    print()
+    for way_id, busy in sorted(snap["ways"].items()):
+        endurance = snap["endurance"][way_id]
+        status = (
+            "healthy"
+            if endurance["healthy"]
+            else f"retired ({endurance['retired_reason']})"
+        )
+        print(
+            f"  {way_id}: utilisation {busy:.2f}, "
+            f"max writes/cell {endurance['max_writes']}, {status}"
+        )
+    if mismatches:  # pragma: no cover - the service is bit-exact
+        print(f"MISMATCH: {mismatches} wrong products!", file=sys.stderr)
+        return 1
+    print(f"all {len(results)} products bit-exact")
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.karatsuba import cost
 
@@ -211,6 +293,23 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "variability", help="MAGIC NOR sense-margin / variability study"
     ).set_defaults(func=_cmd_variability)
+
+    svc = sub.add_parser(
+        "service-bench",
+        help="drive a mixed-width request stream through repro.service",
+    )
+    svc.add_argument("--jobs", type=int, default=64)
+    svc.add_argument("--batch-size", type=int, default=8)
+    svc.add_argument("--ways", type=int, default=2)
+    svc.add_argument("--max-wait-ticks", type=int, default=32)
+    svc.add_argument("--widths", default="16,32,64")
+    svc.add_argument("--seed", type=int, default=0x5E47)
+    svc.add_argument(
+        "--inject-fault",
+        action="store_true",
+        help="pin a stuck-at-1 cell in one way and show the recovery",
+    )
+    svc.set_defaults(func=_cmd_service_bench)
     return parser
 
 

@@ -1,10 +1,17 @@
-"""ReRAM crossbar substrate: devices, arrays, endurance, energy."""
+"""ReRAM crossbar substrate: devices, arrays, endurance, faults, energy."""
 
 from repro.crossbar.array import (
     FAULT_STUCK_AT_0,
     FAULT_STUCK_AT_1,
     BatchedCrossbarArray,
     CrossbarArray,
+)
+from repro.crossbar.faults import (
+    StuckAtFault,
+    clear as clear_faults,
+    fault_map,
+    inject as inject_faults,
+    random_faults,
 )
 from repro.crossbar.device import (
     ENDURANCE_HIGH_CYCLES,
@@ -52,7 +59,12 @@ __all__ = [
     "FAULT_STUCK_AT_0",
     "FAULT_STUCK_AT_1",
     "Memristor",
+    "StuckAtFault",
     "WearLevelingController",
     "analyze",
+    "clear_faults",
+    "fault_map",
+    "inject_faults",
+    "random_faults",
     "row_write_histogram",
 ]

@@ -1,0 +1,126 @@
+"""Stuck-at fault model for crossbar arrays.
+
+ReRAM arrays ship with defective cells and develop more as endurance
+wears out (paper Sec. II-A).  :class:`CrossbarArray` already knows how
+to *pin* a cell (:meth:`~repro.crossbar.array.CrossbarArray.inject_fault`);
+this module is the model layer on top of that primitive:
+
+* :class:`StuckAtFault` — one pinned cell as a value object;
+* :func:`inject` / :func:`clear` — apply or remove a fault set;
+* :func:`random_faults` — sample a defect population for an array;
+* :func:`fault_map` — read back the faults an array currently carries.
+
+The Monte Carlo *yield* analysis built on this model lives in
+:mod:`repro.crossbar.yieldsim`; the service layer's fault-recovery path
+(:mod:`repro.service.degrade`) uses :func:`inject` to corrupt one bank
+way and prove that retry-on-healthy-bank restores bit-exact products.
+
+Behaviour under the two kinds differs in a way that matters to fault
+handling above:
+
+* ``sa1`` cells silently corrupt MAGIC NOR outputs (the cell reads
+  logic one no matter what was computed) — detectable only by checking
+  results against an oracle;
+* ``sa0`` cells in a NOR output row violate the MAGIC init
+  precondition, so a strict array raises
+  :class:`~repro.sim.exceptions.MagicProtocolError` mid-program —
+  detectable as an exception.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crossbar.array import (
+    FAULT_STUCK_AT_0,
+    FAULT_STUCK_AT_1,
+    CrossbarArray,
+)
+from repro.sim.exceptions import FaultInjectionError
+
+#: The two supported stuck-at kinds, re-exported for callers that only
+#: import the model layer.
+KINDS = (FAULT_STUCK_AT_0, FAULT_STUCK_AT_1)
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """One cell pinned to a constant value."""
+
+    row: int
+    col: int
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise FaultInjectionError(f"unknown fault kind {self.kind!r}")
+
+    @property
+    def stuck_value(self) -> int:
+        """The logic value the cell is pinned to (0 or 1)."""
+        return 1 if self.kind == FAULT_STUCK_AT_1 else 0
+
+    def apply(self, array: CrossbarArray) -> None:
+        """Pin this fault's cell on *array*."""
+        array.inject_fault(self.row, self.col, self.kind)
+
+
+def inject(array: CrossbarArray, faults: Sequence[StuckAtFault]) -> None:
+    """Pin every fault in *faults* on *array*.
+
+    Later faults overwrite earlier ones at the same cell, matching the
+    array's own semantics (a cell holds exactly one defect).
+    """
+    for fault in faults:
+        fault.apply(array)
+
+
+def clear(array: CrossbarArray) -> None:
+    """Remove every injected fault from *array*.
+
+    Cell values keep their last (possibly corrupted) state — healing a
+    device does not rewind the data it damaged.
+    """
+    array.clear_faults()
+
+
+def fault_map(array: CrossbarArray) -> Dict[Tuple[int, int], str]:
+    """The faults *array* currently carries, as ``(row, col) -> kind``."""
+    return dict(array._faults)
+
+
+def random_faults(
+    rows: int,
+    cols: int,
+    count: int,
+    rng: random.Random,
+    kind: Optional[str] = None,
+) -> List[StuckAtFault]:
+    """Sample *count* distinct-cell stuck-at faults for a rows x cols grid.
+
+    When *kind* is ``None`` each fault flips a fair coin between
+    ``sa0`` and ``sa1`` (manufacturing defects show both polarities).
+    The returned list is not yet applied; pass it to :func:`inject`.
+    """
+    if count < 0:
+        raise FaultInjectionError("fault count must be non-negative")
+    if count > rows * cols:
+        raise FaultInjectionError(
+            f"cannot place {count} faults in {rows * cols} cells"
+        )
+    if kind is not None and kind not in KINDS:
+        raise FaultInjectionError(f"unknown fault kind {kind!r}")
+    cells = [(r, c) for r in range(rows) for c in range(cols)]
+    rng.shuffle(cells)
+    return [
+        StuckAtFault(
+            row=row,
+            col=col,
+            kind=kind
+            if kind is not None
+            else (FAULT_STUCK_AT_1 if rng.random() < 0.5 else FAULT_STUCK_AT_0),
+        )
+        for row, col in cells[:count]
+    ]

@@ -7,7 +7,8 @@ identical pipelined multipliers fed from one job queue:
 
 * functional path — every job still runs bit-exactly through a
   simulated datapath;
-* timing path — jobs are issued round-robin; each datapath accepts one
+* timing path — jobs are assigned least-loaded-first (a balanced
+  ceil/floor split on a homogeneous bank); each datapath accepts one
   job per bottleneck interval, so the bank's steady-state throughput is
   ``k * 1e6 / bottleneck_cc`` for ``k`` datapaths;
 * cost path — area scales linearly; ATP is invariant in ``k`` (the
@@ -17,9 +18,13 @@ identical pipelined multipliers fed from one job queue:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
-from repro.karatsuba.pipeline import KaratsubaPipeline, PipelineTiming
+from repro.karatsuba.pipeline import (
+    DEFAULT_BATCH_SIZE,
+    KaratsubaPipeline,
+    PipelineTiming,
+)
 from repro.sim.exceptions import DesignError
 
 
@@ -93,21 +98,52 @@ class MultiplierBank:
         )
 
     def run_stream(
-        self, operand_pairs: Iterable[Tuple[int, int]]
+        self,
+        operand_pairs: Iterable[Tuple[int, int]],
+        batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
     ) -> BankStreamResult:
-        """Round-robin the jobs over the ways; all products bit-exact."""
+        """Drain a job stream over the ways; all products bit-exact.
+
+        Jobs are assigned *least-loaded first*: each job goes to the
+        way with the least queued work (ties break on the lowest way
+        index), which for a homogeneous bank yields the balanced
+        ceil/floor split — the distribution
+        :meth:`BankTiming.makespan_cc` assumes, so the reported
+        makespan always agrees with the static model.  Each way then
+        drains its assignment through the batched SIMD path (pass
+        ``batch_size=None`` to force the scalar oracle path).
+        """
         pairs = list(operand_pairs)
-        products: List[int] = [0] * len(pairs)
         per_way = [0] * self.ways
-        for index, (a, b) in enumerate(pairs):
-            way = index % self.ways
-            products[index] = self.pipelines[way].multiply(a, b)
-            per_way[way] += 1
+        if not pairs:
+            return BankStreamResult(
+                products=[], makespan_cc=0, per_way_jobs=per_way
+            )
         timing = self.pipelines[0].timing()
-        makespan = max(
-            (timing.makespan_cc(count) for count in per_way if count),
-            default=0,
-        )
+        # Least-loaded assignment.  Every job of a fixed-width bank
+        # occupies its way for one bottleneck interval, so queued work
+        # is proportional to the job count; tracking cycles (not
+        # counts) keeps the policy correct if ways ever diverge.
+        loads = [0] * self.ways
+        assignments: List[List[int]] = [[] for _ in range(self.ways)]
+        for index in range(len(pairs)):
+            way = min(range(self.ways), key=lambda w: (loads[w], w))
+            assignments[way].append(index)
+            loads[way] += timing.bottleneck_cc
+            per_way[way] += 1
+        products: List[int] = [0] * len(pairs)
+        for way, indices in enumerate(assignments):
+            if not indices:
+                continue
+            result = self.pipelines[way].run_stream(
+                [pairs[i] for i in indices], batch_size=batch_size
+            )
+            for index, product in zip(indices, result.products):
+                products[index] = product
+        # Ways run concurrently: the fullest way bounds completion.
+        # Balanced assignment makes this identical to the static
+        # BankTiming.makespan_cc(len(pairs)).
+        makespan = timing.makespan_cc(max(per_way))
         return BankStreamResult(
             products=products, makespan_cc=makespan, per_way_jobs=per_way
         )

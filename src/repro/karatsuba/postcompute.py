@@ -373,7 +373,9 @@ class PostcomputeStage:
             batched = BatchedCrossbarArray.from_scalar(self.array, len(group))
             batched.state[:] = True
             executor = BatchedMagicExecutor(batched, clock=Clock())
-            stats = executor.execute(program, bindings)
+            # Compile once per wear state via the stage's persistent
+            # cache; each batch replays the compiled program.
+            stats = executor.execute(self.executor.compile(program), bindings)
 
             for lane, j in enumerate(group):
                 passes, product = plans[j]

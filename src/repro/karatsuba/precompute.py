@@ -307,7 +307,10 @@ class PrecomputeStage:
             # logic one (closing data INIT + the adder's scratch reset).
             batched.state[:] = True
             executor = BatchedMagicExecutor(batched, clock=Clock())
-            stats = executor.execute(program, bindings)
+            # Compile through the stage's persistent cache: one compile
+            # per wear state for the stage's lifetime, replayed by every
+            # batch (the batched executor itself is per-call).
+            stats = executor.execute(self.executor.compile(program), bindings)
 
             for lane, j in enumerate(group):
                 results = dict(bindings[lane])

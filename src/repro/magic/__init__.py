@@ -5,6 +5,7 @@ from repro.magic.asmtext import dumps as dump_asm
 from repro.magic.asmtext import loads as load_asm
 from repro.magic.executor import (
     BatchedMagicExecutor,
+    CompileCacheStats,
     CompiledProgram,
     MagicExecutor,
     bits_to_int,
@@ -26,6 +27,7 @@ from repro.magic.synth import emit_and, emit_maj3, emit_or, emit_xnor, emit_xor
 
 __all__ = [
     "BatchedMagicExecutor",
+    "CompileCacheStats",
     "CompiledProgram",
     "Init",
     "compile_program",

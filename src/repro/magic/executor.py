@@ -228,26 +228,73 @@ def compile_program(program: Program, rows: int, cols: int) -> CompiledProgram:
     return CompiledProgram(program, rows, cols)
 
 
+class CompileCacheStats:
+    """Hit/miss/eviction counters of one compile cache.
+
+    The service layer aggregates these across every executor it owns to
+    surface program-compilation reuse in its metrics snapshot."""
+
+    __slots__ = ("hits", "misses", "evictions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
 class _CompileCache:
     """Identity-keyed cache of compiled programs.
 
     Keyed by ``(id(program), len(program))`` with a strong reference to
     the program so ids cannot be recycled; extending a program through
     :meth:`Program.extend` changes its length and misses the cache.
+
+    An optional *max_entries* bounds the cache with least-recently-used
+    eviction; unbounded by default, which matches the historical
+    behaviour (stage executors hold a handful of mega-programs for the
+    lifetime of the stage).
     """
 
-    def __init__(self, rows: int, cols: int):
+    def __init__(self, rows: int, cols: int, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("compile cache needs at least one entry")
         self.rows = rows
         self.cols = cols
+        self.max_entries = max_entries
+        self.stats = CompileCacheStats()
         self._entries: Dict[Tuple[int, int], Tuple[Program, CompiledProgram]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
     def get(self, program: Program) -> CompiledProgram:
         key = (id(program), len(program.ops))
         entry = self._entries.get(key)
         if entry is not None and entry[0] is program:
+            self.stats.hits += 1
+            # Refresh recency (dicts iterate in insertion order).
+            self._entries.pop(key)
+            self._entries[key] = entry
             return entry[1]
+        self.stats.misses += 1
         compiled = CompiledProgram(program, self.rows, self.cols)
         self._entries[key] = (program, compiled)
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.stats.evictions += 1
         return compiled
 
 
@@ -275,6 +322,20 @@ class MagicExecutor:
         self.trace = trace if trace is not None else Trace(enabled=False)
         self.results: Dict[str, int] = {}
         self._compile_cache = _CompileCache(array.rows, array.cols)
+
+    def compile_cache_stats(self) -> CompileCacheStats:
+        """Hit/miss counters of this executor's program-compile cache."""
+        return self._compile_cache.stats
+
+    def compile(self, program: Program) -> CompiledProgram:
+        """Compile (and cache) *program* for this array's geometry.
+
+        The compiled form is immutable and geometry-keyed, so it can be
+        replayed by any :class:`BatchedMagicExecutor` whose array has
+        the same ``rows x cols`` — the stage batch paths use this to
+        compile their mega-programs once and replay them per batch.
+        """
+        return self._compile_cache.get(program)
 
     # ------------------------------------------------------------------
     def _col_mask(self, cols) -> Optional[np.ndarray]:
@@ -447,6 +508,10 @@ class BatchedMagicExecutor:
         self.clock = clock if clock is not None else Clock()
         self.trace = trace if trace is not None else Trace(enabled=False)
         self._compile_cache = _CompileCache(array.rows, array.cols)
+
+    def compile_cache_stats(self) -> CompileCacheStats:
+        """Hit/miss counters of this executor's program-compile cache."""
+        return self._compile_cache.stats
 
     # ------------------------------------------------------------------
     def compile(self, program: Program) -> CompiledProgram:

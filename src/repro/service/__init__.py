@@ -1,0 +1,344 @@
+"""`repro.service` — the batching multiplication service layer.
+
+Turns the cycle-accurate simulator into a servable system.  Clients
+submit individual multiplications; the service validates and queues
+them (:mod:`~repro.service.scheduler`), groups same-shape requests
+into SIMD bit-plane batches, answers repeats from an operand cache
+(:mod:`~repro.service.cache`), dispatches flushed batches onto the
+least-loaded / least-worn bank way (:mod:`~repro.service.workers`,
+:mod:`~repro.service.degrade`), verifies every product against the
+pure-Python oracle with retry-on-healthy-bank fault recovery, and
+exposes counters and histograms (:mod:`~repro.service.metrics`).
+
+>>> from repro.service import MultiplicationService, ServiceConfig
+>>> svc = MultiplicationService(ServiceConfig(batch_size=4, ways_per_width=2))
+>>> ids = [svc.submit(a, a + 1, 64) for a in range(8)]
+>>> results = svc.drain()
+>>> [r.product for r in results] == [a * (a + 1) for a in range(8)]
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.crossbar.array import FAULT_STUCK_AT_1
+from repro.crossbar.faults import StuckAtFault, inject
+from repro.karatsuba.pipeline import DEFAULT_BATCH_SIZE
+from repro.service.cache import OperandCache, ProgramCache
+from repro.service.degrade import (
+    DEFAULT_WRITE_BUDGET,
+    DegradeController,
+    EndurancePolicy,
+    RecoveryReport,
+)
+from repro.service.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+from repro.service.requests import (
+    AdmissionError,
+    MulRequest,
+    MulResult,
+    NoHealthyWayError,
+    QueueFullError,
+    ServiceError,
+)
+from repro.service.scheduler import BinningScheduler, Flush
+from repro.service.workers import BankDispatcher, DispatchReport, Way
+
+__all__ = [
+    "AdmissionError",
+    "BankDispatcher",
+    "BinningScheduler",
+    "DegradeController",
+    "DispatchReport",
+    "EndurancePolicy",
+    "Flush",
+    "MetricsRegistry",
+    "MulRequest",
+    "MulResult",
+    "MultiplicationService",
+    "NoHealthyWayError",
+    "OperandCache",
+    "ProgramCache",
+    "QueueFullError",
+    "RecoveryReport",
+    "ServiceConfig",
+    "ServiceError",
+    "Way",
+]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunable knobs of one :class:`MultiplicationService` instance."""
+
+    #: Target SIMD occupancy per flushed batch.
+    batch_size: int = DEFAULT_BATCH_SIZE
+    #: Admission-control bound on queued requests (backpressure).
+    max_pending: int = 1024
+    #: Under-full bins flush after this many logical ticks.
+    max_wait_ticks: int = 64
+    #: Bank ways instantiated per distinct operand width.
+    ways_per_width: int = 2
+    #: Entries in the repeated-operand product memo.
+    operand_cache_size: int = 4096
+    #: Entries in the warm-pipeline (compiled program) cache.
+    program_cache_size: int = 16
+    #: Per-cell write budget before a way retires (endurance).
+    write_budget: int = DEFAULT_WRITE_BUDGET
+    #: Batch replays allowed while recovering from faulty ways.
+    max_retries: int = 3
+    #: Forwarded to every pipeline (paper Sec. IV-B region swap).
+    wear_leveling: bool = True
+
+
+class MultiplicationService:
+    """Facade wiring scheduler, caches, dispatch, degrade and metrics.
+
+    Submission is synchronous-but-batched: :meth:`submit` enqueues (or
+    answers from cache) and opportunistically executes any batch the
+    submission made ready; :meth:`drain` force-flushes the rest and
+    returns every result accumulated since the previous drain, in
+    request order.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = MetricsRegistry()
+        self.scheduler = BinningScheduler(
+            batch_size=self.config.batch_size,
+            max_pending=self.config.max_pending,
+            max_wait_ticks=self.config.max_wait_ticks,
+        )
+        self.program_cache = ProgramCache(self.config.program_cache_size)
+        self.operand_cache = OperandCache(self.config.operand_cache_size)
+        self.dispatcher = BankDispatcher(
+            ways_per_width=self.config.ways_per_width,
+            program_cache=self.program_cache,
+            wear_leveling=self.config.wear_leveling,
+        )
+        self.degrade = DegradeController(
+            self.dispatcher,
+            policy=EndurancePolicy(self.config.write_budget),
+            max_retries=self.config.max_retries,
+        )
+        self._next_request_id = 0
+        self._batch_counter = 0
+        self._completed: List[MulResult] = []
+        self._jobs_completed = 0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        a: int,
+        b: int,
+        n_bits: int,
+        priority: int = 0,
+        deadline_cc: Optional[int] = None,
+    ) -> int:
+        """Submit one multiplication; returns its request id.
+
+        Raises :class:`AdmissionError` on invalid operands/width and
+        :class:`QueueFullError` under backpressure (the request is not
+        enqueued in either case).
+        """
+        request = MulRequest(
+            request_id=self._next_request_id,
+            a=a,
+            b=b,
+            n_bits=n_bits,
+            priority=priority,
+            deadline_cc=deadline_cc,
+        )
+        self.submit_request(request)
+        return request.request_id
+
+    def submit_request(self, request: MulRequest) -> None:
+        """Submit a pre-built :class:`MulRequest` (id chosen by caller)."""
+        self._next_request_id = max(self._next_request_id, request.request_id) + 1
+        cached = self.operand_cache.lookup(request.a, request.b, request.n_bits)
+        if cached is not None:
+            self.metrics.counter("requests_submitted").inc()
+            self.metrics.counter("operand_cache_hits").inc()
+            self._completed.append(
+                MulResult(
+                    request_id=request.request_id,
+                    product=cached,
+                    n_bits=request.n_bits,
+                    way="cache",
+                    batch_id=-1,
+                    batch_occupancy=1,
+                    latency_cc=0,
+                    cache_hit=True,
+                    deadline_met=(
+                        None if request.deadline_cc is None else True
+                    ),
+                )
+            )
+            return
+        self.metrics.counter("operand_cache_misses").inc()
+        try:
+            flushes = self.scheduler.submit(request)
+        except QueueFullError:
+            self.metrics.counter("requests_rejected").inc()
+            raise
+        self.metrics.counter("requests_submitted").inc()
+        self.metrics.histogram("queue_depth", COUNT_BUCKETS).observe(
+            self.scheduler.pending_count
+        )
+        self._execute_flushes(flushes)
+
+    def pump(self) -> None:
+        """Advance logical time one tick (age-out under-full bins)."""
+        self._execute_flushes(self.scheduler.pump())
+
+    def drain(self) -> List[MulResult]:
+        """Flush everything pending and return results in request order.
+
+        Returns every result accumulated since the last drain (cache
+        hits included) and clears the internal completion buffer.
+        """
+        self._execute_flushes(self.scheduler.drain())
+        completed = sorted(self._completed, key=lambda r: r.request_id)
+        self._completed = []
+        return completed
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute_flushes(self, flushes: List[Flush]) -> None:
+        for flush in flushes:
+            self._execute_flush(flush)
+
+    def _execute_flush(self, flush: Flush) -> None:
+        pairs = [(p.request.a, p.request.b) for p in flush.pending]
+        recovery = self.degrade.execute(flush.n_bits, pairs)
+        report = recovery.report
+        batch_id = self._batch_counter
+        self._batch_counter += 1
+        self._jobs_completed += len(pairs)
+
+        self.metrics.counter("batches_flushed").inc()
+        self.metrics.counter(f"flush_reason_{flush.reason}").inc()
+        self.metrics.counter("faults_detected").inc(len(recovery.faulty_ways))
+        self.metrics.counter("fault_retries").inc(recovery.retries)
+        self.metrics.counter("ways_retired").inc(
+            len(recovery.faulty_ways) + len(recovery.retired_ways)
+        )
+        self.metrics.histogram("batch_occupancy", COUNT_BUCKETS).observe(
+            flush.occupancy
+        )
+        self.metrics.histogram("batch_latency_cc", LATENCY_BUCKETS).observe(
+            report.makespan_cc
+        )
+
+        for pending, product in zip(flush.pending, report.products):
+            request = pending.request
+            self.operand_cache.store(
+                request.a, request.b, request.n_bits, product
+            )
+            deadline_met = (
+                None
+                if request.deadline_cc is None
+                else report.makespan_cc <= request.deadline_cc
+            )
+            if deadline_met is not None:
+                self.metrics.counter(
+                    "deadlines_met" if deadline_met else "deadlines_missed"
+                ).inc()
+            self._completed.append(
+                MulResult(
+                    request_id=request.request_id,
+                    product=product,
+                    n_bits=request.n_bits,
+                    way=report.way_id,
+                    batch_id=batch_id,
+                    batch_occupancy=flush.occupancy,
+                    latency_cc=report.makespan_cc,
+                    queued_ticks=flush.tick - pending.enqueue_tick,
+                    retries=recovery.retries,
+                    faulty_ways=recovery.faulty_ways,
+                    deadline_met=deadline_met,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Fault-injection hook (tests, benches, chaos drills)
+    # ------------------------------------------------------------------
+    def inject_fault(
+        self,
+        n_bits: int,
+        way_index: int = 0,
+        stage: str = "precompute",
+        row: int = 8,
+        col: int = 0,
+        kind: str = FAULT_STUCK_AT_1,
+    ) -> str:
+        """Pin a stuck-at cell in one way's stage subarray.
+
+        Returns the way id so callers can assert it gets quarantined.
+        The default target (precompute result row 8, column 0) corrupts
+        chunk sums: ``sa1`` trips the stage's differential self-check,
+        ``sa0`` violates the MAGIC init precondition mid-program — both
+        surface as exceptions the degrade controller converts into
+        quarantine-and-retry.
+        """
+        way = self.dispatcher.pool(n_bits)[way_index]
+        array = getattr(way.pipeline.controller, stage).array
+        inject(array, [StuckAtFault(row=row, col=col, kind=kind)])
+        return way.way_id
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _compile_cache_totals(self) -> Dict[str, int]:
+        totals = {"hits": 0, "misses": 0, "evictions": 0}
+        for way in self.dispatcher.all_ways():
+            controller = way.pipeline.controller
+            for stage_name in ("precompute", "multiply_stage", "postcompute"):
+                executor = getattr(
+                    getattr(controller, stage_name, None), "executor", None
+                )
+                if executor is None:
+                    continue
+                for key, value in executor.compile_cache_stats().as_dict().items():
+                    totals[key] += value
+        return totals
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict service state: metrics, caches, ways, endurance.
+
+        Schema (see ``docs/architecture.md`` for field semantics)::
+
+            {
+              "counters": {...}, "histograms": {...},   # MetricsRegistry
+              "caches": {"operand": .., "program": .., "compile": ..},
+              "service": {"jobs_completed", "makespan_cc",
+                          "throughput_per_mcc", "pending"},
+              "ways": {way_id: utilisation},
+              "endurance": {way_id: {...}},
+            }
+        """
+        snapshot = self.metrics.snapshot()
+        snapshot["caches"] = {
+            "operand": self.operand_cache.stats.as_dict(),
+            "program": self.program_cache.stats.as_dict(),
+            "compile": self._compile_cache_totals(),
+        }
+        snapshot["service"] = {
+            "jobs_completed": self._jobs_completed,
+            "makespan_cc": self.dispatcher.makespan_cc(),
+            "throughput_per_mcc": self.dispatcher.throughput_per_mcc(
+                self._jobs_completed
+            ),
+            "pending": self.scheduler.pending_count,
+        }
+        snapshot["ways"] = self.dispatcher.utilisation()
+        snapshot["endurance"] = self.degrade.endurance_snapshot()
+        return snapshot

@@ -1,0 +1,210 @@
+"""Wear-aware dispatch, fault recovery, graceful degradation.
+
+Robustness policies for the service, in the spirit of Count2Multiply's
+treatment of fault tolerance as a first-class concern for bulk-bitwise
+in-memory engines:
+
+* **wear-aware rotation** — :func:`make_wear_aware_ranker` extends the
+  dispatcher's least-loaded policy with the hottest-cell write count
+  (from :mod:`repro.crossbar.endurance` accounting), so equally loaded
+  ways rotate towards the least-worn device;
+* **endurance budgets** — :class:`EndurancePolicy` retires a way whose
+  hottest cell crosses its write budget.  The pool keeps serving with
+  fewer ways (graceful degradation) until none remain, at which point
+  dispatch raises :class:`~repro.service.requests.NoHealthyWayError`;
+* **fault recovery** — :class:`DegradeController.execute` verifies
+  every simulated product against the pure-Python oracle ``a * b``.
+  Three detection channels feed one recovery action (quarantine the
+  way, replay the whole batch on the next healthy way, up to
+  ``max_retries`` times):
+
+  1. a mid-program :class:`~repro.sim.exceptions.SimulationError` —
+     e.g. an ``sa0`` cell violating the MAGIC init precondition;
+  2. an :class:`AssertionError` from a stage's built-in differential
+     self-check (the Karatsuba stages assert every sensed sum against
+     a pure-integer plan, so ``sa1`` corruption typically trips here);
+  3. a product that disagrees with the oracle — the service-level
+     guarantee, kept independent of whichever checks the datapath
+     beneath happens to implement.
+
+The controller is pure policy: all mechanics (way selection, SIMD
+execution, cache eviction) live in :class:`~repro.service.workers.BankDispatcher`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.crossbar.endurance import analyze
+from repro.service.requests import NoHealthyWayError
+from repro.service.workers import BankDispatcher, DispatchReport, Way, WayRanker
+from repro.sim.exceptions import SimulationError
+
+#: Default per-cell write budget before a way retires.  Real ReRAM
+#: tolerates 1e10-1e11 writes (paper Sec. II-A); the default is far
+#: smaller so tests and benches can exercise retirement.
+DEFAULT_WRITE_BUDGET = 10**10
+
+
+class EndurancePolicy:
+    """Retire-on-budget policy over the hottest cell of each way."""
+
+    def __init__(self, write_budget: int = DEFAULT_WRITE_BUDGET):
+        if write_budget < 1:
+            raise ValueError("write budget must be positive")
+        self.write_budget = write_budget
+
+    def used(self, way: Way) -> int:
+        return way.max_writes()
+
+    def remaining(self, way: Way) -> int:
+        return max(0, self.write_budget - self.used(way))
+
+    def exhausted(self, way: Way) -> bool:
+        return self.used(way) >= self.write_budget
+
+    def remaining_fraction(self, way: Way) -> float:
+        return self.remaining(way) / self.write_budget
+
+
+def make_wear_aware_ranker(policy: EndurancePolicy) -> WayRanker:
+    """Least-loaded first, then least-worn, then stable by id.
+
+    Load dominates (throughput comes from spreading batches), wear
+    breaks ties — idle pools therefore rotate across ways instead of
+    hammering way 0, spreading endurance consumption.
+    """
+
+    def ranker(way: Way) -> Tuple:
+        return (way.busy_cc, policy.used(way), way.way_id)
+
+    return ranker
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Outcome of one batch execution under the degrade policies."""
+
+    report: DispatchReport
+    #: Replays spent recovering from corrupted ways.
+    retries: int
+    #: Ways quarantined while producing this batch.
+    faulty_ways: Tuple[str, ...]
+    #: Ways retired for endurance after this batch.
+    retired_ways: Tuple[str, ...]
+
+
+class DegradeController:
+    """Executes batches with verification, retry and endurance checks."""
+
+    def __init__(
+        self,
+        dispatcher: BankDispatcher,
+        policy: Optional[EndurancePolicy] = None,
+        max_retries: int = 3,
+        oracle: Callable[[int, int], int] = lambda a, b: a * b,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.dispatcher = dispatcher
+        self.policy = policy if policy is not None else EndurancePolicy()
+        self.max_retries = max_retries
+        self.oracle = oracle
+        # Wear-aware rotation rides on the dispatcher's ranking hook.
+        self.dispatcher.ranker = make_wear_aware_ranker(self.policy)
+
+    # ------------------------------------------------------------------
+    def execute(
+        self, n_bits: int, pairs: Sequence[Tuple[int, int]]
+    ) -> RecoveryReport:
+        """Run *pairs* as one batch, recovering from faulty ways.
+
+        Raises :class:`NoHealthyWayError` when retries are exhausted or
+        no healthy way remains for the width.
+        """
+        pairs = list(pairs)
+        expected = [self.oracle(a, b) for a, b in pairs]
+        faulty: List[str] = []
+        retries = 0
+        while True:
+            way = self.dispatcher.select_way(n_bits, exclude=set(faulty))
+            try:
+                report = self.dispatcher.run_on(way, pairs)
+            except SimulationError:
+                # sa0-style faults break the MAGIC protocol mid-program.
+                self.dispatcher.quarantine(way, "fault: protocol violation")
+                faulty.append(way.way_id)
+                retries += 1
+                self._check_retries(n_bits, retries, faulty)
+                continue
+            except AssertionError:
+                # A stage's differential self-check caught divergence
+                # between the sensed bits and its pure-integer plan
+                # (how sa1 corruption typically surfaces).
+                self.dispatcher.quarantine(way, "fault: stage self-check")
+                faulty.append(way.way_id)
+                retries += 1
+                self._check_retries(n_bits, retries, faulty)
+                continue
+            if report.products != expected:
+                # Service-level oracle check: defence in depth against
+                # corruption the stages themselves do not catch.
+                self.dispatcher.quarantine(way, "fault: corrupted product")
+                faulty.append(way.way_id)
+                retries += 1
+                self._check_retries(n_bits, retries, faulty)
+                continue
+            retired = self._retire_exhausted(n_bits)
+            return RecoveryReport(
+                report=report,
+                retries=retries,
+                faulty_ways=tuple(faulty),
+                retired_ways=retired,
+            )
+
+    def _check_retries(
+        self, n_bits: int, retries: int, faulty: List[str]
+    ) -> None:
+        if retries > self.max_retries:
+            raise NoHealthyWayError(
+                f"batch for n={n_bits} failed on {len(faulty)} ways "
+                f"({', '.join(faulty)}); retry budget exhausted"
+            )
+
+    def _retire_exhausted(self, n_bits: int) -> Tuple[str, ...]:
+        """Graceful degradation: drop ways past their write budget.
+
+        The last healthy way of a pool is kept in service even when
+        exhausted — degraded service beats none; the endurance snapshot
+        still reports it as over budget.
+        """
+        retired: List[str] = []
+        for way in self.dispatcher.healthy_ways(n_bits):
+            if not self.policy.exhausted(way):
+                continue
+            if len(self.dispatcher.healthy_ways(n_bits)) <= 1:
+                break
+            way.retire("endurance budget exhausted")
+            retired.append(way.way_id)
+        return tuple(retired)
+
+    # ------------------------------------------------------------------
+    def endurance_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-way wear view built on :func:`repro.crossbar.endurance.analyze`."""
+        snapshot: Dict[str, Dict[str, object]] = {}
+        for way in self.dispatcher.all_ways():
+            controller = way.pipeline.controller
+            reports = [
+                analyze(controller.precompute.array),
+                analyze(controller.postcompute.array),
+            ]
+            snapshot[way.way_id] = {
+                "healthy": way.healthy,
+                "retired_reason": way.retired_reason,
+                "max_writes": way.max_writes(),
+                "write_budget": self.policy.write_budget,
+                "remaining_fraction": self.policy.remaining_fraction(way),
+                "imbalance": max(r.imbalance for r in reports),
+            }
+        return snapshot

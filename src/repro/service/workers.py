@@ -1,0 +1,224 @@
+"""Bank-of-banks dispatch layer.
+
+One :class:`Way` is one physical multiplier bank way — a
+:class:`~repro.karatsuba.pipeline.KaratsubaPipeline` plus the service's
+view of it (accumulated busy cycles, health, wear).  A
+:class:`BankDispatcher` owns a pool of ways per operand width, creates
+them lazily through the warm-pipeline
+:class:`~repro.service.cache.ProgramCache`, and issues each flushed
+batch to the least-loaded healthy way (with an optional wear-aware
+ranking supplied by :mod:`repro.service.degrade`).
+
+Timing is aggregated from the existing
+:class:`~repro.karatsuba.pipeline.PipelineTiming` model: each dispatch
+adds the batch's pipelined makespan to the chosen way's busy time, and
+the service-level makespan is the busiest way's total — the classic
+list-scheduling bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.karatsuba.pipeline import KaratsubaPipeline, PipelineTiming
+from repro.service.cache import ProgramCache
+from repro.service.requests import NoHealthyWayError
+
+
+class Way:
+    """One bank way: a pipeline plus service-side bookkeeping."""
+
+    def __init__(self, way_id: str, pipeline: KaratsubaPipeline):
+        self.way_id = way_id
+        self.pipeline = pipeline
+        self.busy_cc = 0
+        self.jobs_done = 0
+        self.batches_done = 0
+        self.healthy = True
+        #: Why the way left service ("" while healthy).
+        self.retired_reason = ""
+
+    @property
+    def n_bits(self) -> int:
+        return self.pipeline.n_bits
+
+    def max_writes(self) -> int:
+        """Hottest-cell write count across the way's subarrays."""
+        return self.pipeline.controller.max_writes()
+
+    def retire(self, reason: str) -> None:
+        self.healthy = False
+        self.retired_reason = reason
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "healthy" if self.healthy else f"retired({self.retired_reason})"
+        return f"Way({self.way_id}, {state}, busy={self.busy_cc}cc)"
+
+
+@dataclass(frozen=True)
+class DispatchReport:
+    """Outcome of running one flushed batch on one way."""
+
+    way_id: str
+    n_bits: int
+    products: List[int]
+    makespan_cc: int
+    timing: PipelineTiming
+
+
+#: Ranking hook: maps candidate ways to a sort key (lower runs first).
+WayRanker = Callable[[Way], Tuple]
+
+
+def least_loaded(way: Way) -> Tuple:
+    """Default ranking: least queued work, then stable by id."""
+    return (way.busy_cc, way.way_id)
+
+
+class BankDispatcher:
+    """Routes flushed batches onto per-width pools of bank ways.
+
+    Parameters
+    ----------
+    ways_per_width:
+        Pool size for each distinct operand width (lazily built).
+    program_cache:
+        Warm-pipeline cache; pool construction for a width that was
+        seen before (even by a retired pool) hits this cache instead of
+        re-synthesising stage programs.
+    wear_leveling:
+        Forwarded to each pipeline (the paper's Sec. IV-B policy).
+    ranker:
+        Way-selection key; :func:`least_loaded` unless a wear-aware
+        policy (:mod:`repro.service.degrade`) overrides it.
+    """
+
+    def __init__(
+        self,
+        ways_per_width: int = 2,
+        program_cache: Optional[ProgramCache] = None,
+        wear_leveling: bool = True,
+        ranker: WayRanker = least_loaded,
+    ):
+        if ways_per_width < 1:
+            raise ValueError("need at least one way per width")
+        self.ways_per_width = ways_per_width
+        self.program_cache = (
+            program_cache if program_cache is not None else ProgramCache()
+        )
+        self.wear_leveling = wear_leveling
+        self.ranker = ranker
+        self._pools: Dict[int, List[Way]] = {}
+
+    # ------------------------------------------------------------------
+    def pool(self, n_bits: int) -> List[Way]:
+        """The (lazily created) way pool for *n_bits*."""
+        ways = self._pools.get(n_bits)
+        if ways is None:
+            ways = [
+                Way(
+                    way_id=f"w{n_bits}.{index}",
+                    pipeline=self._build_pipeline(n_bits, index),
+                )
+                for index in range(self.ways_per_width)
+            ]
+            self._pools[n_bits] = ways
+        return ways
+
+    def _build_pipeline(self, n_bits: int, index: int) -> KaratsubaPipeline:
+        return self.program_cache.get_or_build(
+            n_bits,
+            lambda: KaratsubaPipeline(n_bits, wear_leveling=self.wear_leveling),
+            variant=f"pipeline.{index}",
+        )
+
+    def healthy_ways(self, n_bits: int) -> List[Way]:
+        return [way for way in self.pool(n_bits) if way.healthy]
+
+    def quarantine(self, way: Way, reason: str) -> None:
+        """Retire *way* and evict its warm pipeline from the cache.
+
+        A quarantined way's arrays may hold corrupted state (stuck-at
+        cells, exhausted endurance), so a future pool for this width
+        must rebuild rather than revive it.
+        """
+        way.retire(reason)
+        index = way.way_id.rsplit(".", 1)[-1]
+        self.program_cache.discard(way.n_bits, variant=f"pipeline.{index}")
+
+    def widths(self) -> List[int]:
+        return sorted(self._pools)
+
+    def all_ways(self) -> List[Way]:
+        return [way for width in self.widths() for way in self._pools[width]]
+
+    # ------------------------------------------------------------------
+    def select_way(
+        self, n_bits: int, exclude: Optional[Set[str]] = None
+    ) -> Way:
+        """Best healthy way for *n_bits* under the current ranking."""
+        exclude = exclude or set()
+        candidates = [
+            way for way in self.healthy_ways(n_bits)
+            if way.way_id not in exclude
+        ]
+        if not candidates:
+            raise NoHealthyWayError(
+                f"no healthy way left for n={n_bits} "
+                f"(excluded: {sorted(exclude) or 'none'})"
+            )
+        return min(candidates, key=self.ranker)
+
+    def dispatch(
+        self,
+        n_bits: int,
+        pairs: Sequence[Tuple[int, int]],
+        exclude: Optional[Set[str]] = None,
+    ) -> DispatchReport:
+        """Run *pairs* as one SIMD batch on the best available way.
+
+        The whole batch executes on a single way — lanes of one
+        bit-plane pass share that way's subarrays — and the way's busy
+        time grows by the batch's pipelined makespan.
+        """
+        way = self.select_way(n_bits, exclude)
+        return self.run_on(way, pairs)
+
+    def run_on(
+        self, way: Way, pairs: Sequence[Tuple[int, int]]
+    ) -> DispatchReport:
+        """Run *pairs* on a specific way (retry path uses this)."""
+        pairs = list(pairs)
+        result = way.pipeline.run_stream(pairs, batch_size=max(len(pairs), 1))
+        way.busy_cc += result.makespan_cc
+        way.jobs_done += len(pairs)
+        way.batches_done += 1
+        return DispatchReport(
+            way_id=way.way_id,
+            n_bits=way.n_bits,
+            products=result.products,
+            makespan_cc=result.makespan_cc,
+            timing=result.timing,
+        )
+
+    # ------------------------------------------------------------------
+    def makespan_cc(self) -> int:
+        """Service makespan: the busiest way bounds completion."""
+        return max((way.busy_cc for way in self.all_ways()), default=0)
+
+    def throughput_per_mcc(self, jobs: int) -> float:
+        """Achieved multiplications per Mcc over the busiest way's span."""
+        makespan = self.makespan_cc()
+        if makespan == 0:
+            return 0.0
+        return jobs * 1e6 / makespan
+
+    def utilisation(self) -> Dict[str, float]:
+        """Busy fraction per way against the busiest way."""
+        makespan = self.makespan_cc()
+        if makespan == 0:
+            return {way.way_id: 0.0 for way in self.all_ways()}
+        return {
+            way.way_id: way.busy_cc / makespan for way in self.all_ways()
+        }

@@ -1,0 +1,112 @@
+"""Tests for the stuck-at fault model (`repro.crossbar.faults`)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crossbar.array import (
+    FAULT_STUCK_AT_0,
+    FAULT_STUCK_AT_1,
+    CrossbarArray,
+)
+from repro.crossbar.faults import (
+    StuckAtFault,
+    clear,
+    fault_map,
+    inject,
+    random_faults,
+)
+from repro.sim.exceptions import FaultInjectionError, MagicProtocolError
+
+
+class TestStuckAtFault:
+    def test_stuck_value(self):
+        assert StuckAtFault(0, 0, FAULT_STUCK_AT_1).stuck_value == 1
+        assert StuckAtFault(0, 0, FAULT_STUCK_AT_0).stuck_value == 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            StuckAtFault(0, 0, "sa2")
+
+    def test_apply_pins_cell(self):
+        array = CrossbarArray(4, 8)
+        StuckAtFault(1, 3, FAULT_STUCK_AT_1).apply(array)
+        assert bool(array.state[1, 3])
+        # Writes cannot clear a pinned cell.
+        array.write_row(1, [False] * 8)
+        assert bool(array.state[1, 3])
+
+
+class TestInjectClear:
+    def test_inject_and_map(self):
+        array = CrossbarArray(4, 8)
+        faults = [
+            StuckAtFault(0, 0, FAULT_STUCK_AT_1),
+            StuckAtFault(2, 5, FAULT_STUCK_AT_0),
+        ]
+        inject(array, faults)
+        assert fault_map(array) == {(0, 0): "sa1", (2, 5): "sa0"}
+
+    def test_last_fault_wins_per_cell(self):
+        array = CrossbarArray(2, 2)
+        inject(
+            array,
+            [
+                StuckAtFault(0, 0, FAULT_STUCK_AT_1),
+                StuckAtFault(0, 0, FAULT_STUCK_AT_0),
+            ],
+        )
+        assert fault_map(array) == {(0, 0): "sa0"}
+
+    def test_clear_removes_faults_keeps_state(self):
+        array = CrossbarArray(2, 2)
+        inject(array, [StuckAtFault(0, 0, FAULT_STUCK_AT_1)])
+        clear(array)
+        assert fault_map(array) == {}
+        assert bool(array.state[0, 0])  # last (corrupted) value remains
+        array.write_row(0, [False, False])
+        assert not bool(array.state[0, 0])  # writable again
+
+
+class TestRandomFaults:
+    def test_distinct_cells_and_count(self):
+        rng = random.Random(3)
+        faults = random_faults(6, 7, 10, rng)
+        assert len(faults) == 10
+        assert len({(f.row, f.col) for f in faults}) == 10
+        assert all(0 <= f.row < 6 and 0 <= f.col < 7 for f in faults)
+
+    def test_fixed_kind(self):
+        rng = random.Random(3)
+        faults = random_faults(4, 4, 5, rng, kind=FAULT_STUCK_AT_0)
+        assert {f.kind for f in faults} == {FAULT_STUCK_AT_0}
+
+    def test_too_many_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            random_faults(2, 2, 5, random.Random(0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            random_faults(2, 2, -1, random.Random(0))
+
+
+class TestFaultSemantics:
+    """The two kinds surface differently — the service relies on this."""
+
+    def test_sa0_breaks_magic_init_precondition(self):
+        array = CrossbarArray(3, 4)  # strict MAGIC by default
+        inject(array, [StuckAtFault(2, 1, FAULT_STUCK_AT_0)])
+        array.init_rows([2])
+        with pytest.raises(MagicProtocolError):
+            array.nor_rows([0, 1], 2)
+
+    def test_sa1_corrupts_nor_output_silently(self):
+        array = CrossbarArray(3, 4)
+        array.init_rows([0])  # inputs all ones -> NOR must be all zero
+        inject(array, [StuckAtFault(2, 1, FAULT_STUCK_AT_1)])
+        array.init_rows([2])
+        array.nor_rows([0], 2)
+        assert bool(array.state[2, 1])  # pinned high despite NOR zero
+        assert not array.state[2, [0, 2, 3]].any()
