@@ -1,0 +1,104 @@
+"""Benchmark: fault-campaign coverage and residue-check overhead floors.
+
+Runs the seeded single-fault campaign (``repro.reliability.campaign``)
+over sa0 / sa1 / transient-flip / write-failure at n in {64, 256} and
+holds the reliability subsystem to its acceptance floors:
+
+* **zero silent data corruption** — every trial's products bit-exact
+  or the trial ends in a detected, recovered state;
+* **100% detection** — every fault that corrupted an observable value
+  raised an in-band check;
+* **100% residue coverage** — for single-fault trials the mod-(2^r-1)
+  residue check fires before the exact differential backstop;
+* **in-place recovery** — no single-fault trial consumes a healthy way
+  (spare-row remap / replay suffice);
+* **overhead** — the cost model's residue-check latency stays below
+  10% of the pipeline fill latency at n = 256.
+
+Runs under pytest (``pytest benchmarks/bench_reliability.py``) and as
+a script (``python benchmarks/bench_reliability.py``), which exits
+non-zero when a floor is missed — the CI reliability smoke check.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.eval.report import format_table
+from repro.karatsuba.cost import design_cost, residue_overhead
+from repro.reliability import CampaignConfig, run_campaign
+
+WIDTHS = (64, 256)
+TRIALS = 3
+SEED = 0x5E47
+
+#: Floors checked by CI.
+MAX_SDC = 0
+MIN_DETECTION = 1.0
+MIN_RESIDUE_COVERAGE = 1.0
+MAX_OVERHEAD_FRACTION = 0.10
+
+
+def run_bench():
+    config = CampaignConfig(widths=WIDTHS, trials=TRIALS, seed=SEED)
+    begin = time.perf_counter()
+    report = run_campaign(config)
+    elapsed = time.perf_counter() - begin
+
+    counts = report.counts()
+    quarantined = sum(t.quarantined_ways for t in report.trials)
+    overhead = residue_overhead(256, depth=2)
+    fraction = overhead.fraction_of(design_cost(256, depth=2).latency_cc)
+
+    rows = [
+        ("trials", f"{len(report.trials)}", ""),
+        ("benign / corrected", f"{counts['benign']} / {counts['corrected']}", ""),
+        ("escalated", f"{counts['escalated']}", ""),
+        ("sdc", f"{counts['sdc']}", f"<= {MAX_SDC}"),
+        ("detection rate", f"{report.detection_rate:.2%}", ">= 100%"),
+        ("residue coverage", f"{report.residue_coverage:.2%}", ">= 100%"),
+        ("ways quarantined", f"{quarantined}", "== 0"),
+        (
+            "residue overhead @256",
+            f"{overhead.latency_cc} cc ({fraction:.1%})",
+            f"< {MAX_OVERHEAD_FRACTION:.0%}",
+        ),
+        ("wall time", f"{elapsed:.3f} s", ""),
+    ]
+    table = format_table(
+        ("metric", "value", "floor"),
+        rows,
+        title=(
+            f"Reliability bench: {len(report.trials)} single-fault trials "
+            f"(n in {WIDTHS}, kinds {', '.join(config.kinds)})"
+        ),
+    )
+    return report, quarantined, fraction, table
+
+
+def test_campaign_floors():
+    report, quarantined, fraction, table = run_bench()
+    try:
+        from benchmarks.conftest import register_report
+
+        register_report("reliability", table)
+    except ImportError:  # script mode, no harness
+        pass
+    assert report.sdc <= MAX_SDC, f"{report.sdc} silent data corruption(s)"
+    assert report.detection_rate >= MIN_DETECTION, (
+        f"detection rate {report.detection_rate:.2%} below floor"
+    )
+    assert report.residue_coverage >= MIN_RESIDUE_COVERAGE, (
+        f"residue coverage {report.residue_coverage:.2%} below floor"
+    )
+    assert quarantined == 0, (
+        f"{quarantined} healthy way(s) consumed for in-place-correctable faults"
+    )
+    assert fraction < MAX_OVERHEAD_FRACTION, (
+        f"residue overhead {fraction:.1%} above {MAX_OVERHEAD_FRACTION:.0%}"
+    )
+
+
+if __name__ == "__main__":
+    _, _, _, report_table = run_bench()
+    print(report_table)

@@ -39,8 +39,8 @@ def run_bench():
         ServiceConfig(batch_size=BATCH_SIZE, ways_per_width=2, max_wait_ticks=32)
     )
     # One silent-corruption fault in a 64-bit way: the service must
-    # detect it (stage self-check), quarantine the way and replay the
-    # batch on the healthy one.
+    # detect it in-band (residue self-check), remap the defective row
+    # to a spare word line and replay the batch on the same way.
     faulted = service.inject_fault(64)
 
     expected = {}
@@ -72,7 +72,11 @@ def run_bench():
     compile_hits = snap["caches"]["compile"]["hits"]
     faults = snap["counters"].get("faults_detected", 0)
     assert faults >= 1, "injected fault was not detected"
-    assert all(r.way != faulted for r in results), "faulty way served results"
+    assert snap["counters"].get("rows_remapped", 0) >= 1, (
+        "defective row was not remapped to a spare"
+    )
+    faulted_healthy = snap["reliability"][faulted]["healthy"]
+    assert faulted_healthy, "in-place-correctable fault consumed a way"
 
     rows = [
         ("jobs / batches", f"{JOBS} / {batches}", ""),

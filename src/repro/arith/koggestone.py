@@ -302,7 +302,7 @@ class KoggeStoneAdder:
         window = slice(lay.col0, lay.col0 + lay.columns)
         for row, values in ((lay.x_row, [x for x, _ in pairs]),
                             (lay.y_row, [y for _, y in pairs])):
-            word = array.state[:, row].copy()
+            word = array.peek_row(row)
             word[:, window] = pack_ints(values, lay.columns)
             array.write_row(row, word, mask)
         if first_use:
@@ -325,7 +325,7 @@ class KoggeStoneAdder:
         import numpy as np
 
         lay = self.layout
-        word = array.state[row].copy()
+        word = array.peek_row(row)
         for i in range(lay.columns):
             word[lay.col0 + i] = bool((value >> i) & 1)
         mask = self._window_mask(array)

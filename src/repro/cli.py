@@ -15,6 +15,7 @@ Commands
 ``claims``      verify the machine-checkable paper-claims ledger
 ``variability`` MAGIC NOR sense-margin and device-spread study
 ``service-bench`` drive a mixed-width stream through ``repro.service``
+``fault-campaign`` seeded fault-injection sweep (kind × width)
 """
 
 from __future__ import annotations
@@ -213,6 +214,67 @@ def _cmd_service_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fault_campaign(args: argparse.Namespace) -> int:
+    from repro.eval.report import format_table
+    from repro.reliability import CampaignConfig, run_campaign
+
+    config = CampaignConfig(
+        widths=tuple(int(w) for w in args.widths.split(",")),
+        kinds=tuple(args.kinds.split(",")),
+        trials=args.trials,
+        seed=args.seed,
+        batch=args.batch,
+        spare_rows=args.spare_rows,
+        oracle_audit=args.oracle_audit,
+    )
+    report = run_campaign(config)
+
+    if args.json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        rows = [
+            (
+                str(width),
+                kind,
+                str(counts["benign"]),
+                str(counts["corrected"]),
+                str(counts["escalated"]),
+                str(counts["sdc"]),
+            )
+            for (width, kind), counts in sorted(report.by_cell().items())
+        ]
+        print(
+            format_table(
+                ("n", "kind", "benign", "corrected", "escalated", "sdc"),
+                rows,
+                title=(
+                    f"Fault campaign: {config.trials} trials/cell, "
+                    f"seed {config.seed}, audit "
+                    f"{'on' if config.oracle_audit else 'off'}"
+                ),
+            )
+        )
+        print()
+        print(f"detection rate   : {report.detection_rate:.2%}")
+        print(f"residue coverage : {report.residue_coverage:.2%}")
+        for over in report.overhead():
+            print(
+                f"residue overhead @ n={over['n_bits']}: "
+                f"{over['checks']} checks, {over['latency_cc']} cc "
+                f"({over['fraction']:.1%} of {over['pipeline_cc']} cc "
+                f"pipeline latency), ~{over['writes']} writes"
+            )
+    if report.sdc:
+        print(f"FAIL: {report.sdc} silent data corruption(s)", file=sys.stderr)
+        return 1
+    if report.detection_rate < 1.0:
+        print("FAIL: undetected corrupting faults", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.karatsuba import cost
 
@@ -310,6 +372,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="pin a stuck-at-1 cell in one way and show the recovery",
     )
     svc.set_defaults(func=_cmd_service_bench)
+
+    campaign = sub.add_parser(
+        "fault-campaign",
+        help="seeded fault-injection sweep over kind x width",
+    )
+    campaign.add_argument("--widths", default="64,256")
+    campaign.add_argument(
+        "--kinds", default="sa0,sa1,transient,write-failure"
+    )
+    campaign.add_argument("--trials", type=int, default=5)
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--batch", type=int, default=4)
+    campaign.add_argument("--spare-rows", type=int, default=2)
+    campaign.add_argument(
+        "--oracle-audit",
+        action="store_true",
+        help="also audit every product against the Python oracle",
+    )
+    campaign.add_argument("--json", action="store_true")
+    campaign.set_defaults(func=_cmd_fault_campaign)
     return parser
 
 

@@ -8,6 +8,8 @@ from repro.crossbar.array import (
 )
 from repro.crossbar.faults import (
     StuckAtFault,
+    TransientFaultInjector,
+    TransientFaultModel,
     clear as clear_faults,
     fault_map,
     inject as inject_faults,
@@ -60,6 +62,8 @@ __all__ = [
     "FAULT_STUCK_AT_1",
     "Memristor",
     "StuckAtFault",
+    "TransientFaultInjector",
+    "TransientFaultModel",
     "WearLevelingController",
     "analyze",
     "clear_faults",

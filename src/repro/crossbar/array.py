@@ -33,7 +33,12 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.crossbar.device import DeviceModel
-from repro.sim.exceptions import AddressError, FaultInjectionError, MagicProtocolError
+from repro.sim.exceptions import (
+    AddressError,
+    FaultInjectionError,
+    MagicProtocolError,
+    SpareRowsExhaustedError,
+)
 
 #: Supported stuck-at fault kinds.
 FAULT_STUCK_AT_0 = "sa0"
@@ -55,6 +60,11 @@ class CrossbarArray:
         cells are not initialised to logic one raises
         :class:`MagicProtocolError` instead of silently computing a
         wrong value.  Disable only for fault-injection studies.
+    spare_rows:
+        Redundant word lines appended below the logical grid.  Logical
+        row addresses stay ``0..rows-1``; :meth:`remap_row` retargets a
+        logical row onto a spare physical word line (transparent to
+        compiled programs, which only ever see logical addresses).
     """
 
     def __init__(
@@ -63,29 +73,53 @@ class CrossbarArray:
         cols: int,
         device: Optional[DeviceModel] = None,
         strict_magic: bool = True,
+        spare_rows: int = 0,
     ):
         if rows <= 0 or cols <= 0:
             raise ValueError(f"crossbar dimensions must be positive, got {rows}x{cols}")
+        if spare_rows < 0:
+            raise ValueError(f"spare_rows must be non-negative, got {spare_rows}")
         self.rows = rows
         self.cols = cols
+        self.spare_rows = spare_rows
         self.device = device if device is not None else DeviceModel()
         self.strict_magic = strict_magic
-        self.state = np.zeros((rows, cols), dtype=bool)
-        self.writes = np.zeros((rows, cols), dtype=np.int64)
+        self.state = np.zeros((rows + spare_rows, cols), dtype=bool)
+        self.writes = np.zeros((rows + spare_rows, cols), dtype=np.int64)
         self.energy_fj = 0.0
+        #: Faults are keyed by *physical* coordinates, so remapping a
+        #: logical row onto a spare leaves the defect behind.
         self._faults: Dict[Tuple[int, int], str] = {}
+        #: Logical -> physical word-line translation.
+        self._row_map = list(range(rows))
+        self._spares_free = list(range(rows, rows + spare_rows))
 
     # ------------------------------------------------------------------
     # Addressing helpers
     # ------------------------------------------------------------------
     @property
     def cells(self) -> int:
-        """Total number of memristors in the array."""
+        """Total number of logical memristors in the array."""
         return self.rows * self.cols
+
+    @property
+    def phys_rows(self) -> int:
+        """Physical word lines, including spares."""
+        return self.rows + self.spare_rows
 
     def _check_row(self, row: int) -> None:
         if not 0 <= row < self.rows:
             raise AddressError(f"row {row} outside 0..{self.rows - 1}")
+
+    def _row(self, row: int) -> int:
+        """Translate a logical row address to its physical word line."""
+        self._check_row(row)
+        return self._row_map[row]
+
+    def physical_row(self, row: int) -> int:
+        """Public logical->physical translation (fault models need it to
+        corrupt the cells actually backing a logical row)."""
+        return self._row(row)
 
     def _check_col(self, col: int) -> None:
         if not 0 <= col < self.cols:
@@ -105,13 +139,18 @@ class CrossbarArray:
     # Fault injection
     # ------------------------------------------------------------------
     def inject_fault(self, row: int, col: int, kind: str) -> None:
-        """Pin cell (*row*, *col*) to a stuck-at fault."""
-        self._check_row(row)
+        """Pin the cell currently backing logical (*row*, *col*).
+
+        The fault attaches to the *physical* word line the logical row
+        maps to right now — remapping the row afterwards leaves the
+        defective cell stranded on the retired physical line.
+        """
+        phys = self._row(row)
         self._check_col(col)
         if kind not in _FAULT_KINDS:
             raise FaultInjectionError(f"unknown fault kind {kind!r}")
-        self._faults[(row, col)] = kind
-        self.state[row, col] = kind == FAULT_STUCK_AT_1
+        self._faults[(phys, col)] = kind
+        self.state[phys, col] = kind == FAULT_STUCK_AT_1
 
     def clear_faults(self) -> None:
         """Remove all injected faults (cell values keep their last state)."""
@@ -121,9 +160,90 @@ class CrossbarArray:
     def fault_count(self) -> int:
         return len(self._faults)
 
+    @property
+    def faults(self) -> Dict[Tuple[int, int], str]:
+        """Read-only copy of the injected fault map.
+
+        Keys are *physical* ``(row, col)`` coordinates; values are the
+        fault kinds (``"sa0"`` / ``"sa1"``).
+        """
+        return dict(self._faults)
+
     def _apply_faults(self) -> None:
         for (row, col), kind in self._faults.items():
             self.state[row, col] = kind == FAULT_STUCK_AT_1
+
+    def repin_faults(self) -> None:
+        """Re-assert every pinned fault onto the state.
+
+        Public hook for fault models and repair paths that mutate
+        ``state`` directly and must keep permanent defects visible.
+        """
+        self._apply_faults()
+
+    # ------------------------------------------------------------------
+    # Spare-row remapping & write-verify diagnosis
+    # ------------------------------------------------------------------
+    @property
+    def spare_rows_free(self) -> int:
+        """Spare word lines still available for remapping."""
+        return len(self._spares_free)
+
+    def remap_table(self) -> Dict[int, int]:
+        """Logical rows currently remapped, as ``{logical: physical}``."""
+        return {
+            logical: phys
+            for logical, phys in enumerate(self._row_map)
+            if phys != logical
+        }
+
+    def remap_row(self, row: int) -> int:
+        """Retarget logical *row* onto a fresh spare word line.
+
+        The spare is initialised to logic one (the MAGIC steady state a
+        freshly-initialised output row would hold); the caller replays
+        whatever computation depended on the row.  Returns the physical
+        line now backing the row; raises
+        :class:`SpareRowsExhaustedError` when no spares remain.
+        """
+        self._check_row(row)
+        if not self._spares_free:
+            raise SpareRowsExhaustedError(
+                f"cannot remap row {row}: 0 of {self.spare_rows} spare "
+                "rows left"
+            )
+        phys = self._spares_free.pop(0)
+        self._row_map[row] = phys
+        self.state[phys] = True
+        self._apply_faults()
+        return phys
+
+    def verify_row_writable(self, row: int) -> bool:
+        """March-test logical *row*: write 0s and 1s, sense each back.
+
+        Destructive — the row is left holding all-ones (the MAGIC
+        steady state), so run this only during repair, before operands
+        are (re)loaded.  Returns ``False`` when any cell fails to take
+        either polarity (stuck-at, or a parametric write failure that
+        happens to strike the march writes).
+        """
+        zeros = np.zeros(self.cols, dtype=bool)
+        ones = np.ones(self.cols, dtype=bool)
+        self.write_row(row, zeros)
+        if bool(self.read_row(row).any()):
+            self.write_row(row, ones)
+            return False
+        self.write_row(row, ones)
+        return bool(self.read_row(row).all())
+
+    def find_faulty_rows(self, rows: Optional[Iterable[int]] = None) -> list:
+        """Write-verify every row in *rows* (default: all logical rows).
+
+        Returns the logical rows that fail the march test.  Destructive
+        (rows end holding all-ones) — see :meth:`verify_row_writable`.
+        """
+        candidates = range(self.rows) if rows is None else rows
+        return [row for row in candidates if not self.verify_row_writable(row)]
 
     # ------------------------------------------------------------------
     # Plain memory operations
@@ -133,7 +253,7 @@ class CrossbarArray:
     ) -> None:
         """Program a full word: the word-line driver selects *row* and
         the write circuit drives every (unmasked) bit line at once."""
-        self._check_row(row)
+        row = self._row(row)
         mask = self._mask(mask)
         bits = np.asarray(bits, dtype=bool)
         if bits.shape != (self.cols,):
@@ -153,14 +273,14 @@ class CrossbarArray:
         is still returned (callers slice out their window); the energy
         model is what the mask exists for.
         """
-        self._check_row(row)
+        row = self._row(row)
         mask = self._mask(mask)
         self.energy_fj += self.device.e_read_fj * int(mask.sum())
         return self.state[row].copy()
 
     def write_bit(self, row: int, col: int, bit: int) -> None:
         """Program a single cell."""
-        self._check_row(row)
+        row = self._row(row)
         self._check_col(col)
         self.state[row, col] = bool(bit)
         self.writes[row, col] += 1
@@ -168,10 +288,19 @@ class CrossbarArray:
         self._apply_faults()
 
     def read_bit(self, row: int, col: int) -> int:
-        self._check_row(row)
+        row = self._row(row)
         self._check_col(col)
         self.energy_fj += self.device.e_read_fj
         return int(self.state[row, col])
+
+    def peek_row(self, row: int) -> np.ndarray:
+        """Current word of logical *row* without sensing (no energy).
+
+        Modelling convenience for read-modify-write composition: a
+        masked write only drives its window, so the caller peeks the
+        untouched cells rather than charging a full sense operation.
+        """
+        return self.state[self._row(row)].copy()
 
     # ------------------------------------------------------------------
     # Stateful logic primitives
@@ -190,7 +319,7 @@ class CrossbarArray:
         """
         mask = self._mask(mask)
         for row in dict.fromkeys(rows):
-            self._check_row(row)
+            row = self._row(row)
             self.state[row, mask] = True
             self.writes[row, mask] += 1
             self.energy_fj += self.device.e_set_fj * int(mask.sum())
@@ -212,26 +341,25 @@ class CrossbarArray:
         """
         if not in_rows:
             raise MagicProtocolError("MAGIC NOR requires at least one input row")
-        for row in in_rows:
-            self._check_row(row)
-        self._check_row(out_row)
-        if out_row in in_rows:
+        in_phys = [self._row(row) for row in in_rows]
+        out_phys = self._row(out_row)
+        if out_phys in in_phys:
             raise MagicProtocolError(
                 f"output row {out_row} cannot also be a NOR input"
             )
         mask = self._mask(mask)
-        if self.strict_magic and not bool(self.state[out_row, mask].all()):
+        if self.strict_magic and not bool(self.state[out_phys, mask].all()):
             raise MagicProtocolError(
                 f"NOR output row {out_row} not initialised to logic one"
             )
         any_one = np.zeros(self.cols, dtype=bool)
-        for row in in_rows:
+        for row in in_phys:
             any_one |= self.state[row]
-        switching = mask & any_one & self.state[out_row]
-        self.state[out_row, mask] = ~any_one[mask]
+        switching = mask & any_one & self.state[out_phys]
+        self.state[out_phys, mask] = ~any_one[mask]
         # Every output cell receives the pulse; switching cells dissipate
         # the reset energy.
-        self.writes[out_row, mask] += 1
+        self.writes[out_phys, mask] += 1
         self.energy_fj += self.device.e_reset_fj * int(switching.sum())
         self._apply_faults()
 
@@ -250,8 +378,8 @@ class CrossbarArray:
         is 0 only when ``p = 1`` and ``q = 0``; since ``q`` already
         holds 0 in that case, only ``p = 0`` cells may switch ``q`` to 1.
         """
-        self._check_row(p_row)
-        self._check_row(q_row)
+        p_row = self._row(p_row)
+        q_row = self._row(q_row)
         if p_row == q_row:
             raise MagicProtocolError("IMPLY operand rows must differ")
         mask = self._mask(mask)
@@ -275,24 +403,23 @@ class CrossbarArray:
         """
         if len(in_rows) != 3:
             raise MagicProtocolError("MAJORITY requires exactly three input rows")
-        for row in in_rows:
-            self._check_row(row)
-        self._check_row(out_row)
-        if out_row in in_rows:
+        in_phys = [self._row(row) for row in in_rows]
+        out_phys = self._row(out_row)
+        if out_phys in in_phys:
             raise MagicProtocolError("MAJORITY output row cannot be an input")
         mask = self._mask(mask)
         total = np.zeros(self.cols, dtype=np.int8)
-        for row in in_rows:
+        for row in in_phys:
             total += self.state[row].astype(np.int8)
         result = total >= 2
         # Like NOR/IMPLY, only cells whose value actually changes
         # dissipate switching energy; 0->1 transitions cost a set pulse,
         # 1->0 transitions a reset pulse.
-        switching = mask & (result != self.state[out_row])
+        switching = mask & (result != self.state[out_phys])
         sets = int((switching & result).sum())
         resets = int((switching & ~result).sum())
-        self.state[out_row, mask] = result[mask]
-        self.writes[out_row, mask] += 1
+        self.state[out_phys, mask] = result[mask]
+        self.writes[out_phys, mask] += 1
         self.energy_fj += (
             self.device.e_set_fj * sets + self.device.e_reset_fj * resets
         )
@@ -312,8 +439,8 @@ class CrossbarArray:
         self.writes.fill(0)
 
     def snapshot(self) -> np.ndarray:
-        """Copy of the full bit state (rows x cols)."""
-        return self.state.copy()
+        """Copy of the logical bit state (rows x cols), remap applied."""
+        return self.state[self._row_map].copy()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -351,27 +478,34 @@ class BatchedCrossbarArray:
         cols: int,
         device: Optional[DeviceModel] = None,
         strict_magic: bool = True,
+        spare_rows: int = 0,
     ):
         if batch <= 0:
             raise ValueError(f"batch size must be positive, got {batch}")
         if rows <= 0 or cols <= 0:
             raise ValueError(f"crossbar dimensions must be positive, got {rows}x{cols}")
+        if spare_rows < 0:
+            raise ValueError(f"spare_rows must be non-negative, got {spare_rows}")
         self.batch = batch
         self.rows = rows
         self.cols = cols
+        self.spare_rows = spare_rows
         self.device = device if device is not None else DeviceModel()
         self.strict_magic = strict_magic
-        self.state = np.zeros((batch, rows, cols), dtype=bool)
-        self.writes = np.zeros((rows, cols), dtype=np.int64)
+        self.state = np.zeros((batch, rows + spare_rows, cols), dtype=bool)
+        self.writes = np.zeros((rows + spare_rows, cols), dtype=np.int64)
         self.energy_fj = np.zeros(batch, dtype=np.float64)
         self._faults: Dict[Tuple[int, int], str] = {}
+        self._row_map = list(range(rows))
 
     @classmethod
     def from_scalar(cls, array: CrossbarArray, batch: int) -> "BatchedCrossbarArray":
         """Replicate a scalar array's current state into *batch* lanes.
 
         Write counters and energy start at zero — the batched array
-        accounts only for what executes on it; faults carry over.
+        accounts only for what executes on it; faults and the spare-row
+        remap table carry over (so replays after a remap land on the
+        repaired word lines).
         """
         out = cls(
             batch,
@@ -379,21 +513,32 @@ class BatchedCrossbarArray:
             array.cols,
             device=array.device,
             strict_magic=array.strict_magic,
+            spare_rows=array.spare_rows,
         )
         out.state[:] = array.state[np.newaxis]
         out._faults = dict(array._faults)
+        out._row_map = list(array._row_map)
         out._apply_faults()
         return out
 
     # ------------------------------------------------------------------
     @property
     def cells(self) -> int:
-        """Memristors per lane (the physical array size)."""
+        """Logical memristors per lane."""
         return self.rows * self.cols
 
     def _check_row(self, row: int) -> None:
         if not 0 <= row < self.rows:
             raise AddressError(f"row {row} outside 0..{self.rows - 1}")
+
+    def _row(self, row: int) -> int:
+        """Translate a logical row address to its physical word line."""
+        self._check_row(row)
+        return self._row_map[row]
+
+    def physical_row(self, row: int) -> int:
+        """Public logical->physical translation (see the scalar array)."""
+        return self._row(row)
 
     def _mask(self, mask: Optional[np.ndarray]) -> np.ndarray:
         if mask is None:
@@ -408,17 +553,26 @@ class BatchedCrossbarArray:
     # ------------------------------------------------------------------
     def inject_fault(self, row: int, col: int, kind: str) -> None:
         """Pin cell (*row*, *col*) of every lane to a stuck-at fault."""
-        self._check_row(row)
+        phys = self._row(row)
         if not 0 <= col < self.cols:
             raise AddressError(f"col {col} outside 0..{self.cols - 1}")
         if kind not in _FAULT_KINDS:
             raise FaultInjectionError(f"unknown fault kind {kind!r}")
-        self._faults[(row, col)] = kind
-        self.state[:, row, col] = kind == FAULT_STUCK_AT_1
+        self._faults[(phys, col)] = kind
+        self.state[:, phys, col] = kind == FAULT_STUCK_AT_1
+
+    @property
+    def faults(self) -> Dict[Tuple[int, int], str]:
+        """Read-only copy of the fault map (physical coordinates)."""
+        return dict(self._faults)
 
     def _apply_faults(self) -> None:
         for (row, col), kind in self._faults.items():
             self.state[:, row, col] = kind == FAULT_STUCK_AT_1
+
+    def repin_faults(self) -> None:
+        """Re-assert every pinned fault onto the state (public hook)."""
+        self._apply_faults()
 
     # ------------------------------------------------------------------
     # Plain memory operations (per-lane words)
@@ -427,7 +581,7 @@ class BatchedCrossbarArray:
         self, row: int, bits: np.ndarray, mask: Optional[np.ndarray] = None
     ) -> None:
         """Program one word per lane: *bits* is ``(batch, cols)``."""
-        self._check_row(row)
+        row = self._row(row)
         bits = np.asarray(bits, dtype=bool)
         if bits.shape != (self.batch, self.cols):
             raise AddressError(
@@ -455,13 +609,17 @@ class BatchedCrossbarArray:
         amplifiers fire and therefore which cells are charged read
         energy; the full per-lane rows are returned regardless.
         """
-        self._check_row(row)
+        row = self._row(row)
         if mask is None:
             sensed = self.cols
         else:
             sensed = int(self._mask(mask).sum())
         self.energy_fj += self.device.e_read_fj * sensed
         return self.state[:, row].copy()
+
+    def peek_row(self, row: int) -> np.ndarray:
+        """Per-lane word of logical *row* without sensing (no energy)."""
+        return self.state[:, self._row(row)].copy()
 
     # ------------------------------------------------------------------
     # Stateful logic primitives
@@ -472,7 +630,7 @@ class BatchedCrossbarArray:
         """Initialise cells in *rows* to logic one across all lanes."""
         if mask is None:
             for row in dict.fromkeys(rows):
-                self._check_row(row)
+                row = self._row(row)
                 self.state[:, row] = True
                 self.writes[row] += 1
                 self.energy_fj += self.device.e_set_fj * self.cols
@@ -480,7 +638,7 @@ class BatchedCrossbarArray:
             mask = self._mask(mask)
             cells = int(mask.sum())
             for row in dict.fromkeys(rows):
-                self._check_row(row)
+                row = self._row(row)
                 self.state[:, row, mask] = True
                 self.writes[row, mask] += 1
                 self.energy_fj += self.device.e_set_fj * cells
@@ -496,21 +654,20 @@ class BatchedCrossbarArray:
         """Row-parallel MAGIC NOR evaluated in every lane at once."""
         if not in_rows:
             raise MagicProtocolError("MAGIC NOR requires at least one input row")
-        for row in in_rows:
-            self._check_row(row)
-        self._check_row(out_row)
-        if out_row in in_rows:
+        in_phys = [self._row(row) for row in in_rows]
+        out_phys = self._row(out_row)
+        if out_phys in in_phys:
             raise MagicProtocolError(
                 f"output row {out_row} cannot also be a NOR input"
             )
         state = self.state
-        if len(in_rows) == 1:
-            any_one = state[:, in_rows[0]]
+        if len(in_phys) == 1:
+            any_one = state[:, in_phys[0]]
         else:
-            any_one = np.logical_or(state[:, in_rows[0]], state[:, in_rows[1]])
-            for row in in_rows[2:]:
+            any_one = np.logical_or(state[:, in_phys[0]], state[:, in_phys[1]])
+            for row in in_phys[2:]:
                 np.logical_or(any_one, state[:, row], out=any_one)
-        out = state[:, out_row]
+        out = state[:, out_phys]
         if mask is None:
             if self.strict_magic and not bool(out.all()):
                 raise MagicProtocolError(
@@ -519,7 +676,7 @@ class BatchedCrossbarArray:
                 )
             switching = np.count_nonzero(any_one & out, axis=1)
             np.logical_not(any_one, out=out)
-            self.writes[out_row] += 1
+            self.writes[out_phys] += 1
             self.energy_fj += self.device.e_reset_fj * switching
         else:
             mask = self._mask(mask)
@@ -530,8 +687,8 @@ class BatchedCrossbarArray:
                 )
             switching = any_one & out
             switching[:, ~mask] = False
-            state[:, out_row, mask] = ~any_one[:, mask]
-            self.writes[out_row, mask] += 1
+            state[:, out_phys, mask] = ~any_one[:, mask]
+            self.writes[out_phys, mask] += 1
             self.energy_fj += self.device.e_reset_fj * switching.sum(axis=1)
         if self._faults:
             self._apply_faults()
@@ -562,8 +719,8 @@ class BatchedCrossbarArray:
         return float(self.energy_fj.sum())
 
     def snapshot(self, lane: int) -> np.ndarray:
-        """Copy of one lane's bit state (rows x cols)."""
-        return self.state[lane].copy()
+        """Copy of one lane's logical bit state (rows x cols)."""
+        return self.state[lane][self._row_map].copy()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,4 +1,4 @@
-"""Stuck-at fault model for crossbar arrays.
+"""Fault models for crossbar arrays: permanent stuck-at and transient.
 
 ReRAM arrays ship with defective cells and develop more as endurance
 wears out (paper Sec. II-A).  :class:`CrossbarArray` already knows how
@@ -8,7 +8,12 @@ this module is the model layer on top of that primitive:
 * :class:`StuckAtFault` — one pinned cell as a value object;
 * :func:`inject` / :func:`clear` — apply or remove a fault set;
 * :func:`random_faults` — sample a defect population for an array;
-* :func:`fault_map` — read back the faults an array currently carries.
+* :func:`fault_map` — read back the faults an array currently carries;
+* :class:`TransientFaultModel` / :class:`TransientFaultInjector` — the
+  *parametric* fault layer: per-NOR output bit-flip probability, write
+  failure probability, and read disturb, delivered through the MAGIC
+  executors' ``fault_hook`` so faults strike mid-program rather than
+  only as statically pinned cells.
 
 The Monte Carlo *yield* analysis built on this model lives in
 :mod:`repro.crossbar.yieldsim`; the service layer's fault-recovery path
@@ -88,7 +93,7 @@ def clear(array: CrossbarArray) -> None:
 
 def fault_map(array: CrossbarArray) -> Dict[Tuple[int, int], str]:
     """The faults *array* currently carries, as ``(row, col) -> kind``."""
-    return dict(array._faults)
+    return array.faults
 
 
 def random_faults(
@@ -112,15 +117,141 @@ def random_faults(
         )
     if kind is not None and kind not in KINDS:
         raise FaultInjectionError(f"unknown fault kind {kind!r}")
-    cells = [(r, c) for r in range(rows) for c in range(cols)]
-    rng.shuffle(cells)
+    # rng.sample draws distinct flat indices without materialising the
+    # rows*cols cell list (campaign trials run this per trial on
+    # arrays of thousands of cells).
     return [
         StuckAtFault(
-            row=row,
-            col=col,
+            row=index // cols,
+            col=index % cols,
             kind=kind
             if kind is not None
             else (FAULT_STUCK_AT_1 if rng.random() < 0.5 else FAULT_STUCK_AT_0),
         )
-        for row, col in cells[:count]
+        for index in rng.sample(range(rows * cols), count)
     ]
+
+
+# ----------------------------------------------------------------------
+# Transient / parametric fault layer
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TransientFaultModel:
+    """Per-operation upset probabilities of the parametric fault layer.
+
+    All three mechanisms are memoryless per-cell Bernoulli events:
+
+    ``nor_flip_prob``
+        Probability that each cell written by a MAGIC NOR/NOT settles
+        to the wrong level (half-selected disturb, insufficient
+        switching margin).
+    ``write_fail_prob``
+        Probability that each cell driven by a WRITE/SHIFT pulse fails
+        to switch, silently keeping its previous value.
+    ``read_disturb_prob``
+        Probability that each sensed cell's *stored* value flips after
+        a READ (the sensed data itself is returned intact — disturb
+        corrupts state, not the sense amplifier).
+    """
+
+    nor_flip_prob: float = 0.0
+    write_fail_prob: float = 0.0
+    read_disturb_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("nor_flip_prob", "write_fail_prob", "read_disturb_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultInjectionError(
+                    f"{name} must be a probability, got {value}"
+                )
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.nor_flip_prob > 0
+            or self.write_fail_prob > 0
+            or self.read_disturb_prob > 0
+        )
+
+
+class TransientFaultInjector:
+    """Seeded executor hook that strikes cells mid-program.
+
+    Install as ``executor.fault_hook`` (scalar or batched path — the
+    scalar executor forwards it to the batched one it spawns).  Each
+    callback draws per-cell Bernoulli upsets from a private
+    ``numpy`` generator, mutates the array *state* through the public
+    :meth:`~repro.crossbar.array.CrossbarArray.physical_row`
+    translation, then re-pins any permanent faults so the two fault
+    layers compose.
+
+    The injector counts the upsets it delivers (``flips_injected`` etc.)
+    so campaigns can report how many trials were actually struck.
+    """
+
+    def __init__(self, model: TransientFaultModel, seed: int = 0):
+        import numpy as np
+
+        self._np = np
+        self.model = model
+        self.rng = np.random.default_rng(seed)
+        self.nor_flips = 0
+        self.write_failures = 0
+        self.read_disturbs = 0
+
+    @property
+    def upsets(self) -> int:
+        """Total cell upsets delivered so far."""
+        return self.nor_flips + self.write_failures + self.read_disturbs
+
+    # -- hook callbacks -------------------------------------------------
+    def _lane_view(self, array, row: int):
+        """State slice of logical *row*: (cols,) scalar, (batch, cols)
+        batched."""
+        phys = array.physical_row(row)
+        state = array.state
+        if state.ndim == 3:
+            return state[:, phys]
+        return state[phys]
+
+    def on_nor(self, array, out_row: int, mask) -> None:
+        prob = self.model.nor_flip_prob
+        if prob <= 0.0:
+            return
+        view = self._lane_view(array, out_row)
+        hits = self.rng.random(view.shape) < prob
+        if mask is not None:
+            hits &= self._np.asarray(mask, dtype=bool)
+        count = int(hits.sum())
+        if count:
+            view[hits] = ~view[hits]
+            self.nor_flips += count
+            array.repin_faults()
+
+    def on_write(self, array, row: int, mask, pre) -> None:
+        prob = self.model.write_fail_prob
+        if prob <= 0.0 or pre is None:
+            return
+        view = self._lane_view(array, row)
+        hits = self.rng.random(view.shape) < prob
+        hits &= self._np.asarray(mask, dtype=bool)
+        # A failed pulse leaves the cell at its pre-write value.
+        hits &= view != pre
+        count = int(hits.sum())
+        if count:
+            view[hits] = pre[hits]
+            self.write_failures += count
+            array.repin_faults()
+
+    def on_read(self, array, row: int) -> None:
+        prob = self.model.read_disturb_prob
+        if prob <= 0.0:
+            return
+        view = self._lane_view(array, row)
+        hits = self.rng.random(view.shape) < prob
+        count = int(hits.sum())
+        if count:
+            view[hits] = ~view[hits]
+            self.read_disturbs += count
+            array.repin_faults()

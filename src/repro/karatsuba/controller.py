@@ -47,7 +47,14 @@ class JobRecord:
 class KaratsubaController:
     """Drives one multiplication through the three-stage datapath."""
 
-    def __init__(self, n_bits: int, wear_leveling: bool = True, device=None):
+    def __init__(
+        self,
+        n_bits: int,
+        wear_leveling: bool = True,
+        device=None,
+        spare_rows: int = 2,
+        residue_bits: int = 8,
+    ):
         if n_bits < MIN_BITS or n_bits % 4:
             raise DesignError(
                 f"operand width must be a multiple of 4 and >= {MIN_BITS}, "
@@ -55,13 +62,21 @@ class KaratsubaController:
             )
         self.n_bits = n_bits
         self.precompute = PrecomputeStage(
-            n_bits, wear_leveling=wear_leveling, device=device
+            n_bits,
+            wear_leveling=wear_leveling,
+            device=device,
+            spare_rows=spare_rows,
+            residue_bits=residue_bits,
         )
         self.multiply_stage = MultiplicationStage(
-            n_bits, wear_leveling=wear_leveling
+            n_bits, wear_leveling=wear_leveling, residue_bits=residue_bits
         )
         self.postcompute = PostcomputeStage(
-            n_bits, wear_leveling=wear_leveling, device=device
+            n_bits,
+            wear_leveling=wear_leveling,
+            device=device,
+            spare_rows=spare_rows,
+            residue_bits=residue_bits,
         )
         self.jobs = 0
 
@@ -162,3 +177,49 @@ class KaratsubaController:
         return float(
             self.precompute.array.energy_fj + self.postcompute.array.energy_fj
         )
+
+    # ------------------------------------------------------------------
+    # Reliability
+    # ------------------------------------------------------------------
+    @property
+    def fault_hook(self):
+        """Transient-fault injector shared by the crossbar stages."""
+        return self.precompute.fault_hook
+
+    @fault_hook.setter
+    def fault_hook(self, hook) -> None:
+        self.precompute.fault_hook = hook
+        self.postcompute.fault_hook = hook
+
+    def diagnose_and_repair(self) -> dict:
+        """Write-verify and remap every crossbar stage.
+
+        Returns ``{stage: [remapped logical rows]}`` for the stages
+        that own a crossbar (the multiplier rows are a numeric model).
+        An empty mapping means the detected upset was transient and a
+        plain replay suffices.
+        """
+        report = {}
+        for name, stage in (
+            ("precompute", self.precompute),
+            ("postcompute", self.postcompute),
+        ):
+            remapped = stage.diagnose_and_repair()
+            if remapped:
+                report[name] = remapped
+        return report
+
+    def spare_rows_free(self) -> int:
+        """Spare word lines still available across the crossbar stages."""
+        return (
+            self.precompute.array.spare_rows_free
+            + self.postcompute.array.spare_rows_free
+        )
+
+    def residue_stats(self) -> List[dict]:
+        """Per-stage residue-checker statistics."""
+        return [
+            self.precompute.checker.stats(),
+            self.multiply_stage.checker.stats(),
+            self.postcompute.checker.stats(),
+        ]

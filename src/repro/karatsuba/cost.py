@@ -261,6 +261,88 @@ def max_writes_per_cell(n_bits: int) -> int:
     return max(post, mult)
 
 
+@dataclass(frozen=True)
+class ResidueOverhead:
+    """Cost of the in-band mod-(2^r - 1) stage-boundary checks.
+
+    Each check folds one sensed word into an r-bit residue with a
+    log-depth tree of r-bit end-around-carry additions over the word's
+    ``ceil(w / r)`` r-bit digits, then one compare against the
+    predicted residue:
+
+        cycles per check = ceil(log2 ceil(w / r)) + 1.
+
+    The accumulator occupies scratch cells inside the stage subarray,
+    costing about ``2r`` writes per check (the folded digit plus the
+    end-around carry fix-up).
+    """
+
+    n_bits: int
+    depth: int
+    residue_bits: int
+    checks_per_stage: Tuple[int, int, int]
+    cycles_per_check: Tuple[int, int, int]
+
+    @property
+    def checks(self) -> int:
+        return sum(self.checks_per_stage)
+
+    @property
+    def latency_cc(self) -> int:
+        return sum(
+            count * cycles
+            for count, cycles in zip(self.checks_per_stage, self.cycles_per_check)
+        )
+
+    @property
+    def writes(self) -> int:
+        return self.checks * 2 * self.residue_bits
+
+    def fraction_of(self, pipeline_latency_cc: int) -> float:
+        """Residue-check latency as a fraction of a pipeline latency."""
+        if pipeline_latency_cc <= 0:
+            raise DesignError("pipeline latency must be positive")
+        return self.latency_cc / pipeline_latency_cc
+
+
+def _fold_cycles(word_bits: int, residue_bits: int) -> int:
+    digits = ceil_div(word_bits, residue_bits)
+    return ceil_log2(max(digits, 2)) + 1
+
+
+def residue_overhead(
+    n_bits: int, depth: int = 2, residue_bits: int = 8
+) -> ResidueOverhead:
+    """Per-multiplication cost of the ABFT residue checks.
+
+    One check per precompute addition (``2*(3^L - 2^L)``), one per
+    partial product (``3^L``), and one per postcompute combine pass.
+    At n = 256, L = 2, r = 8 this is 10x5 + 9x6 + 11x7 = 181 cc,
+    about 5% of the 3632 cc pipeline fill latency.
+    """
+    _validate(n_bits, depth)
+    if residue_bits < 2:
+        raise DesignError("residue width must be at least 2 bits")
+    pre_checks = 2 * (3**depth - 2**depth)
+    pre_width = n_bits // (1 << depth) + depth - 1 if depth > 1 else n_bits // 2
+    mul_checks = 3**depth
+    mul_width = 2 * (n_bits // (1 << depth) + depth)
+    plan = build_plan(n_bits, depth)
+    window = (3 * n_bits) // 2
+    post_checks = postcompute_passes(plan, window)
+    return ResidueOverhead(
+        n_bits=n_bits,
+        depth=depth,
+        residue_bits=residue_bits,
+        checks_per_stage=(pre_checks, mul_checks, post_checks),
+        cycles_per_check=(
+            _fold_cycles(pre_width, residue_bits),
+            _fold_cycles(mul_width, residue_bits),
+            _fold_cycles(window, residue_bits),
+        ),
+    )
+
+
 def design_metrics(n_bits: int, depth: int = 2) -> DesignMetrics:
     """Headline :class:`DesignMetrics` for Table I's "Our" rows."""
     cost = design_cost(n_bits, depth)

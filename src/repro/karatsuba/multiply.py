@@ -22,6 +22,7 @@ from typing import Dict, List
 from repro.arith import rowmul
 from repro.arith.rowmul import RowMultiplier, RowMultiplierSpec
 from repro.karatsuba.unroll import UnrolledPlan, build_plan
+from repro.reliability.residue import DEFAULT_RESIDUE_BITS, ResidueChecker
 from repro.sim.clock import Clock
 from repro.sim.exceptions import DesignError
 
@@ -63,12 +64,18 @@ class MultiplicationResult:
 class MultiplicationStage:
     """Cycle-accurate multiplication subarray (nine parallel rows)."""
 
-    def __init__(self, n_bits: int, wear_leveling: bool = True):
+    def __init__(
+        self,
+        n_bits: int,
+        wear_leveling: bool = True,
+        residue_bits: int = DEFAULT_RESIDUE_BITS,
+    ):
         _check_width(n_bits)
         self.n_bits = n_bits
         self.width = operand_width(n_bits)
         self.plan: UnrolledPlan = build_plan(n_bits, 2)
         self.wear_leveling = wear_leveling
+        self.checker = ResidueChecker("multiply", residue_bits)
         spec = RowMultiplierSpec(self.width)
         self.rows: Dict[str, RowMultiplier] = {
             step.out: RowMultiplier(spec) for step in self.plan.multiplications
@@ -86,14 +93,7 @@ class MultiplicationStage:
         (the precompute stage's output mapping is exactly that).
         """
         start = self.clock.cycles
-        products: Dict[str, int] = {}
-        for step in self.plan.multiplications:
-            try:
-                lhs = operands[step.lhs]
-                rhs = operands[step.rhs]
-            except KeyError as missing:
-                raise DesignError(f"missing operand {missing} for {step.out}")
-            products[step.out] = self.rows[step.out].multiply(lhs, rhs)
+        products = self._multiply_checked(operands)
         # All nine rows operate in lock-step SIMD fashion; the stage
         # advances by one row latency, not nine.
         self.clock.tick(latency_cc(self.n_bits), category="rowmul")
@@ -122,20 +122,30 @@ class MultiplicationStage:
         cycles = latency_cc(self.n_bits)
         results: List[MultiplicationResult] = []
         for operands in operands_list:
-            products: Dict[str, int] = {}
-            for step in self.plan.multiplications:
-                try:
-                    lhs = operands[step.lhs]
-                    rhs = operands[step.rhs]
-                except KeyError as missing:
-                    raise DesignError(f"missing operand {missing} for {step.out}")
-                products[step.out] = self.rows[step.out].multiply(lhs, rhs)
+            products = self._multiply_checked(operands)
             if self.wear_leveling:
                 self._rotate_hot_cells()
             self.passes += 1
             results.append(MultiplicationResult(products=products, cycles=cycles))
         self.clock.tick(cycles, category="rowmul")
         return results
+
+    def _multiply_checked(self, operands: Dict[str, int]) -> Dict[str, int]:
+        """The nine partial multiplications, each residue-verified:
+        ``res(z) == res(x)·res(y) mod (2^r − 1)`` per sub-product."""
+        products: Dict[str, int] = {}
+        for step in self.plan.multiplications:
+            try:
+                lhs = operands[step.lhs]
+                rhs = operands[step.rhs]
+            except KeyError as missing:
+                raise DesignError(f"missing operand {missing} for {step.out}")
+            product = self.rows[step.out].multiply(lhs, rhs)
+            self.checker.check_product(
+                product, self.checker.res(lhs), self.checker.res(rhs), step.out
+            )
+            products[step.out] = product
+        return products
 
     def _rotate_hot_cells(self) -> None:
         """Swap each row's hot scratch columns with a cold pair.

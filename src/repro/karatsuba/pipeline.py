@@ -78,9 +78,20 @@ class StreamResult:
 class KaratsubaPipeline:
     """Functional + timing model of the pipelined CIM multiplier."""
 
-    def __init__(self, n_bits: int, wear_leveling: bool = True, device=None):
+    def __init__(
+        self,
+        n_bits: int,
+        wear_leveling: bool = True,
+        device=None,
+        spare_rows: int = 2,
+        residue_bits: int = 8,
+    ):
         self.controller = KaratsubaController(
-            n_bits, wear_leveling=wear_leveling, device=device
+            n_bits,
+            wear_leveling=wear_leveling,
+            device=device,
+            spare_rows=spare_rows,
+            residue_bits=residue_bits,
         )
         self.n_bits = n_bits
 

@@ -53,8 +53,9 @@ from repro.crossbar.array import BatchedCrossbarArray, CrossbarArray
 from repro.crossbar.endurance import WearLevelingController
 from repro.magic.executor import BatchedMagicExecutor, MagicExecutor, int_to_bits
 from repro.magic.program import Program, ProgramBuilder
+from repro.reliability.residue import DEFAULT_RESIDUE_BITS, ResidueChecker
 from repro.sim.clock import Clock
-from repro.sim.exceptions import DesignError
+from repro.sim.exceptions import DesignError, StageSelfCheckError
 
 #: Data rows of the stage (paper Fig. 7: 8 available memory rows).
 DATA_ROWS = 8
@@ -110,12 +111,22 @@ class PostcomputeStage:
     in-memory adder, while latency follows the paper's accounting.
     """
 
-    def __init__(self, n_bits: int, wear_leveling: bool = True, device=None):
+    def __init__(
+        self,
+        n_bits: int,
+        wear_leveling: bool = True,
+        device=None,
+        spare_rows: int = 2,
+        residue_bits: int = DEFAULT_RESIDUE_BITS,
+    ):
         _check_width(n_bits)
         self.n_bits = n_bits
         self.cols = columns(n_bits)
         self.adder_width = self.cols - 1
-        self.array = CrossbarArray(TOTAL_ROWS, self.cols, device=device)
+        self.array = CrossbarArray(
+            TOTAL_ROWS, self.cols, device=device, spare_rows=spare_rows
+        )
+        self.checker = ResidueChecker("postcompute", residue_bits)
         self.clock = Clock()
         self.executor = MagicExecutor(self.array, clock=self.clock)
         self.wear_leveling = wear_leveling
@@ -171,8 +182,8 @@ class PostcomputeStage:
         # accounting sees their writes (2 products per row, Fig. 7a).
         self._store_inputs(products)
 
-        for op, x, y in passes:
-            self._run(adder, op, x, y)
+        for index, (op, x, y) in enumerate(passes):
+            self._run(adder, op, x, y, f"pass-{index + 1}")
 
         # Reset the data region so that, after a wear-leveling swap, the
         # incoming scratch rows hold logic one.  The cycle is part of
@@ -372,7 +383,10 @@ class PostcomputeStage:
 
             batched = BatchedCrossbarArray.from_scalar(self.array, len(group))
             batched.state[:] = True
-            executor = BatchedMagicExecutor(batched, clock=Clock())
+            batched.repin_faults()
+            executor = BatchedMagicExecutor(
+                batched, clock=Clock(), fault_hook=self.executor.fault_hook
+            )
             # Compile once per wear state via the stage's persistent
             # cache; each batch replays the compiled program.
             stats = executor.execute(self.executor.compile(program), bindings)
@@ -381,12 +395,7 @@ class PostcomputeStage:
                 passes, product = plans[j]
                 for index, (op, x, y) in enumerate(passes):
                     sensed = stats[lane].results[f"out{index}"]
-                    expected = x + y if op == "add" else x - y
-                    if sensed != expected:
-                        raise AssertionError(
-                            f"postcompute {op} produced {sensed}, "
-                            f"expected {expected}"
-                        )
+                    self._check_pass(sensed, op, x, y, f"pass-{index + 1}")
                 products_out[j] = product
 
             self.array.writes += batched.writes * len(group)
@@ -408,7 +417,9 @@ class PostcomputeStage:
         ]
 
     # ------------------------------------------------------------------
-    def _run(self, adder: KoggeStoneAdder, op: str, x: int, y: int) -> int:
+    def _run(
+        self, adder: KoggeStoneAdder, op: str, x: int, y: int, location: str
+    ) -> int:
         """Stage operands, execute one full-width pass, sense the result."""
         # Operands may use all 1.5n columns (including the carry column)
         # when the result itself has no carry-out — the case of the
@@ -428,12 +439,27 @@ class PostcomputeStage:
         for i in range(self.cols):
             if word[i]:
                 value |= 1 << i
-        expected = x + y if op == "add" else x - y
-        if value != expected:
-            raise AssertionError(
-                f"postcompute {op} produced {value}, expected {expected}"
-            )
+        self._check_pass(value, op, x, y, location)
         return value
+
+    def _check_pass(
+        self, sensed: int, op: str, x: int, y: int, location: str
+    ) -> None:
+        """Verify one sensed combine-step result: residue code first
+        (in-band, from operand residues), full differential second."""
+        rx, ry = self.checker.res(x), self.checker.res(y)
+        if op == "add":
+            self.checker.check_sum(sensed, (rx, ry), location)
+        else:
+            self.checker.check_linear(sensed, ((rx, 1), (ry, -1)), location)
+        expected = x + y if op == "add" else x - y
+        if sensed != expected:
+            raise StageSelfCheckError(
+                f"postcompute {op} produced {sensed}, expected {expected}",
+                stage="postcompute",
+                check="differential",
+                location=location,
+            )
 
     def _store_inputs(self, products: Dict[str, int]) -> None:
         """Pack the nine products two-per-row into the data rows."""
@@ -451,6 +477,32 @@ class PostcomputeStage:
                 _placed_bits(value, offset, width, self.cols),
                 _span_mask(offset, width, self.cols),
             )
+
+    # ------------------------------------------------------------------
+    # Reliability hooks
+    # ------------------------------------------------------------------
+    @property
+    def fault_hook(self):
+        """Transient-fault injector driving this stage's executors."""
+        return self.executor.fault_hook
+
+    @fault_hook.setter
+    def fault_hook(self, hook) -> None:
+        self.executor.fault_hook = hook
+
+    def diagnose_and_repair(self) -> List[int]:
+        """Write-verify every logical row; remap failures onto spares.
+
+        Same contract as the precompute stage's method: returns the
+        remapped logical rows (empty for a transient upset) and leaves
+        the array at the all-ones steady state for the replay.
+        """
+        faulty = self.array.find_faulty_rows()
+        for row in faulty:
+            self.array.remap_row(row)
+        self.array.state[:] = True
+        self.array.repin_faults()
+        return faulty
 
     # ------------------------------------------------------------------
     @property

@@ -37,13 +37,17 @@ from repro.crossbar.endurance import WearLevelingController
 from repro.karatsuba.unroll import UnrolledPlan, build_plan
 from repro.magic.executor import BatchedMagicExecutor, MagicExecutor, int_to_bits
 from repro.magic.program import Program, ProgramBuilder
+from repro.reliability.residue import DEFAULT_RESIDUE_BITS, ResidueChecker
 from repro.sim.clock import Clock
-from repro.sim.exceptions import DesignError
+from repro.sim.exceptions import DesignError, StageSelfCheckError
 
 #: Row budget of the stage (paper: 8 inputs + 10 results + 12 scratch).
 INPUT_ROWS = 8
 RESULT_ROWS = 10
 TOTAL_ROWS = INPUT_ROWS + RESULT_ROWS + SCRATCH_ROWS
+
+#: Redundant word lines per stage subarray for fault remapping.
+DEFAULT_SPARE_ROWS = 2
 
 
 def area_cells(n_bits: int) -> int:
@@ -83,12 +87,22 @@ class PrecomputeStage:
     NOR-by-NOR, resets, and returns every named chunk sum.
     """
 
-    def __init__(self, n_bits: int, wear_leveling: bool = True, device=None):
+    def __init__(
+        self,
+        n_bits: int,
+        wear_leveling: bool = True,
+        device=None,
+        spare_rows: int = DEFAULT_SPARE_ROWS,
+        residue_bits: int = DEFAULT_RESIDUE_BITS,
+    ):
         _check_width(n_bits)
         self.n_bits = n_bits
         self.cols = n_bits // 4 + 2
         self.adder_width = n_bits // 4 + 1
-        self.array = CrossbarArray(TOTAL_ROWS, self.cols, device=device)
+        self.array = CrossbarArray(
+            TOTAL_ROWS, self.cols, device=device, spare_rows=spare_rows
+        )
+        self.checker = ResidueChecker("precompute", residue_bits)
         self.clock = Clock()
         self.executor = MagicExecutor(self.array, clock=self.clock)
         self.plan: UnrolledPlan = build_plan(n_bits, 2)
@@ -172,17 +186,30 @@ class PrecomputeStage:
             self.array.write_row(row, int_to_bits(value, self.cols))
             self.clock.tick(1, category="write")
 
-        # (ii) the ten Kogge-Stone additions.
+        # (ii) the ten Kogge-Stone additions.  Each sensed sum is
+        # verified twice: the in-band residue code first (what the
+        # hardware periphery would check), then the full-width
+        # differential plan as defence-in-depth.
         results: Dict[str, int] = dict(inputs)
+        residues = {
+            name: self.checker.res(value) for name, value in inputs.items()
+        }
         for step in self.plan.precompute_adds:
             adder = self._adder_for(step)
             self.executor.execute(adder.program("add"))
-            results[step.out] = self._read_result(adder)
+            sensed = self._read_result(adder)
+            results[step.out] = sensed
+            residues[step.out] = self.checker.check_sum(
+                sensed, (residues[step.lhs], residues[step.rhs]), step.out
+            )
             expected = results[step.lhs] + results[step.rhs]
-            if results[step.out] != expected:
-                raise AssertionError(
+            if sensed != expected:
+                raise StageSelfCheckError(
                     f"precompute addition {step.out} produced "
-                    f"{results[step.out]}, expected {expected}"
+                    f"{sensed}, expected {expected}",
+                    stage="precompute",
+                    check="differential",
+                    location=step.out,
                 )
 
         # (iii) reset the whole data region (inputs and results) for the
@@ -306,7 +333,10 @@ class PrecomputeStage:
             # Steady state: every pass ends with the whole subarray at
             # logic one (closing data INIT + the adder's scratch reset).
             batched.state[:] = True
-            executor = BatchedMagicExecutor(batched, clock=Clock())
+            batched.repin_faults()
+            executor = BatchedMagicExecutor(
+                batched, clock=Clock(), fault_hook=self.executor.fault_hook
+            )
             # Compile through the stage's persistent cache: one compile
             # per wear state for the stage's lifetime, replayed by every
             # batch (the batched executor itself is per-call).
@@ -315,12 +345,25 @@ class PrecomputeStage:
             for lane, j in enumerate(group):
                 results = dict(bindings[lane])
                 results.update(stats[lane].results)
+                residues = {
+                    name: self.checker.res(value)
+                    for name, value in bindings[lane].items()
+                }
                 for step in self.plan.precompute_adds:
+                    sensed = results[step.out]
+                    residues[step.out] = self.checker.check_sum(
+                        sensed,
+                        (residues[step.lhs], residues[step.rhs]),
+                        step.out,
+                    )
                     expected = results[step.lhs] + results[step.rhs]
-                    if results[step.out] != expected:
-                        raise AssertionError(
+                    if sensed != expected:
+                        raise StageSelfCheckError(
                             f"precompute addition {step.out} produced "
-                            f"{results[step.out]}, expected {expected}"
+                            f"{sensed}, expected {expected}",
+                            stage="precompute",
+                            check="differential",
+                            location=step.out,
                         )
                 all_sums[j] = results
 
@@ -351,6 +394,36 @@ class PrecomputeStage:
             if word[i]:
                 value |= 1 << i
         return value
+
+    # ------------------------------------------------------------------
+    # Reliability hooks
+    # ------------------------------------------------------------------
+    @property
+    def fault_hook(self):
+        """Transient-fault injector driving this stage's executors."""
+        return self.executor.fault_hook
+
+    @fault_hook.setter
+    def fault_hook(self, hook) -> None:
+        self.executor.fault_hook = hook
+
+    def diagnose_and_repair(self) -> List[int]:
+        """Write-verify every logical row; remap the failures onto spares.
+
+        Run after a self-check fired: the march test localises rows
+        with permanent write failures (an empty result means the upset
+        was transient — replaying without remap suffices).  The data
+        region is left at the all-ones steady state, ready for the
+        replay.  Raises
+        :class:`~repro.sim.exceptions.SpareRowsExhaustedError` when
+        more rows fail than spares remain.
+        """
+        faulty = self.array.find_faulty_rows()
+        for row in faulty:
+            self.array.remap_row(row)
+        self.array.state[:] = True
+        self.array.repin_faults()
+        return faulty
 
     # ------------------------------------------------------------------
     @property

@@ -309,6 +309,12 @@ class MagicExecutor:
         Shared cycle counter; a fresh one is created when omitted.
     trace:
         Optional micro-op trace sink.
+    fault_hook:
+        Optional transient-fault injector (duck-typed; see
+        :class:`repro.crossbar.faults.TransientFaultInjector`).  Its
+        ``on_nor`` / ``on_write`` / ``on_read`` callbacks fire after the
+        corresponding micro-op so faults strike *mid-program*, not just
+        as statically pinned cells.
     """
 
     def __init__(
@@ -316,10 +322,12 @@ class MagicExecutor:
         array: CrossbarArray,
         clock: Optional[Clock] = None,
         trace: Optional[Trace] = None,
+        fault_hook=None,
     ):
         self.array = array
         self.clock = clock if clock is not None else Clock()
         self.trace = trace if trace is not None else Trace(enabled=False)
+        self.fault_hook = fault_hook
         self.results: Dict[str, int] = {}
         self._compile_cache = _CompileCache(array.rows, array.cols)
 
@@ -412,7 +420,12 @@ class MagicExecutor:
             return []
         compiled = self._compile_cache.get(program)
         batched = BatchedCrossbarArray.from_scalar(self.array, len(bindings_list))
-        executor = BatchedMagicExecutor(batched, clock=self.clock, trace=self.trace)
+        executor = BatchedMagicExecutor(
+            batched,
+            clock=self.clock,
+            trace=self.trace,
+            fault_hook=self.fault_hook,
+        )
         return executor.execute(compiled, bindings_list)
 
     # ------------------------------------------------------------------
@@ -423,14 +436,21 @@ class MagicExecutor:
         stats: RunStats,
         results: Dict[str, int],
     ) -> None:
+        hook = self.fault_hook
         if isinstance(op, Init):
             self.array.init_rows(op.rows, self._col_mask(op.cols))
             stats.init_ops += 1
         elif isinstance(op, Nor):
-            self.array.nor_rows(list(op.in_rows), op.out_row, self._col_mask(op.cols))
+            mask = self._col_mask(op.cols)
+            self.array.nor_rows(list(op.in_rows), op.out_row, mask)
+            if hook is not None:
+                hook.on_nor(self.array, op.out_row, mask)
             stats.nor_ops += 1
         elif isinstance(op, Not):
-            self.array.not_row(op.in_row, op.out_row, self._col_mask(op.cols))
+            mask = self._col_mask(op.cols)
+            self.array.not_row(op.in_row, op.out_row, mask)
+            if hook is not None:
+                hook.on_nor(self.array, op.out_row, mask)
             stats.not_ops += 1
         elif isinstance(op, Write):
             self._do_write(op, bindings)
@@ -452,16 +472,21 @@ class MagicExecutor:
         field = self._field(op.col_offset, op.width)
         width = field.stop - field.start
         bits = int_to_bits(bindings[op.name], width)
-        word = self.array.state[op.row].copy()
+        word = self.array.peek_row(op.row)
+        pre = word.copy() if self.fault_hook is not None else None
         word[field] = bits
         mask = np.zeros(self.array.cols, dtype=bool)
         mask[field] = True
         self.array.write_row(op.row, word, mask)
+        if self.fault_hook is not None:
+            self.fault_hook.on_write(self.array, op.row, mask, pre)
 
     def _do_read(self, op: Read, results: Dict[str, int]) -> None:
         field = self._field(op.col_offset, op.width)
         word = self.array.read_row(op.row)
         results[op.name] = bits_to_int(word[field])
+        if self.fault_hook is not None:
+            self.fault_hook.on_read(self.array, op.row)
 
     def _do_shift(self, op: Shift) -> None:
         mask = self._col_mask(op.cols)
@@ -478,9 +503,15 @@ class MagicExecutor:
             amount = -op.offset
             if amount < len(src):
                 shifted[: len(src) - amount] = src[amount:]
-        word = self.array.state[op.dst_row].copy()
+        word = self.array.peek_row(op.dst_row)
+        pre = word.copy() if self.fault_hook is not None else None
         word[window] = shifted
         self.array.write_row(op.dst_row, word, mask)
+        if self.fault_hook is not None:
+            write_mask = (
+                np.ones(self.array.cols, dtype=bool) if mask is None else mask
+            )
+            self.fault_hook.on_write(self.array, op.dst_row, write_mask, pre)
         if op.also_init:
             # Piggy-backed initialisation during the write cycle: the
             # word-line driver raises the listed rows while the write
@@ -503,10 +534,12 @@ class BatchedMagicExecutor:
         array: BatchedCrossbarArray,
         clock: Optional[Clock] = None,
         trace: Optional[Trace] = None,
+        fault_hook=None,
     ):
         self.array = array
         self.clock = clock if clock is not None else Clock()
         self.trace = trace if trace is not None else Trace(enabled=False)
+        self.fault_hook = fault_hook
         self._compile_cache = _CompileCache(array.rows, array.cols)
 
     def compile_cache_stats(self) -> CompileCacheStats:
@@ -555,22 +588,33 @@ class BatchedMagicExecutor:
         energy_before = array.energy_fj.copy()
         results: List[Dict[str, int]] = [{} for _ in range(batch)]
         trace_enabled = self.trace.enabled
+        hook = self.fault_hook
         for index, step in enumerate(compiled.steps):
             code = step[0]
             if code == _NOR:
                 array.nor_rows(step[1], step[2], step[3])
+                if hook is not None:
+                    hook.on_nor(array, step[2], step[3])
             elif code == _INIT:
                 array.init_rows(step[1], step[2])
             elif code == _WRITE:
                 _, row, field, mask, spec = step
-                word = array.state[:, row].copy()
+                word = array.peek_row(row)
+                pre = word.copy() if hook is not None else None
                 word[:, field] = packed[spec]
                 array.write_row(row, word, mask)
+                if hook is not None:
+                    write_mask = mask
+                    if write_mask is None:
+                        write_mask = np.ones(array.cols, dtype=bool)
+                    hook.on_write(array, row, write_mask, pre)
             elif code == _READ:
                 _, row, field, name = step
                 words = array.read_row(row)
                 for lane, value in enumerate(unpack_ints(words[:, field])):
                     results[lane][name] = value
+                if hook is not None:
+                    hook.on_read(array, row)
             elif code == _SHIFT:
                 self._do_shift(step)
             # _NOP: nothing to evaluate.
@@ -608,8 +652,15 @@ class BatchedMagicExecutor:
             amount = -offset
             if amount < width:
                 shifted[:, : width - amount] = src[:, amount:]
-        word = array.state[:, dst_row].copy()
+        word = array.peek_row(dst_row)
+        hook = self.fault_hook
+        pre = word.copy() if hook is not None else None
         word[:, window] = shifted
         array.write_row(dst_row, word, mask)
+        if hook is not None:
+            write_mask = (
+                np.ones(array.cols, dtype=bool) if mask is None else mask
+            )
+            hook.on_write(array, dst_row, write_mask, pre)
         if also_init:
             array.init_rows(also_init, mask)

@@ -1,0 +1,60 @@
+"""Reliability subsystem: in-band ABFT checks and fault campaigns.
+
+The paper (Sec. II-A) assumes ReRAM arrays with defective cells and a
+1e10–1e11 write endurance; production use therefore needs *in-band*
+error detection rather than an external oracle recomputing every
+product.  This package provides:
+
+* :mod:`repro.reliability.residue` — mod-(2^r − 1) residue codes and
+  the :class:`~repro.reliability.residue.ResidueChecker` the Karatsuba
+  stages embed at their stage boundaries;
+* :mod:`repro.reliability.campaign` — the seeded fault-injection
+  campaign runner behind ``repro fault-campaign``, sweeping fault kind
+  × rate × operand width and reporting detection / correction /
+  escalation / silent-data-corruption counts.
+"""
+
+from repro.reliability.residue import (
+    DEFAULT_RESIDUE_BITS,
+    ResidueChecker,
+    fold_add,
+    fold_mul,
+    fold_shift,
+    fold_sub,
+    modulus,
+    residue,
+)
+
+_CAMPAIGN_NAMES = (
+    "CampaignConfig",
+    "CampaignReport",
+    "TrialResult",
+    "run_campaign",
+)
+
+
+def __getattr__(name):
+    # The campaign runner drives the full service stack, whose modules
+    # themselves import :mod:`repro.reliability.residue` — importing it
+    # lazily keeps this package loadable from inside the Karatsuba
+    # stages without a cycle.
+    if name in _CAMPAIGN_NAMES:
+        from repro.reliability import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "DEFAULT_RESIDUE_BITS",
+    "ResidueChecker",
+    "TrialResult",
+    "fold_add",
+    "fold_mul",
+    "fold_shift",
+    "fold_sub",
+    "modulus",
+    "residue",
+    "run_campaign",
+]

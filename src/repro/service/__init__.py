@@ -6,8 +6,9 @@ them (:mod:`~repro.service.scheduler`), groups same-shape requests
 into SIMD bit-plane batches, answers repeats from an operand cache
 (:mod:`~repro.service.cache`), dispatches flushed batches onto the
 least-loaded / least-worn bank way (:mod:`~repro.service.workers`,
-:mod:`~repro.service.degrade`), verifies every product against the
-pure-Python oracle with retry-on-healthy-bank fault recovery, and
+:mod:`~repro.service.degrade`), recovers from in-band fault
+detections through the remap → replay → quarantine escalation ladder
+(with the pure-Python oracle available as an opt-in audit), and
 exposes counters and histograms (:mod:`~repro.service.metrics`).
 
 >>> from repro.service import MultiplicationService, ServiceConfig
@@ -94,6 +95,14 @@ class ServiceConfig:
     max_retries: int = 3
     #: Forwarded to every pipeline (paper Sec. IV-B region swap).
     wear_leveling: bool = True
+    #: Spare word lines per crossbar stage (detection-driven remap).
+    spare_rows: int = 2
+    #: Same-way replays allowed after an in-place repair.
+    max_inplace_replays: int = 2
+    #: Audit every product against the pure-Python oracle ``a * b``.
+    #: Off by default: production detection is the in-band residue and
+    #: differential self-checks of the Karatsuba stages.
+    oracle_audit: bool = False
 
 
 class MultiplicationService:
@@ -120,11 +129,14 @@ class MultiplicationService:
             ways_per_width=self.config.ways_per_width,
             program_cache=self.program_cache,
             wear_leveling=self.config.wear_leveling,
+            spare_rows=self.config.spare_rows,
         )
         self.degrade = DegradeController(
             self.dispatcher,
             policy=EndurancePolicy(self.config.write_budget),
             max_retries=self.config.max_retries,
+            max_inplace_replays=self.config.max_inplace_replays,
+            oracle_audit=self.config.oracle_audit,
         )
         self._next_request_id = 0
         self._batch_counter = 0
@@ -226,7 +238,9 @@ class MultiplicationService:
 
         self.metrics.counter("batches_flushed").inc()
         self.metrics.counter(f"flush_reason_{flush.reason}").inc()
-        self.metrics.counter("faults_detected").inc(len(recovery.faulty_ways))
+        self.metrics.counter("faults_detected").inc(recovery.detections)
+        self.metrics.counter("rows_remapped").inc(len(recovery.remapped_rows))
+        self.metrics.counter("inplace_replays").inc(recovery.inplace_replays)
         self.metrics.counter("fault_retries").inc(recovery.retries)
         self.metrics.counter("ways_retired").inc(
             len(recovery.faulty_ways) + len(recovery.retired_ways)
@@ -282,16 +296,28 @@ class MultiplicationService:
     ) -> str:
         """Pin a stuck-at cell in one way's stage subarray.
 
-        Returns the way id so callers can assert it gets quarantined.
-        The default target (precompute result row 8, column 0) corrupts
-        chunk sums: ``sa1`` trips the stage's differential self-check,
+        Returns the way id so callers can assert on its recovery.  The
+        default target (precompute result row 8, column 0) corrupts
+        chunk sums: ``sa1`` trips the stage's residue self-check,
         ``sa0`` violates the MAGIC init precondition mid-program — both
-        surface as exceptions the degrade controller converts into
-        quarantine-and-retry.
+        surface as exceptions the degrade controller climbs the
+        escalation ladder on (remap the row to a spare and replay in
+        place; quarantine only when spares run out).
         """
         way = self.dispatcher.pool(n_bits)[way_index]
         array = getattr(way.pipeline.controller, stage).array
         inject(array, [StuckAtFault(row=row, col=col, kind=kind)])
+        return way.way_id
+
+    def arm_fault_hook(self, n_bits: int, hook, way_index: int = 0) -> str:
+        """Attach a transient-fault injector to one way's crossbars.
+
+        *hook* follows the executor fault-hook protocol
+        (:class:`~repro.crossbar.faults.TransientFaultInjector`);
+        pass ``None`` to disarm.  Returns the way id.
+        """
+        way = self.dispatcher.pool(n_bits)[way_index]
+        way.pipeline.controller.fault_hook = hook
         return way.way_id
 
     # ------------------------------------------------------------------
@@ -323,6 +349,8 @@ class MultiplicationService:
                           "throughput_per_mcc", "pending"},
               "ways": {way_id: utilisation},
               "endurance": {way_id: {...}},
+              "reliability": {way_id: {"healthy", "spare_rows_free",
+                                       "remap", "residue"}},
             }
         """
         snapshot = self.metrics.snapshot()
@@ -341,4 +369,5 @@ class MultiplicationService:
         }
         snapshot["ways"] = self.dispatcher.utilisation()
         snapshot["endurance"] = self.degrade.endurance_snapshot()
+        snapshot["reliability"] = self.degrade.reliability_snapshot()
         return snapshot

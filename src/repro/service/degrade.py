@@ -12,20 +12,31 @@ in-memory engines:
   hottest cell crosses its write budget.  The pool keeps serving with
   fewer ways (graceful degradation) until none remain, at which point
   dispatch raises :class:`~repro.service.requests.NoHealthyWayError`;
-* **fault recovery** — :class:`DegradeController.execute` verifies
-  every simulated product against the pure-Python oracle ``a * b``.
-  Three detection channels feed one recovery action (quarantine the
-  way, replay the whole batch on the next healthy way, up to
-  ``max_retries`` times):
+* **fault recovery** — :class:`DegradeController.execute` runs a
+  detection-driven escalation ladder.  Detection is *in-band*: the
+  Karatsuba stages verify every sensed sub-result against mod-(2^r − 1)
+  residue predictions (:mod:`repro.reliability.residue`) and raise
+  :class:`~repro.sim.exceptions.StageSelfCheckError`; ``sa0`` cells
+  violate the MAGIC init precondition and raise
+  :class:`~repro.sim.exceptions.MagicProtocolError`.  Each detection
+  climbs the ladder:
 
-  1. a mid-program :class:`~repro.sim.exceptions.SimulationError` —
-     e.g. an ``sa0`` cell violating the MAGIC init precondition;
-  2. an :class:`AssertionError` from a stage's built-in differential
-     self-check (the Karatsuba stages assert every sensed sum against
-     a pure-integer plan, so ``sa1`` corruption typically trips here);
-  3. a product that disagrees with the oracle — the service-level
-     guarantee, kept independent of whichever checks the datapath
-     beneath happens to implement.
+  1. **diagnose + remap** — write-verify the way's crossbars
+     (:meth:`~repro.crossbar.array.CrossbarArray.verify_row_writable`)
+     and remap defective rows onto spare word lines; an empty diagnosis
+     means the upset was transient and a replay alone suffices;
+  2. **replay on the same way** — re-run the batch in place (budgeted
+     by ``max_inplace_replays`` per way), so a remapped permanent fault
+     or a transient flip costs no healthy way;
+  3. **quarantine and retry** — when spares or the in-place budget are
+     exhausted, quarantine the way and replay on the next healthy one
+     (budgeted by ``max_retries``);
+  4. **degrade** — no healthy way / budget left raises
+     :class:`NoHealthyWayError`.
+
+  The pure-Python oracle ``a * b`` is demoted to an opt-in audit mode
+  (``oracle_audit=True``): production detection is the in-band residue
+  checks; the audit exists for differential testing and chaos drills.
 
 The controller is pure policy: all mechanics (way selection, SIMD
 execution, cache eviction) live in :class:`~repro.service.workers.BankDispatcher`.
@@ -33,18 +44,25 @@ execution, cache eviction) live in :class:`~repro.service.workers.BankDispatcher
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.crossbar.endurance import analyze
 from repro.service.requests import NoHealthyWayError
 from repro.service.workers import BankDispatcher, DispatchReport, Way, WayRanker
-from repro.sim.exceptions import SimulationError
+from repro.sim.exceptions import (
+    SimulationError,
+    SpareRowsExhaustedError,
+    StageSelfCheckError,
+)
 
 #: Default per-cell write budget before a way retires.  Real ReRAM
 #: tolerates 1e10-1e11 writes (paper Sec. II-A); the default is far
 #: smaller so tests and benches can exercise retirement.
 DEFAULT_WRITE_BUDGET = 10**10
+
+#: Default batch replays allowed on one way after in-place repair.
+DEFAULT_INPLACE_REPLAYS = 2
 
 
 class EndurancePolicy:
@@ -87,16 +105,27 @@ class RecoveryReport:
     """Outcome of one batch execution under the degrade policies."""
 
     report: DispatchReport
-    #: Replays spent recovering from corrupted ways.
+    #: Replays spent recovering on *other* ways (quarantine rung).
     retries: int
     #: Ways quarantined while producing this batch.
     faulty_ways: Tuple[str, ...]
     #: Ways retired for endurance after this batch.
     retired_ways: Tuple[str, ...]
+    #: In-band fault detections (self-checks, protocol violations,
+    #: audit mismatches) encountered while producing this batch.
+    detections: int = 0
+    #: Batch replays on the same way after an in-place diagnosis.
+    inplace_replays: int = 0
+    #: Rows remapped onto spare word lines: (way_id, stage, row).
+    remapped_rows: Tuple[Tuple[str, str, int], ...] = field(default=())
+    #: Detection channel of each detection, in order: ``"residue"`` or
+    #: ``"differential"`` (stage self-checks), ``"protocol"`` (MAGIC
+    #: precondition), ``"audit"`` (opt-in oracle).
+    detection_checks: Tuple[str, ...] = field(default=())
 
 
 class DegradeController:
-    """Executes batches with verification, retry and endurance checks."""
+    """Executes batches under the detection-driven escalation ladder."""
 
     def __init__(
         self,
@@ -104,13 +133,19 @@ class DegradeController:
         policy: Optional[EndurancePolicy] = None,
         max_retries: int = 3,
         oracle: Callable[[int, int], int] = lambda a, b: a * b,
+        max_inplace_replays: int = DEFAULT_INPLACE_REPLAYS,
+        oracle_audit: bool = False,
     ):
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if max_inplace_replays < 0:
+            raise ValueError("max_inplace_replays must be non-negative")
         self.dispatcher = dispatcher
         self.policy = policy if policy is not None else EndurancePolicy()
         self.max_retries = max_retries
+        self.max_inplace_replays = max_inplace_replays
         self.oracle = oracle
+        self.oracle_audit = oracle_audit
         # Wear-aware rotation rides on the dispatcher's ranking hook.
         self.dispatcher.ranker = make_wear_aware_ranker(self.policy)
 
@@ -118,42 +153,65 @@ class DegradeController:
     def execute(
         self, n_bits: int, pairs: Sequence[Tuple[int, int]]
     ) -> RecoveryReport:
-        """Run *pairs* as one batch, recovering from faulty ways.
+        """Run *pairs* as one batch, recovering from detected faults.
 
         Raises :class:`NoHealthyWayError` when retries are exhausted or
         no healthy way remains for the width.
         """
         pairs = list(pairs)
-        expected = [self.oracle(a, b) for a, b in pairs]
+        expected = (
+            [self.oracle(a, b) for a, b in pairs] if self.oracle_audit else None
+        )
         faulty: List[str] = []
+        remapped: List[Tuple[str, str, int]] = []
+        replays_on_way: Dict[str, int] = {}
+        checks: List[str] = []
+        inplace_replays = 0
         retries = 0
+        way: Optional[Way] = None
         while True:
-            way = self.dispatcher.select_way(n_bits, exclude=set(faulty))
+            if way is None:
+                way = self.dispatcher.select_way(n_bits, exclude=set(faulty))
             try:
                 report = self.dispatcher.run_on(way, pairs)
+            except StageSelfCheckError as err:
+                # In-band detection: a stage's residue or differential
+                # self-check caught divergence between the sensed bits
+                # and its prediction (how sa1 / transient corruption
+                # typically surfaces).
+                checks.append(err.check)
+                if self._repair_in_place(way, remapped, replays_on_way):
+                    inplace_replays += 1
+                    continue  # replay on the repaired way
+                retries = self._escalate(
+                    n_bits,
+                    way,
+                    f"fault: {err.check} self-check in {err.stage or 'stage'}",
+                    faulty,
+                    retries,
+                )
+                way = None
+                continue
             except SimulationError:
                 # sa0-style faults break the MAGIC protocol mid-program.
-                self.dispatcher.quarantine(way, "fault: protocol violation")
-                faulty.append(way.way_id)
-                retries += 1
-                self._check_retries(n_bits, retries, faulty)
+                checks.append("protocol")
+                if self._repair_in_place(way, remapped, replays_on_way):
+                    inplace_replays += 1
+                    continue  # replay on the repaired way
+                retries = self._escalate(
+                    n_bits, way, "fault: protocol violation", faulty, retries
+                )
+                way = None
                 continue
-            except AssertionError:
-                # A stage's differential self-check caught divergence
-                # between the sensed bits and its pure-integer plan
-                # (how sa1 corruption typically surfaces).
-                self.dispatcher.quarantine(way, "fault: stage self-check")
-                faulty.append(way.way_id)
-                retries += 1
-                self._check_retries(n_bits, retries, faulty)
-                continue
-            if report.products != expected:
-                # Service-level oracle check: defence in depth against
-                # corruption the stages themselves do not catch.
-                self.dispatcher.quarantine(way, "fault: corrupted product")
-                faulty.append(way.way_id)
-                retries += 1
-                self._check_retries(n_bits, retries, faulty)
+            if expected is not None and report.products != expected:
+                # Opt-in audit: defence in depth against corruption the
+                # in-band checks beneath do not catch.  No localisation
+                # is available, so escalate straight to quarantine.
+                checks.append("audit")
+                retries = self._escalate(
+                    n_bits, way, "audit: corrupted product", faulty, retries
+                )
+                way = None
                 continue
             retired = self._retire_exhausted(n_bits)
             return RecoveryReport(
@@ -161,7 +219,52 @@ class DegradeController:
                 retries=retries,
                 faulty_ways=tuple(faulty),
                 retired_ways=retired,
+                detections=len(checks),
+                inplace_replays=inplace_replays,
+                remapped_rows=tuple(remapped),
+                detection_checks=tuple(checks),
             )
+
+    def _repair_in_place(
+        self,
+        way: Way,
+        remapped: List[Tuple[str, str, int]],
+        replays_on_way: Dict[str, int],
+    ) -> bool:
+        """Ladder rungs 1–2: write-verify diagnosis, spare-row remap,
+        and replay on the same way.
+
+        Returns ``False`` when the way's in-place budget or its spare
+        rows are exhausted — the caller escalates to quarantine.  An
+        empty diagnosis (no defective row found) means the upset was
+        transient; the replay alone recovers it.
+        """
+        used = replays_on_way.get(way.way_id, 0)
+        if used >= self.max_inplace_replays:
+            return False
+        try:
+            repairs = way.pipeline.controller.diagnose_and_repair()
+        except SpareRowsExhaustedError:
+            return False
+        replays_on_way[way.way_id] = used + 1
+        for stage, rows in repairs.items():
+            remapped.extend((way.way_id, stage, row) for row in rows)
+        return True
+
+    def _escalate(
+        self,
+        n_bits: int,
+        way: Way,
+        reason: str,
+        faulty: List[str],
+        retries: int,
+    ) -> int:
+        """Ladder rung 3: quarantine the way and charge a retry."""
+        self.dispatcher.quarantine(way, reason)
+        faulty.append(way.way_id)
+        retries += 1
+        self._check_retries(n_bits, retries, faulty)
+        return retries
 
     def _check_retries(
         self, n_bits: int, retries: int, faulty: List[str]
@@ -206,5 +309,26 @@ class DegradeController:
                 "write_budget": self.policy.write_budget,
                 "remaining_fraction": self.policy.remaining_fraction(way),
                 "imbalance": max(r.imbalance for r in reports),
+            }
+        return snapshot
+
+    def reliability_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-way reliability view: spares, remaps, residue checks."""
+        snapshot: Dict[str, Dict[str, object]] = {}
+        for way in self.dispatcher.all_ways():
+            controller = way.pipeline.controller
+            remap: Dict[str, Dict[int, int]] = {}
+            for name, stage in (
+                ("precompute", controller.precompute),
+                ("postcompute", controller.postcompute),
+            ):
+                table = stage.array.remap_table()
+                if table:
+                    remap[name] = table
+            snapshot[way.way_id] = {
+                "healthy": way.healthy,
+                "spare_rows_free": controller.spare_rows_free(),
+                "remap": remap,
+                "residue": controller.residue_stats(),
             }
         return snapshot

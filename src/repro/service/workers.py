@@ -89,6 +89,10 @@ class BankDispatcher:
         re-synthesising stage programs.
     wear_leveling:
         Forwarded to each pipeline (the paper's Sec. IV-B policy).
+    spare_rows:
+        Spare word lines per crossbar stage, forwarded to each
+        pipeline; the degrade controller remaps defective rows onto
+        them instead of quarantining the whole way.
     ranker:
         Way-selection key; :func:`least_loaded` unless a wear-aware
         policy (:mod:`repro.service.degrade`) overrides it.
@@ -99,15 +103,19 @@ class BankDispatcher:
         ways_per_width: int = 2,
         program_cache: Optional[ProgramCache] = None,
         wear_leveling: bool = True,
+        spare_rows: int = 2,
         ranker: WayRanker = least_loaded,
     ):
         if ways_per_width < 1:
             raise ValueError("need at least one way per width")
+        if spare_rows < 0:
+            raise ValueError("spare_rows must be non-negative")
         self.ways_per_width = ways_per_width
         self.program_cache = (
             program_cache if program_cache is not None else ProgramCache()
         )
         self.wear_leveling = wear_leveling
+        self.spare_rows = spare_rows
         self.ranker = ranker
         self._pools: Dict[int, List[Way]] = {}
 
@@ -129,7 +137,11 @@ class BankDispatcher:
     def _build_pipeline(self, n_bits: int, index: int) -> KaratsubaPipeline:
         return self.program_cache.get_or_build(
             n_bits,
-            lambda: KaratsubaPipeline(n_bits, wear_leveling=self.wear_leveling),
+            lambda: KaratsubaPipeline(
+                n_bits,
+                wear_leveling=self.wear_leveling,
+                spare_rows=self.spare_rows,
+            ),
             variant=f"pipeline.{index}",
         )
 

@@ -36,6 +36,39 @@ class FaultInjectionError(CrossbarError):
     """A fault-injection request is inconsistent (e.g. unknown fault kind)."""
 
 
+class SpareRowsExhaustedError(CrossbarError):
+    """A row remap was requested but the array has no spare rows left."""
+
+
+class StageSelfCheckError(SimulationError):
+    """A pipeline stage's in-band self-check caught corrupted data.
+
+    Raised *unconditionally* (never via ``assert``, which ``python -O``
+    strips) by the Karatsuba stages when a sensed result disagrees with
+    either its residue code (``check="residue"``) or the pure-integer
+    differential plan (``check="differential"``).  Carries enough
+    context for the recovery layer to localise the faulty subarray.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        stage: str = "",
+        check: str = "differential",
+        location: str = "",
+    ):
+        super().__init__(message)
+        #: Which pipeline stage detected the corruption
+        #: (``"precompute"`` / ``"multiply"`` / ``"postcompute"``).
+        self.stage = stage
+        #: Which self-check fired: ``"residue"`` (the in-band ABFT
+        #: code) or ``"differential"`` (full-width plan comparison).
+        self.check = check
+        #: Stage-local label of the failing operation (e.g. the chunk
+        #: sum or pass name), for fault localisation.
+        self.location = location
+
+
 class ProgramError(SimulationError):
     """A MAGIC program is malformed (bad operand shapes, unknown opcode)."""
 

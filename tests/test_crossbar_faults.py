@@ -110,3 +110,101 @@ class TestFaultSemantics:
         array.nor_rows([0], 2)
         assert bool(array.state[2, 1])  # pinned high despite NOR zero
         assert not array.state[2, [0, 2, 3]].any()
+
+
+class TestPublicFaultAccessor:
+    def test_faults_property_is_a_copy(self):
+        array = CrossbarArray(4, 4)
+        inject(array, [StuckAtFault(1, 2, FAULT_STUCK_AT_1)])
+        view = array.faults
+        assert view == {(1, 2): FAULT_STUCK_AT_1}
+        view[(0, 0)] = FAULT_STUCK_AT_0  # mutating the copy is inert
+        assert (0, 0) not in array.faults
+        assert fault_map(array) == {(1, 2): FAULT_STUCK_AT_1}
+
+
+class TestTransientFaultModel:
+    def test_probability_validation(self):
+        from repro.crossbar.faults import TransientFaultModel
+
+        with pytest.raises(FaultInjectionError):
+            TransientFaultModel(nor_flip_prob=1.5)
+        with pytest.raises(FaultInjectionError):
+            TransientFaultModel(write_fail_prob=-0.1)
+        assert not TransientFaultModel().active
+        assert TransientFaultModel(read_disturb_prob=0.5).active
+
+    def test_injector_is_seed_deterministic(self):
+        from repro.crossbar.faults import (
+            TransientFaultInjector,
+            TransientFaultModel,
+        )
+
+        model = TransientFaultModel(nor_flip_prob=0.5)
+
+        def run(seed):
+            array = CrossbarArray(4, 8, strict_magic=False)
+            injector = TransientFaultInjector(model, seed=seed)
+            array.init_rows([3])
+            array.state[0:2] = False
+            injector.on_nor(array, 3, None)
+            return array.state[3].copy(), injector.nor_flips
+
+        state_a, flips_a = run(7)
+        state_b, flips_b = run(7)
+        state_c, flips_c = run(8)
+        assert (state_a == state_b).all() and flips_a == flips_b
+        assert flips_a > 0
+        # A different seed draws a different upset pattern.
+        assert flips_a != flips_c or not (state_a == state_c).all()
+
+    def test_write_failure_reverts_to_pre_value(self):
+        import numpy as np
+
+        from repro.crossbar.faults import (
+            TransientFaultInjector,
+            TransientFaultModel,
+        )
+
+        array = CrossbarArray(2, 8, strict_magic=False)
+        injector = TransientFaultInjector(
+            TransientFaultModel(write_fail_prob=1.0), seed=0
+        )
+        pre = array.state[0].copy()  # all False
+        array.write_row(0, np.ones(8, dtype=bool))  # drive every cell high
+        mask = np.ones(8, dtype=bool)
+        injector.on_write(array, 0, mask, pre)
+        # With probability 1 every switched cell failed back to pre.
+        assert not array.state[0].any()
+        assert injector.write_failures == 8
+
+    def test_read_disturb_flips_stored_state(self):
+        from repro.crossbar.faults import (
+            TransientFaultInjector,
+            TransientFaultModel,
+        )
+
+        array = CrossbarArray(2, 8, strict_magic=False)
+        injector = TransientFaultInjector(
+            TransientFaultModel(read_disturb_prob=1.0), seed=0
+        )
+        array.init_rows([1])
+        injector.on_read(array, 1)
+        assert not array.state[1].any()  # every stored cell flipped
+        assert injector.read_disturbs == 8
+
+    def test_transient_composes_with_pinned_faults(self):
+        """Upsets cannot unpin a stuck-at cell (repin after strike)."""
+        from repro.crossbar.faults import (
+            TransientFaultInjector,
+            TransientFaultModel,
+        )
+
+        array = CrossbarArray(2, 8, strict_magic=False)
+        inject(array, [StuckAtFault(1, 3, FAULT_STUCK_AT_1)])
+        injector = TransientFaultInjector(
+            TransientFaultModel(read_disturb_prob=1.0), seed=0
+        )
+        array.init_rows([1])
+        injector.on_read(array, 1)
+        assert bool(array.state[1, 3])  # sa1 survives the disturb

@@ -197,7 +197,7 @@ class TestWorkers:
 
 class TestDegrade:
     def test_oracle_catches_corrupt_products(self):
-        """A way returning wrong products is quarantined and retried."""
+        """With audit on, a lying way is quarantined and retried."""
 
         class LyingDispatcher(BankDispatcher):
             def run_on(self, way, pairs):
@@ -214,12 +214,39 @@ class TestDegrade:
                 return report
 
         dispatcher = LyingDispatcher(ways_per_width=2)
-        controller = DegradeController(dispatcher, max_retries=2)
+        controller = DegradeController(
+            dispatcher, max_retries=2, oracle_audit=True
+        )
         recovery = controller.execute(64, [(3, 5), (7, 7)])
         assert recovery.report.products == [15, 49]
         assert recovery.retries == 1
+        assert recovery.detections == 1
         assert recovery.faulty_ways == ("w64.0",)
-        assert dispatcher.pool(64)[0].retired_reason == "fault: corrupted product"
+        assert dispatcher.pool(64)[0].retired_reason == "audit: corrupted product"
+
+    def test_oracle_audit_off_by_default(self):
+        """Without the opt-in audit, in-band checks are the detection
+        path; a product corrupted outside the datapath goes unaudited
+        (which is why the stages carry their own residue checks)."""
+
+        class LyingDispatcher(BankDispatcher):
+            def run_on(self, way, pairs):
+                report = super().run_on(way, pairs)
+                wrong = [p + 1 for p in report.products]
+                return type(report)(
+                    way_id=report.way_id,
+                    n_bits=report.n_bits,
+                    products=wrong,
+                    makespan_cc=report.makespan_cc,
+                    timing=report.timing,
+                )
+
+        dispatcher = LyingDispatcher(ways_per_width=1)
+        controller = DegradeController(dispatcher, max_retries=2)
+        recovery = controller.execute(64, [(3, 5)])
+        assert recovery.report.products == [16]
+        assert recovery.detections == 0
+        assert recovery.retries == 0
 
     def test_endurance_retirement_degrades_pool(self):
         dispatcher = BankDispatcher(ways_per_width=2)
@@ -312,8 +339,9 @@ class TestServiceEndToEnd:
             )
         )
         # One sa1 fault in a 64-bit way: silently corrupts chunk sums,
-        # caught by the stage self-check and recovered by replaying the
-        # batch on the healthy way.
+        # caught by the stage's residue self-check and repaired in
+        # place — the defective row is remapped onto a spare word line
+        # and the batch replays on the same way.
         faulted = service.inject_fault(
             64, way_index=0, kind=FAULT_STUCK_AT_1
         )
@@ -348,19 +376,20 @@ class TestServiceEndToEnd:
         # Repeated operands hit the cache.
         assert snapshot["counters"]["operand_cache_hits"] > 0
         assert snapshot["caches"]["operand"]["hits"] > 0
-        # The injected fault was detected and recovered by retry.
+        # The injected fault was detected in-band and repaired in
+        # place: the defective row moved to a spare, the batch replayed
+        # on the same way, and no healthy way was quarantined.
         assert snapshot["counters"]["faults_detected"] >= 1
-        assert snapshot["counters"]["fault_retries"] >= 1
+        assert snapshot["counters"]["rows_remapped"] >= 1
+        assert snapshot["counters"]["inplace_replays"] >= 1
+        assert snapshot["counters"].get("fault_retries", 0) == 0
         faulted_way = next(
             w for w in service.dispatcher.pool(64) if w.way_id == faulted
         )
-        assert not faulted_way.healthy
-        # Recovery used a different, healthy way.
-        recovered = [
-            r for r in results if r.n_bits == 64 and r.retries > 0
-        ]
-        assert recovered
-        assert all(r.way != faulted for r in recovered)
+        assert faulted_way.healthy
+        reliability = snapshot["reliability"][faulted]
+        assert reliability["remap"].get("precompute")
+        assert reliability["spare_rows_free"] < 2 * 2  # one spare spent
         # Program/compile caches saw real traffic.
         assert snapshot["caches"]["compile"]["hits"] > 0
         # Service-level throughput aggregates are consistent.
