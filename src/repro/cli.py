@@ -16,6 +16,8 @@ Commands
 ``variability`` MAGIC NOR sense-margin and device-spread study
 ``service-bench`` drive a mixed-width stream through ``repro.service``
 ``fault-campaign`` seeded fault-injection sweep (kind × width)
+``trace``       export a traced bank batch as Perfetto/Chrome JSON
+``bench-compare`` compare seeded benchmarks against BENCH_*.json
 """
 
 from __future__ import annotations
@@ -275,6 +277,115 @@ def _cmd_fault_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import random
+
+    from repro import telemetry
+    from repro.karatsuba.bank import MultiplierBank
+    from repro.telemetry import export, model
+    from repro.telemetry import profile as profiling
+
+    rng = random.Random(args.seed)
+    bank = MultiplierBank(args.bits, ways=args.ways)
+    pairs = [
+        (rng.getrandbits(args.bits), rng.getrandbits(args.bits))
+        for _ in range(args.jobs)
+    ]
+    with telemetry.tracing() as tracer:
+        result = bank.run_stream(pairs)
+    if result.products != [a * b for a, b in pairs]:
+        print("MISMATCH: traced products diverged!", file=sys.stderr)
+        return 1
+
+    # Exact steady-state schedule from the analytic timing model; the
+    # live tracer spans ride along as a second span forest.
+    timing = bank.timing()
+    root = model.bank_spans(timing.pipeline, result.per_way_jobs)
+    expected = timing.makespan_cc(len(pairs))
+    if root.duration_cc != expected:
+        print(
+            f"FAIL: model root span {root.duration_cc} cc != "
+            f"BankTiming.makespan_cc {expected} cc",
+            file=sys.stderr,
+        )
+        return 1
+
+    doc = export.write_trace(
+        args.out,
+        [root] + tracer.roots,
+        metadata={
+            "n_bits": args.bits,
+            "ways": args.ways,
+            "jobs": args.jobs,
+            "seed": args.seed,
+            "makespan_cc": expected,
+        },
+    )
+    print(profiling.report(root))
+    print()
+    print(
+        f"wrote {len(doc['traceEvents'])} trace events to {args.out} "
+        f"(load in ui.perfetto.dev or chrome://tracing)"
+    )
+    print(
+        f"root span: {root.duration_cc:,} cc == "
+        f"BankTiming.makespan_cc({args.jobs}) for n={args.bits}, "
+        f"{args.ways} ways"
+    )
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.telemetry import baseline
+
+    names = (
+        sorted(baseline.COLLECTORS)
+        if args.names == "all"
+        else [n.strip() for n in args.names.split(",") if n.strip()]
+    )
+    unknown = [n for n in names if n not in baseline.COLLECTORS]
+    if unknown:
+        print(
+            f"unknown workload(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(baseline.COLLECTORS))})",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.record:
+        for name in names:
+            metrics = baseline.COLLECTORS[name]()
+            path = baseline.record(name, metrics, directory=args.dir)
+            print(f"recorded {len(metrics)} metrics to {path}")
+        return 0
+
+    failed = False
+    for name in names:
+        try:
+            seeds = baseline.load(name, directory=args.dir)
+        except FileNotFoundError:
+            print(
+                f"no baseline for {name!r} in {args.dir} "
+                f"(run: repro bench-compare --record --names {name})",
+                file=sys.stderr,
+            )
+            failed = True
+            continue
+        tolerance = (
+            args.tolerance
+            if args.tolerance is not None
+            else baseline.DEFAULT_TOLERANCE
+        )
+        current = baseline.COLLECTORS[name]()
+        comparison = baseline.compare(
+            name, current, seeds, tolerance=tolerance
+        )
+        print(comparison.render())
+        if not comparison.ok:
+            failed = True
+    return 1 if failed else 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.karatsuba import cost
 
@@ -392,6 +503,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--json", action="store_true")
     campaign.set_defaults(func=_cmd_fault_campaign)
+
+    trace = sub.add_parser(
+        "trace",
+        help="trace a bank batch and export Perfetto/Chrome JSON",
+    )
+    trace.add_argument("--bits", type=int, default=256)
+    trace.add_argument("--jobs", type=int, default=8)
+    trace.add_argument("--ways", type=int, default=2)
+    trace.add_argument("--seed", type=int, default=0x7ACE)
+    trace.add_argument("--out", default="trace.json")
+    trace.set_defaults(func=_cmd_trace)
+
+    bench = sub.add_parser(
+        "bench-compare",
+        help="compare seeded benchmark metrics against BENCH_*.json",
+    )
+    bench.add_argument(
+        "--names",
+        default="all",
+        help="comma-separated workloads (default: all known)",
+    )
+    bench.add_argument(
+        "--dir", default=".", help="directory holding BENCH_*.json seeds"
+    )
+    bench.add_argument("--tolerance", type=float, default=None)
+    bench.add_argument(
+        "--record",
+        action="store_true",
+        help="write fresh baseline seeds instead of comparing",
+    )
+    bench.set_defaults(func=_cmd_bench_compare)
     return parser
 
 

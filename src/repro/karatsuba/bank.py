@@ -26,6 +26,8 @@ from repro.karatsuba.pipeline import (
     PipelineTiming,
 )
 from repro.sim.exceptions import DesignError
+from repro.telemetry import spans as _telemetry
+from repro.telemetry.spans import NOOP_SPAN
 
 
 @dataclass(frozen=True)
@@ -131,19 +133,38 @@ class MultiplierBank:
             assignments[way].append(index)
             loads[way] += timing.bottleneck_cc
             per_way[way] += 1
-        products: List[int] = [0] * len(pairs)
-        for way, indices in enumerate(assignments):
-            if not indices:
-                continue
-            result = self.pipelines[way].run_stream(
-                [pairs[i] for i in indices], batch_size=batch_size
+        tracer = _telemetry.active()
+        bank_span = (
+            tracer.span(
+                "bank.stream",
+                width=self.n_bits,
+                ways=self.ways,
+                jobs=len(pairs),
             )
-            for index, product in zip(indices, result.products):
-                products[index] = product
-        # Ways run concurrently: the fullest way bounds completion.
-        # Balanced assignment makes this identical to the static
-        # BankTiming.makespan_cc(len(pairs)).
-        makespan = timing.makespan_cc(max(per_way))
+            if tracer is not None
+            else NOOP_SPAN
+        )
+        with bank_span as span:
+            products: List[int] = [0] * len(pairs)
+            for way, indices in enumerate(assignments):
+                if not indices:
+                    continue
+                way_span = (
+                    tracer.span(f"way{way}", track=f"way{way}", jobs=len(indices))
+                    if tracer is not None
+                    else NOOP_SPAN
+                )
+                with way_span:
+                    result = self.pipelines[way].run_stream(
+                        [pairs[i] for i in indices], batch_size=batch_size
+                    )
+                for index, product in zip(indices, result.products):
+                    products[index] = product
+            # Ways run concurrently: the fullest way bounds completion.
+            # Balanced assignment makes this identical to the static
+            # BankTiming.makespan_cc(len(pairs)).
+            makespan = timing.makespan_cc(max(per_way))
+            span.set(makespan_cc=makespan)
         return BankStreamResult(
             products=products, makespan_cc=makespan, per_way_jobs=per_way
         )

@@ -9,6 +9,7 @@ named chunk values.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, List, Tuple
 
@@ -17,6 +18,7 @@ from repro.karatsuba.multiply import MultiplicationStage
 from repro.karatsuba.postcompute import PostcomputeStage
 from repro.karatsuba.precompute import PrecomputeStage
 from repro.sim.exceptions import DesignError
+from repro.telemetry import spans as _telemetry
 
 #: Smallest multiplication the L = 2 design supports (the postcompute
 #: batching layout needs n/4 >= 4).
@@ -88,11 +90,23 @@ class KaratsubaController:
         if a >> self.n_bits or b >> self.n_bits:
             raise DesignError(f"operands must fit in {self.n_bits} bits")
         chunk_bits = self.n_bits // 4
-        pre = self.precompute.process(
-            split_chunks(a, chunk_bits, 4), split_chunks(b, chunk_bits, 4)
-        )
-        mul = self.multiply_stage.process(pre.chunk_sums)
-        post = self.postcompute.process(mul.products)
+        tracer = _telemetry.active()
+        if tracer is None:
+            pre = self.precompute.process(
+                split_chunks(a, chunk_bits, 4), split_chunks(b, chunk_bits, 4)
+            )
+            mul = self.multiply_stage.process(pre.chunk_sums)
+            post = self.postcompute.process(mul.products)
+        else:
+            with self._stage_span(tracer, "precompute", self.precompute, 1):
+                pre = self.precompute.process(
+                    split_chunks(a, chunk_bits, 4),
+                    split_chunks(b, chunk_bits, 4),
+                )
+            with self._stage_span(tracer, "multiply", self.multiply_stage, 1):
+                mul = self.multiply_stage.process(pre.chunk_sums)
+            with self._stage_span(tracer, "postcompute", self.postcompute, 1):
+                post = self.postcompute.process(mul.products)
         self.jobs += 1
         return JobRecord(
             a=a,
@@ -122,14 +136,27 @@ class KaratsubaController:
             if a >> self.n_bits or b >> self.n_bits:
                 raise DesignError(f"operands must fit in {self.n_bits} bits")
         chunk_bits = self.n_bits // 4
-        pre = self.precompute.process_batch(
-            [
-                (split_chunks(a, chunk_bits, 4), split_chunks(b, chunk_bits, 4))
-                for a, b in pairs
-            ]
-        )
-        mul = self.multiply_stage.process_batch([r.chunk_sums for r in pre])
-        post = self.postcompute.process_batch([r.products for r in mul])
+        chunk_jobs = [
+            (split_chunks(a, chunk_bits, 4), split_chunks(b, chunk_bits, 4))
+            for a, b in pairs
+        ]
+        tracer = _telemetry.active()
+        if tracer is None:
+            pre = self.precompute.process_batch(chunk_jobs)
+            mul = self.multiply_stage.process_batch([r.chunk_sums for r in pre])
+            post = self.postcompute.process_batch([r.products for r in mul])
+        else:
+            jobs = len(pairs)
+            with self._stage_span(tracer, "precompute", self.precompute, jobs):
+                pre = self.precompute.process_batch(chunk_jobs)
+            with self._stage_span(tracer, "multiply", self.multiply_stage, jobs):
+                mul = self.multiply_stage.process_batch(
+                    [r.chunk_sums for r in pre]
+                )
+            with self._stage_span(tracer, "postcompute", self.postcompute, jobs):
+                post = self.postcompute.process_batch(
+                    [r.products for r in mul]
+                )
         self.jobs += len(pairs)
         return [
             JobRecord(
@@ -142,6 +169,26 @@ class KaratsubaController:
             )
             for i, (a, b) in enumerate(pairs)
         ]
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _stage_span(self, tracer, name: str, stage, jobs: int):
+        """One telemetry span per stage pass, timed on the stage clock.
+
+        Carries the paper-facing accounting as attributes: operand
+        width, SIMD job count, NOR cycles spent, and (for the crossbar
+        stages) the array energy consumed by the pass.
+        """
+        array = getattr(stage, "array", None)
+        energy_before = float(array.energy_fj) if array is not None else None
+        nor_before = stage.clock.by_category.get("nor", 0)
+        with tracer.span(
+            f"stage.{name}", clock=stage.clock, width=self.n_bits, jobs=jobs
+        ) as span:
+            yield
+            span.set(nor=stage.clock.by_category.get("nor", 0) - nor_before)
+            if energy_before is not None:
+                span.set(energy_fj=float(array.energy_fj) - energy_before)
 
     # ------------------------------------------------------------------
     def stage_latencies(self) -> Tuple[int, int, int]:

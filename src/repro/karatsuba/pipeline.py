@@ -19,6 +19,8 @@ from typing import Iterable, List, Optional, Tuple
 
 from repro.karatsuba.controller import JobRecord, KaratsubaController
 from repro.sim.exceptions import DesignError
+from repro.telemetry import spans as _telemetry
+from repro.telemetry.spans import NOOP_SPAN
 
 #: Default operand sets per SIMD sweep of the batched executor.
 DEFAULT_BATCH_SIZE = 32
@@ -126,23 +128,32 @@ class KaratsubaPipeline:
         through the controller.
         """
         pairs = list(operand_pairs)
-        if batch_size is None:
-            records: List[JobRecord] = [
-                self.controller.run_job(a, b) for a, b in pairs
-            ]
-        else:
-            if batch_size < 1:
-                raise DesignError("batch size must be at least 1")
-            records = []
-            for begin in range(0, len(pairs), batch_size):
-                records.extend(
-                    self.controller.run_jobs_batch(
-                        pairs[begin : begin + batch_size]
+        tracer = _telemetry.active()
+        stream_span = (
+            tracer.span("pipeline.stream", width=self.n_bits, jobs=len(pairs))
+            if tracer is not None
+            else NOOP_SPAN
+        )
+        with stream_span as span:
+            if batch_size is None:
+                records: List[JobRecord] = [
+                    self.controller.run_job(a, b) for a, b in pairs
+                ]
+            else:
+                if batch_size < 1:
+                    raise DesignError("batch size must be at least 1")
+                records = []
+                for begin in range(0, len(pairs), batch_size):
+                    records.extend(
+                        self.controller.run_jobs_batch(
+                            pairs[begin : begin + batch_size]
+                        )
                     )
-                )
-        timing = self.timing()
+            timing = self.timing()
+            makespan = timing.makespan_cc(len(records))
+            span.set(makespan_cc=makespan, bottleneck_cc=timing.bottleneck_cc)
         return StreamResult(
             products=[record.product for record in records],
-            makespan_cc=timing.makespan_cc(len(records)),
+            makespan_cc=makespan,
             timing=timing,
         )

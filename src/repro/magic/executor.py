@@ -37,6 +37,7 @@ from repro.sim.clock import Clock
 from repro.sim.exceptions import ProgramError
 from repro.sim.stats import RunStats
 from repro.sim.trace import Trace
+from repro.telemetry import spans as _telemetry
 
 
 def int_to_bits(value: int, width: int) -> np.ndarray:
@@ -386,6 +387,7 @@ class MagicExecutor:
         stats = RunStats(results=run_results)
         energy_before = self.array.energy_fj
         trace_enabled = self.trace.enabled
+        tracer = _telemetry.active()
         for op in program:
             self._dispatch(op, bindings, stats, run_results)
             stats.cycles += op.cycles
@@ -394,6 +396,16 @@ class MagicExecutor:
             if trace_enabled:
                 self.trace.record(self.clock.cycles, op.opcode, repr(op))
         stats.energy_fj = self.array.energy_fj - energy_before
+        if tracer is not None:
+            tracer.record(
+                "magic.program",
+                self.clock.cycles - stats.cycles,
+                self.clock.cycles,
+                label=program.label or "program",
+                ops=len(program.ops),
+                nor=stats.nor_ops + stats.not_ops,
+                energy_fj=stats.energy_fj,
+            )
         return stats
 
     def execute_batch(
@@ -621,8 +633,21 @@ class BatchedMagicExecutor:
             if trace_enabled:
                 op = compiled.program.ops[index]
                 self.trace.record(self.clock.cycles, op.opcode, repr(op))
+        begin_cc = self.clock.cycles
         for opcode, cycles in compiled.cycles_by_opcode.items():
             self.clock.tick(cycles, category=opcode)
+        tracer = _telemetry.active()
+        if tracer is not None:
+            tracer.record(
+                "magic.program",
+                begin_cc,
+                self.clock.cycles,
+                label=compiled.label or "program",
+                ops=len(compiled.steps),
+                lanes=batch,
+                nor=compiled.op_counts.get("nor", 0)
+                + compiled.op_counts.get("not", 0),
+            )
 
         energy = array.energy_fj - energy_before
         stats_list = []

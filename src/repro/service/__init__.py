@@ -49,6 +49,7 @@ from repro.service.requests import (
 )
 from repro.service.scheduler import BinningScheduler, Flush
 from repro.service.workers import BankDispatcher, DispatchReport, Way
+from repro.telemetry.registry import TelemetryRegistry
 
 __all__ = [
     "AdmissionError",
@@ -69,6 +70,7 @@ __all__ = [
     "RecoveryReport",
     "ServiceConfig",
     "ServiceError",
+    "TelemetryRegistry",
     "Way",
 ]
 
@@ -117,7 +119,11 @@ class MultiplicationService:
 
     def __init__(self, config: Optional[ServiceConfig] = None):
         self.config = config if config is not None else ServiceConfig()
-        self.metrics = MetricsRegistry()
+        #: Unified observability sink: metrics instruments plus span
+        #: emission.  ``self.metrics`` stays the same MetricsRegistry
+        #: object it always was (snapshot schema unchanged).
+        self.telemetry = TelemetryRegistry()
+        self.metrics = self.telemetry.metrics
         self.scheduler = BinningScheduler(
             batch_size=self.config.batch_size,
             max_pending=self.config.max_pending,
@@ -174,36 +180,45 @@ class MultiplicationService:
     def submit_request(self, request: MulRequest) -> None:
         """Submit a pre-built :class:`MulRequest` (id chosen by caller)."""
         self._next_request_id = max(self._next_request_id, request.request_id) + 1
-        cached = self.operand_cache.lookup(request.a, request.b, request.n_bits)
-        if cached is not None:
-            self.metrics.counter("requests_submitted").inc()
-            self.metrics.counter("operand_cache_hits").inc()
-            self._completed.append(
-                MulResult(
-                    request_id=request.request_id,
-                    product=cached,
-                    n_bits=request.n_bits,
-                    way="cache",
-                    batch_id=-1,
-                    batch_occupancy=1,
-                    latency_cc=0,
-                    cache_hit=True,
-                    deadline_met=(
-                        None if request.deadline_cc is None else True
-                    ),
-                )
+        with self.telemetry.span(
+            "service.admit",
+            request_id=request.request_id,
+            n_bits=request.n_bits,
+        ) as span:
+            cached = self.operand_cache.lookup(
+                request.a, request.b, request.n_bits
             )
-            return
-        self.metrics.counter("operand_cache_misses").inc()
-        try:
-            flushes = self.scheduler.submit(request)
-        except QueueFullError:
-            self.metrics.counter("requests_rejected").inc()
-            raise
-        self.metrics.counter("requests_submitted").inc()
-        self.metrics.histogram("queue_depth", COUNT_BUCKETS).observe(
-            self.scheduler.pending_count
-        )
+            if cached is not None:
+                span.set(cache_hit=True)
+                self.metrics.counter("requests_submitted").inc()
+                self.metrics.counter("operand_cache_hits").inc()
+                self._completed.append(
+                    MulResult(
+                        request_id=request.request_id,
+                        product=cached,
+                        n_bits=request.n_bits,
+                        way="cache",
+                        batch_id=-1,
+                        batch_occupancy=1,
+                        latency_cc=0,
+                        cache_hit=True,
+                        deadline_met=(
+                            None if request.deadline_cc is None else True
+                        ),
+                    )
+                )
+                return
+            span.set(cache_hit=False)
+            self.metrics.counter("operand_cache_misses").inc()
+            try:
+                flushes = self.scheduler.submit(request)
+            except QueueFullError:
+                self.metrics.counter("requests_rejected").inc()
+                raise
+            self.metrics.counter("requests_submitted").inc()
+            self.metrics.histogram("queue_depth", COUNT_BUCKETS).observe(
+                self.scheduler.pending_count
+            )
         self._execute_flushes(flushes)
 
     def pump(self) -> None:
@@ -230,10 +245,25 @@ class MultiplicationService:
 
     def _execute_flush(self, flush: Flush) -> None:
         pairs = [(p.request.a, p.request.b) for p in flush.pending]
-        recovery = self.degrade.execute(flush.n_bits, pairs)
-        report = recovery.report
         batch_id = self._batch_counter
         self._batch_counter += 1
+        with self.telemetry.span(
+            "service.batch",
+            batch_id=batch_id,
+            n_bits=flush.n_bits,
+            reason=flush.reason,
+            occupancy=flush.occupancy,
+            request_ids=list(flush.request_ids),
+        ) as span:
+            recovery = self.degrade.execute(
+                flush.n_bits, pairs, request_ids=flush.request_ids
+            )
+            report = recovery.report
+            span.set(
+                way=report.way_id,
+                makespan_cc=report.makespan_cc,
+                retries=recovery.retries,
+            )
         self._jobs_completed += len(pairs)
 
         self.metrics.counter("batches_flushed").inc()

@@ -50,6 +50,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.crossbar.endurance import analyze
 from repro.service.requests import NoHealthyWayError
 from repro.service.workers import BankDispatcher, DispatchReport, Way, WayRanker
+from repro.telemetry import spans as _telemetry
 from repro.sim.exceptions import (
     SimulationError,
     SpareRowsExhaustedError,
@@ -122,6 +123,9 @@ class RecoveryReport:
     #: ``"differential"`` (stage self-checks), ``"protocol"`` (MAGIC
     #: precondition), ``"audit"`` (opt-in oracle).
     detection_checks: Tuple[str, ...] = field(default=())
+    #: Ids of the client requests the batch carried (empty when the
+    #: caller executed raw pairs without request context).
+    request_ids: Tuple[int, ...] = field(default=())
 
 
 class DegradeController:
@@ -151,14 +155,23 @@ class DegradeController:
 
     # ------------------------------------------------------------------
     def execute(
-        self, n_bits: int, pairs: Sequence[Tuple[int, int]]
+        self,
+        n_bits: int,
+        pairs: Sequence[Tuple[int, int]],
+        request_ids: Sequence[int] = (),
     ) -> RecoveryReport:
         """Run *pairs* as one batch, recovering from detected faults.
+
+        *request_ids* (when the batch came from the scheduler) are
+        threaded through to the dispatch span, the recovery report and
+        every escalation event, so a trace export correlates each
+        ladder climb back to the client requests it affected.
 
         Raises :class:`NoHealthyWayError` when retries are exhausted or
         no healthy way remains for the width.
         """
         pairs = list(pairs)
+        request_ids = tuple(request_ids)
         expected = (
             [self.oracle(a, b) for a, b in pairs] if self.oracle_audit else None
         )
@@ -173,13 +186,21 @@ class DegradeController:
             if way is None:
                 way = self.dispatcher.select_way(n_bits, exclude=set(faulty))
             try:
-                report = self.dispatcher.run_on(way, pairs)
+                report = self.dispatcher.run_on(
+                    way, pairs, request_ids=request_ids
+                )
             except StageSelfCheckError as err:
                 # In-band detection: a stage's residue or differential
                 # self-check caught divergence between the sensed bits
                 # and its prediction (how sa1 / transient corruption
                 # typically surfaces).
                 checks.append(err.check)
+                self._event(
+                    "degrade.detect",
+                    check=err.check,
+                    way=way.way_id,
+                    request_ids=list(request_ids),
+                )
                 if self._repair_in_place(way, remapped, replays_on_way):
                     inplace_replays += 1
                     continue  # replay on the repaired way
@@ -189,17 +210,29 @@ class DegradeController:
                     f"fault: {err.check} self-check in {err.stage or 'stage'}",
                     faulty,
                     retries,
+                    request_ids,
                 )
                 way = None
                 continue
             except SimulationError:
                 # sa0-style faults break the MAGIC protocol mid-program.
                 checks.append("protocol")
+                self._event(
+                    "degrade.detect",
+                    check="protocol",
+                    way=way.way_id,
+                    request_ids=list(request_ids),
+                )
                 if self._repair_in_place(way, remapped, replays_on_way):
                     inplace_replays += 1
                     continue  # replay on the repaired way
                 retries = self._escalate(
-                    n_bits, way, "fault: protocol violation", faulty, retries
+                    n_bits,
+                    way,
+                    "fault: protocol violation",
+                    faulty,
+                    retries,
+                    request_ids,
                 )
                 way = None
                 continue
@@ -208,8 +241,19 @@ class DegradeController:
                 # in-band checks beneath do not catch.  No localisation
                 # is available, so escalate straight to quarantine.
                 checks.append("audit")
+                self._event(
+                    "degrade.detect",
+                    check="audit",
+                    way=way.way_id,
+                    request_ids=list(request_ids),
+                )
                 retries = self._escalate(
-                    n_bits, way, "audit: corrupted product", faulty, retries
+                    n_bits,
+                    way,
+                    "audit: corrupted product",
+                    faulty,
+                    retries,
+                    request_ids,
                 )
                 way = None
                 continue
@@ -223,6 +267,7 @@ class DegradeController:
                 inplace_replays=inplace_replays,
                 remapped_rows=tuple(remapped),
                 detection_checks=tuple(checks),
+                request_ids=request_ids,
             )
 
     def _repair_in_place(
@@ -249,6 +294,10 @@ class DegradeController:
         replays_on_way[way.way_id] = used + 1
         for stage, rows in repairs.items():
             remapped.extend((way.way_id, stage, row) for row in rows)
+            for row in rows:
+                self._event(
+                    "degrade.remap", way=way.way_id, stage=stage, row=row
+                )
         return True
 
     def _escalate(
@@ -258,13 +307,26 @@ class DegradeController:
         reason: str,
         faulty: List[str],
         retries: int,
+        request_ids: Tuple[int, ...] = (),
     ) -> int:
         """Ladder rung 3: quarantine the way and charge a retry."""
         self.dispatcher.quarantine(way, reason)
         faulty.append(way.way_id)
         retries += 1
+        self._event(
+            "degrade.quarantine",
+            way=way.way_id,
+            reason=reason,
+            request_ids=list(request_ids),
+        )
         self._check_retries(n_bits, retries, faulty)
         return retries
+
+    @staticmethod
+    def _event(name: str, **attrs: object) -> None:
+        tracer = _telemetry.active()
+        if tracer is not None:
+            tracer.event(name, **attrs)
 
     def _check_retries(
         self, n_bits: int, retries: int, faulty: List[str]

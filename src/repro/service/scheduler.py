@@ -66,6 +66,14 @@ class Flush:
     def occupancy(self) -> int:
         return len(self.pending)
 
+    @property
+    def request_ids(self) -> Tuple[int, ...]:
+        """Ids of the requests in this batch, in release order.
+
+        Lets telemetry spans and degrade-ladder escalations name the
+        exact client requests a batch carried."""
+        return tuple(p.request.request_id for p in self.pending)
+
 
 @dataclass
 class _Bin:

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.karatsuba.pipeline import KaratsubaPipeline, PipelineTiming
 from repro.service.cache import ProgramCache
 from repro.service.requests import NoHealthyWayError
+from repro.telemetry import spans as _telemetry
 
 
 class Way:
@@ -65,6 +66,9 @@ class DispatchReport:
     products: List[int]
     makespan_cc: int
     timing: PipelineTiming
+    #: Ids of the client requests the batch carried (empty when the
+    #: caller dispatched raw pairs without request context).
+    request_ids: Tuple[int, ...] = ()
 
 
 #: Ranking hook: maps candidate ways to a sort key (lower runs first).
@@ -187,6 +191,7 @@ class BankDispatcher:
         n_bits: int,
         pairs: Sequence[Tuple[int, int]],
         exclude: Optional[Set[str]] = None,
+        request_ids: Sequence[int] = (),
     ) -> DispatchReport:
         """Run *pairs* as one SIMD batch on the best available way.
 
@@ -195,14 +200,42 @@ class BankDispatcher:
         time grows by the batch's pipelined makespan.
         """
         way = self.select_way(n_bits, exclude)
-        return self.run_on(way, pairs)
+        return self.run_on(way, pairs, request_ids=request_ids)
 
     def run_on(
-        self, way: Way, pairs: Sequence[Tuple[int, int]]
+        self,
+        way: Way,
+        pairs: Sequence[Tuple[int, int]],
+        request_ids: Sequence[int] = (),
     ) -> DispatchReport:
-        """Run *pairs* on a specific way (retry path uses this)."""
+        """Run *pairs* on a specific way (retry path uses this).
+
+        When tracing is enabled the dispatch emits one span per batch
+        on the way's track, timed in *service time* — the way's
+        accumulated busy window ``[busy_cc, busy_cc + makespan_cc]`` —
+        and tagged with the request ids it carried.
+        """
         pairs = list(pairs)
-        result = way.pipeline.run_stream(pairs, batch_size=max(len(pairs), 1))
+        tracer = _telemetry.active()
+        if tracer is None:
+            result = way.pipeline.run_stream(
+                pairs, batch_size=max(len(pairs), 1)
+            )
+        else:
+            with tracer.span(
+                "dispatch",
+                begin_cc=way.busy_cc,
+                track=way.way_id,
+                way=way.way_id,
+                n_bits=way.n_bits,
+                jobs=len(pairs),
+                request_ids=list(request_ids),
+            ) as span:
+                result = way.pipeline.run_stream(
+                    pairs, batch_size=max(len(pairs), 1)
+                )
+                span.set(makespan_cc=result.makespan_cc)
+                span.finish(way.busy_cc + result.makespan_cc)
         way.busy_cc += result.makespan_cc
         way.jobs_done += len(pairs)
         way.batches_done += 1
@@ -212,6 +245,7 @@ class BankDispatcher:
             products=result.products,
             makespan_cc=result.makespan_cc,
             timing=result.timing,
+            request_ids=tuple(request_ids),
         )
 
     # ------------------------------------------------------------------

@@ -8,8 +8,10 @@ that visualise array activity.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Tuple
+from itertools import islice
+from typing import Deque, Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -32,23 +34,31 @@ class Trace:
         path allocation-free.
     limit:
         Maximum number of retained entries; older entries are dropped
-        once the limit is exceeded (``None`` keeps everything).
+        once the limit is exceeded (``None`` keeps everything).  The
+        buffer is a ``deque(maxlen=limit)``, so overflowing is O(1) per
+        entry rather than an O(n) front-slice.
     """
 
     enabled: bool = False
     limit: Optional[int] = None
-    entries: List[TraceEntry] = field(default_factory=list)
+    entries: Deque[TraceEntry] = field(default_factory=deque)
     dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if self.limit is not None and self.limit < 0:
+            raise ValueError(f"trace limit must be non-negative: {self.limit}")
+        # Rebuild as a bounded deque regardless of what iterable the
+        # caller supplied (a plain list in the historical API).
+        self.entries = deque(self.entries, maxlen=self.limit)
 
     def record(self, cycle: int, opcode: str, detail: str = "") -> None:
         """Append one entry if tracing is enabled."""
         if not self.enabled:
             return
+        if self.limit is not None and len(self.entries) == self.limit:
+            # maxlen evicts the oldest entry silently; keep the count.
+            self.dropped += 1
         self.entries.append(TraceEntry(cycle, opcode, detail))
-        if self.limit is not None and len(self.entries) > self.limit:
-            overflow = len(self.entries) - self.limit
-            del self.entries[:overflow]
-            self.dropped += overflow
 
     def __iter__(self) -> Iterator[TraceEntry]:
         return iter(self.entries)
@@ -66,7 +76,7 @@ class Trace:
     def format(self, first: int = 20) -> str:
         """Render the first *first* entries as an aligned text table."""
         lines = [f"{'cycle':>8}  {'op':<10} detail"]
-        for entry in self.entries[:first]:
+        for entry in islice(self.entries, first):
             lines.append(f"{entry.cycle:>8}  {entry.opcode:<10} {entry.detail}")
         remaining = len(self.entries) - first
         if remaining > 0:

@@ -1,0 +1,49 @@
+"""`repro.telemetry` — tracing, profiling and perf-regression tooling.
+
+The observability layer of the stack (docs/architecture.md Layer 9):
+
+* :mod:`~repro.telemetry.spans` — hierarchical spans with a
+  zero-overhead-when-disabled context-manager API, threaded through
+  service admission → scheduler binning → bank dispatch → pipeline
+  stages → MAGIC program execution;
+* :mod:`~repro.telemetry.model` — exact span trees rebuilt from the
+  analytic pipeline timing model (the paper's Sec. IV-A schedule);
+* :mod:`~repro.telemetry.export` — Chrome trace-event / Perfetto JSON
+  exporter behind ``repro trace``;
+* :mod:`~repro.telemetry.profile` — occupancy, pipeline-bubble and
+  critical-path reports computed from span trees;
+* :mod:`~repro.telemetry.baseline` — ``BENCH_<name>.json`` perf
+  baselines and the ``repro bench-compare`` regression gate;
+* :mod:`~repro.telemetry.registry` — the per-component bundle of
+  metrics instruments plus span emission.
+
+>>> from repro import telemetry
+>>> with telemetry.tracing() as tracer:
+...     with tracer.span("outer", begin_cc=0) as outer:
+...         _ = tracer.record("inner", 2, 5)
+...         _ = outer.set(width=64)
+>>> [s.name for s in tracer.walk()]
+['outer', 'inner']
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.spans import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    active,
+    current_tracer,
+    install,
+    tracing,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "active",
+    "current_tracer",
+    "install",
+    "tracing",
+]

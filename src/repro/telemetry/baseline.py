@@ -1,0 +1,273 @@
+"""Perf-baseline snapshots and regression comparison.
+
+A *baseline* is a committed JSON file (``BENCH_<name>.json`` at the
+repository root) holding the deterministic benchmark metrics of a
+named workload — latency in clock cycles, NOR cycles, array energy,
+cache hit rate.  Because the simulator is cycle-accurate and every
+collector seeds its RNG, the numbers are bit-stable across machines:
+any drift is a real change in the modelled hardware, not noise.
+
+``repro bench-compare`` re-collects the metrics and fails (non-zero
+exit) when any metric regresses beyond the tolerance in its *bad*
+direction; improvements are reported but never fail.  ``repro
+bench-compare --record`` refreshes the seeds after an intentional
+change.  This is the repo's perf trajectory: CI compares every build
+against the committed seeds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+SCHEMA_VERSION = 1
+
+#: Default allowed relative drift before a metric counts as regressed.
+DEFAULT_TOLERANCE = 0.10
+
+#: Direction in which a metric is allowed to move freely.
+LOWER_IS_BETTER = "lower"
+HIGHER_IS_BETTER = "higher"
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One benchmark measurement plus its good direction."""
+
+    value: float
+    direction: str = LOWER_IS_BETTER
+
+    def __post_init__(self) -> None:
+        if self.direction not in (LOWER_IS_BETTER, HIGHER_IS_BETTER):
+            raise ValueError(f"unknown metric direction {self.direction!r}")
+
+
+@dataclass(frozen=True)
+class Delta:
+    """Comparison of one metric against its baseline."""
+
+    name: str
+    baseline: float
+    current: float
+    direction: str
+
+    @property
+    def change(self) -> float:
+        """Signed relative drift; positive means the value grew."""
+        if self.baseline == 0:
+            return 0.0 if self.current == 0 else float("inf")
+        return (self.current - self.baseline) / abs(self.baseline)
+
+    def regressed(self, tolerance: float) -> bool:
+        if self.direction == LOWER_IS_BETTER:
+            return self.change > tolerance
+        return self.change < -tolerance
+
+
+@dataclass
+class Comparison:
+    """Outcome of comparing one workload against its baseline file."""
+
+    name: str
+    tolerance: float
+    deltas: List[Delta] = field(default_factory=list)
+    #: Metrics present in the baseline but absent from the current run.
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas if d.regressed(self.tolerance)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def render(self) -> str:
+        lines = [
+            f"bench-compare {self.name!r} "
+            f"(tolerance {self.tolerance:.0%}): "
+            + ("OK" if self.ok else "REGRESSED")
+        ]
+        for delta in self.deltas:
+            verdict = (
+                "REGRESSION"
+                if delta.regressed(self.tolerance)
+                else "ok"
+            )
+            lines.append(
+                f"  {delta.name:<24} {delta.baseline:>14,.1f} -> "
+                f"{delta.current:>14,.1f}  {delta.change:+8.1%}  "
+                f"[{delta.direction:>6} is better]  {verdict}"
+            )
+        for name in self.missing:
+            lines.append(f"  {name:<24} missing from current run  REGRESSION")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+def baseline_path(name: str, directory: str = ".") -> str:
+    return os.path.join(directory, f"BENCH_{name}.json")
+
+
+def record(name: str, metrics: Dict[str, Metric], directory: str = ".",
+           meta: Optional[Dict[str, object]] = None) -> str:
+    """Write the baseline file for *name*; returns its path."""
+    path = baseline_path(name, directory)
+    doc = {
+        "name": name,
+        "schema": SCHEMA_VERSION,
+        "metrics": {
+            key: {"value": metric.value, "direction": metric.direction}
+            for key, metric in sorted(metrics.items())
+        },
+        "meta": meta or {},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load(name: str, directory: str = ".") -> Dict[str, Metric]:
+    """Load the committed baseline for *name*.
+
+    Raises :class:`FileNotFoundError` when no seed exists and
+    :class:`ValueError` on a malformed or wrong-schema file.
+    """
+    path = baseline_path(name, directory)
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path} is not a schema-{SCHEMA_VERSION} baseline file"
+        )
+    metrics = {}
+    for key, entry in doc.get("metrics", {}).items():
+        metrics[key] = Metric(
+            value=float(entry["value"]),
+            direction=str(entry.get("direction", LOWER_IS_BETTER)),
+        )
+    if not metrics:
+        raise ValueError(f"{path} holds no metrics")
+    return metrics
+
+
+def compare(
+    name: str,
+    current: Dict[str, Metric],
+    baseline: Dict[str, Metric],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Comparison:
+    """Compare *current* metrics against a loaded *baseline*."""
+    comparison = Comparison(name=name, tolerance=tolerance)
+    for key, base in sorted(baseline.items()):
+        now = current.get(key)
+        if now is None:
+            comparison.missing.append(key)
+            continue
+        comparison.deltas.append(
+            Delta(
+                name=key,
+                baseline=base.value,
+                current=now.value,
+                direction=base.direction,
+            )
+        )
+    return comparison
+
+
+# ----------------------------------------------------------------------
+# Deterministic collectors (the seeded workloads CI tracks)
+# ----------------------------------------------------------------------
+def collect_pipeline_metrics(
+    n_bits: int = 256, jobs: int = 4, seed: int = 0xBA5E
+) -> Dict[str, Metric]:
+    """Single-pipeline workload: static timing plus one executed batch."""
+    from repro.karatsuba.pipeline import KaratsubaPipeline
+
+    pipeline = KaratsubaPipeline(n_bits)
+    timing = pipeline.timing()
+    rng = random.Random(seed)
+    pairs = [
+        (rng.getrandbits(n_bits), rng.getrandbits(n_bits))
+        for _ in range(jobs)
+    ]
+    result = pipeline.run_stream(pairs, batch_size=jobs)
+    controller = pipeline.controller
+    nor_cycles = sum(
+        stage.clock.by_category.get("nor", 0)
+        for stage in (controller.precompute, controller.postcompute)
+    )
+    return {
+        "latency_cc": Metric(timing.latency_cc, LOWER_IS_BETTER),
+        "bottleneck_cc": Metric(timing.bottleneck_cc, LOWER_IS_BETTER),
+        "makespan_cc": Metric(result.makespan_cc, LOWER_IS_BETTER),
+        "nor_cycles": Metric(nor_cycles, LOWER_IS_BETTER),
+        "energy_fj": Metric(controller.total_energy_fj(), LOWER_IS_BETTER),
+    }
+
+
+def collect_service_metrics(
+    jobs: int = 48,
+    widths: Tuple[int, ...] = (16, 32, 64),
+    batch_size: int = 8,
+    seed: int = 0x5E47,
+) -> Dict[str, Metric]:
+    """Mixed-width service stream: batching, caching, latency, energy."""
+    from repro.service import MultiplicationService, ServiceConfig
+
+    rng = random.Random(seed)
+    service = MultiplicationService(
+        ServiceConfig(batch_size=batch_size, ways_per_width=2, max_wait_ticks=32)
+    )
+    history: List[Tuple[int, int, int]] = []
+    for index in range(jobs):
+        n_bits = widths[index % len(widths)]
+        if index >= jobs * 3 // 4 and index % 4 == 3 and history:
+            a, b, n_bits = history[rng.randrange(len(history) // 2 or 1)]
+        else:
+            a = rng.getrandbits(n_bits)
+            b = rng.getrandbits(n_bits)
+            history.append((a, b, n_bits))
+        service.submit(a, b, n_bits)
+    service.drain()
+    snap = service.snapshot()
+    counters = snap["counters"]
+    hits = counters.get("operand_cache_hits", 0)
+    misses = counters.get("operand_cache_misses", 0)
+    hit_rate = hits / (hits + misses) if hits + misses else 0.0
+    nor_cycles = 0
+    energy_fj = 0.0
+    for way in service.dispatcher.all_ways():
+        controller = way.pipeline.controller
+        nor_cycles += sum(
+            stage.clock.by_category.get("nor", 0)
+            for stage in (controller.precompute, controller.postcompute)
+        )
+        energy_fj += controller.total_energy_fj()
+    return {
+        "makespan_cc": Metric(
+            snap["service"]["makespan_cc"], LOWER_IS_BETTER
+        ),
+        "throughput_per_mcc": Metric(
+            snap["service"]["throughput_per_mcc"], HIGHER_IS_BETTER
+        ),
+        "batch_occupancy_mean": Metric(
+            snap["histograms"]["batch_occupancy"]["mean"], HIGHER_IS_BETTER
+        ),
+        "operand_cache_hit_rate": Metric(hit_rate, HIGHER_IS_BETTER),
+        "nor_cycles": Metric(nor_cycles, LOWER_IS_BETTER),
+        "energy_fj": Metric(energy_fj, LOWER_IS_BETTER),
+    }
+
+
+#: Named deterministic workloads ``repro bench-compare`` knows about.
+COLLECTORS: Dict[str, Callable[[], Dict[str, Metric]]] = {
+    "pipeline": collect_pipeline_metrics,
+    "service": collect_service_metrics,
+}

@@ -1,0 +1,232 @@
+"""Chrome trace-event / Perfetto JSON export of span trees.
+
+Produces the `Trace Event Format`_ JSON object form::
+
+    {"traceEvents": [...], "displayTimeUnit": "ms", "otherData": {...}}
+
+loadable in ``ui.perfetto.dev`` or ``chrome://tracing``.  One simulated
+clock cycle maps to one microsecond of trace time (the format's ``ts``
+unit), so durations read directly as cycle counts.
+
+Mapping:
+
+* every span becomes a complete (``"ph": "X"``) event on the thread
+  (track) named by its ``track`` attribute — spans without a track
+  inherit the nearest ancestor's, defaulting to ``"main"``;
+* span attributes ride in ``args``;
+* zero-duration spans (tracer ``event()`` records) become instant
+  (``"ph": "i"``) events;
+* per-track *occupancy counters* (``"ph": "C"``) sample how many leaf
+  spans are simultaneously active on each track — the per-way
+  occupancy view of a bank trace.
+
+.. _Trace Event Format: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.telemetry.spans import Span, Tracer
+
+__all__ = [
+    "to_trace_events",
+    "occupancy_counters",
+    "write_trace",
+    "validate_trace",
+]
+
+#: Process id used for all span tracks (one simulated device).
+PID = 1
+
+_REQUIRED_BY_PHASE = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "i": ("name", "ts", "pid", "tid", "s"),
+    "C": ("name", "ts", "pid", "args"),
+    "M": ("name", "pid", "args"),
+}
+
+
+def _roots(source) -> List[Span]:
+    if isinstance(source, Tracer):
+        return list(source.roots)
+    if isinstance(source, Span):
+        return [source]
+    return list(source)
+
+
+def _span_events(
+    span: Span, inherited_track: str, tids: Dict[str, int], events: List[dict]
+) -> None:
+    track = span.track or inherited_track
+    if track not in tids:
+        tids[track] = len(tids) + 1
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": PID,
+                "tid": tids[track],
+                "args": {"name": track},
+            }
+        )
+    end = span.end_cc if span.end_cc is not None else span.begin_cc
+    args = {key: _jsonable(value) for key, value in span.attrs.items()}
+    if end == span.begin_cc and not span.children:
+        events.append(
+            {
+                "ph": "i",
+                "name": span.name,
+                "ts": span.begin_cc,
+                "pid": PID,
+                "tid": tids[track],
+                "s": "t",
+                "args": args,
+            }
+        )
+    else:
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": "span",
+                "ts": span.begin_cc,
+                "dur": end - span.begin_cc,
+                "pid": PID,
+                "tid": tids[track],
+                "args": args,
+            }
+        )
+    for child in span.children:
+        _span_events(child, track, tids, events)
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return repr(value)
+
+
+def occupancy_counters(source) -> List[dict]:
+    """Counter-track samples: simultaneously active leaf spans per track.
+
+    Emits one ``"C"`` event per edge (span begin/end) per track, so
+    Perfetto renders a step function — the instantaneous occupancy of
+    each bank way in a model trace.
+    """
+    edges: Dict[str, List[tuple]] = {}
+
+    def collect(span: Span, inherited: str) -> None:
+        track = span.track or inherited
+        if not span.children and span.end_cc is not None:
+            if span.end_cc > span.begin_cc:
+                edges.setdefault(track, []).append((span.begin_cc, 1))
+                edges.setdefault(track, []).append((span.end_cc, -1))
+        for child in span.children:
+            collect(child, track)
+
+    for root in _roots(source):
+        collect(root, "main")
+
+    events: List[dict] = []
+    for track in sorted(edges):
+        level = 0
+        last_ts: Optional[int] = None
+        for ts, delta in sorted(edges[track]):
+            if last_ts is not None and ts != last_ts:
+                events.append(_counter_event(track, last_ts, level))
+            level += delta
+            last_ts = ts
+        if last_ts is not None:
+            events.append(_counter_event(track, last_ts, level))
+    return events
+
+
+def _counter_event(track: str, ts: int, value: int) -> dict:
+    return {
+        "ph": "C",
+        "name": f"occupancy.{track}",
+        "ts": ts,
+        "pid": PID,
+        "args": {"active": value},
+    }
+
+
+def to_trace_events(
+    source,
+    counters: bool = True,
+    metadata: Optional[Dict[str, object]] = None,
+) -> dict:
+    """Render a tracer / span tree / span list to the JSON object form."""
+    events: List[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": PID,
+            "args": {"name": "repro"},
+        }
+    ]
+    tids: Dict[str, int] = {}
+    for root in _roots(source):
+        _span_events(root, "main", tids, events)
+    if counters:
+        events.extend(occupancy_counters(source))
+    doc: Dict[str, object] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        doc["otherData"] = {
+            str(key): _jsonable(value) for key, value in metadata.items()
+        }
+    return doc
+
+
+def write_trace(path: str, source, **kwargs) -> dict:
+    """Export *source* and write it to *path*; returns the document."""
+    doc = to_trace_events(source, **kwargs)
+    validate_trace(doc)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=1)
+        handle.write("\n")
+    return doc
+
+
+def validate_trace(doc: object) -> int:
+    """Check *doc* against the trace-event schema; returns event count.
+
+    Raises :class:`ValueError` on any violation — used by the CI
+    telemetry smoke job to gate the exported artifact.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty list")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {index} is not an object")
+        phase = event.get("ph")
+        if phase not in _REQUIRED_BY_PHASE:
+            raise ValueError(f"event {index} has unknown phase {phase!r}")
+        for key in _REQUIRED_BY_PHASE[phase]:
+            if key not in event:
+                raise ValueError(
+                    f"event {index} (ph={phase}) missing field {key!r}"
+                )
+        for field in ("ts", "dur"):
+            if field in event:
+                value = event[field]
+                if not isinstance(value, int) or value < 0:
+                    raise ValueError(
+                        f"event {index} field {field!r} must be a "
+                        f"non-negative integer, got {value!r}"
+                    )
+        if "args" in event and not isinstance(event["args"], dict):
+            raise ValueError(f"event {index} args must be an object")
+    return len(events)

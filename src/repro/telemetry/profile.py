@@ -1,0 +1,215 @@
+"""Profiling reports computed from span trees.
+
+Three views of one span tree:
+
+* **occupancy** — fraction of the root extent each group (track or
+  span name) spends busy, computed as a union of intervals so
+  overlapping spans (pipelined jobs on one way) are not double-counted;
+* **bubbles** — the idle gaps per group inside the root extent, i.e.
+  where the pipeline stalls;
+* **critical path** — the chain of spans from the root to the deepest
+  leaf, following the child that finishes last at every level.
+
+The numbers are cross-validated against the repo's independent
+accounting: the root extent of a model trace equals
+:meth:`BankTiming.makespan_cc`, and :func:`row_occupancy` over
+:func:`program_spans` reproduces
+:func:`repro.sim.waveform.utilization` cycle-for-cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.eval.report import format_table
+from repro.sim.waveform import _activity
+from repro.telemetry.spans import Span
+
+__all__ = [
+    "busy_intervals",
+    "occupancy",
+    "bubbles",
+    "critical_path",
+    "program_spans",
+    "row_occupancy",
+    "report",
+]
+
+
+def _merge(intervals: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Union of half-open cycle intervals, sorted and coalesced."""
+    merged: List[Tuple[int, int]] = []
+    for begin, end in sorted(intervals):
+        if begin >= end:
+            continue
+        if merged and begin <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((begin, end))
+    return merged
+
+
+def _group_key(span: Span, by: str) -> Optional[str]:
+    if by == "name":
+        return span.name
+    if by == "track":
+        return span.track
+    raise ValueError(f"unknown grouping {by!r} (use 'name' or 'track')")
+
+
+def busy_intervals(root: Span, by: str = "name") -> Dict[str, List[Tuple[int, int]]]:
+    """Merged busy intervals of every *leaf* span, grouped by *by*.
+
+    Only leaves contribute: an interior span (a job, a way) is an
+    envelope of its children, not extra work.
+    """
+    groups: Dict[str, List[Tuple[int, int]]] = {}
+    for span in root.walk():
+        if span.children or span.end_cc is None:
+            continue
+        key = _group_key(span, by)
+        if key is None:
+            continue
+        groups.setdefault(key, []).append((span.begin_cc, span.end_cc))
+    return {key: _merge(intervals) for key, intervals in groups.items()}
+
+
+def occupancy(root: Span, by: str = "name") -> Dict[str, float]:
+    """Busy fraction of the root extent per group (union of intervals)."""
+    total = root.duration_cc
+    if total == 0:
+        return {key: 0.0 for key in busy_intervals(root, by)}
+    return {
+        key: sum(end - begin for begin, end in intervals) / total
+        for key, intervals in busy_intervals(root, by).items()
+    }
+
+
+def bubbles(root: Span, by: str = "track") -> Dict[str, List[Tuple[int, int]]]:
+    """Idle gaps per group within the root extent.
+
+    A gap before a group's first span or after its last one counts too:
+    a way that starts late or drains early is a pipeline bubble at the
+    bank level.
+    """
+    gaps: Dict[str, List[Tuple[int, int]]] = {}
+    for key, intervals in busy_intervals(root, by).items():
+        group_gaps: List[Tuple[int, int]] = []
+        cursor = root.begin_cc
+        for begin, end in intervals:
+            if begin > cursor:
+                group_gaps.append((cursor, begin))
+            cursor = max(cursor, end)
+        if root.end_cc is not None and cursor < root.end_cc:
+            group_gaps.append((cursor, root.end_cc))
+        gaps[key] = group_gaps
+    return gaps
+
+
+def critical_path(root: Span) -> List[Span]:
+    """Root-to-leaf chain following the child that finishes last.
+
+    Ties break towards the longer child, then first in order — the
+    span whose latency bounds its parent's completion.
+    """
+    path = [root]
+    node = root
+    while node.children:
+        closed = [child for child in node.children if child.end_cc is not None]
+        if not closed:
+            break
+        node = max(
+            closed,
+            key=lambda child: (child.end_cc, child.duration_cc),
+        )
+        path.append(node)
+    return path
+
+
+# ----------------------------------------------------------------------
+# MAGIC-program spans (micro-op granularity)
+# ----------------------------------------------------------------------
+def program_spans(program, track: str = "program", t0: int = 0) -> Span:
+    """Span tree of one MAGIC program: one child span per micro-op.
+
+    Each op span carries the rows it reads/writes (the same activity
+    mapping the waveform renderer uses), so :func:`row_occupancy` can
+    rebuild per-row utilisation purely from the tree.
+    """
+    root = Span(
+        program.label or "program",
+        begin_cc=t0,
+        end_cc=t0 + program.cycle_count,
+        track=track,
+        attrs={"ops": len(program.ops)},
+    )
+    cycle = t0
+    for op in program.ops:
+        reads, writes = _activity(op)
+        root.children.append(
+            Span(
+                op.opcode,
+                begin_cc=cycle,
+                end_cc=cycle + op.cycles,
+                track=track,
+                attrs={"rows_read": reads, "rows_written": writes},
+            )
+        )
+        cycle += op.cycles
+    return root
+
+
+def row_occupancy(program_span: Span) -> Dict[int, float]:
+    """Per-row active fraction recomputed from a :func:`program_spans`
+    tree; agrees with :func:`repro.sim.waveform.utilization` exactly."""
+    total = program_span.duration_cc
+    rows: Dict[int, List[Tuple[int, int]]] = {}
+    for op_span in program_span.children:
+        touched = set(op_span.attrs.get("rows_read", ()))
+        touched.update(op_span.attrs.get("rows_written", ()))
+        for row in touched:
+            rows.setdefault(row, []).append(
+                (op_span.begin_cc, op_span.end_cc)
+            )
+    if total == 0:
+        return {row: 0.0 for row in rows}
+    return {
+        row: sum(end - begin for begin, end in _merge(intervals)) / total
+        for row, intervals in sorted(rows.items())
+    }
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def report(root: Span) -> str:
+    """Text report: per-stage occupancy, per-track bubbles, critical path."""
+    lines: List[str] = []
+    stage_rows = [
+        (name, f"{fraction:.1%}")
+        for name, fraction in sorted(
+            occupancy(root, by="name").items(), key=lambda kv: -kv[1]
+        )
+    ]
+    lines.append(
+        format_table(
+            ("stage", "occupancy"),
+            stage_rows,
+            title=f"Span profile of {root.name!r} ({root.duration_cc:,} cc)",
+        )
+    )
+    lines.append("")
+    bubble_rows = []
+    for track, gaps in sorted(bubbles(root, by="track").items()):
+        idle = sum(end - begin for begin, end in gaps)
+        bubble_rows.append((track, len(gaps), f"{idle:,} cc"))
+    if bubble_rows:
+        lines.append(
+            format_table(("track", "bubbles", "idle"), bubble_rows)
+        )
+        lines.append("")
+    chain = " -> ".join(
+        f"{span.name}[{span.duration_cc:,}cc]" for span in critical_path(root)
+    )
+    lines.append(f"critical path: {chain}")
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""One sink for every observability signal of a component.
+
+A :class:`TelemetryRegistry` bundles the two live telemetry channels —
+counters/histograms (a :class:`~repro.service.metrics.MetricsRegistry`)
+and spans (whatever tracer :func:`repro.telemetry.spans.active`
+returns) — behind a single object that components own.  The service,
+reliability and eval layers register their instruments through it, so
+one snapshot / one trace export covers the whole stack while the
+metrics snapshot schema stays exactly what ``MetricsRegistry`` always
+produced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.telemetry import spans as _spans
+from repro.telemetry.spans import NOOP_SPAN, Tracer
+
+__all__ = ["TelemetryRegistry"]
+
+
+class TelemetryRegistry:
+    """Metrics instruments plus span emission for one component.
+
+    Parameters
+    ----------
+    metrics:
+        The instrument registry to delegate to; a fresh
+        :class:`MetricsRegistry` when omitted.
+    tracer:
+        Pin span emission to a specific tracer.  By default spans
+        follow the globally installed tracer
+        (:func:`repro.telemetry.spans.active`), so enabling tracing
+        around any service call captures its spans with zero
+        per-component wiring.
+    """
+
+    def __init__(
+        self,
+        metrics=None,
+        tracer: Optional[Tracer] = None,
+    ):
+        # Imported here, not at module scope: ``repro.service`` builds
+        # its facade on this class, so a top-level import of the
+        # service package would be circular.
+        from repro.service.metrics import MetricsRegistry
+
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._tracer = tracer
+
+    # ------------------------------------------------------------------
+    # Instruments (drop-in MetricsRegistry API)
+    # ------------------------------------------------------------------
+    def counter(self, name: str):
+        return self.metrics.counter(name)
+
+    def histogram(self, name: str, bounds: Optional[Sequence] = None):
+        if bounds is None:
+            from repro.service.metrics import COUNT_BUCKETS
+
+            bounds = COUNT_BUCKETS
+        return self.metrics.histogram(name, bounds)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Identical schema to :meth:`MetricsRegistry.snapshot`."""
+        return self.metrics.snapshot()
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The tracer spans go to right now (``None`` when disabled)."""
+        if self._tracer is not None:
+            return self._tracer if self._tracer.enabled else None
+        return _spans.active()
+
+    def span(self, name: str, **kwargs):
+        """Open a span on the active tracer (no-op when disabled)."""
+        tracer = self.tracer
+        if tracer is None:
+            return NOOP_SPAN
+        return tracer.span(name, **kwargs)
+
+    def event(self, name: str, **kwargs):
+        """Record an instant event on the active tracer."""
+        tracer = self.tracer
+        if tracer is None:
+            return NOOP_SPAN
+        return tracer.event(name, **kwargs)

@@ -1,0 +1,340 @@
+"""Hierarchical spans with a zero-overhead-when-disabled API.
+
+A :class:`Span` is one timed region of work — a service batch, a bank
+dispatch, a pipeline stage pass, one MAGIC program — with begin/end
+timestamps in clock cycles, arbitrary attributes (width, way, NOR
+count, energy, request ids), and child spans.  A :class:`Tracer` owns a
+forest of root spans and a stack of open ones, so nested ``with``
+blocks build the hierarchy naturally across component boundaries
+(service → scheduler → dispatcher → stages → executor).
+
+Tracing is **off by default**: the module-level tracer is a disabled
+singleton, :func:`active` returns ``None``, and instrumented hot paths
+guard with one global lookup — the executors and the service pay
+nothing when nobody is tracing.  Enable with::
+
+    with telemetry.tracing() as tracer:
+        service.submit(a, b, 64)
+        ...
+    tree = tracer.roots
+
+Timestamps come from whichever :class:`~repro.sim.clock.Clock` a span
+is opened against (each stage subarray owns its own cycle clock), or
+are given explicitly for spans built from the analytic timing model
+(:mod:`repro.telemetry.model`).  A span opened without a clock inherits
+its parent's; a clock-less span is *structural* — its extent is the
+envelope of its children.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "active",
+    "current_tracer",
+    "install",
+    "tracing",
+]
+
+
+class Span:
+    """One timed region: name, cycle extent, attributes, children."""
+
+    __slots__ = ("name", "begin_cc", "end_cc", "track", "attrs", "children")
+
+    def __init__(
+        self,
+        name: str,
+        begin_cc: int = 0,
+        end_cc: Optional[int] = None,
+        track: Optional[str] = None,
+        attrs: Optional[Dict[str, object]] = None,
+    ):
+        self.name = name
+        self.begin_cc = begin_cc
+        self.end_cc = end_cc
+        self.track = track
+        self.attrs: Dict[str, object] = attrs if attrs is not None else {}
+        self.children: List["Span"] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def duration_cc(self) -> int:
+        """Cycle extent (0 while the span is still open)."""
+        if self.end_cc is None:
+            return 0
+        return self.end_cc - self.begin_cc
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self, end_cc: int) -> "Span":
+        """Close the span at an explicit timestamp."""
+        if end_cc < self.begin_cc:
+            raise ValueError(
+                f"span {self.name!r} cannot end at {end_cc} before its "
+                f"begin {self.begin_cc}"
+            )
+        self.end_cc = end_cc
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and every descendant."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extent = (
+            f"[{self.begin_cc}, {self.end_cc}]"
+            if self.end_cc is not None
+            else f"[{self.begin_cc}, ...)"
+        )
+        return f"Span({self.name}, {extent}, {len(self.children)} children)"
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out while tracing is disabled.
+
+    A single module-level instance is reused for every disabled
+    ``span()`` call, so the disabled path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> "_NoopSpan":
+        return self
+
+    def finish(self, end_cc: int) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _OpenSpan:
+    """Context manager closing one live span on exit."""
+
+    __slots__ = ("_tracer", "span", "_clock")
+
+    def __init__(self, tracer: "Tracer", span: Span, clock) -> None:
+        self._tracer = tracer
+        self.span = span
+        self._clock = clock
+
+    def set(self, **attrs: object) -> "_OpenSpan":
+        self.span.attrs.update(attrs)
+        return self
+
+    def finish(self, end_cc: int) -> "_OpenSpan":
+        self.span.end_cc = end_cc
+        return self
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer._close(self.span, self._clock)
+        return False
+
+
+class Tracer:
+    """Collects a forest of spans from nested instrumentation points."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.roots: List[Span] = []
+        #: Open spans, innermost last: (span, clock-or-None).
+        self._stack: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    def _parent_clock(self):
+        for _, clock in reversed(self._stack):
+            if clock is not None:
+                return clock
+        return None
+
+    def _attach(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1][0].children.append(span)
+        else:
+            self.roots.append(span)
+
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        clock=None,
+        begin_cc: Optional[int] = None,
+        track: Optional[str] = None,
+        **attrs: object,
+    ):
+        """Open a span as a context manager.
+
+        Timestamp source, in priority order: explicit *begin_cc*, the
+        given *clock* (read at entry and exit), the nearest enclosing
+        span's clock.  With none of those the span is structural: it
+        begins at its parent's begin and ends at its last child's end.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        if clock is None and begin_cc is None:
+            clock = self._parent_clock()
+        if begin_cc is None:
+            if clock is not None:
+                begin_cc = clock.cycles
+            elif self._stack:
+                begin_cc = self._stack[-1][0].begin_cc
+            else:
+                begin_cc = 0
+        span = Span(name, begin_cc=begin_cc, track=track, attrs=dict(attrs))
+        self._attach(span)
+        self._stack.append((span, clock))
+        return _OpenSpan(self, span, clock)
+
+    def _close(self, span: Span, clock) -> None:
+        top, _ = self._stack.pop()
+        if top is not span:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"span nesting violated: closing {span.name!r} "
+                f"but {top.name!r} is innermost"
+            )
+        if span.end_cc is None:
+            if clock is not None:
+                span.end_cc = clock.cycles
+            elif span.children:
+                span.end_cc = max(
+                    child.end_cc
+                    for child in span.children
+                    if child.end_cc is not None
+                )
+            else:
+                span.end_cc = span.begin_cc
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        name: str,
+        begin_cc: int,
+        end_cc: int,
+        track: Optional[str] = None,
+        **attrs: object,
+    ) -> Span:
+        """Append an already-timed span under the innermost open span.
+
+        This is how model-derived spans (pipeline schedules) and
+        window-timed spans (a way's busy interval) enter the tree.
+        """
+        if not self.enabled:
+            return NOOP_SPAN  # type: ignore[return-value]
+        span = Span(
+            name, begin_cc=begin_cc, end_cc=end_cc, track=track, attrs=dict(attrs)
+        )
+        if end_cc < begin_cc:
+            raise ValueError(
+                f"span {name!r} ends at {end_cc} before it begins at {begin_cc}"
+            )
+        self._attach(span)
+        return span
+
+    def event(
+        self,
+        name: str,
+        clock=None,
+        at_cc: Optional[int] = None,
+        track: Optional[str] = None,
+        **attrs: object,
+    ) -> Span:
+        """Record an instantaneous event (a zero-duration span)."""
+        if not self.enabled:
+            return NOOP_SPAN  # type: ignore[return-value]
+        if at_cc is None:
+            if clock is None:
+                clock = self._parent_clock()
+            at_cc = clock.cycles if clock is not None else 0
+        return self.record(name, at_cc, at_cc, track=track, **attrs)
+
+    # ------------------------------------------------------------------
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1][0] if self._stack else None
+
+    def walk(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def clear(self) -> None:
+        self.roots = []
+        self._stack = []
+
+
+#: The permanently disabled default tracer.
+_DISABLED = Tracer(enabled=False)
+
+#: The tracer instrumentation points see; swapped by :func:`install`.
+_CURRENT: Tracer = _DISABLED
+
+
+def current_tracer() -> Tracer:
+    """The installed tracer (the disabled singleton by default)."""
+    return _CURRENT
+
+
+def active() -> Optional[Tracer]:
+    """The installed tracer if it is enabled, else ``None``.
+
+    Instrumented hot paths use this as their single guard::
+
+        tracer = spans.active()
+        if tracer is not None:
+            with tracer.span(...):
+                ...
+    """
+    tracer = _CURRENT
+    return tracer if tracer.enabled else None
+
+
+def install(tracer: Optional[Tracer]) -> Tracer:
+    """Install *tracer* globally (``None`` restores the disabled one).
+
+    Returns the previously installed tracer so callers can restore it.
+    """
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = tracer if tracer is not None else _DISABLED
+    return previous
+
+
+class tracing:
+    """Context manager: install a fresh enabled tracer, then restore.
+
+    >>> from repro.telemetry import spans
+    >>> with spans.tracing() as tracer:
+    ...     with tracer.span("work", begin_cc=0) as s:
+    ...         _ = s.set(width=64)
+    >>> tracer.roots[0].name
+    'work'
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None):
+        self.tracer = tracer if tracer is not None else Tracer(enabled=True)
+        self._previous: Optional[Tracer] = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = install(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *exc: object) -> bool:
+        install(self._previous)
+        return False

@@ -235,7 +235,7 @@ class TestStageSelfChecks:
 class _AlwaysFailingDispatcher(BankDispatcher):
     """Every run detects a fault the ladder cannot repair in place."""
 
-    def run_on(self, way, pairs):
+    def run_on(self, way, pairs, request_ids=()):
         raise StageSelfCheckError(
             "synthetic divergence", stage="precompute", check="residue"
         )
@@ -244,12 +244,12 @@ class _AlwaysFailingDispatcher(BankDispatcher):
 class _FailOnWayZero(BankDispatcher):
     """Way .0 persistently fails its self-check; way .1 is healthy."""
 
-    def run_on(self, way, pairs):
+    def run_on(self, way, pairs, request_ids=()):
         if way.way_id.endswith(".0"):
             raise StageSelfCheckError(
                 "synthetic divergence", stage="precompute", check="residue"
             )
-        return super().run_on(way, pairs)
+        return super().run_on(way, pairs, request_ids=request_ids)
 
 
 class TestEscalationLadder:

@@ -200,8 +200,8 @@ class TestDegrade:
         """With audit on, a lying way is quarantined and retried."""
 
         class LyingDispatcher(BankDispatcher):
-            def run_on(self, way, pairs):
-                report = super().run_on(way, pairs)
+            def run_on(self, way, pairs, request_ids=()):
+                report = super().run_on(way, pairs, request_ids=request_ids)
                 if way.way_id.endswith(".0"):
                     wrong = [p + 1 for p in report.products]
                     return type(report)(
@@ -230,8 +230,8 @@ class TestDegrade:
         (which is why the stages carry their own residue checks)."""
 
         class LyingDispatcher(BankDispatcher):
-            def run_on(self, way, pairs):
-                report = super().run_on(way, pairs)
+            def run_on(self, way, pairs, request_ids=()):
+                report = super().run_on(way, pairs, request_ids=request_ids)
                 wrong = [p + 1 for p in report.products]
                 return type(report)(
                     way_id=report.way_id,

@@ -149,6 +149,41 @@ class TestTrace:
         text = trace.format(first=5)
         assert "25 more entries" in text
 
+    def test_ring_buffer_is_bounded_deque(self):
+        from collections import deque
+
+        trace = Trace(enabled=True, limit=3)
+        assert isinstance(trace.entries, deque)
+        assert trace.entries.maxlen == 3
+        for i in range(10):
+            trace.record(i, "op", str(i))
+        assert [e.detail for e in trace] == ["7", "8", "9"]
+        assert trace.dropped == 7
+
+    def test_zero_limit_drops_everything(self):
+        trace = Trace(enabled=True, limit=0)
+        trace.record(0, "nor")
+        trace.record(1, "nor")
+        assert len(trace) == 0
+        assert trace.dropped == 2
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(enabled=True, limit=-1)
+
+    def test_unlimited_keeps_everything(self):
+        trace = Trace(enabled=True)
+        for i in range(100):
+            trace.record(i, "op")
+        assert len(trace) == 100
+        assert trace.dropped == 0
+
+    def test_histogram_only_counts_retained(self):
+        trace = Trace(enabled=True, limit=2)
+        for op in ("a", "a", "b", "c"):
+            trace.record(0, op)
+        assert trace.opcode_histogram() == [("b", 1), ("c", 1)]
+
 
 class TestExceptions:
     def test_hierarchy(self):

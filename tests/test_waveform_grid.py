@@ -1,0 +1,135 @@
+"""Hand-computed checks for waveform grids and AsciiPlot mapping.
+
+The waveform module underpins both the ``repro waveform`` CLI view and
+the telemetry profiler's row-occupancy cross-validation, so its grid
+semantics are pinned here against a program small enough to verify by
+hand; the AsciiPlot tests pin the data-space → canvas coordinate
+mapping the evaluation plots rely on.
+"""
+
+import pytest
+
+from repro.eval.asciiplot import AsciiPlot
+from repro.magic.ops import Init, Nor, Read, Shift, Write
+from repro.magic.program import Program
+from repro.sim import waveform
+from repro.sim.exceptions import DesignError
+from repro.telemetry import profile as profiling
+
+
+def _hand_program() -> Program:
+    """Six-cycle program touching rows 0-3:
+
+    cycle 0: INIT rows 0,1
+    cycle 1: WRITE row 2
+    cycle 2: NOR (0,1) -> 2
+    cycle 3-4: SHIFT 2 -> 3 (reads 2, writes 3, both cycles)
+    cycle 5: READ row 3
+    """
+    return Program(
+        ops=[
+            Init(rows=(0, 1)),
+            Write(row=2, name="a"),
+            Nor(in_rows=(0, 1), out_row=2),
+            Shift(src_row=2, dst_row=3, offset=1),
+            Read(row=3, name="out"),
+        ],
+        label="hand",
+    )
+
+
+class TestActivityGrid:
+    def test_grid_matches_hand_computation(self):
+        grid = waveform.activity_grid(_hand_program())
+        assert grid[0] == ["i", ".", "r", ".", ".", "."]
+        assert grid[1] == ["i", ".", "r", ".", ".", "."]
+        assert grid[2] == [".", "W", "W", "r", "r", "."]
+        assert grid[3] == [".", ".", ".", "W", "W", "r"]
+
+    def test_utilization_matches_hand_computation(self):
+        util = waveform.utilization(_hand_program())
+        assert util == {
+            0: pytest.approx(2 / 6),
+            1: pytest.approx(2 / 6),
+            2: pytest.approx(4 / 6),
+            3: pytest.approx(3 / 6),
+        }
+
+    def test_read_plus_write_marks_both(self):
+        program = Program(
+            ops=[Init(rows=(1,)), Nor(in_rows=(0, 1), out_row=0)],
+            label="both",
+        )
+        grid = waveform.activity_grid(program)
+        # row 0 is read and written by the same NOR cycle
+        assert grid[0][1] == waveform.MARK_BOTH
+        assert grid[1][1] == waveform.MARK_READ
+
+    def test_empty_program_has_no_activity(self):
+        program = Program(ops=[], label="empty")
+        assert waveform.utilization(program) == {}
+
+    def test_render_shows_rows_and_legend(self):
+        text = waveform.render(_hand_program())
+        assert "hand: 6 cc" in text
+        assert "r0" in text and "r3" in text
+        assert "legend" in text
+
+    def test_profiler_row_occupancy_agrees_on_hand_program(self):
+        program = _hand_program()
+        tree = profiling.program_spans(program)
+        assert profiling.row_occupancy(tree) == waveform.utilization(program)
+
+
+class TestAsciiPlotMapping:
+    def _grid_lines(self, plot: AsciiPlot):
+        """The canvas rows between the +---+ borders, top first."""
+        lines = plot.render().splitlines()
+        top = next(i for i, l in enumerate(lines) if l.endswith("+"))
+        return [
+            line.split("|")[1] for line in lines[top + 1 : top + 1 + plot.height]
+        ]
+
+    def test_linear_coordinate_mapping(self):
+        """x in [0,10] maps to columns 0..10, y in [0,2] to rows
+        bottom..top, both by round-to-nearest."""
+        plot = AsciiPlot(width=11, height=3)
+        plot.add_series("s", [(0, 0), (5, 1), (10, 2)], marker="*")
+        rows = self._grid_lines(plot)
+        assert rows[2][0] == "*"   # (0, 0) bottom-left
+        assert rows[1][5] == "*"   # (5, 1) centre
+        assert rows[0][10] == "*"  # (10, 2) top-right
+
+    def test_log_scale_mapping(self):
+        """Decades land equidistant on a log axis."""
+        plot = AsciiPlot(width=21, height=2, log_x=True)
+        plot.add_series("s", [(1, 0), (10, 0), (100, 1)], marker="*")
+        rows = self._grid_lines(plot)
+        assert rows[1][0] == "*"    # 10^0 -> left edge
+        assert rows[1][10] == "*"   # 10^1 -> midpoint
+        assert rows[0][20] == "*"   # 10^2 -> right edge
+
+    def test_axis_labels_show_data_range(self):
+        plot = AsciiPlot(width=12, height=2)
+        plot.add_series("s", [(0, 5), (4, 25)])
+        text = plot.render()
+        assert "25" in text and "5" in text
+        assert "0" in text and "4" in text
+
+    def test_later_series_overdraw_earlier(self):
+        plot = AsciiPlot(width=5, height=2)
+        plot.add_series("a", [(0, 0)], marker="a")
+        plot.add_series("b", [(0, 0)], marker="b")
+        rows = self._grid_lines(plot)
+        assert rows[1][0] == "b"
+
+    def test_single_point_centres_without_dividing_by_zero(self):
+        plot = AsciiPlot(width=5, height=2)
+        plot.add_series("s", [(3, 7)], marker="*")
+        assert "*" in plot.render()
+
+    def test_log_axis_rejects_zero(self):
+        plot = AsciiPlot(log_y=True)
+        plot.add_series("s", [(1, 0), (2, 1)])
+        with pytest.raises(DesignError):
+            plot.render()
