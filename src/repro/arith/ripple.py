@@ -81,12 +81,32 @@ class RippleAdder:
 
     def __init__(self, layout: RippleLayout):
         self.layout = layout
-        self._program = None
+        self._programs = {}
+        #: Per-variant :class:`~repro.magic.passes.OptimizationResult`.
+        self.optimizer_reports = {}
 
-    def program(self) -> Program:
-        if self._program is None:
-            self._program = self._generate()
-        return self._program
+    def program(self, optimize: bool = False) -> Program:
+        """The adder's MAGIC program.
+
+        ``optimize=True`` runs it through the SIMD cycle packer
+        (:mod:`repro.magic.passes`): the alignment NOPs drop and the
+        per-bit INIT arming coalesces, preserving bit-exact sums.  The
+        default reproduces the paper's serial schedule exactly.
+        """
+        key = bool(optimize)
+        if key not in self._programs:
+            base = self._generate()
+            if optimize:
+                from repro.magic.passes import optimize_program
+
+                lay = self.layout
+                armed = frozenset(set(lay.scratch_rows) | {lay.out_row})
+                result = optimize_program(base, initially_ones=armed)
+                self.optimizer_reports[key] = result
+                self._programs[key] = result.program
+            else:
+                self._programs[key] = base
+        return self._programs[key]
 
     def latency_cc(self) -> int:
         return latency_cc(self.layout.width)

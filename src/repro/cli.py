@@ -18,13 +18,14 @@ Commands
 ``fault-campaign`` seeded fault-injection sweep (kind × width)
 ``trace``       export a traced bank batch as Perfetto/Chrome JSON
 ``bench-compare`` compare seeded benchmarks against BENCH_*.json
+``optimize-report`` SIMD cycle-packer report (before/after per stage)
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -386,6 +387,153 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_optimize_report(args: argparse.Namespace) -> int:
+    """Before/after report of the SIMD cycle-packing optimizer.
+
+    Builds the paper-exact and packed variants of every adder program
+    the two crossbar stages run at ``--bits``, executes both on
+    identical scratch arrays (same seeded operands), and prints one
+    before/after row per stage: cycles, row footprint, measured array
+    energy.  With ``--check`` it additionally re-verifies each packed
+    program (init protocol + bit-exact final state against the
+    unoptimized oracle) and exits non-zero on any violation — the CI
+    optimizer-smoke entry point.
+    """
+    import random
+
+    from repro.crossbar.array import CrossbarArray
+    from repro.karatsuba.postcompute import PostcomputeStage
+    from repro.karatsuba.precompute import PrecomputeStage
+    from repro.magic.executor import MagicExecutor, int_to_bits
+    from repro.magic.optimize import check_protocol
+    from repro.sim.clock import Clock
+
+    bits = args.bits
+    rng = random.Random(0xC0DE)
+    failures: List[str] = []
+
+    def run_once(program, adder, cols, x, y):
+        """Execute *program* on a fresh armed array; returns
+        (array, energy_fj, cycles)."""
+        rows = max(program.rows_touched()) + 1
+        array = CrossbarArray(rows, cols)
+        array.state[:] = True
+        lay = adder.layout
+        array.write_row(lay.x_row, int_to_bits(x, cols))
+        array.write_row(lay.y_row, int_to_bits(y, cols))
+        energy0 = array.energy_fj
+        clock = Clock()
+        MagicExecutor(array, clock=clock).execute(program)
+        return array, array.energy_fj - energy0, clock.cycles
+
+    def audit(stage_name, op, adder, base, packed, cols):
+        x = rng.getrandbits(adder.layout.width)
+        y = rng.getrandbits(adder.layout.width)
+        if op == "sub" and y > x:
+            x, y = y, x
+        arr_a, e_base, cc_base = run_once(base, adder, cols, x, y)
+        arr_b, e_opt, cc_opt = run_once(packed, adder, cols, x, y)
+        if args.check:
+            armed = frozenset(
+                set(adder.layout.scratch_rows) | {adder.layout.out_row}
+            )
+            report = check_protocol(packed, initially_ones=armed)
+            if not report.ok:
+                failures.append(
+                    f"{stage_name}/{op}: protocol violations "
+                    f"{report.violations[:3]}"
+                )
+            if not (arr_a.state == arr_b.state).all():
+                failures.append(
+                    f"{stage_name}/{op}: packed program diverged from "
+                    f"the unoptimized oracle"
+                )
+            if cc_opt > cc_base:
+                failures.append(
+                    f"{stage_name}/{op}: packed program is slower "
+                    f"({cc_opt} > {cc_base} cc)"
+                )
+        return e_base, e_opt
+
+    # Gather (stage, op, weight, adder, base program, packed program).
+    entries = []
+    pre = PrecomputeStage(bits, optimize=True)
+    for step in pre.plan.precompute_adds:
+        adder = pre._adder_for(step)
+        entries.append(
+            ("precompute", f"add[{step.out}]", 1, adder, pre.cols)
+        )
+    post = PostcomputeStage(bits, optimize=True)
+    post_adder = post._adder()
+    for op in ("add", "sub"):
+        weight = post.PASS_OPS.count(op)
+        entries.append(("postcompute", op, weight, post_adder, post.cols))
+
+    stages: Dict[str, Dict[str, float]] = {}
+    for stage_name, op_name, weight, adder, cols in entries:
+        op = "sub" if op_name.startswith("sub") else "add"
+        base = adder.program(op, optimize=False)
+        packed = adder.program(op, optimize=True)
+        e_base, e_opt = audit(stage_name, op, adder, base, packed, cols)
+        agg = stages.setdefault(
+            stage_name,
+            {
+                "cc_before": 0, "cc_after": 0,
+                "rows_before": 0, "rows_after": 0,
+                "e_before": 0.0, "e_after": 0.0,
+            },
+        )
+        agg["cc_before"] += weight * base.cycle_count
+        agg["cc_after"] += weight * packed.cycle_count
+        agg["rows_before"] = max(
+            agg["rows_before"], len(base.rows_touched())
+        )
+        agg["rows_after"] = max(
+            agg["rows_after"], len(packed.rows_touched())
+        )
+        agg["e_before"] += weight * e_base
+        agg["e_after"] += weight * e_opt
+
+    print(f"SIMD cycle-packer report, n = {bits} bits")
+    header = (
+        f"  {'stage':<12} {'cycles':>15} {'rows':>9} {'energy (fJ)':>24} "
+        f"{'saved':>7}"
+    )
+    print(header)
+    for stage_name, agg in stages.items():
+        saved = agg["cc_before"] - agg["cc_after"]
+        pct = saved / agg["cc_before"] if agg["cc_before"] else 0.0
+        print(
+            f"  {stage_name:<12} "
+            f"{agg['cc_before']:>6,} -> {agg['cc_after']:>6,} "
+            f"{agg['rows_before']:>3} -> {agg['rows_after']:>3} "
+            f"{agg['e_before']:>10,.0f} -> {agg['e_after']:>10,.0f} "
+            f"{pct:>7.1%}"
+        )
+    pre_reports = [
+        r
+        for key, cache in pre._adders.items()
+        for _, a in cache
+        for r in a.optimizer_reports.values()
+    ]
+    post_reports = list(post_adder.optimizer_reports.values())
+    by_pass: Dict[str, int] = {}
+    for r in pre_reports + post_reports:
+        for p in r.passes:
+            by_pass[p.name] = by_pass.get(p.name, 0) + p.cycles_saved
+    print("  cycles saved by pass:")
+    for name, saved in by_pass.items():
+        print(f"    {name:<18} {saved:>6,} cc")
+
+    if args.check:
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print(f"check: OK ({len(entries)} programs verified)")
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.karatsuba import cost
 
@@ -534,6 +682,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="write fresh baseline seeds instead of comparing",
     )
     bench.set_defaults(func=_cmd_bench_compare)
+
+    opt = sub.add_parser(
+        "optimize-report",
+        help="SIMD cycle-packer before/after report (and --check gate)",
+    )
+    opt.add_argument("--bits", type=int, default=64)
+    opt.add_argument(
+        "--check",
+        action="store_true",
+        help="verify packed programs (protocol + bit-exactness); "
+        "non-zero exit on any violation",
+    )
+    opt.set_defaults(func=_cmd_optimize_report)
     return parser
 
 

@@ -56,6 +56,7 @@ class KaratsubaController:
         device=None,
         spare_rows: int = 2,
         residue_bits: int = 8,
+        optimize: bool = False,
     ):
         if n_bits < MIN_BITS or n_bits % 4:
             raise DesignError(
@@ -63,12 +64,17 @@ class KaratsubaController:
                 f"got {n_bits}"
             )
         self.n_bits = n_bits
+        #: Run stage adder programs through the SIMD cycle packer
+        #: (:mod:`repro.magic.passes`).  Off by default so the datapath
+        #: reproduces the paper's closed-form stage latencies.
+        self.optimize = optimize
         self.precompute = PrecomputeStage(
             n_bits,
             wear_leveling=wear_leveling,
             device=device,
             spare_rows=spare_rows,
             residue_bits=residue_bits,
+            optimize=optimize,
         )
         self.multiply_stage = MultiplicationStage(
             n_bits, wear_leveling=wear_leveling, residue_bits=residue_bits
@@ -79,6 +85,7 @@ class KaratsubaController:
             device=device,
             spare_rows=spare_rows,
             residue_bits=residue_bits,
+            optimize=optimize,
         )
         self.jobs = 0
 
@@ -262,6 +269,20 @@ class KaratsubaController:
             self.precompute.array.spare_rows_free
             + self.postcompute.array.spare_rows_free
         )
+
+    def optimizer_stats(self) -> dict:
+        """Aggregated cycle-packer savings across the crossbar stages.
+
+        ``{"enabled": False}`` when the optimizer is off; otherwise one
+        additive summary per stage (pack factor, cycles saved per pass).
+        """
+        if not self.optimize:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "precompute": self.precompute.optimizer_stats(),
+            "postcompute": self.postcompute.optimizer_stats(),
+        }
 
     def residue_stats(self) -> List[dict]:
         """Per-stage residue-checker statistics."""

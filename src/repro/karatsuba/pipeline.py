@@ -87,6 +87,7 @@ class KaratsubaPipeline:
         device=None,
         spare_rows: int = 2,
         residue_bits: int = 8,
+        optimize: bool = False,
     ):
         self.controller = KaratsubaController(
             n_bits,
@@ -94,6 +95,7 @@ class KaratsubaPipeline:
             device=device,
             spare_rows=spare_rows,
             residue_bits=residue_bits,
+            optimize=optimize,
         )
         self.n_bits = n_bits
 

@@ -52,6 +52,7 @@ from repro.arith.koggestone import (
 from repro.crossbar.array import BatchedCrossbarArray, CrossbarArray
 from repro.crossbar.endurance import WearLevelingController
 from repro.magic.executor import BatchedMagicExecutor, MagicExecutor, int_to_bits
+from repro.magic.passes import summarize_reports
 from repro.magic.program import Program, ProgramBuilder
 from repro.reliability.residue import DEFAULT_RESIDUE_BITS, ResidueChecker
 from repro.sim.clock import Clock
@@ -118,9 +119,14 @@ class PostcomputeStage:
         device=None,
         spare_rows: int = 2,
         residue_bits: int = DEFAULT_RESIDUE_BITS,
+        optimize: bool = False,
     ):
         _check_width(n_bits)
         self.n_bits = n_bits
+        #: Run adder programs through the SIMD cycle packer
+        #: (:mod:`repro.magic.passes`).  Off by default so the stage
+        #: reproduces the paper's per-op cycle counts exactly.
+        self.optimize = optimize
         self.cols = columns(n_bits)
         self.adder_width = self.cols - 1
         self.array = CrossbarArray(
@@ -314,7 +320,7 @@ class PostcomputeStage:
             for index, op in enumerate(self.PASS_OPS):
                 builder.write(lay.x_row, f"x{index}", width=self.cols)
                 builder.write(lay.y_row, f"y{index}", width=self.cols)
-                program = adder.program(op)
+                program = adder.program(op, optimize=self.optimize)
                 builder.concat(program)
                 builder.read(lay.out_row, f"out{index}", width=self.cols)
                 for opcode, cost in program.cycles_by_opcode().items():
@@ -433,7 +439,7 @@ class PostcomputeStage:
         lay = adder.layout
         self.array.write_row(lay.x_row, int_to_bits(x, self.cols))
         self.array.write_row(lay.y_row, int_to_bits(y, self.cols))
-        self.executor.execute(adder.program(op))
+        self.executor.execute(adder.program(op, optimize=self.optimize))
         word = self.array.read_row(lay.out_row)
         value = 0
         for i in range(self.cols):
@@ -510,7 +516,26 @@ class PostcomputeStage:
         return self.array.cells
 
     def latency_cc(self) -> int:
-        return latency_cc(self.n_bits)
+        if not self.optimize:
+            return latency_cc(self.n_bits)
+        adder = self._adder()
+        return (
+            sum(
+                adder.program(op, optimize=True).cycle_count
+                for op in self.PASS_OPS
+            )
+            + REORDER_CYCLES
+        )
+
+    def optimizer_stats(self) -> Dict[str, object]:
+        """Aggregated cycle-packer savings over this stage's adder
+        programs (``{"enabled": False}`` when the optimizer is off)."""
+        if not self.optimize:
+            return {"enabled": False}
+        reports = []
+        for adder in self._adders.values():
+            reports.extend(adder.optimizer_reports.values())
+        return summarize_reports(reports)
 
     def max_writes(self) -> int:
         return self.array.max_writes()

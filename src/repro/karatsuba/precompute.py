@@ -36,6 +36,7 @@ from repro.crossbar.array import BatchedCrossbarArray, CrossbarArray
 from repro.crossbar.endurance import WearLevelingController
 from repro.karatsuba.unroll import UnrolledPlan, build_plan
 from repro.magic.executor import BatchedMagicExecutor, MagicExecutor, int_to_bits
+from repro.magic.passes import summarize_reports
 from repro.magic.program import Program, ProgramBuilder
 from repro.reliability.residue import DEFAULT_RESIDUE_BITS, ResidueChecker
 from repro.sim.clock import Clock
@@ -94,9 +95,14 @@ class PrecomputeStage:
         device=None,
         spare_rows: int = DEFAULT_SPARE_ROWS,
         residue_bits: int = DEFAULT_RESIDUE_BITS,
+        optimize: bool = False,
     ):
         _check_width(n_bits)
         self.n_bits = n_bits
+        #: Run adder programs through the SIMD cycle packer
+        #: (:mod:`repro.magic.passes`).  Off by default so the stage
+        #: reproduces the paper's per-op cycle counts exactly.
+        self.optimize = optimize
         self.cols = n_bits // 4 + 2
         self.adder_width = n_bits // 4 + 1
         self.array = CrossbarArray(
@@ -196,7 +202,7 @@ class PrecomputeStage:
         }
         for step in self.plan.precompute_adds:
             adder = self._adder_for(step)
-            self.executor.execute(adder.program("add"))
+            self.executor.execute(adder.program("add", optimize=self.optimize))
             sensed = self._read_result(adder)
             results[step.out] = sensed
             residues[step.out] = self.checker.check_sum(
@@ -263,7 +269,7 @@ class PrecomputeStage:
                 )
             for step in self.plan.precompute_adds:
                 adder = self._adder_for(step)
-                program = adder.program("add")
+                program = adder.program("add", optimize=self.optimize)
                 builder.concat(program)
                 builder.read(adder.layout.out_row, step.out, width=self.cols)
                 for opcode, cost in program.cycles_by_opcode().items():
@@ -431,7 +437,29 @@ class PrecomputeStage:
         return self.array.cells
 
     def latency_cc(self) -> int:
-        return latency_cc(self.n_bits)
+        """Per-job stage latency.  The paper's closed form by default;
+        with the optimizer on, the measured cycle count of the packed
+        adder programs (8 input writes + 10 adds + 1 reset)."""
+        if not self.optimize:
+            return latency_cc(self.n_bits)
+        total = INPUT_ROWS + 1
+        for step in self.plan.precompute_adds:
+            adder = self._adder_for(step)
+            total += adder.program("add", optimize=True).cycle_count
+        return total
+
+    def optimizer_stats(self) -> Dict[str, object]:
+        """Aggregated cycle-packer report over this stage's adder
+        programs (per job): before/after cycles, savings per pass, and
+        the achieved pack factor (micro-ops retired per issued cycle)."""
+        if not self.optimize:
+            return {"enabled": False}
+        reports = []
+        for step in self.plan.precompute_adds:
+            adder = self._adder_for(step)
+            adder.program("add", optimize=True)
+            reports.append(adder.optimizer_reports["add"])
+        return summarize_reports(reports)
 
     def max_writes(self) -> int:
         return self.array.max_writes()

@@ -14,13 +14,33 @@ from repro.magic.executor import (
     pack_ints,
     unpack_ints,
 )
-from repro.magic.ops import Init, MicroOp, Nop, Nor, Not, Read, Shift, Write
+from repro.magic.ops import (
+    Init,
+    MicroOp,
+    Nop,
+    Nor,
+    Not,
+    ParallelNor,
+    ParallelNot,
+    Read,
+    Shift,
+    Write,
+)
 from repro.magic.optimize import (
     ProtocolReport,
     check_protocol,
     coalesce_inits,
     eliminate_dead_ops,
     liveness,
+)
+from repro.magic.passes import (
+    OptimizationResult,
+    PassManager,
+    PassStats,
+    dependence_dag,
+    optimize_program,
+    pack_cycles,
+    reallocate_scratch,
 )
 from repro.magic.program import Program, ProgramBuilder
 from repro.magic.synth import emit_and, emit_maj3, emit_or, emit_xnor, emit_xor
@@ -46,8 +66,17 @@ __all__ = [
     "Nop",
     "Nor",
     "Not",
+    "OptimizationResult",
+    "ParallelNor",
+    "ParallelNot",
+    "PassManager",
+    "PassStats",
     "Program",
     "ProgramBuilder",
+    "dependence_dag",
+    "optimize_program",
+    "pack_cycles",
+    "reallocate_scratch",
     "Read",
     "Shift",
     "Write",

@@ -22,7 +22,18 @@ from __future__ import annotations
 import re
 from typing import List, Optional, Tuple
 
-from repro.magic.ops import Init, MicroOp, Nop, Nor, Not, Read, Shift, Write
+from repro.magic.ops import (
+    Init,
+    MicroOp,
+    Nop,
+    Nor,
+    Not,
+    ParallelNor,
+    ParallelNot,
+    Read,
+    Shift,
+    Write,
+)
 from repro.magic.program import Program
 from repro.sim.exceptions import ProgramError
 
@@ -70,6 +81,18 @@ def dumps(program: Program) -> str:
                 f"shift r{op.src_row} -> r{op.dst_row} by {op.offset} "
                 f"fill {op.fill}{_cols_text(op.cols)}{init_part}"
             )
+        elif isinstance(op, ParallelNor):
+            gates = " | ".join(
+                f"{_rows_text(g.in_rows)} -> r{g.out_row}{_cols_text(g.cols)}"
+                for g in op.gates
+            )
+            lines.append(f"pnor  {gates}")
+        elif isinstance(op, ParallelNot):
+            gates = " | ".join(
+                f"r{g.in_row} -> r{g.out_row}{_cols_text(g.cols)}"
+                for g in op.gates
+            )
+            lines.append(f"pnot  {gates}")
         elif isinstance(op, Nop):
             lines.append(f"nop   {op.count}")
         else:  # pragma: no cover - defensive
@@ -170,6 +193,28 @@ def loads(text: str) -> Program:
                     fill=int(match.group(4)),
                     cols=cols,
                     also_init=also,
+                )
+            )
+        elif mnemonic in ("pnor", "pnot"):
+            gates = []
+            for segment in rest.split("|"):
+                segment = segment.strip()
+                seg_cols = _parse_cols(segment)
+                seg_body = _COLS_RE.sub("", segment).strip()
+                inputs, _, target = seg_body.partition("->")
+                in_rows = _parse_rows(inputs.strip())
+                out_row = _parse_rows(target.strip())[0]
+                if mnemonic == "pnor":
+                    gates.append(
+                        Nor(in_rows=in_rows, out_row=out_row, cols=seg_cols)
+                    )
+                else:
+                    gates.append(
+                        Not(in_row=in_rows[0], out_row=out_row, cols=seg_cols)
+                    )
+            ops.append(
+                (ParallelNor if mnemonic == "pnor" else ParallelNot)(
+                    gates=tuple(gates)
                 )
             )
         elif mnemonic == "nop":

@@ -217,6 +217,7 @@ def compile_expression(
     scratch_rows: Sequence[int],
     cols: Tuple[int, int] = None,
     label: str = "compiled",
+    optimize: bool = False,
 ) -> CompiledExpression:
     """Compile *expr* into a MAGIC program.
 
@@ -224,6 +225,12 @@ def compile_expression(
     *out_row* receives the result; *scratch_rows* is the pool for
     intermediates (an informative error reports the needed count when
     the pool is too small).  All rows must be distinct.
+
+    With ``optimize=True`` the emitted program additionally runs
+    through the SIMD cycle-packing pipeline
+    (:func:`repro.magic.passes.optimize_program`): independent gates
+    share cycles and INIT arming coalesces across dependence-free
+    windows, preserving bit-exact semantics.
     """
     rows_seen = list(input_rows.values()) + [out_row] + list(scratch_rows)
     if len(set(rows_seen)) != len(rows_seen):
@@ -305,6 +312,10 @@ def compile_expression(
             f"compiler emitted a protocol-violating program: "
             f"{report.violations[:2]}"
         )
+    if optimize:
+        from repro.magic.passes import optimize_program
+
+        program = optimize_program(program).program
     return CompiledExpression(
         program=program,
         gate_count=len(order),

@@ -31,7 +31,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.crossbar.array import BatchedCrossbarArray, CrossbarArray
-from repro.magic.ops import Init, MicroOp, Nop, Nor, Not, Read, Shift, Write
+from repro.magic.ops import (
+    Init,
+    MicroOp,
+    Nop,
+    Nor,
+    Not,
+    ParallelNor,
+    ParallelNot,
+    Read,
+    Shift,
+    Write,
+)
 from repro.magic.program import Program
 from repro.sim.clock import Clock
 from repro.sim.exceptions import ProgramError
@@ -92,7 +103,8 @@ def unpack_ints(words: np.ndarray) -> List[int]:
 
 
 #: Compiled-step opcodes (tuple dispatch in the batched inner loop).
-_INIT, _NOR, _WRITE, _READ, _SHIFT, _NOP = range(6)
+#: _PACK carries a gang of independent NOR gates retired in one cycle.
+_INIT, _NOR, _WRITE, _READ, _SHIFT, _NOP, _PACK = range(7)
 
 #: RunStats counter attribute per micro-op opcode.
 _STAT_FIELD = {
@@ -171,8 +183,26 @@ class CompiledProgram:
             )
             stat_field = _STAT_FIELD.get(op.opcode)
             if stat_field:
-                self.stat_counts[stat_field] = self.stat_counts.get(stat_field, 0) + 1
-            if isinstance(op, Init):
+                # A packed op retires one gate per gang member within
+                # its single cycle; stats count gates, the clock counts
+                # cycles.
+                weight = (
+                    len(op.gates)
+                    if isinstance(op, (ParallelNor, ParallelNot))
+                    else 1
+                )
+                self.stat_counts[stat_field] = (
+                    self.stat_counts.get(stat_field, 0) + weight
+                )
+            if isinstance(op, (ParallelNor, ParallelNot)):
+                gang = []
+                for g in op.gates:
+                    in_rows = (
+                        list(g.in_rows) if isinstance(g, Nor) else [g.in_row]
+                    )
+                    gang.append((in_rows, g.out_row, self._col_mask(g.cols)))
+                self.steps.append((_PACK, tuple(gang)))
+            elif isinstance(op, Init):
                 self.steps.append(
                     (_INIT, tuple(dict.fromkeys(op.rows)), self._col_mask(op.cols))
                 )
@@ -464,6 +494,25 @@ class MagicExecutor:
             if hook is not None:
                 hook.on_nor(self.array, op.out_row, mask)
             stats.not_ops += 1
+        elif isinstance(op, (ParallelNor, ParallelNot)):
+            # One cycle retires the whole gang: output word lines are
+            # pairwise disjoint and never aliased by an operand row (the
+            # op's constructor enforces it), so the sequential member
+            # evaluation below is order-independent and each gate's
+            # switching energy is charged exactly as in the unpacked
+            # program.
+            for g in op.gates:
+                mask = self._col_mask(g.cols)
+                if isinstance(g, Nor):
+                    self.array.nor_rows(list(g.in_rows), g.out_row, mask)
+                else:
+                    self.array.not_row(g.in_row, g.out_row, mask)
+                if hook is not None:
+                    hook.on_nor(self.array, g.out_row, mask)
+            if isinstance(op, ParallelNor):
+                stats.nor_ops += len(op.gates)
+            else:
+                stats.not_ops += len(op.gates)
         elif isinstance(op, Write):
             self._do_write(op, bindings)
             stats.write_ops += 1
@@ -607,6 +656,11 @@ class BatchedMagicExecutor:
                 array.nor_rows(step[1], step[2], step[3])
                 if hook is not None:
                     hook.on_nor(array, step[2], step[3])
+            elif code == _PACK:
+                for in_rows, out_row, mask in step[1]:
+                    array.nor_rows(in_rows, out_row, mask)
+                    if hook is not None:
+                        hook.on_nor(array, out_row, mask)
             elif code == _INIT:
                 array.init_rows(step[1], step[2])
             elif code == _WRITE:
@@ -645,8 +699,8 @@ class BatchedMagicExecutor:
                 label=compiled.label or "program",
                 ops=len(compiled.steps),
                 lanes=batch,
-                nor=compiled.op_counts.get("nor", 0)
-                + compiled.op_counts.get("not", 0),
+                nor=compiled.stat_counts.get("nor_ops", 0)
+                + compiled.stat_counts.get("not_ops", 0),
             )
 
         energy = array.energy_fj - energy_before

@@ -190,6 +190,84 @@ class Shift(MicroOp):
         _check_cols(self.cols, cols)
 
 
+def _check_pack(gates: Tuple, opcode: str) -> None:
+    """Single-cycle legality of a gate pack.
+
+    All output word lines must be pairwise distinct and exclusively
+    owned: no gate's output row may appear among any gate's input rows
+    (including its own).  Input rows *may* be shared — the word-line
+    drivers hold input rows at read voltage, so several concurrent
+    gates can fan out from the same row, but each output row sinks
+    exactly one gate's result.
+    """
+    if not gates:
+        raise ValueError(f"parallel {opcode.upper()} requires at least one gate")
+    outs = [g.out_row for g in gates]
+    if len(set(outs)) != len(outs):
+        raise ProgramError(
+            f"parallel {opcode.upper()} gates share an output row: {outs}"
+        )
+    reads = set()
+    for g in gates:
+        reads.update(g.in_rows if hasattr(g, "in_rows") else (g.in_row,))
+    clash = reads & set(outs)
+    if clash:
+        raise ProgramError(
+            f"parallel {opcode.upper()} output rows {sorted(clash)} "
+            "collide with pack input rows"
+        )
+
+
+@dataclass(frozen=True)
+class ParallelNor(MicroOp):
+    """SIMD pack of independent NOR gates issued in one cycle.
+
+    The crossbar substrate is row-parallel: gates on disjoint output
+    word lines whose operands do not overlap any pack output can fire
+    simultaneously (paper Sec. II-B).  Packs are produced by the cycle
+    packer in :mod:`repro.magic.passes`; legality is re-checked here so
+    a hand-built pack cannot silently break the single-cycle claim.
+    """
+
+    gates: Tuple[Nor, ...]
+
+    def __post_init__(self) -> None:
+        for g in self.gates:
+            if not isinstance(g, Nor):
+                raise ProgramError(f"ParallelNor holds {type(g).__name__}")
+        _check_pack(self.gates, "nor")
+
+    @property
+    def opcode(self) -> str:
+        # Clock category stays "nor": a pack spends one NOR cycle.
+        return "nor"
+
+    def validate(self, rows: int, cols: int) -> None:
+        for g in self.gates:
+            g.validate(rows, cols)
+
+
+@dataclass(frozen=True)
+class ParallelNot(MicroOp):
+    """SIMD pack of independent NOT gates issued in one cycle."""
+
+    gates: Tuple[Not, ...]
+
+    def __post_init__(self) -> None:
+        for g in self.gates:
+            if not isinstance(g, Not):
+                raise ProgramError(f"ParallelNot holds {type(g).__name__}")
+        _check_pack(self.gates, "not")
+
+    @property
+    def opcode(self) -> str:
+        return "not"
+
+    def validate(self, rows: int, cols: int) -> None:
+        for g in self.gates:
+            g.validate(rows, cols)
+
+
 @dataclass(frozen=True)
 class Nop(MicroOp):
     """Idle controller cycles."""

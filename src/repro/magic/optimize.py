@@ -21,7 +21,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Set, Tuple
 
-from repro.magic.ops import Init, MicroOp, Nop, Nor, Not, Read, Shift, Write
+from repro.magic.ops import (
+    Init,
+    MicroOp,
+    Nop,
+    Nor,
+    Not,
+    ParallelNor,
+    ParallelNot,
+    Read,
+    Shift,
+    Write,
+)
 from repro.magic.program import Program
 from repro.sim.exceptions import ProgramError
 
@@ -53,6 +64,17 @@ def effect_of(op: MicroOp) -> OpEffect:
             reads=(op.src_row,),
             writes=(op.dst_row,) + tuple(op.also_init),
             initialises=tuple(op.also_init),
+        )
+    if isinstance(op, (ParallelNor, ParallelNot)):
+        reads: List[int] = []
+        writes: List[int] = []
+        for g in op.gates:
+            reads.extend(g.in_rows if isinstance(g, Nor) else (g.in_row,))
+            writes.append(g.out_row)
+        return OpEffect(
+            reads=tuple(dict.fromkeys(reads)),
+            writes=tuple(writes),
+            initialises=(),
         )
     if isinstance(op, Nop):
         return OpEffect(reads=(), writes=(), initialises=())
@@ -101,6 +123,15 @@ def check_protocol(
                 f"op {index} ({op.opcode}): output row {op.out_row} "
                 "not initialised to logic one"
             )
+        elif isinstance(op, (ParallelNor, ParallelNot)):
+            # Every gate of a pack fires in the same cycle, so each
+            # output row must be armed at pack entry.
+            for g in op.gates:
+                if g.out_row not in armed:
+                    violations.append(
+                        f"op {index} (parallel {op.opcode}): output row "
+                        f"{g.out_row} not initialised to logic one"
+                    )
         armed -= set(eff.writes)
         armed |= set(eff.initialises)
     return ProtocolReport(ok=not violations, violations=tuple(violations))
@@ -131,21 +162,43 @@ def eliminate_dead_ops(
 
 
 def coalesce_inits(program: Program) -> Program:
-    """Merge runs of adjacent INITs with identical column ranges into
-    one multi-row INIT (a single cycle on hardware)."""
+    """Merge INITs with identical column ranges into multi-row cycles.
+
+    An INIT hoists back into an earlier INIT with the same column
+    window whenever no op in between touches (reads *or* writes) any of
+    its rows: arming those rows earlier is then observationally
+    equivalent — nothing reads the overwritten content, nothing
+    clobbers the arming before its original position — so the merge is
+    protocol-safe.  This subsumes the historical adjacent-only merge
+    and additionally catches INIT pairs separated by unrelated ops
+    (e.g. the two halves of a scratch reset with logic in between).
+    """
     merged: List[MicroOp] = []
     for op in program.ops:
-        if (
-            isinstance(op, Init)
-            and merged
-            and isinstance(merged[-1], Init)
-            and merged[-1].cols == op.cols
-        ):
-            previous = merged.pop()
-            rows = tuple(dict.fromkeys(previous.rows + op.rows))
-            merged.append(Init(rows=rows, cols=op.cols))
-        else:
+        if not isinstance(op, Init):
             merged.append(op)
+            continue
+        rows = set(op.rows)
+        target = None
+        # Scan backwards until a dependence on this INIT's rows blocks
+        # further hoisting; the nearest compatible INIT before the
+        # blocker absorbs it.
+        for candidate in reversed(merged):
+            if isinstance(candidate, Init) and candidate.cols == op.cols:
+                target = candidate
+                break
+            eff = effect_of(candidate)
+            if rows & (set(eff.reads) | set(eff.writes)):
+                break
+        if target is None:
+            merged.append(op)
+            continue
+        index = len(merged) - 1
+        while merged[index] is not target:
+            index -= 1
+        merged[index] = Init(
+            rows=tuple(dict.fromkeys(target.rows + op.rows)), cols=op.cols
+        )
     return Program(ops=merged, label=program.label + "+coalesce")
 
 

@@ -11,37 +11,89 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.magic.ops import ColumnRange, Init, MicroOp, Nop, Nor, Not, Read, Shift, Write
+from repro.magic.ops import (
+    ColumnRange,
+    Init,
+    MicroOp,
+    Nop,
+    Nor,
+    Not,
+    ParallelNor,
+    ParallelNot,
+    Read,
+    Shift,
+    Write,
+)
 from repro.sim.exceptions import ProgramError
 
 
 @dataclass
 class Program:
-    """An ordered sequence of micro-ops with static cost metadata."""
+    """An ordered sequence of micro-ops with static cost metadata.
+
+    Derived static properties (cycle count, histograms, rows touched)
+    are memoised against the op-list length: the op list only ever
+    grows (via :meth:`extend` / builder concatenation), so a stale
+    cache is detected by a length mismatch and recomputed.  These
+    properties are hot in scheduler admission and telemetry span
+    derivation, where the same sealed program is queried per batch.
+    """
 
     ops: List[MicroOp] = field(default_factory=list)
     label: str = ""
+    #: Lazy cache of derived properties, stamped with len(ops).
+    _cache: Dict[str, object] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def _cached(self, key: str, compute):
+        stamp = len(self.ops)
+        entry = self._cache.get(key)
+        if entry is not None and entry[0] == stamp:
+            return entry[1]
+        value = compute()
+        self._cache[key] = (stamp, value)
+        return value
+
+    def seal(self) -> "Program":
+        """Precompute every derived property now (optional; the lazy
+        cache fills on first access either way).  Returns ``self``."""
+        self.cycle_count
+        self.histogram()
+        self.cycles_by_opcode()
+        self.rows_touched()
+        return self
 
     @property
     def cycle_count(self) -> int:
         """Total cycles the program takes (static property of the op list)."""
-        return sum(op.cycles for op in self.ops)
+        return self._cached(
+            "cycle_count", lambda: sum(op.cycles for op in self.ops)
+        )
 
     def histogram(self) -> Dict[str, int]:
         """Op-count per opcode."""
-        counts: Dict[str, int] = {}
-        for op in self.ops:
-            counts[op.opcode] = counts.get(op.opcode, 0) + 1
-        return counts
+
+        def compute() -> Dict[str, int]:
+            counts: Dict[str, int] = {}
+            for op in self.ops:
+                counts[op.opcode] = counts.get(op.opcode, 0) + 1
+            return counts
+
+        return dict(self._cached("histogram", compute))
 
     def cycles_by_opcode(self) -> Dict[str, int]:
         """Cycle cost per opcode — the clock categories one execution
         ticks.  Batched stage schedules replay a program across many
         lanes and advance their clock from this histogram once."""
-        cycles: Dict[str, int] = {}
-        for op in self.ops:
-            cycles[op.opcode] = cycles.get(op.opcode, 0) + op.cycles
-        return cycles
+
+        def compute() -> Dict[str, int]:
+            cycles: Dict[str, int] = {}
+            for op in self.ops:
+                cycles[op.opcode] = cycles.get(op.opcode, 0) + op.cycles
+            return cycles
+
+        return dict(self._cached("cycles_by_opcode", compute))
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -55,23 +107,34 @@ class Program:
 
     def rows_touched(self) -> Tuple[int, ...]:
         """Sorted set of every row referenced by any op (for layout checks)."""
-        rows = set()
-        for op in self.ops:
-            if isinstance(op, Init):
-                rows.update(op.rows)
-            elif isinstance(op, Nor):
-                rows.update(op.in_rows)
-                rows.add(op.out_row)
-            elif isinstance(op, Not):
-                rows.add(op.in_row)
-                rows.add(op.out_row)
-            elif isinstance(op, (Write, Read)):
-                rows.add(op.row)
-            elif isinstance(op, Shift):
-                rows.add(op.src_row)
-                rows.add(op.dst_row)
-                rows.update(op.also_init)
-        return tuple(sorted(rows))
+
+        def compute() -> Tuple[int, ...]:
+            rows = set()
+            for op in self.ops:
+                if isinstance(op, Init):
+                    rows.update(op.rows)
+                elif isinstance(op, Nor):
+                    rows.update(op.in_rows)
+                    rows.add(op.out_row)
+                elif isinstance(op, Not):
+                    rows.add(op.in_row)
+                    rows.add(op.out_row)
+                elif isinstance(op, (ParallelNor, ParallelNot)):
+                    for g in op.gates:
+                        if isinstance(g, Nor):
+                            rows.update(g.in_rows)
+                        else:
+                            rows.add(g.in_row)
+                        rows.add(g.out_row)
+                elif isinstance(op, (Write, Read)):
+                    rows.add(op.row)
+                elif isinstance(op, Shift):
+                    rows.add(op.src_row)
+                    rows.add(op.dst_row)
+                    rows.update(op.also_init)
+            return tuple(sorted(rows))
+
+        return self._cached("rows_touched", compute)
 
 
 class ProgramBuilder:

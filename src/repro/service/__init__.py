@@ -105,6 +105,11 @@ class ServiceConfig:
     #: Off by default: production detection is the in-band residue and
     #: differential self-checks of the Karatsuba stages.
     oracle_audit: bool = False
+    #: Run stage adder programs through the SIMD cycle packer
+    #: (:mod:`repro.magic.passes`) in every bank way.  On by default —
+    #: the service is the deployment surface, so it takes the packed
+    #: schedules; set ``False`` for the paper's closed-form latencies.
+    optimize: bool = True
 
 
 class MultiplicationService:
@@ -136,6 +141,7 @@ class MultiplicationService:
             program_cache=self.program_cache,
             wear_leveling=self.config.wear_leveling,
             spare_rows=self.config.spare_rows,
+            optimize=self.config.optimize,
         )
         self.degrade = DegradeController(
             self.dispatcher,
@@ -148,6 +154,9 @@ class MultiplicationService:
         self._batch_counter = 0
         self._completed: List[MulResult] = []
         self._jobs_completed = 0
+        #: Cycles-saved already folded into the ``optimizer_cycles_saved``
+        #: counter (stage programs build lazily, so savings only grow).
+        self._optimizer_saved_reported = 0
 
     # ------------------------------------------------------------------
     # Submission
@@ -367,6 +376,48 @@ class MultiplicationService:
                     totals[key] += value
         return totals
 
+    def _optimizer_snapshot(self) -> Dict[str, object]:
+        """Aggregated SIMD cycle-packer stats across every bank way.
+
+        Additive section: ``{"enabled": bool}`` plus, when the packer is
+        on, fleet-wide ``cycles_saved`` / ``pack_factor`` / ``by_pass``
+        and the per-way breakdown.  Also folds newly observed savings
+        into the ``optimizer_cycles_saved`` / ``optimizer_gates_packed``
+        telemetry counters (stage programs build lazily, so the totals
+        are monotone and the counters see each cycle saved once).
+        """
+        if not self.config.optimize:
+            return {"enabled": False}
+        per_way: Dict[str, Dict[str, object]] = {}
+        totals = {"cycles_before": 0, "cycles_after": 0, "cycles_saved": 0}
+        by_pass: Dict[str, int] = {}
+        gates = 0.0
+        for way in self.dispatcher.all_ways():
+            stats = way.pipeline.controller.optimizer_stats()
+            if not stats.get("enabled"):
+                continue
+            per_way[way.way_id] = stats
+            for stage_stats in (stats["precompute"], stats["postcompute"]):
+                for key in totals:
+                    totals[key] += stage_stats[key]
+                gates += stage_stats["pack_factor"] * stage_stats["cycles_after"]
+                for name, saved in stage_stats["by_pass"].items():
+                    by_pass[name] = by_pass.get(name, 0) + saved
+        after = totals["cycles_after"]
+        fresh = totals["cycles_saved"] - self._optimizer_saved_reported
+        if fresh > 0:
+            self.telemetry.counter("optimizer_cycles_saved").inc(fresh)
+            self._optimizer_saved_reported = totals["cycles_saved"]
+        return {
+            "enabled": True,
+            "cycles_before": totals["cycles_before"],
+            "cycles_after": after,
+            "cycles_saved": totals["cycles_saved"],
+            "pack_factor": gates / after if after else 1.0,
+            "by_pass": by_pass,
+            "ways": per_way,
+        }
+
     def snapshot(self) -> Dict[str, object]:
         """Plain-dict service state: metrics, caches, ways, endurance.
 
@@ -381,8 +432,11 @@ class MultiplicationService:
               "endurance": {way_id: {...}},
               "reliability": {way_id: {"healthy", "spare_rows_free",
                                        "remap", "residue"}},
+              "optimizer": {"enabled", "cycles_saved", "pack_factor",
+                            "by_pass", "ways"},      # additive keys
             }
         """
+        optimizer = self._optimizer_snapshot()
         snapshot = self.metrics.snapshot()
         snapshot["caches"] = {
             "operand": self.operand_cache.stats.as_dict(),
@@ -400,4 +454,5 @@ class MultiplicationService:
         snapshot["ways"] = self.dispatcher.utilisation()
         snapshot["endurance"] = self.degrade.endurance_snapshot()
         snapshot["reliability"] = self.degrade.reliability_snapshot()
+        snapshot["optimizer"] = optimizer
         return snapshot

@@ -100,6 +100,11 @@ class BankDispatcher:
     ranker:
         Way-selection key; :func:`least_loaded` unless a wear-aware
         policy (:mod:`repro.service.degrade`) overrides it.
+    optimize:
+        Run stage adder programs through the SIMD cycle packer
+        (:mod:`repro.magic.passes`) in every way's pipeline.  Part of
+        the cache variant key, so optimized and paper-exact pipelines
+        never alias.
     """
 
     def __init__(
@@ -109,6 +114,7 @@ class BankDispatcher:
         wear_leveling: bool = True,
         spare_rows: int = 2,
         ranker: WayRanker = least_loaded,
+        optimize: bool = False,
     ):
         if ways_per_width < 1:
             raise ValueError("need at least one way per width")
@@ -121,6 +127,7 @@ class BankDispatcher:
         self.wear_leveling = wear_leveling
         self.spare_rows = spare_rows
         self.ranker = ranker
+        self.optimize = optimize
         self._pools: Dict[int, List[Way]] = {}
 
     # ------------------------------------------------------------------
@@ -138,6 +145,12 @@ class BankDispatcher:
             self._pools[n_bits] = ways
         return ways
 
+    def _variant(self, index) -> str:
+        """Cache variant key of one way's pipeline; includes the
+        optimizer flag so packed and paper-exact programs never alias."""
+        suffix = ".opt" if self.optimize else ""
+        return f"pipeline.{index}{suffix}"
+
     def _build_pipeline(self, n_bits: int, index: int) -> KaratsubaPipeline:
         return self.program_cache.get_or_build(
             n_bits,
@@ -145,8 +158,9 @@ class BankDispatcher:
                 n_bits,
                 wear_leveling=self.wear_leveling,
                 spare_rows=self.spare_rows,
+                optimize=self.optimize,
             ),
-            variant=f"pipeline.{index}",
+            variant=self._variant(index),
         )
 
     def healthy_ways(self, n_bits: int) -> List[Way]:
@@ -161,7 +175,7 @@ class BankDispatcher:
         """
         way.retire(reason)
         index = way.way_id.rsplit(".", 1)[-1]
-        self.program_cache.discard(way.n_bits, variant=f"pipeline.{index}")
+        self.program_cache.discard(way.n_bits, variant=self._variant(index))
 
     def widths(self) -> List[int]:
         return sorted(self._pools)

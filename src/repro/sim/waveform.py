@@ -11,7 +11,18 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.magic.ops import Init, MicroOp, Nop, Nor, Not, Read, Shift, Write
+from repro.magic.ops import (
+    Init,
+    MicroOp,
+    Nop,
+    Nor,
+    Not,
+    ParallelNor,
+    ParallelNot,
+    Read,
+    Shift,
+    Write,
+)
 from repro.magic.program import Program
 
 MARK_READ = "r"
@@ -35,6 +46,13 @@ def _activity(op: MicroOp) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
         return (op.row,), ()
     if isinstance(op, Shift):
         return (op.src_row,), (op.dst_row,) + tuple(op.also_init)
+    if isinstance(op, (ParallelNor, ParallelNot)):
+        reads: List[int] = []
+        writes: List[int] = []
+        for g in op.gates:
+            reads.extend(g.in_rows if isinstance(g, Nor) else (g.in_row,))
+            writes.append(g.out_row)
+        return tuple(dict.fromkeys(reads)), tuple(writes)
     return (), ()
 
 

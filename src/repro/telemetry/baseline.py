@@ -187,10 +187,14 @@ def compare(
 def collect_pipeline_metrics(
     n_bits: int = 256, jobs: int = 4, seed: int = 0xBA5E
 ) -> Dict[str, Metric]:
-    """Single-pipeline workload: static timing plus one executed batch."""
+    """Single-pipeline workload: static timing plus one executed batch.
+
+    Runs with the SIMD cycle packer on (:mod:`repro.magic.passes`) —
+    the perf trajectory tracks the optimized schedules, while the
+    paper's closed forms stay the ``optimize=False`` oracle."""
     from repro.karatsuba.pipeline import KaratsubaPipeline
 
-    pipeline = KaratsubaPipeline(n_bits)
+    pipeline = KaratsubaPipeline(n_bits, optimize=True)
     timing = pipeline.timing()
     rng = random.Random(seed)
     pairs = [
