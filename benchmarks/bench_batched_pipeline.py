@@ -1,15 +1,25 @@
 """Benchmark: batched SIMD executor vs sequential scalar execution.
 
-The batched bit-plane engine exists for one reason — to make the
-simulator's hot path keep up with the row-parallel hardware it models.
-This bench replays the acceptance workload (32 jobs at n = 256 through
-``run_stream``) both ways, asserts bit-identical products against
-Python integer multiplication, and asserts the batched path is at
-least 5x faster than the sequential scalar path.
+The batched engines exist for one reason — to make the simulator's hot
+path keep up with the row-parallel hardware it models.  Two perf-smoke
+checks live here:
+
+* ``test_batched_run_stream_speedup`` replays the acceptance workload
+  (32 jobs at n = 256 through ``run_stream``) both ways, asserts
+  bit-identical products against Python integer multiplication, and
+  asserts the batched path is at least 8x faster than the sequential
+  scalar path.
+* ``test_word_backend_speedup`` replays the n = 256 stage mega-programs
+  over a 64-lane batch on both batched backends and asserts the
+  word-packed engine is at least 4x faster than the bit-plane engine
+  with bit-identical per-lane results.  The replay itself is measured
+  (not ``run_stream`` wall clock) because program compilation and the
+  closed-form multiply stage are backend-independent and would dilute
+  the comparison.
 
 Runs under pytest (``pytest benchmarks/bench_batched_pipeline.py``)
 and as a script (``python benchmarks/bench_batched_pipeline.py``),
-which exits non-zero when the speedup floor is missed — the CI perf
+which exits non-zero when a speedup floor is missed — the CI perf
 smoke check.
 """
 
@@ -21,6 +31,10 @@ import time
 
 from repro.eval.report import format_table
 from repro.karatsuba.pipeline import KaratsubaPipeline
+from repro.karatsuba.postcompute import PostcomputeStage
+from repro.karatsuba.precompute import PrecomputeStage
+from repro.magic.backend import get_backend
+from repro.sim.clock import Clock
 
 #: Acceptance workload: one full batch at the paper's flagship width.
 N_BITS = 256
@@ -28,7 +42,19 @@ JOBS = 32
 BATCH_SIZE = 32
 
 #: Required advantage of the batched path over job-by-job execution.
-MIN_SPEEDUP = 5.0
+MIN_SPEEDUP = 8.0
+
+#: Lanes for the backend shoot-out — one full uint64 word per packed
+#: column bit, the word backend's sweet spot and the service default.
+BACKEND_LANES = 64
+
+#: Required advantage of the word-packed replay over the bit-plane
+#: replay on the 64-lane n = 256 stage mega-programs.
+MIN_BACKEND_SPEEDUP = 4.0
+
+#: Timing repetitions per backend; best-of is reported so scheduler
+#: noise cannot fail the floor.
+BACKEND_REPS = 3
 
 
 def _measure(batch_size):
@@ -76,24 +102,121 @@ def run_bench():
     return speedup, table
 
 
-def test_batched_run_stream_speedup():
-    speedup, table = run_bench()
+def _stage_workloads():
+    """The n = 256 stage mega-programs with 64 random binding sets."""
+    workloads = []
+    for label, stage in (
+        ("precompute", PrecomputeStage(N_BITS)),
+        ("postcompute", PostcomputeStage(N_BITS)),
+    ):
+        program = stage._mega_program()[0]
+        compiled = stage.executor.compile(program)
+        rng = random.Random(0xB0BA)
+        widths = dict(compiled.write_specs)
+        bindings = [
+            {
+                name: rng.randrange(2 ** min(widths[name], 60))
+                for name in widths
+            }
+            for _ in range(BACKEND_LANES)
+        ]
+        workloads.append((label, stage, compiled, bindings))
+    return workloads
+
+
+def _replay(backend, stage, compiled, bindings):
+    """Best-of-``BACKEND_REPS`` replay time plus per-lane results."""
+    best = float("inf")
+    results = None
+    for _ in range(BACKEND_REPS):
+        array = backend.make_array(stage.array, BACKEND_LANES)
+        array.reset_to_ones()
+        executor = backend.make_executor(array, clock=Clock())
+        begin = time.perf_counter()
+        stats = executor.execute(compiled, bindings)
+        best = min(best, time.perf_counter() - begin)
+        lane_results = [s.results for s in stats]
+        assert results is None or results == lane_results
+        results = lane_results
+    return best, results
+
+
+def run_backend_bench():
+    bitplane = get_backend("bitplane")
+    word = get_backend("word")
+    rows = []
+    bp_total = wd_total = 0.0
+    for label, stage, compiled, bindings in _stage_workloads():
+        bp_seconds, bp_results = _replay(bitplane, stage, compiled, bindings)
+        wd_seconds, wd_results = _replay(word, stage, compiled, bindings)
+        assert bp_results == wd_results, f"{label}: backend results diverge"
+        bp_total += bp_seconds
+        wd_total += wd_seconds
+        rows.append(
+            (
+                label,
+                f"{bp_seconds * 1e3:.1f}",
+                f"{wd_seconds * 1e3:.1f}",
+                f"{bp_seconds / wd_seconds:.1f}x",
+            )
+        )
+    speedup = bp_total / wd_total
+    rows.append(
+        (
+            "combined",
+            f"{bp_total * 1e3:.1f}",
+            f"{wd_total * 1e3:.1f}",
+            f"{speedup:.1f}x",
+        )
+    )
+    table = format_table(
+        ("stage replay", "bit-plane ms", "word ms", "speedup"),
+        rows,
+        title=(
+            f"Word-packed backend, {BACKEND_LANES} lanes at n = {N_BITS}: "
+            f"{speedup:.1f}x speedup (floor {MIN_BACKEND_SPEEDUP:.0f}x)"
+        ),
+    )
+    return speedup, table
+
+
+def _register(name, table):
     try:
         from benchmarks.conftest import register_report
 
-        register_report("batched-pipeline", table)
+        register_report(name, table)
     except ImportError:  # script mode, no harness
         pass
+
+
+def test_batched_run_stream_speedup():
+    speedup, table = run_bench()
+    _register("batched-pipeline", table)
     assert speedup >= MIN_SPEEDUP, (
         f"batched run_stream only {speedup:.2f}x faster than sequential "
         f"(needs >= {MIN_SPEEDUP}x)"
     )
 
 
+def test_word_backend_speedup():
+    speedup, table = run_backend_bench()
+    _register("word-backend", table)
+    assert speedup >= MIN_BACKEND_SPEEDUP, (
+        f"word-packed replay only {speedup:.2f}x faster than bit-plane "
+        f"(needs >= {MIN_BACKEND_SPEEDUP}x)"
+    )
+
+
 if __name__ == "__main__":
-    measured, report = run_bench()
-    print(report)
-    if measured < MIN_SPEEDUP:
-        print(f"FAIL: speedup {measured:.2f}x below floor {MIN_SPEEDUP}x")
-        sys.exit(1)
-    print(f"OK: speedup {measured:.2f}x")
+    failed = False
+    for measured, report, floor, name in (
+        (*run_bench(), MIN_SPEEDUP, "batched"),
+        (*run_backend_bench(), MIN_BACKEND_SPEEDUP, "word backend"),
+    ):
+        print(report)
+        if measured < floor:
+            print(f"FAIL: {name} speedup {measured:.2f}x below floor {floor}x")
+            failed = True
+        else:
+            print(f"OK: {name} speedup {measured:.2f}x")
+    sys.exit(1 if failed else 0)

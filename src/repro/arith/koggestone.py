@@ -300,6 +300,7 @@ class KoggeStoneAdder:
         op: str = OP_ADD,
         first_use: bool = False,
         optimize: bool = False,
+        backend: object = "bitplane",
     ):
         """Batched counterpart of :meth:`run`: one SIMD pass over many
         operand pairs.
@@ -310,8 +311,13 @@ class KoggeStoneAdder:
         shared clock advances by one pass, all lanes in lock-step — and
         the sum row is sensed per lane.  Returns the list of results,
         bit-identical to calling :meth:`run` per pair on per-lane
-        array copies.
+        array copies.  *backend* selects the SIMD execution strategy
+        (any :mod:`repro.magic.backend` name); accounting does not
+        depend on the choice.
         """
+        from repro.magic.backend import get_backend
+
+        resolved = get_backend(backend)
         lay = self.layout
         pairs = list(pairs)
         if not pairs:
@@ -325,7 +331,7 @@ class KoggeStoneAdder:
                 raise DesignError(
                     "subtraction requires x >= y (non-negative result)"
                 )
-        array = BatchedCrossbarArray.from_scalar(executor.array, len(pairs))
+        array = resolved.make_array(executor.array, len(pairs))
         mask = self._window_mask(executor.array)
         window = slice(lay.col0, lay.col0 + lay.columns)
         for row, values in ((lay.x_row, [x for x, _ in pairs]),
@@ -336,7 +342,7 @@ class KoggeStoneAdder:
         if first_use:
             array.init_rows(lay.scratch_rows, mask)
             array.init_rows([lay.out_row], mask)
-        batched = BatchedMagicExecutor(
+        batched = resolved.make_executor(
             array, clock=executor.clock, trace=executor.trace
         )
         batched.execute(self.program(op, optimize=optimize), [{} for _ in pairs])

@@ -5,6 +5,7 @@ from repro.crossbar.array import (
     FAULT_STUCK_AT_1,
     BatchedCrossbarArray,
     CrossbarArray,
+    WordPackedCrossbarArray,
 )
 from repro.crossbar.faults import (
     StuckAtFault,
@@ -43,6 +44,7 @@ from repro.crossbar.yieldsim import (
 
 __all__ = [
     "BatchedCrossbarArray",
+    "WordPackedCrossbarArray",
     "CriticalityReport",
     "CrossbarArray",
     "PeripheryEstimate",

@@ -574,6 +574,16 @@ class BatchedCrossbarArray:
         """Re-assert every pinned fault onto the state (public hook)."""
         self._apply_faults()
 
+    def reset_to_ones(self) -> None:
+        """Drive every cell (all lanes, spares included) to logic one.
+
+        The MAGIC steady state a stage batch starts from; no energy or
+        write pulses are charged — the stage's sequential path reaches
+        the same state through its accounted program, so the batch seed
+        is bookkeeping, not a modelled operation.  Re-pin faults after.
+        """
+        self.state[:] = True
+
     # ------------------------------------------------------------------
     # Plain memory operations (per-lane words)
     # ------------------------------------------------------------------
@@ -726,4 +736,460 @@ class BatchedCrossbarArray:
         return (
             f"BatchedCrossbarArray({self.batch}x{self.rows}x{self.cols}, "
             f"max_writes={self.max_writes()})"
+        )
+
+
+def _csa_add(planes: list, mask: int) -> None:
+    """Add a packed bit-mask into a binary carry-save counter.
+
+    ``planes[k]`` holds bit *k* of every cell's running event count, so
+    one add is amortized ~2 big-integer operations and a counter over
+    *N* events needs only ``log2(N)`` planes — the word-packed array's
+    deferred energy accounting flushes planes, not events.
+    """
+    i = 0
+    while mask:
+        if i == len(planes):
+            planes.append(mask)
+            return
+        carry = planes[i] & mask
+        planes[i] ^= mask
+        mask = carry
+        i += 1
+
+
+class WordPackedCrossbarArray:
+    """Batched crossbar lanes packed 64-per-word into big integers.
+
+    The word-packed counterpart of :class:`BatchedCrossbarArray`: each
+    physical word line is stored as one Python integer in which bit
+    ``col * lane_bits + lane`` holds lane *lane*'s value of column
+    *col*, with ``lane_bits = 64 * ceil(batch / 64)``.  A row-parallel
+    MAGIC NOR over the whole batch is then a handful of bitwise integer
+    operations instead of a numpy pass over a byte-per-bit tensor —
+    the ~64x storage-density headroom the bit-plane layout leaves on
+    the table.
+
+    Accounting matches :class:`BatchedCrossbarArray` per lane exactly,
+    but is *deferred* so the hot loop stays in integer land:
+
+    * data-dependent switching energy is recorded as
+      ``(coefficient, packed-cell-mask)`` events and popcounted per
+      lane in one vectorised pass when :attr:`energy_fj` is read;
+    * write pulses are queued (or, on the executor fast path, applied
+      as one precomputed per-program delta) and folded into the
+      ``(phys_rows, cols)`` per-lane counters when :attr:`writes` is
+      read.
+
+    Lanes beyond the real batch (``batch`` is rarely a multiple of 64)
+    replicate the last real lane everywhere — initial state, operand
+    marshalling, fault pinning — so full-word invariants such as the
+    strict-MAGIC init check are exactly equivalent to checking the real
+    lanes, and the padding never contributes to trimmed accounting.
+    """
+
+    LANE_WORD = 64
+
+    def __init__(
+        self,
+        batch: int,
+        rows: int,
+        cols: int,
+        device: Optional[DeviceModel] = None,
+        strict_magic: bool = True,
+        spare_rows: int = 0,
+    ):
+        if batch <= 0:
+            raise ValueError(f"batch size must be positive, got {batch}")
+        if rows <= 0 or cols <= 0:
+            raise ValueError(f"crossbar dimensions must be positive, got {rows}x{cols}")
+        if spare_rows < 0:
+            raise ValueError(f"spare_rows must be non-negative, got {spare_rows}")
+        self.batch = batch
+        self.rows = rows
+        self.cols = cols
+        self.spare_rows = spare_rows
+        self.device = device if device is not None else DeviceModel()
+        self.strict_magic = strict_magic
+        self.words = (batch + self.LANE_WORD - 1) // self.LANE_WORD
+        #: Bits reserved per column: one per lane, padded to whole words.
+        self.lane_bits = self.words * self.LANE_WORD
+        self.row_bits = cols * self.lane_bits
+        self._full = (1 << self.row_bits) - 1
+        self._lane_block = (1 << self.lane_bits) - 1
+        #: One packed integer per physical word line.
+        self._state: list = [0] * (rows + spare_rows)
+        self._writes = np.zeros((rows + spare_rows, cols), dtype=np.int64)
+        #: Queued write pulses: (phys row, column mask or None, count).
+        self._pending_writes: list = []
+        self._energy = np.zeros(batch, dtype=np.float64)
+        #: Deferred per-lane-identical energy (data-independent pulses).
+        self._energy_const = 0.0
+        #: Deferred data-dependent energy, per coefficient: a binary
+        #: carry-save counter over packed masks (plane *k* holds bit
+        #: *k* of each cell's event count), so a program contributes
+        #: O(log events) planes to flush instead of one mask per event.
+        self._energy_acc: Dict[float, list] = {}
+        self._faults: Dict[Tuple[int, int], str] = {}
+        self._row_map = list(range(rows))
+
+    @classmethod
+    def from_scalar(
+        cls, array: CrossbarArray, batch: int
+    ) -> "WordPackedCrossbarArray":
+        """Replicate a scalar array's current state into *batch* lanes.
+
+        Mirrors :meth:`BatchedCrossbarArray.from_scalar`: counters start
+        at zero, faults and the spare-row remap table carry over.
+        """
+        out = cls(
+            batch,
+            array.rows,
+            array.cols,
+            device=array.device,
+            strict_magic=array.strict_magic,
+            spare_rows=array.spare_rows,
+        )
+        for phys in range(array.rows + array.spare_rows):
+            out._state[phys] = out._pack_uniform(array.state[phys])
+        out._faults = dict(array._faults)
+        out._row_map = list(array._row_map)
+        out._apply_faults()
+        return out
+
+    # ------------------------------------------------------------------
+    # Packing helpers
+    # ------------------------------------------------------------------
+    def _pack_uniform(self, bits: np.ndarray) -> int:
+        """Packed row holding one ``(cols,)`` word in every lane."""
+        expanded = np.repeat(np.asarray(bits, dtype=bool), self.lane_bits)
+        raw = np.packbits(expanded, bitorder="little")
+        return int.from_bytes(raw.tobytes(), "little")
+
+    def _pack_word(self, bits: np.ndarray) -> int:
+        """Packed row from a ``(batch, cols)`` per-lane word matrix.
+
+        Padding lanes replicate the last real lane (see class notes).
+        """
+        bits = np.asarray(bits, dtype=bool)
+        if self.lane_bits != self.batch:
+            pad = np.broadcast_to(
+                bits[-1:], (self.lane_bits - self.batch, self.cols)
+            )
+            bits = np.concatenate([bits, pad], axis=0)
+        raw = np.packbits(
+            np.ascontiguousarray(bits.T).reshape(-1), bitorder="little"
+        )
+        return int.from_bytes(raw.tobytes(), "little")
+
+    def _unpack_word(self, value: int) -> np.ndarray:
+        """``(batch, cols)`` bool matrix of one packed row."""
+        raw = np.frombuffer(
+            value.to_bytes(self.row_bits // 8, "little"), dtype=np.uint8
+        )
+        bits = np.unpackbits(raw, bitorder="little").reshape(
+            self.cols, self.lane_bits
+        )
+        return np.ascontiguousarray(bits[:, : self.batch].T).astype(bool)
+
+    def _mask_int(self, mask: Optional[np.ndarray]) -> int:
+        """Packed-cell mask selecting every lane of the masked columns."""
+        if mask is None:
+            return self._full
+        mask = self._mask(mask)
+        expanded = np.repeat(mask, self.lane_bits)
+        raw = np.packbits(expanded, bitorder="little")
+        return int.from_bytes(raw.tobytes(), "little")
+
+    # ------------------------------------------------------------------
+    # Deferred accounting
+    # ------------------------------------------------------------------
+    def _add_energy_event(self, coeff: float, mask: int) -> None:
+        """Charge *coeff* femtojoules to every set cell of *mask*."""
+        planes = self._energy_acc.get(coeff)
+        if planes is None:
+            planes = self._energy_acc[coeff] = []
+        _csa_add(planes, mask)
+
+    def _flush_energy(self) -> None:
+        acc = self._energy_acc
+        if acc:
+            # Weight plane k of the coeff-c counter by c * 2**k; each
+            # plane popcounts per lane in one vectorised unpackbits.
+            # Plane lists are emptied in place so executor hot loops
+            # may keep a binding to them across a flush.
+            items = []
+            for coeff, planes in acc.items():
+                for k, plane in enumerate(planes):
+                    if plane:
+                        items.append((coeff * (1 << k), plane))
+                planes.clear()
+            if items:
+                nbytes = self.row_bits // 8
+                buf = b"".join(
+                    plane.to_bytes(nbytes, "little") for _, plane in items
+                )
+                raw = np.frombuffer(buf, dtype=np.uint8).reshape(
+                    len(items), self.cols, self.lane_bits // 8
+                )
+                bits = np.unpackbits(raw, axis=2, bitorder="little")
+                counts = bits.sum(axis=1, dtype=np.int64)[:, : self.batch]
+                coeffs = np.array(
+                    [coeff for coeff, _ in items], dtype=np.float64
+                )
+                self._energy += coeffs @ counts
+        if self._energy_const:
+            self._energy += self._energy_const
+            self._energy_const = 0.0
+
+    def _flush_writes(self) -> None:
+        if not self._pending_writes:
+            return
+        pending = self._pending_writes
+        self._pending_writes = []
+        for phys, mask, count in pending:
+            if mask is None:
+                self._writes[phys] += count
+            else:
+                self._writes[phys][mask] += count
+
+    @property
+    def writes(self) -> np.ndarray:
+        """Per-lane write-pulse counters, ``(phys_rows, cols)`` int64."""
+        self._flush_writes()
+        return self._writes
+
+    @property
+    def energy_fj(self) -> np.ndarray:
+        """Per-lane accumulated energy, ``(batch,)`` float64."""
+        self._flush_energy()
+        return self._energy
+
+    # ------------------------------------------------------------------
+    @property
+    def cells(self) -> int:
+        """Logical memristors per lane."""
+        return self.rows * self.cols
+
+    @property
+    def phys_rows(self) -> int:
+        """Physical word lines, including spares."""
+        return self.rows + self.spare_rows
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise AddressError(f"row {row} outside 0..{self.rows - 1}")
+
+    def _row(self, row: int) -> int:
+        """Translate a logical row address to its physical word line."""
+        self._check_row(row)
+        return self._row_map[row]
+
+    def physical_row(self, row: int) -> int:
+        """Public logical->physical translation (see the scalar array)."""
+        return self._row(row)
+
+    def _mask(self, mask: Optional[np.ndarray]) -> np.ndarray:
+        if mask is None:
+            return np.ones(self.cols, dtype=bool)
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.cols,):
+            raise AddressError(f"column mask shape {mask.shape} != ({self.cols},)")
+        return mask
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def inject_fault(self, row: int, col: int, kind: str) -> None:
+        """Pin cell (*row*, *col*) of every lane to a stuck-at fault."""
+        phys = self._row(row)
+        if not 0 <= col < self.cols:
+            raise AddressError(f"col {col} outside 0..{self.cols - 1}")
+        if kind not in _FAULT_KINDS:
+            raise FaultInjectionError(f"unknown fault kind {kind!r}")
+        self._faults[(phys, col)] = kind
+        block = self._lane_block << (col * self.lane_bits)
+        if kind == FAULT_STUCK_AT_1:
+            self._state[phys] |= block
+        else:
+            self._state[phys] &= ~block
+
+    @property
+    def faults(self) -> Dict[Tuple[int, int], str]:
+        """Read-only copy of the fault map (physical coordinates)."""
+        return dict(self._faults)
+
+    def _apply_faults(self) -> None:
+        for (row, col), kind in self._faults.items():
+            block = self._lane_block << (col * self.lane_bits)
+            if kind == FAULT_STUCK_AT_1:
+                self._state[row] |= block
+            else:
+                self._state[row] &= ~block
+
+    def repin_faults(self) -> None:
+        """Re-assert every pinned fault onto the state (public hook)."""
+        self._apply_faults()
+
+    def reset_to_ones(self) -> None:
+        """Drive every cell (all lanes, spares included) to logic one.
+
+        See :meth:`BatchedCrossbarArray.reset_to_ones`: unaccounted
+        stage-batch seeding, not a modelled operation.
+        """
+        full = self._full
+        for phys in range(len(self._state)):
+            self._state[phys] = full
+
+    # ------------------------------------------------------------------
+    # Raw per-row views (fault hooks mutate state without accounting)
+    # ------------------------------------------------------------------
+    def unpack_row(self, row: int) -> np.ndarray:
+        """Per-lane word of logical *row* as ``(batch, cols)`` bool.
+
+        A detached copy — mutate it and :meth:`store_row` it back.  The
+        fault-injection hooks use this pair to flip cells mid-program
+        without charging energy or write pulses, exactly as they mutate
+        the bit-plane state tensor in place.
+        """
+        return self._unpack_word(self._state[self._row(row)])
+
+    def store_row(self, row: int, bits: np.ndarray) -> None:
+        """Store a ``(batch, cols)`` word back without any accounting."""
+        self._state[self._row(row)] = self._pack_word(bits)
+
+    # ------------------------------------------------------------------
+    # Plain memory operations (per-lane words)
+    # ------------------------------------------------------------------
+    def write_row(
+        self, row: int, bits: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> None:
+        """Program one word per lane: *bits* is ``(batch, cols)``."""
+        phys = self._row(row)
+        bits = np.asarray(bits, dtype=bool)
+        if bits.shape != (self.batch, self.cols):
+            raise AddressError(
+                f"word shape {bits.shape} != ({self.batch}, {self.cols})"
+            )
+        value = self._pack_word(bits)
+        if mask is None:
+            self._state[phys] = value
+            cells = self.cols
+            masked = value
+        else:
+            mask = self._mask(mask)
+            m = self._mask_int(mask)
+            self._state[phys] = (self._state[phys] & ~m) | (value & m)
+            cells = int(mask.sum())
+            masked = value & m
+        self._pending_writes.append((phys, mask, 1))
+        self._energy_const += self.device.e_reset_fj * cells
+        self._add_energy_event(
+            self.device.e_set_fj - self.device.e_reset_fj, masked
+        )
+        if self._faults:
+            self._apply_faults()
+
+    def read_row(self, row: int, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Sense one word per lane; returns ``(batch, cols)``."""
+        phys = self._row(row)
+        if mask is None:
+            sensed = self.cols
+        else:
+            sensed = int(self._mask(mask).sum())
+        self._energy_const += self.device.e_read_fj * sensed
+        return self._unpack_word(self._state[phys])
+
+    def peek_row(self, row: int) -> np.ndarray:
+        """Per-lane word of logical *row* without sensing (no energy)."""
+        return self._unpack_word(self._state[self._row(row)])
+
+    # ------------------------------------------------------------------
+    # Stateful logic primitives
+    # ------------------------------------------------------------------
+    def init_rows(
+        self, rows: Iterable[int], mask: Optional[np.ndarray] = None
+    ) -> None:
+        """Initialise cells in *rows* to logic one across all lanes."""
+        if mask is not None:
+            mask = self._mask(mask)
+        m = self._mask_int(mask)
+        cells = self.cols if mask is None else int(mask.sum())
+        for row in dict.fromkeys(rows):
+            phys = self._row(row)
+            self._state[phys] |= m
+            self._pending_writes.append((phys, mask, 1))
+            self._energy_const += self.device.e_set_fj * cells
+        if self._faults:
+            self._apply_faults()
+
+    def nor_rows(
+        self,
+        in_rows: Sequence[int],
+        out_row: int,
+        mask: Optional[np.ndarray] = None,
+    ) -> None:
+        """Row-parallel MAGIC NOR evaluated in every lane at once."""
+        if not in_rows:
+            raise MagicProtocolError("MAGIC NOR requires at least one input row")
+        in_phys = [self._row(row) for row in in_rows]
+        out_phys = self._row(out_row)
+        if out_phys in in_phys:
+            raise MagicProtocolError(
+                f"output row {out_row} cannot also be a NOR input"
+            )
+        if mask is not None:
+            mask = self._mask(mask)
+        m = self._mask_int(mask)
+        out = self._state[out_phys]
+        if self.strict_magic and (out & m) != m:
+            raise MagicProtocolError(
+                f"NOR output row {out_row} not initialised to logic one "
+                "in every lane"
+            )
+        any_one = self._state[in_phys[0]]
+        for row in in_phys[1:]:
+            any_one = any_one | self._state[row]
+        self._add_energy_event(self.device.e_reset_fj, any_one & out & m)
+        self._state[out_phys] = (out & ~m) | (~any_one & m)
+        self._pending_writes.append((out_phys, mask, 1))
+        if self._faults:
+            self._apply_faults()
+
+    def not_row(
+        self, in_row: int, out_row: int, mask: Optional[np.ndarray] = None
+    ) -> None:
+        """MAGIC NOT: single-input special case of :meth:`nor_rows`."""
+        self.nor_rows([in_row], out_row, mask)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def max_writes(self) -> int:
+        """Per-lane maximum write count (matches the scalar metric)."""
+        return int(self.writes.max())
+
+    def total_writes(self) -> int:
+        """Per-lane total write pulses."""
+        return int(self.writes.sum())
+
+    def lane_energy_fj(self, lane: int) -> float:
+        """Energy accumulated by one lane, in femtojoules."""
+        return float(self.energy_fj[lane])
+
+    def total_energy_fj(self) -> float:
+        """Energy summed over all lanes."""
+        return float(self.energy_fj.sum())
+
+    def snapshot(self, lane: int) -> np.ndarray:
+        """Copy of one lane's logical bit state (rows x cols)."""
+        out = np.zeros((self.rows, self.cols), dtype=bool)
+        for row in range(self.rows):
+            out[row] = self._unpack_word(self._state[self._row_map[row]])[lane]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WordPackedCrossbarArray({self.batch}x{self.rows}x{self.cols}, "
+            f"words={self.words})"
         )

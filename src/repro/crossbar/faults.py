@@ -206,26 +206,38 @@ class TransientFaultInjector:
         return self.nor_flips + self.write_failures + self.read_disturbs
 
     # -- hook callbacks -------------------------------------------------
-    def _lane_view(self, array, row: int):
-        """State slice of logical *row*: (cols,) scalar, (batch, cols)
-        batched."""
+    def _row_view(self, array, row: int):
+        """Mutable bit view of logical *row* plus its write-back.
+
+        Returns ``(bits, commit)``: (cols,) for a scalar array,
+        (batch, cols) for the batched containers.  Arrays whose state
+        is not an ndarray slice (the word-packed backend) expose an
+        ``unpack_row``/``store_row`` pair; mutating the unpacked copy
+        and committing it keeps the rng draw shapes — and therefore the
+        upset pattern under a fixed seed — identical across the SIMD
+        backends.
+        """
+        if hasattr(array, "unpack_row"):
+            bits = array.unpack_row(row)
+            return bits, (lambda: array.store_row(row, bits))
         phys = array.physical_row(row)
         state = array.state
-        if state.ndim == 3:
-            return state[:, phys]
-        return state[phys]
+        view = state[:, phys] if state.ndim == 3 else state[phys]
+        return view, None
 
     def on_nor(self, array, out_row: int, mask) -> None:
         prob = self.model.nor_flip_prob
         if prob <= 0.0:
             return
-        view = self._lane_view(array, out_row)
+        view, commit = self._row_view(array, out_row)
         hits = self.rng.random(view.shape) < prob
         if mask is not None:
             hits &= self._np.asarray(mask, dtype=bool)
         count = int(hits.sum())
         if count:
             view[hits] = ~view[hits]
+            if commit is not None:
+                commit()
             self.nor_flips += count
             array.repin_faults()
 
@@ -233,7 +245,7 @@ class TransientFaultInjector:
         prob = self.model.write_fail_prob
         if prob <= 0.0 or pre is None:
             return
-        view = self._lane_view(array, row)
+        view, commit = self._row_view(array, row)
         hits = self.rng.random(view.shape) < prob
         hits &= self._np.asarray(mask, dtype=bool)
         # A failed pulse leaves the cell at its pre-write value.
@@ -241,6 +253,8 @@ class TransientFaultInjector:
         count = int(hits.sum())
         if count:
             view[hits] = pre[hits]
+            if commit is not None:
+                commit()
             self.write_failures += count
             array.repin_faults()
 
@@ -248,10 +262,12 @@ class TransientFaultInjector:
         prob = self.model.read_disturb_prob
         if prob <= 0.0:
             return
-        view = self._lane_view(array, row)
+        view, commit = self._row_view(array, row)
         hits = self.rng.random(view.shape) < prob
         count = int(hits.sum())
         if count:
             view[hits] = ~view[hits]
+            if commit is not None:
+                commit()
             self.read_disturbs += count
             array.repin_faults()

@@ -57,6 +57,7 @@ class KaratsubaController:
         spare_rows: int = 2,
         residue_bits: int = 8,
         optimize: bool = False,
+        backend: object = "bitplane",
     ):
         if n_bits < MIN_BITS or n_bits % 4:
             raise DesignError(
@@ -68,6 +69,11 @@ class KaratsubaController:
         #: (:mod:`repro.magic.passes`).  Off by default so the datapath
         #: reproduces the paper's closed-form stage latencies.
         self.optimize = optimize
+        #: Batched execution strategy shared by both MAGIC stages (the
+        #: multiply stage is closed-form and takes no executor).  Any
+        #: :mod:`repro.magic.backend` name; accounting is bit-identical
+        #: across backends.
+        self.backend = backend
         self.precompute = PrecomputeStage(
             n_bits,
             wear_leveling=wear_leveling,
@@ -75,6 +81,7 @@ class KaratsubaController:
             spare_rows=spare_rows,
             residue_bits=residue_bits,
             optimize=optimize,
+            backend=backend,
         )
         self.multiply_stage = MultiplicationStage(
             n_bits, wear_leveling=wear_leveling, residue_bits=residue_bits
@@ -86,6 +93,7 @@ class KaratsubaController:
             spare_rows=spare_rows,
             residue_bits=residue_bits,
             optimize=optimize,
+            backend=backend,
         )
         self.jobs = 0
 

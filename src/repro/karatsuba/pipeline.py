@@ -88,6 +88,7 @@ class KaratsubaPipeline:
         spare_rows: int = 2,
         residue_bits: int = 8,
         optimize: bool = False,
+        backend: object = "bitplane",
     ):
         self.controller = KaratsubaController(
             n_bits,
@@ -96,8 +97,10 @@ class KaratsubaPipeline:
             spare_rows=spare_rows,
             residue_bits=residue_bits,
             optimize=optimize,
+            backend=backend,
         )
         self.n_bits = n_bits
+        self.backend = backend
 
     def timing(self) -> PipelineTiming:
         return PipelineTiming(

@@ -49,9 +49,10 @@ from repro.arith.koggestone import (
     KoggeStoneAdder,
     KoggeStoneLayout,
 )
-from repro.crossbar.array import BatchedCrossbarArray, CrossbarArray
+from repro.crossbar.array import CrossbarArray
+from repro.magic.backend import get_backend
 from repro.crossbar.endurance import WearLevelingController
-from repro.magic.executor import BatchedMagicExecutor, MagicExecutor, int_to_bits
+from repro.magic.executor import MagicExecutor, int_to_bits
 from repro.magic.passes import summarize_reports
 from repro.magic.program import Program, ProgramBuilder
 from repro.reliability.residue import DEFAULT_RESIDUE_BITS, ResidueChecker
@@ -120,6 +121,7 @@ class PostcomputeStage:
         spare_rows: int = 2,
         residue_bits: int = DEFAULT_RESIDUE_BITS,
         optimize: bool = False,
+        backend: object = "bitplane",
     ):
         _check_width(n_bits)
         self.n_bits = n_bits
@@ -127,6 +129,10 @@ class PostcomputeStage:
         #: (:mod:`repro.magic.passes`).  Off by default so the stage
         #: reproduces the paper's per-op cycle counts exactly.
         self.optimize = optimize
+        #: Batched execution strategy (see :mod:`repro.magic.backend`).
+        #: Per-lane results and accounting are bit-identical across
+        #: backends; defaults to the historical bit-plane path.
+        self.backend = get_backend(backend)
         self.cols = columns(n_bits)
         self.adder_width = self.cols - 1
         self.array = CrossbarArray(
@@ -387,10 +393,10 @@ class PostcomputeStage:
                     values[f"y{index}"] = y
                 bindings.append(values)
 
-            batched = BatchedCrossbarArray.from_scalar(self.array, len(group))
-            batched.state[:] = True
+            batched = self.backend.make_array(self.array, len(group))
+            batched.reset_to_ones()
             batched.repin_faults()
-            executor = BatchedMagicExecutor(
+            executor = self.backend.make_executor(
                 batched, clock=Clock(), fault_hook=self.executor.fault_hook
             )
             # Compile once per wear state via the stage's persistent

@@ -32,10 +32,11 @@ from repro.arith.koggestone import (
     KoggeStoneAdder,
     KoggeStoneLayout,
 )
-from repro.crossbar.array import BatchedCrossbarArray, CrossbarArray
+from repro.crossbar.array import CrossbarArray
+from repro.magic.backend import get_backend
 from repro.crossbar.endurance import WearLevelingController
 from repro.karatsuba.unroll import UnrolledPlan, build_plan
-from repro.magic.executor import BatchedMagicExecutor, MagicExecutor, int_to_bits
+from repro.magic.executor import MagicExecutor, int_to_bits
 from repro.magic.passes import summarize_reports
 from repro.magic.program import Program, ProgramBuilder
 from repro.reliability.residue import DEFAULT_RESIDUE_BITS, ResidueChecker
@@ -96,6 +97,7 @@ class PrecomputeStage:
         spare_rows: int = DEFAULT_SPARE_ROWS,
         residue_bits: int = DEFAULT_RESIDUE_BITS,
         optimize: bool = False,
+        backend: object = "bitplane",
     ):
         _check_width(n_bits)
         self.n_bits = n_bits
@@ -103,6 +105,10 @@ class PrecomputeStage:
         #: (:mod:`repro.magic.passes`).  Off by default so the stage
         #: reproduces the paper's per-op cycle counts exactly.
         self.optimize = optimize
+        #: Batched execution strategy (see :mod:`repro.magic.backend`).
+        #: Per-lane results and accounting are bit-identical across
+        #: backends; defaults to the historical bit-plane path.
+        self.backend = get_backend(backend)
         self.cols = n_bits // 4 + 2
         self.adder_width = n_bits // 4 + 1
         self.array = CrossbarArray(
@@ -335,12 +341,12 @@ class PrecomputeStage:
                 values.update({f"b{i}": b_chunks[i] for i in range(4)})
                 bindings.append(values)
 
-            batched = BatchedCrossbarArray.from_scalar(self.array, len(group))
+            batched = self.backend.make_array(self.array, len(group))
             # Steady state: every pass ends with the whole subarray at
             # logic one (closing data INIT + the adder's scratch reset).
-            batched.state[:] = True
+            batched.reset_to_ones()
             batched.repin_faults()
-            executor = BatchedMagicExecutor(
+            executor = self.backend.make_executor(
                 batched, clock=Clock(), fault_hook=self.executor.fault_hook
             )
             # Compile through the stage's persistent cache: one compile

@@ -30,7 +30,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.crossbar.array import BatchedCrossbarArray, CrossbarArray
+from repro.crossbar.array import (
+    BatchedCrossbarArray,
+    CrossbarArray,
+    WordPackedCrossbarArray,
+    _csa_add,
+)
 from repro.magic.ops import (
     Init,
     MicroOp,
@@ -45,7 +50,7 @@ from repro.magic.ops import (
 )
 from repro.magic.program import Program
 from repro.sim.clock import Clock
-from repro.sim.exceptions import ProgramError
+from repro.sim.exceptions import MagicProtocolError, ProgramError
 from repro.sim.stats import RunStats
 from repro.sim.trace import Trace
 from repro.telemetry import spans as _telemetry
@@ -73,20 +78,27 @@ def bits_to_int(bits: np.ndarray) -> int:
 
 def pack_ints(values: Sequence[int], width: int) -> np.ndarray:
     """Stack LSB-first bit vectors of *values* into a ``(len, width)``
-    bool matrix (the batched counterpart of :func:`int_to_bits`)."""
-    nbytes = (width + 7) // 8
-    chunks = []
+    bool matrix (the batched counterpart of :func:`int_to_bits`).
+
+    Every value is validated (non-negative, fits in *width* bits)
+    before any early return, so an out-of-range operand is rejected
+    even when the degenerate ``width == 0`` shape short-circuits the
+    bit unpacking; iterables are materialised once, so generators are
+    accepted.
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    values = list(values)
     for value in values:
         if value < 0:
             raise ValueError("only non-negative integers are storable")
         if value >> width:
             raise ValueError(f"value {value} does not fit in {width} bits")
-        chunks.append(value.to_bytes(nbytes, "little"))
-    if not values:
-        return np.zeros((0, width), dtype=bool)
+    if not values or width == 0:
+        return np.zeros((len(values), width), dtype=bool)
+    nbytes = (width + 7) // 8
+    chunks = [value.to_bytes(nbytes, "little") for value in values]
     raw = np.frombuffer(b"".join(chunks), dtype=np.uint8).reshape(len(values), nbytes)
-    if width == 0:
-        return np.zeros((len(values), 0), dtype=bool)
     return np.unpackbits(raw, axis=1, bitorder="little")[:, :width].astype(bool)
 
 
@@ -288,9 +300,12 @@ class CompileCacheStats:
 class _CompileCache:
     """Identity-keyed cache of compiled programs.
 
-    Keyed by ``(id(program), len(program))`` with a strong reference to
-    the program so ids cannot be recycled; extending a program through
-    :meth:`Program.extend` changes its length and misses the cache.
+    Keyed by ``(id(program), len(program), program.generation)`` with a
+    strong reference to the program so ids cannot be recycled.
+    Extending a program through :meth:`Program.extend` changes both the
+    length and the mutation generation; replacing ops *in place* at an
+    unchanged length bumps the generation alone — either way the stale
+    compiled artifact misses and the program is recompiled.
 
     An optional *max_entries* bounds the cache with least-recently-used
     eviction; unbounded by default, which matches the historical
@@ -305,13 +320,19 @@ class _CompileCache:
         self.cols = cols
         self.max_entries = max_entries
         self.stats = CompileCacheStats()
-        self._entries: Dict[Tuple[int, int], Tuple[Program, CompiledProgram]] = {}
+        self._entries: Dict[
+            Tuple[int, int, int], Tuple[Program, CompiledProgram]
+        ] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, program: Program) -> CompiledProgram:
-        key = (id(program), len(program.ops))
+        key = (
+            id(program),
+            len(program.ops),
+            getattr(program, "generation", 0),
+        )
         entry = self._entries.get(key)
         if entry is not None and entry[0] is program:
             self.stats.hits += 1
@@ -442,6 +463,7 @@ class MagicExecutor:
         self,
         program: Program,
         bindings_list: Sequence[Dict[str, int]],
+        backend: object = None,
     ) -> List[RunStats]:
         """Replay *program* over a batch of binding sets in one SIMD pass.
 
@@ -454,15 +476,25 @@ class MagicExecutor:
         program's cycle count — the SIMD semantics of row-parallel MAGIC:
         all lanes execute in lock-step.
 
+        *backend* selects the batched execution strategy (an
+        :class:`~repro.magic.backend.ExecutorBackend` instance or its
+        registry name: ``"scalar"``, ``"bitplane"``, ``"word"``); the
+        bit-plane path remains the default.  All backends are
+        accounting-equivalent, so the choice only affects wall-clock
+        simulation speed.
+
         Returns one :class:`RunStats` per lane, bit-identical (results,
         cycles, op counts, energy) to running :meth:`execute` with that
         lane's bindings on a scalar copy of the array.
         """
+        from repro.magic.backend import get_backend
+
         if not bindings_list:
             return []
         compiled = self._compile_cache.get(program)
-        batched = BatchedCrossbarArray.from_scalar(self.array, len(bindings_list))
-        executor = BatchedMagicExecutor(
+        resolved = get_backend(backend if backend is not None else "bitplane")
+        batched = resolved.make_array(self.array, len(bindings_list))
+        executor = resolved.make_executor(
             batched,
             clock=self.clock,
             trace=self.trace,
@@ -743,3 +775,471 @@ class BatchedMagicExecutor:
             hook.on_write(array, dst_row, write_mask, pre)
         if also_init:
             array.init_rows(also_init, mask)
+
+
+class _WordLoweredProgram:
+    """A :class:`CompiledProgram` re-lowered to packed-integer steps.
+
+    The lowering converts every column mask and field slice into the
+    big-integer bit masks of one :class:`WordPackedCrossbarArray`
+    geometry, and precomputes the program's data-independent accounting:
+    the per-lane pulse-cell counts (set/reset/read) behind the constant
+    part of the energy model, and the write-pulse *recipe* from which a
+    per-row-map ``(phys_rows, cols)`` write-counter delta is
+    materialised once and replayed per batch.  Cached on the compiled
+    program keyed by lane width, so stage mega-programs lower once for
+    the lifetime of the stage.
+    """
+
+    __slots__ = (
+        "steps",
+        "set_cells",
+        "reset_cells",
+        "read_cells",
+        "writes_recipe",
+        "_writes_deltas",
+    )
+
+    def __init__(self, compiled: CompiledProgram, lane_bits: int):
+        cols = compiled.cols
+        lane_block = (1 << lane_bits) - 1
+        full = (1 << (cols * lane_bits)) - 1
+
+        def mask_int(mask: Optional[np.ndarray]) -> int:
+            if mask is None:
+                return full
+            out = 0
+            for col in np.nonzero(mask)[0]:
+                out |= lane_block << (int(col) * lane_bits)
+            return out
+
+        self.steps: List[tuple] = []
+        self.set_cells = 0
+        self.reset_cells = 0
+        self.read_cells = 0
+        #: (logical row, column mask or None) per write pulse.
+        self.writes_recipe: List[Tuple[int, Optional[np.ndarray]]] = []
+        #: (row_map, phys_rows) -> materialised (phys_rows, cols) delta.
+        self._writes_deltas: Dict[tuple, np.ndarray] = {}
+
+        for step in compiled.steps:
+            code = step[0]
+            if code == _NOR:
+                _, in_rows, out_row, mask = step
+                if out_row in in_rows:
+                    # Row maps are injective, so logical aliasing is
+                    # exactly physical aliasing; reject it once here
+                    # instead of on every replay.
+                    raise MagicProtocolError(
+                        f"output row {out_row} cannot also be a NOR input"
+                    )
+                m = mask_int(mask)
+                self.steps.append(
+                    (_NOR, tuple(in_rows), out_row, m, full ^ m, mask)
+                )
+                self.writes_recipe.append((out_row, mask))
+            elif code == _PACK:
+                gang = []
+                for in_rows, out_row, mask in step[1]:
+                    if out_row in in_rows:
+                        raise MagicProtocolError(
+                            f"output row {out_row} cannot also be a NOR "
+                            "input"
+                        )
+                    m = mask_int(mask)
+                    gang.append(
+                        (tuple(in_rows), out_row, m, full ^ m, mask)
+                    )
+                    self.writes_recipe.append((out_row, mask))
+                self.steps.append((_PACK, tuple(gang)))
+            elif code == _INIT:
+                _, rows, mask = step
+                cells = cols if mask is None else int(mask.sum())
+                self.set_cells += cells * len(rows)
+                for row in rows:
+                    self.writes_recipe.append((row, mask))
+                self.steps.append((_INIT, rows, mask_int(mask), mask))
+            elif code == _WRITE:
+                _, row, field, mask, spec = step
+                width = field.stop - field.start
+                shift = field.start * lane_bits
+                field_block = ((1 << (width * lane_bits)) - 1) << shift
+                # A full-row field lowers its mask to None; either way
+                # the driven cells are exactly the field's.
+                self.reset_cells += width
+                self.writes_recipe.append((row, mask))
+                self.steps.append(
+                    (_WRITE, row, spec, shift, full ^ field_block, mask)
+                )
+            elif code == _READ:
+                _, row, field, name = step
+                # The batched read senses the full row (unmasked).
+                self.read_cells += cols
+                self.steps.append(
+                    (_READ, row, field.start, field.stop - field.start, name)
+                )
+            elif code == _SHIFT:
+                _, src, dst, offset, fill, window, mask, also_init = step
+                span = window.stop - window.start
+                win_shift = window.start * lane_bits
+                window_block = (1 << (span * lane_bits)) - 1
+                offset_bits = offset * lane_bits
+                if not fill:
+                    fill_mask = 0
+                elif offset >= 0:
+                    fill_mask = (1 << (min(offset, span) * lane_bits)) - 1
+                else:
+                    keep = max(span + offset, 0)
+                    fill_mask = window_block ^ ((1 << (keep * lane_bits)) - 1)
+                # One sensed read of the window, one masked write-back,
+                # plus a piggy-backed INIT of each listed row.
+                self.read_cells += span
+                self.reset_cells += span
+                self.set_cells += span * len(also_init)
+                self.writes_recipe.append((dst, mask))
+                for row in also_init:
+                    self.writes_recipe.append((row, mask))
+                window_mask = window_block << win_shift
+                self.steps.append(
+                    (
+                        _SHIFT,
+                        src,
+                        dst,
+                        offset_bits,
+                        win_shift,
+                        window_block,
+                        window_mask,
+                        full ^ window_mask,
+                        fill_mask,
+                        mask,
+                        also_init,
+                    )
+                )
+            else:  # _NOP
+                self.steps.append((_NOP,))
+
+    def energy_const_fj(self, device) -> float:
+        """Data-independent per-lane energy of one replay on *device*."""
+        return (
+            device.e_set_fj * self.set_cells
+            + device.e_reset_fj * self.reset_cells
+            + device.e_read_fj * self.read_cells
+        )
+
+    def writes_delta(
+        self, row_map: Sequence[int], phys_rows: int, cols: int
+    ) -> np.ndarray:
+        """Write-counter delta of one replay under *row_map*.
+
+        Pulse placement is data-independent, so the delta is a static
+        property of (program, remap table); it is materialised once per
+        distinct row map and added to the array's counters per batch.
+        """
+        key = (tuple(row_map), phys_rows)
+        delta = self._writes_deltas.get(key)
+        if delta is None:
+            delta = np.zeros((phys_rows, cols), dtype=np.int64)
+            for row, mask in self.writes_recipe:
+                phys = row_map[row]
+                if mask is None:
+                    delta[phys] += 1
+                else:
+                    delta[phys][mask] += 1
+            self._writes_deltas[key] = delta
+        return delta
+
+
+class WordPackedMagicExecutor:
+    """Replays compiled programs against a :class:`WordPackedCrossbarArray`.
+
+    The word-packed fast path of the batched executor: every physical
+    row is one big integer holding 64 batch lanes per machine word, so
+    a row-parallel NOR over the whole batch is a handful of bitwise
+    integer operations instead of a numpy pass over a byte-per-bit
+    tensor.  Accounting is deferred: data-dependent switching energy is
+    recorded as (coefficient, packed-mask) events popcounted lazily in
+    one vectorised pass, and write counters are applied as one
+    precomputed per-program delta — per-lane results, cycle counts,
+    write counters and energy stay bit-identical to the scalar oracle
+    and the bit-plane path.
+    """
+
+    def __init__(
+        self,
+        array: WordPackedCrossbarArray,
+        clock: Optional[Clock] = None,
+        trace: Optional[Trace] = None,
+        fault_hook=None,
+    ):
+        self.array = array
+        self.clock = clock if clock is not None else Clock()
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self.fault_hook = fault_hook
+        self._compile_cache = _CompileCache(array.rows, array.cols)
+
+    def compile_cache_stats(self) -> CompileCacheStats:
+        """Hit/miss counters of this executor's program-compile cache."""
+        return self._compile_cache.stats
+
+    def compile(self, program: Program) -> CompiledProgram:
+        """Compile (and cache) *program* for this array's geometry."""
+        return self._compile_cache.get(program)
+
+    # ------------------------------------------------------------------
+    def _lowered(self, compiled: CompiledProgram) -> _WordLoweredProgram:
+        lane_bits = self.array.lane_bits
+        cache = getattr(compiled, "_word_lowered", None)
+        if cache is None:
+            cache = {}
+            compiled._word_lowered = cache
+        lowered = cache.get(lane_bits)
+        if lowered is None:
+            lowered = _WordLoweredProgram(compiled, lane_bits)
+            cache[lane_bits] = lowered
+        return lowered
+
+    def _pack_field(self, values: Sequence[int], width: int) -> int:
+        """Marshal one per-lane operand column-major into a field int.
+
+        Bit ``i * lane_bits + lane`` of the result is bit *i* of lane's
+        value; padding lanes replicate the last real lane so full-word
+        invariants (strict NOR checks) stay equivalent to per-lane ones.
+        """
+        bits = pack_ints(values, width)
+        if width == 0:
+            return 0
+        lane_bits = self.array.lane_bits
+        if lane_bits != bits.shape[0]:
+            pad = np.broadcast_to(
+                bits[-1:], (lane_bits - bits.shape[0], width)
+            )
+            bits = np.concatenate([bits, pad], axis=0)
+        raw = np.packbits(
+            np.ascontiguousarray(bits.T).reshape(-1), bitorder="little"
+        )
+        return int.from_bytes(raw.tobytes(), "little")
+
+    def _read_field(self, value: int, width: int) -> List[int]:
+        """Per-lane integers of one packed field (inverse marshalling)."""
+        if width == 0:
+            return [0] * self.array.batch
+        lane_bits = self.array.lane_bits
+        raw = np.frombuffer(
+            value.to_bytes(width * lane_bits // 8, "little"), dtype=np.uint8
+        )
+        bits = np.unpackbits(raw, bitorder="little").reshape(width, lane_bits)
+        return unpack_ints(np.ascontiguousarray(bits[:, : self.array.batch].T))
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        program,
+        bindings_list: Sequence[Dict[str, int]],
+    ) -> List[RunStats]:
+        """Execute a :class:`Program` or :class:`CompiledProgram` with
+        one binding set per lane; returns one :class:`RunStats` per lane.
+        """
+        compiled = (
+            program
+            if isinstance(program, CompiledProgram)
+            else self.compile(program)
+        )
+        array = self.array
+        if compiled.rows != array.rows or compiled.cols != array.cols:
+            raise ProgramError(
+                f"program compiled for {compiled.rows}x{compiled.cols} "
+                f"cannot run on {array.rows}x{array.cols}"
+            )
+        batch = array.batch
+        if len(bindings_list) != batch:
+            raise ProgramError(
+                f"got {len(bindings_list)} binding sets for {batch} lanes"
+            )
+        lowered = self._lowered(compiled)
+        packed: Dict[Tuple[str, int], int] = {}
+        for name, width in compiled.write_specs:
+            try:
+                values = [bindings[name] for bindings in bindings_list]
+            except KeyError:
+                raise ProgramError(
+                    f"WRITE references unbound operand {name!r}"
+                ) from None
+            packed[(name, width)] = self._pack_field(values, width)
+
+        energy_before = array.energy_fj.copy()
+        results: List[Dict[str, int]] = [{} for _ in range(batch)]
+        trace_enabled = self.trace.enabled
+        hook = self.fault_hook
+        device = array.device
+        e_reset = device.e_reset_fj
+        w_coeff = device.e_set_fj - e_reset
+        state = array._state
+        rmap = array._row_map
+        lane_bits = array.lane_bits
+        # Carry-save energy counters; a flush empties these lists in
+        # place, so the bindings stay valid for the whole replay.  One
+        # counter per coefficient (setdefault aliases them if a device
+        # makes the two coefficients collide).
+        acc_add = _csa_add
+        reset_planes = array._energy_acc.setdefault(e_reset, [])
+        write_planes = array._energy_acc.setdefault(w_coeff, [])
+        strict = array.strict_magic
+        have_faults = bool(array._faults)
+        for index, step in enumerate(lowered.steps):
+            code = step[0]
+            if code == _NOR:
+                _, in_rows, out_row, m, notm, np_mask = step
+                out_phys = rmap[out_row]
+                out = state[out_phys]
+                any_one = state[rmap[in_rows[0]]]
+                for row in in_rows[1:]:
+                    any_one = any_one | state[rmap[row]]
+                am = any_one & m
+                if strict:
+                    if (out & m) != m:
+                        raise MagicProtocolError(
+                            f"NOR output row {out_row} not initialised to "
+                            "logic one in every lane"
+                        )
+                    # out holds ones across m, so out & notm == out ^ m
+                    # and the RESET event am & out collapses to am.
+                    acc_add(reset_planes, am)
+                    state[out_phys] = (out ^ m) | (m ^ am)
+                else:
+                    acc_add(reset_planes, am & out)
+                    state[out_phys] = (out & notm) | (m ^ am)
+                if have_faults:
+                    array._apply_faults()
+                if hook is not None:
+                    hook.on_nor(array, out_row, np_mask)
+                    have_faults = bool(array._faults)
+            elif code == _PACK:
+                for in_rows, out_row, m, notm, np_mask in step[1]:
+                    out_phys = rmap[out_row]
+                    out = state[out_phys]
+                    any_one = state[rmap[in_rows[0]]]
+                    for row in in_rows[1:]:
+                        any_one = any_one | state[rmap[row]]
+                    am = any_one & m
+                    if strict:
+                        if (out & m) != m:
+                            raise MagicProtocolError(
+                                f"NOR output row {out_row} not initialised "
+                                "to logic one in every lane"
+                            )
+                        acc_add(reset_planes, am)
+                        state[out_phys] = (out ^ m) | (m ^ am)
+                    else:
+                        acc_add(reset_planes, am & out)
+                        state[out_phys] = (out & notm) | (m ^ am)
+                    if have_faults:
+                        array._apply_faults()
+                    if hook is not None:
+                        hook.on_nor(array, out_row, np_mask)
+                        have_faults = bool(array._faults)
+            elif code == _INIT:
+                _, rows, m, np_mask = step
+                for row in rows:
+                    phys = rmap[row]
+                    state[phys] = state[phys] | m
+                if have_faults:
+                    array._apply_faults()
+            elif code == _WRITE:
+                _, row, spec, shift, not_field, np_mask = step
+                phys = rmap[row]
+                pre = array.unpack_row(row) if hook is not None else None
+                value = packed[spec] << shift
+                acc_add(write_planes, value)
+                state[phys] = (state[phys] & not_field) | value
+                if have_faults:
+                    array._apply_faults()
+                if hook is not None:
+                    write_mask = np_mask
+                    if write_mask is None:
+                        write_mask = np.ones(array.cols, dtype=bool)
+                    hook.on_write(array, row, write_mask, pre)
+                    have_faults = bool(array._faults)
+            elif code == _READ:
+                _, row, start, width, name = step
+                word = (state[rmap[row]] >> (start * lane_bits)) & (
+                    (1 << (width * lane_bits)) - 1
+                )
+                for lane, value in enumerate(self._read_field(word, width)):
+                    results[lane][name] = value
+                if hook is not None:
+                    hook.on_read(array, row)
+                    have_faults = bool(array._faults)
+            elif code == _SHIFT:
+                (
+                    _,
+                    src,
+                    dst,
+                    offset_bits,
+                    win_shift,
+                    window_block,
+                    window_mask,
+                    not_window,
+                    fill_mask,
+                    np_mask,
+                    also_init,
+                ) = step
+                dst_phys = rmap[dst]
+                w = (state[rmap[src]] >> win_shift) & window_block
+                if offset_bits >= 0:
+                    sh = (w << offset_bits) & window_block
+                else:
+                    sh = w >> -offset_bits
+                sh |= fill_mask
+                pre = array.unpack_row(dst) if hook is not None else None
+                new = (state[dst_phys] & not_window) | (sh << win_shift)
+                acc_add(write_planes, new & window_mask)
+                state[dst_phys] = new
+                if have_faults:
+                    array._apply_faults()
+                if hook is not None:
+                    write_mask = np_mask
+                    if write_mask is None:
+                        write_mask = np.ones(array.cols, dtype=bool)
+                    hook.on_write(array, dst, write_mask, pre)
+                    have_faults = bool(array._faults)
+                for row in also_init:
+                    phys = rmap[row]
+                    state[phys] = state[phys] | window_mask
+                if also_init and have_faults:
+                    array._apply_faults()
+            # _NOP: nothing to evaluate.
+            if trace_enabled:
+                op = compiled.program.ops[index]
+                self.trace.record(self.clock.cycles, op.opcode, repr(op))
+
+        array._energy_const += lowered.energy_const_fj(device)
+        array._writes += lowered.writes_delta(rmap, array.phys_rows, array.cols)
+        begin_cc = self.clock.cycles
+        for opcode, cycles in compiled.cycles_by_opcode.items():
+            self.clock.tick(cycles, category=opcode)
+        tracer = _telemetry.active()
+        if tracer is not None:
+            tracer.record(
+                "magic.program",
+                begin_cc,
+                self.clock.cycles,
+                label=compiled.label or "program",
+                ops=len(compiled.steps),
+                lanes=batch,
+                nor=compiled.stat_counts.get("nor_ops", 0)
+                + compiled.stat_counts.get("not_ops", 0),
+            )
+
+        energy = array.energy_fj - energy_before
+        stats_list = []
+        for lane in range(batch):
+            stats = RunStats(
+                cycles=compiled.cycle_count,
+                energy_fj=float(energy[lane]),
+                op_counts=dict(compiled.op_counts),
+                results=results[lane],
+            )
+            for field_name, count in compiled.stat_counts.items():
+                setattr(stats, field_name, count)
+            stats_list.append(stats)
+        return stats_list

@@ -390,6 +390,12 @@ def summarize_reports(
         "cycles_before": before,
         "cycles_after": after,
         "cycles_saved": before - after,
+        # Raw numerator of the pack factor.  Fleet-wide aggregation
+        # must sum ``gates`` and ``cycles_after`` across stages and
+        # recompute the ratio — averaging or re-weighting the per-stage
+        # ``pack_factor`` floats mis-weights stages and loses gates
+        # whenever a stage reports the ``cycles_after == 0`` convention.
+        "gates": gates,
         "pack_factor": gates / after if after else 1.0,
         "by_pass": by_pass,
     }

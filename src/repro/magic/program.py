@@ -27,27 +27,120 @@ from repro.magic.ops import (
 from repro.sim.exceptions import ProgramError
 
 
+class _OpList(list):
+    """Op list that bumps its owning program's mutation generation.
+
+    Every mutating list method notifies the owner, so memoised program
+    properties and downstream compile caches can detect in-place op
+    replacement even when the list length is unchanged.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, iterable=(), owner: "Program" = None):
+        super().__init__(iterable)
+        self._owner = owner
+
+    def _bump(self) -> None:
+        owner = self._owner
+        if owner is not None:
+            owner._generation += 1
+
+    def __setitem__(self, index, value):
+        super().__setitem__(index, value)
+        self._bump()
+
+    def __delitem__(self, index):
+        super().__delitem__(index)
+        self._bump()
+
+    def __iadd__(self, other):
+        result = super().__iadd__(other)
+        self._bump()
+        return result
+
+    def __imul__(self, other):
+        result = super().__imul__(other)
+        self._bump()
+        return result
+
+    def append(self, value):
+        super().append(value)
+        self._bump()
+
+    def extend(self, iterable):
+        super().extend(iterable)
+        self._bump()
+
+    def insert(self, index, value):
+        super().insert(index, value)
+        self._bump()
+
+    def pop(self, index=-1):
+        value = super().pop(index)
+        self._bump()
+        return value
+
+    def remove(self, value):
+        super().remove(value)
+        self._bump()
+
+    def clear(self):
+        super().clear()
+        self._bump()
+
+    def sort(self, **kwargs):
+        super().sort(**kwargs)
+        self._bump()
+
+    def reverse(self):
+        super().reverse()
+        self._bump()
+
+    def __reduce__(self):
+        return (list, (list(self),))
+
+
 @dataclass
 class Program:
     """An ordered sequence of micro-ops with static cost metadata.
 
     Derived static properties (cycle count, histograms, rows touched)
-    are memoised against the op-list length: the op list only ever
-    grows (via :meth:`extend` / builder concatenation), so a stale
-    cache is detected by a length mismatch and recomputed.  These
-    properties are hot in scheduler admission and telemetry span
+    are memoised against the op list's *mutation generation*: the op
+    list is a tracking list that bumps a counter on every mutating
+    call, so a stale cache is detected even when ops are replaced in
+    place at unchanged length (the old length-only stamp missed that).
+    These properties are hot in scheduler admission and telemetry span
     derivation, where the same sealed program is queried per batch.
     """
 
     ops: List[MicroOp] = field(default_factory=list)
     label: str = ""
-    #: Lazy cache of derived properties, stamped with len(ops).
+    #: Lazy cache of derived properties, stamped with
+    #: ``(len(ops), generation)``.
     _cache: Dict[str, object] = field(
         default_factory=dict, repr=False, compare=False
     )
+    #: Mutation counter; bumped by every mutating call on :attr:`ops`.
+    _generation: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self.ops = _OpList(self.ops, owner=self)
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter for the op list.
+
+        Compile caches key on ``(id, len, generation)`` so a program
+        whose ops were swapped in place at the same length can never
+        alias a previously compiled artifact.
+        """
+        return self._generation
 
     def _cached(self, key: str, compute):
-        stamp = len(self.ops)
+        stamp = (len(self.ops), self._generation)
         entry = self._cache.get(key)
         if entry is not None and entry[0] == stamp:
             return entry[1]

@@ -110,6 +110,12 @@ class ServiceConfig:
     #: the service is the deployment surface, so it takes the packed
     #: schedules; set ``False`` for the paper's closed-form latencies.
     optimize: bool = True
+    #: Batched executor backend every bank-way pipeline runs on (one of
+    #: :data:`repro.magic.BACKEND_NAMES`).  The service defaults to the
+    #: word-packed fast path; per-lane products, cycle counts, write
+    #: counters and energy are bit-identical across backends, so the
+    #: choice only moves simulation wall-clock.
+    backend: str = "word"
 
 
 class MultiplicationService:
@@ -142,6 +148,7 @@ class MultiplicationService:
             wear_leveling=self.config.wear_leveling,
             spare_rows=self.config.spare_rows,
             optimize=self.config.optimize,
+            backend=self.config.backend,
         )
         self.degrade = DegradeController(
             self.dispatcher,
@@ -391,7 +398,7 @@ class MultiplicationService:
         per_way: Dict[str, Dict[str, object]] = {}
         totals = {"cycles_before": 0, "cycles_after": 0, "cycles_saved": 0}
         by_pass: Dict[str, int] = {}
-        gates = 0.0
+        gates = 0
         for way in self.dispatcher.all_ways():
             stats = way.pipeline.controller.optimizer_stats()
             if not stats.get("enabled"):
@@ -400,7 +407,13 @@ class MultiplicationService:
             for stage_stats in (stats["precompute"], stats["postcompute"]):
                 for key in totals:
                     totals[key] += stage_stats[key]
-                gates += stage_stats["pack_factor"] * stage_stats["cycles_after"]
+                # Sum the raw gate counts; reconstructing them from the
+                # per-stage ratio (pack_factor * cycles_after) re-weights
+                # each stage by its own denominator and drops every
+                # stage that reports the cycles_after == 0 convention,
+                # so the fleet ratio drifted from summed-gates /
+                # summed-pack-cycles whenever stages were uneven.
+                gates += stage_stats["gates"]
                 for name, saved in stage_stats["by_pass"].items():
                     by_pass[name] = by_pass.get(name, 0) + saved
         after = totals["cycles_after"]
@@ -413,6 +426,7 @@ class MultiplicationService:
             "cycles_before": totals["cycles_before"],
             "cycles_after": after,
             "cycles_saved": totals["cycles_saved"],
+            "gates": gates,
             "pack_factor": gates / after if after else 1.0,
             "by_pass": by_pass,
             "ways": per_way,

@@ -105,6 +105,11 @@ class BankDispatcher:
         (:mod:`repro.magic.passes`) in every way's pipeline.  Part of
         the cache variant key, so optimized and paper-exact pipelines
         never alias.
+    backend:
+        Batched executor backend (:mod:`repro.magic.backend` name) each
+        way's pipeline runs on.  Also part of the cache variant key —
+        a warm pipeline carries its backend choice, so two configs with
+        different backends must never share one.
     """
 
     def __init__(
@@ -115,6 +120,7 @@ class BankDispatcher:
         spare_rows: int = 2,
         ranker: WayRanker = least_loaded,
         optimize: bool = False,
+        backend: str = "bitplane",
     ):
         if ways_per_width < 1:
             raise ValueError("need at least one way per width")
@@ -128,6 +134,7 @@ class BankDispatcher:
         self.spare_rows = spare_rows
         self.ranker = ranker
         self.optimize = optimize
+        self.backend = backend
         self._pools: Dict[int, List[Way]] = {}
 
     # ------------------------------------------------------------------
@@ -147,9 +154,10 @@ class BankDispatcher:
 
     def _variant(self, index) -> str:
         """Cache variant key of one way's pipeline; includes the
-        optimizer flag so packed and paper-exact programs never alias."""
+        optimizer flag and executor backend so packed / paper-exact /
+        differently-backed pipelines never alias."""
         suffix = ".opt" if self.optimize else ""
-        return f"pipeline.{index}{suffix}"
+        return f"pipeline.{index}{suffix}.{self.backend}"
 
     def _build_pipeline(self, n_bits: int, index: int) -> KaratsubaPipeline:
         return self.program_cache.get_or_build(
@@ -159,6 +167,7 @@ class BankDispatcher:
                 wear_leveling=self.wear_leveling,
                 spare_rows=self.spare_rows,
                 optimize=self.optimize,
+                backend=self.backend,
             ),
             variant=self._variant(index),
         )

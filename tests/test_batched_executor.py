@@ -20,11 +20,13 @@ from repro.arith.koggestone import standalone_adder
 from repro.crossbar import BatchedCrossbarArray, CrossbarArray, DeviceModel
 from repro.karatsuba.pipeline import KaratsubaPipeline
 from repro.magic import (
+    BACKEND_NAMES,
     BatchedMagicExecutor,
     MagicExecutor,
     ProgramBuilder,
     bits_to_int,
     int_to_bits,
+    get_backend,
     pack_ints,
     unpack_ints,
 )
@@ -203,8 +205,9 @@ def _random_program(rng, ops=40):
 
 
 class TestBatchedDifferential:
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
     @pytest.mark.parametrize("seed", range(6))
-    def test_random_programs_bit_exact(self, seed):
+    def test_random_programs_bit_exact(self, seed, backend):
         rng = random.Random(seed)
         program, writes = _random_program(rng)
         batch = rng.randrange(1, 6)
@@ -220,8 +223,9 @@ class TestBatchedDifferential:
             stats = executor.execute(program, bindings[lane])
             scalar_runs.append((stats, array))
 
-        batched_array = BatchedCrossbarArray(batch, ROWS, COLS)
-        batched = BatchedMagicExecutor(batched_array, clock=Clock())
+        resolved = get_backend(backend)
+        batched_array = resolved.make_array(CrossbarArray(ROWS, COLS), batch)
+        batched = resolved.make_executor(batched_array, clock=Clock())
         batched_stats = batched.execute(program, bindings)
 
         for lane, (stats, array) in enumerate(scalar_runs):
@@ -233,7 +237,7 @@ class TestBatchedDifferential:
             assert got.shift_ops == stats.shift_ops
             assert got.energy_fj == stats.energy_fj
             assert got.energy_fj == batched_array.lane_energy_fj(lane)
-            assert np.array_equal(batched_array.state[lane], array.state)
+            assert np.array_equal(batched_array.snapshot(lane), array.snapshot())
             assert np.array_equal(batched_array.writes, array.writes)
 
     def test_simd_clock_advances_once_per_batch(self):

@@ -33,6 +33,7 @@ from repro.magic import (
     pack_cycles,
     reallocate_scratch,
 )
+from repro.magic.backend import BACKEND_NAMES, get_backend
 from repro.magic.executor import BatchedMagicExecutor, int_to_bits
 from repro.magic.ops import Init, Nor, Not
 from repro.magic.passes import drop_nops, summarize_reports
@@ -515,7 +516,8 @@ class TestPropertyEquivalence:
             total_after += cycles[1]
         assert total_after < total_before  # packing finds real slack
 
-    def test_batched_equivalence(self, rng):
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_batched_equivalence(self, rng, backend):
         for _ in range(4):
             prog = _random_program(rng)
             result = optimize_program(prog)
@@ -525,7 +527,7 @@ class TestPropertyEquivalence:
                 array = CrossbarArray(ROWS, COLS)
                 array.state[:] = True
                 stats = MagicExecutor(array).execute_batch(
-                    variant, bindings_list
+                    variant, bindings_list, backend=backend
                 )
                 per_variant.append(stats)
             base, packed = per_variant
@@ -535,7 +537,8 @@ class TestPropertyEquivalence:
                     base[lane].energy_fj - packed[lane].energy_fj
                 ) < 1e-6
 
-    def test_scalar_and_batched_agree_on_packed_program(self, rng):
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_scalar_and_batched_agree_on_packed_program(self, rng, backend):
         prog = optimize_program(_random_program(rng)).program
         bindings_list = [self._bindings(rng) for _ in range(3)]
         scalar_reads = []
@@ -546,10 +549,9 @@ class TestPropertyEquivalence:
             scalar_reads.append(dict(stats.results))
         array = CrossbarArray(ROWS, COLS)
         array.state[:] = True
-        batched = BatchedMagicExecutor(
-            __import__(
-                "repro.crossbar.array", fromlist=["BatchedCrossbarArray"]
-            ).BatchedCrossbarArray.from_scalar(array, len(bindings_list))
+        resolved = get_backend(backend)
+        batched = resolved.make_executor(
+            resolved.make_array(array, len(bindings_list))
         )
         stats = batched.execute(batched.compile(prog), bindings_list)
         assert [dict(s.results) for s in stats] == scalar_reads
