@@ -15,6 +15,7 @@ Commands
 ``claims``      verify the machine-checkable paper-claims ledger
 ``variability`` MAGIC NOR sense-margin and device-spread study
 ``service-bench`` drive a mixed-width stream through ``repro.service``
+``load-bench``  open-loop load: sync service vs sharded front-end
 ``fault-campaign`` seeded fault-injection sweep (kind × width)
 ``trace``       export a traced bank batch as Perfetto/Chrome JSON
 ``bench-compare`` compare seeded benchmarks against BENCH_*.json
@@ -214,6 +215,116 @@ def _cmd_service_bench(args: argparse.Namespace) -> int:
         print(f"MISMATCH: {mismatches} wrong products!", file=sys.stderr)
         return 1
     print(f"all {len(results)} products bit-exact")
+    return 0
+
+
+def _cmd_load_bench(args: argparse.Namespace) -> int:
+    """Open-loop load: sync baseline vs the async sharded front-end.
+
+    Generates a seeded arrival schedule (Poisson / bursty MMPP /
+    diurnal) over one operand mix, replays it through a synchronous
+    single-process service and through the sharded front-end on the
+    same per-shard config, and prints tail latencies, deadline-miss
+    rates and the cycle-domain speedup.  All numbers live on the
+    virtual cycle clock, so they are seed-reproducible regardless of
+    host speed or ``--processes``.
+    """
+    from repro.eval import loadgen
+    from repro.eval.report import format_table
+    from repro.frontend import FrontendConfig
+    from repro.service import AutoscalerConfig, ServiceConfig
+
+    autoscale = None
+    if args.autoscale:
+        autoscale = AutoscalerConfig(
+            min_ways=1, max_ways=max(2, args.ways * 4),
+            high_depth=2 * args.batch_size, low_depth=args.batch_size,
+            up_ticks=2, down_ticks=10,
+        )
+    service_config = ServiceConfig(
+        batch_size=args.batch_size,
+        ways_per_width=args.ways,
+        autoscale=autoscale,
+    )
+    load = loadgen.build_load(
+        args.mix,
+        args.arrivals,
+        args.jobs,
+        args.gap_cc,
+        seed=args.seed,
+        deadline_slack_cc=args.deadline_slack_cc,
+    )
+    sync_report, sync_service = loadgen.run_sync(
+        load, service_config, mix=args.mix, process=args.arrivals
+    )
+    frontend_config = FrontendConfig(
+        shards=args.shards,
+        inline=not args.processes,
+        service=service_config,
+        routing=args.routing,
+    )
+    sharded_report, snapshot = loadgen.run_sharded(
+        load, frontend_config, mix=args.mix, process=args.arrivals
+    )
+    speedup = (
+        sync_report.horizon_cc / sharded_report.horizon_cc
+        if sharded_report.horizon_cc
+        else 0.0
+    )
+    rows = []
+    for label, report in (("sync", sync_report), ("sharded", sharded_report)):
+        rows.append(
+            (
+                label,
+                report.completed,
+                report.shed,
+                report.p50_cc,
+                report.p95_cc,
+                report.p99_cc,
+                f"{report.miss_rate:.1%}",
+                f"{report.horizon_cc:,}",
+                f"{report.wall_seconds:.2f}s",
+            )
+        )
+    print(
+        format_table(
+            (
+                "path", "done", "shed", "p50 cc", "p95 cc", "p99 cc",
+                "miss", "horizon cc", "wall",
+            ),
+            rows,
+            title=(
+                f"Open-loop {args.mix}/{args.arrivals}: {args.jobs} jobs, "
+                f"mean gap {args.gap_cc} cc, {args.shards} "
+                f"{'process' if args.processes else 'inline'} shard(s)"
+            ),
+        )
+    )
+    print()
+    print(
+        f"cycle-domain speedup (sync horizon / sharded horizon): "
+        f"{speedup:.2f}x"
+    )
+    auto = snapshot.get("autoscaler", {})
+    sync_counters = sync_service.snapshot()["counters"]
+    ups = sync_counters.get("autoscale_up_total", 0) + auto.get("scale_ups", 0)
+    downs = (
+        sync_counters.get("autoscale_down_total", 0)
+        + auto.get("scale_downs", 0)
+    )
+    if autoscale is not None:
+        print(f"autoscale events (sync + sharded): {ups} up, {downs} down")
+    outstanding = snapshot["service"]["outstanding_futures"]
+    if outstanding:  # pragma: no cover - future-loss guard
+        print(f"FAIL: {outstanding} futures never resolved", file=sys.stderr)
+        return 1
+    if args.slo_p99_cc is not None and sharded_report.p99_cc > args.slo_p99_cc:
+        print(
+            f"FAIL: sharded p99 {sharded_report.p99_cc} cc exceeds "
+            f"SLO {args.slo_p99_cc} cc",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -631,6 +742,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="pin a stuck-at-1 cell in one way and show the recovery",
     )
     svc.set_defaults(func=_cmd_service_bench)
+
+    loadb = sub.add_parser(
+        "load-bench",
+        help="open-loop load: sync service vs async sharded front-end",
+    )
+    loadb.add_argument(
+        "--mix", default="fhe", choices=("fhe", "zkp", "mixed")
+    )
+    loadb.add_argument(
+        "--arrivals",
+        default="poisson",
+        choices=("poisson", "bursty", "diurnal"),
+    )
+    loadb.add_argument("--jobs", type=int, default=64)
+    loadb.add_argument(
+        "--gap-cc",
+        type=int,
+        default=100,
+        help="mean inter-arrival gap in cycles (small = overload)",
+    )
+    loadb.add_argument("--shards", type=int, default=4)
+    loadb.add_argument(
+        "--processes",
+        action="store_true",
+        help="host shards in worker processes instead of inline",
+    )
+    loadb.add_argument(
+        "--routing", default="round-robin", choices=("round-robin", "width")
+    )
+    loadb.add_argument("--batch-size", type=int, default=8)
+    loadb.add_argument("--ways", type=int, default=1)
+    loadb.add_argument("--seed", type=int, default=0x10AD)
+    loadb.add_argument(
+        "--deadline-slack-cc",
+        type=int,
+        default=None,
+        help="stamp every request with this latency budget",
+    )
+    loadb.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="enable the way autoscaler in every service",
+    )
+    loadb.add_argument(
+        "--slo-p99-cc",
+        type=int,
+        default=None,
+        help="exit non-zero when the sharded p99 exceeds this",
+    )
+    loadb.set_defaults(func=_cmd_load_bench)
 
     campaign = sub.add_parser(
         "fault-campaign",

@@ -1,0 +1,451 @@
+"""Open-loop load generation for the serving front-end.
+
+Closed-loop replay (``eval.workloads.replay``) answers "how fast can
+the datapath chew a backlog"; this module answers the serving
+question: under *open-loop* arrivals — requests arrive on their own
+clock whether or not the system keeps up — what latency distribution,
+goodput and deadline-miss rate does the multiplication service
+deliver, and how much does sharding the banks across worker processes
+buy?
+
+Everything runs on the **virtual cycle clock**: arrivals are stamped
+``arrival_cc``, the service computes ``completion_cc`` on the same
+timeline, and latency percentiles/histograms are therefore exactly
+reproducible for a given seed — independent of host speed, process
+count, or result delivery order.  Wall-clock time is reported
+separately and only informationally.
+
+Arrival processes (all seeded, all integer-cycle schedules):
+
+* ``poisson`` — memoryless arrivals at a constant mean gap;
+* ``bursty`` — a 2-state Markov-modulated Poisson process (MMPP):
+  quiet stretches punctuated by bursts an order of magnitude denser,
+  the classic stress case for an autoscaler;
+* ``diurnal`` — sinusoidally modulated rate (load "days") generated
+  by thinning a peak-rate Poisson stream.
+
+Operand mixes reuse the trace families of
+:mod:`repro.eval.workloads` (``fhe`` 64-bit limbs, ``zkp`` 384-bit
+field elements, ``mixed`` interleaved widths).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.eval.workloads import (
+    TraceItem,
+    fhe_limb_trace,
+    mixed_trace,
+    zkp_field_trace,
+)
+from repro.service import (
+    DeadlineImpossibleError,
+    MulRequest,
+    MulResult,
+    MultiplicationService,
+    QueueFullError,
+    ServiceConfig,
+)
+from repro.sim.exceptions import DesignError
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "MIXES",
+    "LATENCY_BUCKETS_CC",
+    "LoadItem",
+    "LoadReport",
+    "Slo",
+    "arrival_schedule",
+    "build_load",
+    "run_sharded",
+    "run_sync",
+    "render",
+]
+
+ARRIVAL_PROCESSES = ("poisson", "bursty", "diurnal")
+MIXES = ("fhe", "zkp", "mixed")
+
+#: Fixed latency histogram buckets (cycles).  Fixed edges make the
+#: histogram bit-comparable across runs and shard counts.
+LATENCY_BUCKETS_CC: Tuple[int, ...] = (
+    1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000,
+    128_000, 256_000, 512_000, 1_024_000,
+)
+
+_TRACES = {
+    "fhe": fhe_limb_trace,
+    "zkp": zkp_field_trace,
+    "mixed": mixed_trace,
+}
+
+
+@dataclass(frozen=True)
+class LoadItem:
+    """One open-loop arrival: when it lands and what it multiplies."""
+
+    arrival_cc: int
+    item: TraceItem
+    priority: int = 0
+    deadline_cc: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Slo:
+    """Service-level objective the report is judged against."""
+
+    p99_cc: int = 64_000
+    max_miss_rate: float = 0.05
+
+
+# ----------------------------------------------------------------------
+# Arrival processes
+# ----------------------------------------------------------------------
+def arrival_schedule(
+    process: str,
+    jobs: int,
+    mean_gap_cc: int,
+    seed: int,
+    burst_gap_cc: Optional[int] = None,
+    burst_dwell: int = 24,
+    quiet_dwell: int = 96,
+    diurnal_period_cc: int = 400_000,
+    diurnal_amplitude: float = 0.8,
+) -> List[int]:
+    """Seeded arrival instants (cycles, non-decreasing, ``jobs`` long).
+
+    ``mean_gap_cc`` is the quiet-state / long-run mean inter-arrival
+    gap.  For ``bursty``, ``burst_gap_cc`` (default ``mean_gap_cc //
+    8``) is the in-burst gap and the dwell parameters give the mean
+    arrivals spent per state.  For ``diurnal``, the instantaneous rate
+    swings by ``±diurnal_amplitude`` around the mean over each
+    ``diurnal_period_cc``.
+    """
+    if jobs < 0:
+        raise DesignError("job count must be non-negative")
+    if mean_gap_cc <= 0:
+        raise DesignError("mean inter-arrival gap must be positive")
+    if process not in ARRIVAL_PROCESSES:
+        raise DesignError(
+            f"unknown arrival process {process!r} "
+            f"(known: {ARRIVAL_PROCESSES})"
+        )
+    rng = random.Random(seed)
+    schedule: List[int] = []
+    now = 0
+    if process == "poisson":
+        for _ in range(jobs):
+            now += max(1, round(rng.expovariate(1.0 / mean_gap_cc)))
+            schedule.append(now)
+    elif process == "bursty":
+        gap_burst = burst_gap_cc if burst_gap_cc else max(1, mean_gap_cc // 8)
+        in_burst = False
+        remaining = 0
+        for _ in range(jobs):
+            if remaining <= 0:
+                in_burst = not in_burst
+                dwell = burst_dwell if in_burst else quiet_dwell
+                remaining = max(1, round(rng.expovariate(1.0 / dwell)))
+            gap = gap_burst if in_burst else mean_gap_cc
+            now += max(1, round(rng.expovariate(1.0 / gap)))
+            remaining -= 1
+            schedule.append(now)
+    else:  # diurnal — thin a peak-rate Poisson stream
+        peak_rate = (1.0 + diurnal_amplitude) / mean_gap_cc
+        while len(schedule) < jobs:
+            now += max(1, round(rng.expovariate(peak_rate)))
+            phase = 2.0 * math.pi * now / diurnal_period_cc
+            rate = (1.0 + diurnal_amplitude * math.sin(phase)) / mean_gap_cc
+            if rng.random() < rate / peak_rate:
+                schedule.append(now)
+    return schedule
+
+
+def build_load(
+    mix: str,
+    process: str,
+    jobs: int,
+    mean_gap_cc: int,
+    seed: int = 0x10AD,
+    deadline_slack_cc: Optional[int] = None,
+    high_priority_fraction: float = 0.0,
+    **arrival_kwargs: object,
+) -> List[LoadItem]:
+    """Pair an operand mix with an arrival process into one load.
+
+    Operand values come from the seeded trace families; arrival
+    instants from :func:`arrival_schedule` (sub-seeded so mixes and
+    processes vary independently).  ``deadline_slack_cc`` stamps each
+    request with ``deadline_cc = slack`` (latency budget from arrival);
+    ``high_priority_fraction`` promotes a seeded subset to priority 1.
+    """
+    if mix not in MIXES:
+        raise DesignError(f"unknown mix {mix!r} (known: {MIXES})")
+    trace = _TRACES[mix](jobs, seed=seed)
+    arrivals = arrival_schedule(
+        process, jobs, mean_gap_cc, seed=seed ^ 0x5EED, **arrival_kwargs
+    )
+    rng = random.Random(seed ^ 0xA11)
+    load: List[LoadItem] = []
+    for arrival, item in zip(arrivals, trace):
+        priority = 1 if rng.random() < high_priority_fraction else 0
+        load.append(
+            LoadItem(
+                arrival_cc=arrival,
+                item=item,
+                priority=priority,
+                deadline_cc=deadline_slack_cc,
+            )
+        )
+    return load
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def _percentile(sorted_values: Sequence[int], q: float) -> int:
+    """Nearest-rank percentile (deterministic, integer-valued)."""
+    if not sorted_values:
+        return 0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one open-loop run, entirely in the cycle domain."""
+
+    mix: str
+    process: str
+    offered: int
+    completed: int
+    shed_by_priority: Dict[int, int]
+    rejected_deadline: int
+    p50_cc: int
+    p95_cc: int
+    p99_cc: int
+    mean_cc: float
+    miss_rate: float
+    horizon_cc: int
+    goodput_per_mcc: float
+    histogram: Tuple[int, ...] = field(default=())
+    wall_seconds: float = 0.0
+
+    @property
+    def shed(self) -> int:
+        return sum(self.shed_by_priority.values())
+
+    def meets(self, slo: Slo) -> bool:
+        return self.p99_cc <= slo.p99_cc and self.miss_rate <= slo.max_miss_rate
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "mix": self.mix,
+            "process": self.process,
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed_by_priority": {
+                str(k): v for k, v in sorted(self.shed_by_priority.items())
+            },
+            "rejected_deadline": self.rejected_deadline,
+            "p50_cc": self.p50_cc,
+            "p95_cc": self.p95_cc,
+            "p99_cc": self.p99_cc,
+            "mean_cc": round(self.mean_cc, 2),
+            "miss_rate": round(self.miss_rate, 4),
+            "horizon_cc": self.horizon_cc,
+            "goodput_per_mcc": round(self.goodput_per_mcc, 3),
+            "histogram": list(self.histogram),
+        }
+
+
+def _make_report(
+    mix: str,
+    process: str,
+    offered: int,
+    results: List[MulResult],
+    shed_by_priority: Dict[int, int],
+    rejected_deadline: int,
+    wall_seconds: float = 0.0,
+) -> LoadReport:
+    latencies = sorted(
+        r.service_latency_cc
+        for r in results
+        if r.service_latency_cc is not None
+    )
+    misses = sum(1 for r in results if r.deadline_met is False)
+    horizon = max((r.completion_cc or 0 for r in results), default=0)
+    good = sum(1 for r in results if r.deadline_met is not False)
+    counts = [0] * (len(LATENCY_BUCKETS_CC) + 1)
+    for latency in latencies:
+        for index, edge in enumerate(LATENCY_BUCKETS_CC):
+            if latency <= edge:
+                counts[index] += 1
+                break
+        else:
+            counts[-1] += 1
+    return LoadReport(
+        mix=mix,
+        process=process,
+        offered=offered,
+        completed=len(results),
+        shed_by_priority=dict(shed_by_priority),
+        rejected_deadline=rejected_deadline,
+        p50_cc=_percentile(latencies, 0.50),
+        p95_cc=_percentile(latencies, 0.95),
+        p99_cc=_percentile(latencies, 0.99),
+        mean_cc=sum(latencies) / len(latencies) if latencies else 0.0,
+        miss_rate=misses / len(results) if results else 0.0,
+        horizon_cc=horizon,
+        goodput_per_mcc=good * 1e6 / horizon if horizon else 0.0,
+        histogram=tuple(counts),
+        wall_seconds=wall_seconds,
+    )
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+_SETTLE_CC = 1_000_000  # clock advance past the last arrival at drain
+
+
+def run_sync(
+    load: List[LoadItem],
+    config: Optional[ServiceConfig] = None,
+    mix: str = "?",
+    process: str = "sync",
+) -> Tuple[LoadReport, MultiplicationService]:
+    """Open-loop run through one synchronous single-process service.
+
+    The baseline the sharded frontend is judged against: every request
+    funnels through a single service instance, so batches of different
+    widths serialise on its way pools.
+    """
+    import time
+
+    service = MultiplicationService(config if config else ServiceConfig())
+    results: List[MulResult] = []
+    shed: Dict[int, int] = {}
+    rejected_deadline = 0
+    started = time.perf_counter()
+    for index, entry in enumerate(load):
+        request = MulRequest(
+            request_id=index,
+            a=entry.item.a,
+            b=entry.item.b,
+            n_bits=entry.item.n_bits,
+            priority=entry.priority,
+            deadline_cc=entry.deadline_cc,
+            arrival_cc=entry.arrival_cc,
+        )
+        try:
+            service.submit_request(request)
+        except QueueFullError:
+            shed[entry.priority] = shed.get(entry.priority, 0) + 1
+        except DeadlineImpossibleError:
+            rejected_deadline += 1
+        results.extend(service.take_completed())
+    if load:
+        service.advance_to_cc(load[-1].arrival_cc + _SETTLE_CC)
+    results.extend(service.drain())
+    wall = time.perf_counter() - started
+    report = _make_report(
+        mix, process, len(load), results, shed, rejected_deadline, wall
+    )
+    return report, service
+
+
+def run_sharded(
+    load: List[LoadItem],
+    frontend_config: "FrontendConfig",
+    mix: str = "?",
+    process: str = "sharded",
+) -> Tuple[LoadReport, Dict[str, object]]:
+    """Open-loop run through the async sharded frontend.
+
+    Wraps the asyncio driver in ``asyncio.run`` for synchronous
+    callers (benchmarks, CLI).  Returns the report plus the frontend's
+    merged snapshot (autoscaler counters, per-shard state).
+    """
+    import asyncio
+
+    return asyncio.run(_run_sharded(load, frontend_config, mix, process))
+
+
+async def _run_sharded(
+    load: List[LoadItem],
+    frontend_config: "FrontendConfig",
+    mix: str,
+    process: str,
+) -> Tuple[LoadReport, Dict[str, object]]:
+    import asyncio
+    import time
+
+    from repro.frontend import AsyncShardedFrontend
+
+    shed: Dict[int, int] = {}
+    rejected_deadline = 0
+    results: List[MulResult] = []
+    started = time.perf_counter()
+    async with AsyncShardedFrontend(frontend_config) as fe:
+        futures = []
+        for entry in load:
+            future = await fe.submit(
+                entry.item.a,
+                entry.item.b,
+                entry.item.n_bits,
+                priority=entry.priority,
+                deadline_cc=entry.deadline_cc,
+                arrival_cc=entry.arrival_cc,
+            )
+            futures.append((entry, future))
+        if load:
+            fe.advance_to_cc(load[-1].arrival_cc + _SETTLE_CC)
+        await fe.drain()
+        for entry, future in futures:
+            try:
+                results.append(await future)
+            except QueueFullError:
+                shed[entry.priority] = shed.get(entry.priority, 0) + 1
+            except DeadlineImpossibleError:
+                rejected_deadline += 1
+        snapshot = await fe.snapshot()
+        outstanding = fe.outstanding
+    wall = time.perf_counter() - started
+    if outstanding:  # pragma: no cover - future-loss guard
+        raise RuntimeError(f"{outstanding} futures left unresolved")
+    report = _make_report(
+        mix, process, len(load), results, shed, rejected_deadline, wall
+    )
+    return report, snapshot
+
+
+# ----------------------------------------------------------------------
+def render(jobs: int = 96, mean_gap_cc: int = 900, seed: int = 0x10AD) -> str:
+    """Latency/goodput table across mixes and arrival processes."""
+    from repro.eval.report import format_table
+
+    rows = []
+    for mix in MIXES:
+        for process in ARRIVAL_PROCESSES:
+            load = build_load(mix, process, jobs, mean_gap_cc, seed=seed)
+            report, _ = run_sync(load, mix=mix, process=process)
+            rows.append(
+                (
+                    f"{mix}/{process}",
+                    report.offered,
+                    report.completed,
+                    report.p50_cc,
+                    report.p99_cc,
+                    f"{report.miss_rate:.1%}",
+                    round(report.goodput_per_mcc, 1),
+                )
+            )
+    return format_table(
+        ("load", "offered", "done", "p50 cc", "p99 cc", "miss", "good/Mcc"),
+        rows,
+        title="Open-loop load through the synchronous service",
+    )

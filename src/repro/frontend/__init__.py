@@ -1,0 +1,20 @@
+"""Async sharded serving front-end over the multiplication service.
+
+Layers an asyncio admission surface, a shard-per-way-group worker
+pool and a future-resolving result router on top of
+:class:`~repro.service.MultiplicationService`.  See
+:mod:`repro.frontend.frontend` for the full picture.
+"""
+
+from repro.frontend.config import ROUTING_POLICIES, FrontendConfig
+from repro.frontend.frontend import AsyncShardedFrontend
+from repro.frontend.shards import InlineShard, ProcessShard, rebuild_error
+
+__all__ = [
+    "AsyncShardedFrontend",
+    "FrontendConfig",
+    "InlineShard",
+    "ProcessShard",
+    "ROUTING_POLICIES",
+    "rebuild_error",
+]

@@ -1,0 +1,45 @@
+"""Configuration of the async sharded serving front-end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.service import ServiceConfig
+
+#: Routing policies: ``round-robin`` spreads requests over shards by
+#: request id (every shard grows its own way group per width — best for
+#: single-width floods); ``width`` pins each operand width to one shard
+#: (way-group affinity — best cache locality for mixed traffic).
+ROUTING_POLICIES = ("round-robin", "width")
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Tunables of one :class:`~repro.frontend.AsyncShardedFrontend`."""
+
+    #: Worker shards.  Each shard owns a full
+    #: :class:`~repro.service.MultiplicationService` (scheduler, way
+    #: pools, caches, degrade ladder) over a disjoint slice of traffic.
+    shards: int = 2
+    #: Run shards in-process instead of spawning worker processes.
+    #: Deterministically identical results/latencies to process mode
+    #: (the same command sequence reaches each shard); processes only
+    #: buy wall-clock parallelism.
+    inline: bool = False
+    #: Per-shard service configuration (shared by every shard).
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    #: How requests map to shards (see :data:`ROUTING_POLICIES`).
+    routing: str = "round-robin"
+    #: ``multiprocessing`` start method (``None`` = ``fork`` where
+    #: available, else the platform default).
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("need at least one shard")
+        if self.routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {self.routing!r} "
+                f"(known: {ROUTING_POLICIES})"
+            )

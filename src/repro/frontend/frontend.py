@@ -1,0 +1,356 @@
+"""Asyncio admission layer, shard router and result router.
+
+:class:`AsyncShardedFrontend` is the serving face of the system: a
+client coroutine awaits :meth:`submit` and receives an
+:class:`asyncio.Future` that resolves to the request's
+:class:`~repro.service.MulResult` (or raises the admission error the
+owning shard reported).  Under the hood:
+
+* **admission** — the frontend stamps a globally unique request id,
+  opens a ``frontend.admit`` telemetry span, and routes the request to
+  its shard (round-robin by id, or width-affine — see
+  :class:`~repro.frontend.config.FrontendConfig`);
+* **shards** — each shard is a full
+  :class:`~repro.service.MultiplicationService` in a worker process
+  (:class:`~repro.frontend.shards.ProcessShard`) or in-process
+  (:class:`~repro.frontend.shards.InlineShard`);
+* **result routing** — one router thread per worker pumps the shard's
+  out-queue onto the event loop (``call_soon_threadsafe``), where
+  futures resolve and per-shard counters tick.  Results carry
+  ``request_id`` end-to-end, so completions match futures exactly:
+  the frontend never drops one, and :attr:`outstanding` must be zero
+  after a drain.
+
+The frontend is an async context manager::
+
+    async with AsyncShardedFrontend(config) as fe:
+        futures = [await fe.submit(a, b, 64) for a, b in pairs]
+        results = await asyncio.gather(*futures)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.frontend.config import FrontendConfig
+from repro.frontend.shards import (
+    InlineShard,
+    ProcessShard,
+    rebuild_error,
+)
+from repro.service import MulRequest, MulResult
+from repro.telemetry.registry import TelemetryRegistry
+
+__all__ = ["AsyncShardedFrontend"]
+
+
+class AsyncShardedFrontend:
+    """Admission + shard fan-out + future-resolving result router."""
+
+    def __init__(self, config: Optional[FrontendConfig] = None):
+        self.config = config if config is not None else FrontendConfig()
+        self.telemetry = TelemetryRegistry()
+        self.metrics = self.telemetry.metrics
+        self._shards: List[Any] = []
+        self._threads: List[threading.Thread] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._futures: Dict[int, "asyncio.Future[MulResult]"] = {}
+        self._next_request_id = 0
+        self._next_shard = 0
+        self._width_affinity: Dict[int, int] = {}
+        self._drained_events: List[asyncio.Event] = []
+        self._stopped_events: List[asyncio.Event] = []
+        self._snapshot_futures: List[Optional[asyncio.Future]] = []
+        self._fatal: Optional[str] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._started:
+            raise RuntimeError("frontend already started")
+        self._loop = asyncio.get_running_loop()
+        count = self.config.shards
+        self._drained_events = [asyncio.Event() for _ in range(count)]
+        self._stopped_events = [asyncio.Event() for _ in range(count)]
+        self._snapshot_futures = [None] * count
+        for index in range(count):
+            if self.config.inline:
+                shard: Any = InlineShard(index, self.config.service)
+            else:
+                shard = ProcessShard(
+                    index, self.config.service, self.config.start_method
+                )
+            shard.start()
+            self._shards.append(shard)
+        for shard in self._shards:
+            if isinstance(shard, ProcessShard):
+                thread = threading.Thread(
+                    target=self._pump_out_queue,
+                    args=(shard,),
+                    daemon=True,
+                    name=f"repro-router-{shard.index}",
+                )
+                thread.start()
+                self._threads.append(thread)
+        self._started = True
+
+    async def close(self) -> None:
+        """Stop every shard and join router threads (idempotent)."""
+        if not self._started:
+            return
+        for shard in self._shards:
+            self._dispatch(shard.send(("stop",)))
+        for event in self._stopped_events:
+            await event.wait()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        for shard in self._shards:
+            shard.join(timeout=5.0)
+        self._started = False
+
+    async def __aenter__(self) -> "AsyncShardedFrontend":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Futures admitted but not yet resolved (must be 0 after drain)."""
+        return len(self._futures)
+
+    def shard_for(self, n_bits: int, request_id: int) -> int:
+        """Deterministic request→shard routing (see config.routing)."""
+        if self.config.routing == "width":
+            shard = self._width_affinity.get(n_bits)
+            if shard is None:
+                # First-seen widths round-robin over shards, then stick.
+                shard = len(self._width_affinity) % len(self._shards)
+                self._width_affinity[n_bits] = shard
+            return shard
+        return request_id % len(self._shards)
+
+    async def submit(
+        self,
+        a: int,
+        b: int,
+        n_bits: int,
+        priority: int = 0,
+        deadline_cc: Optional[int] = None,
+        arrival_cc: Optional[int] = None,
+    ) -> "asyncio.Future[MulResult]":
+        """Admit one multiplication; returns the future of its result.
+
+        The future resolves to a :class:`~repro.service.MulResult` when
+        the owning shard completes the batch, or raises the shard's
+        admission error (:class:`~repro.service.QueueFullError` under
+        backpressure, :class:`~repro.service.DeadlineImpossibleError`
+        for infeasible deadlines).  Operand/width validation errors
+        raise here, synchronously, before a future exists.
+        """
+        self._require_running()
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        # Validates operands/width eagerly (raises AdmissionError).
+        request = MulRequest(
+            request_id=request_id,
+            a=a,
+            b=b,
+            n_bits=n_bits,
+            priority=priority,
+            deadline_cc=deadline_cc,
+            arrival_cc=arrival_cc,
+        )
+        shard_index = self.shard_for(n_bits, request_id)
+        future: "asyncio.Future[MulResult]" = self._loop.create_future()
+        self._futures[request_id] = future
+        with self.telemetry.span(
+            "frontend.admit",
+            request_id=request_id,
+            n_bits=n_bits,
+            shard=shard_index,
+        ):
+            self.metrics.counter("frontend_requests").inc()
+            self.metrics.counter(f"frontend_shard_{shard_index}_requests").inc()
+            self._dispatch(self._shards[shard_index].send(("submit", request)))
+        return future
+
+    # ------------------------------------------------------------------
+    # Time & control
+    # ------------------------------------------------------------------
+    def advance_to_cc(self, now_cc: int) -> None:
+        """Broadcast a virtual-clock advance to every shard.
+
+        Open-loop drivers call this between arrivals so *all* shards
+        age their bins on the shared timeline — a shard that received
+        no recent arrivals still flushes its stragglers.
+        """
+        self._require_running()
+        for shard in self._shards:
+            self._dispatch(shard.send(("advance", now_cc)))
+
+    def pump(self, ticks: int = 1) -> None:
+        """Broadcast a legacy logical-tick advance to every shard."""
+        self._require_running()
+        for shard in self._shards:
+            self._dispatch(shard.send(("pump", ticks)))
+
+    async def drain(self) -> List[MulResult]:
+        """Force-flush every shard and await all outstanding futures.
+
+        Returns the results of every future still pending when the
+        drain began (admission errors excluded), in request order.
+        Futures that already resolved earlier keep their results — this
+        only gathers the stragglers.
+        """
+        self._require_running()
+        pending = {
+            rid: fut for rid, fut in self._futures.items() if not fut.done()
+        }
+        for event in self._drained_events:
+            event.clear()
+        for shard in self._shards:
+            self._dispatch(shard.send(("drain",)))
+        for event in self._drained_events:
+            await event.wait()
+        self._raise_on_fatal()
+        gathered = await asyncio.gather(
+            *pending.values(), return_exceptions=True
+        )
+        results = [r for r in gathered if isinstance(r, MulResult)]
+        return sorted(results, key=lambda r: r.request_id)
+
+    async def snapshot(self) -> Dict[str, object]:
+        """Aggregated service state across shards.
+
+        Top level carries the merged counters plus frontend-side
+        instruments; the full per-shard snapshots live under
+        ``"shards"`` (way utilisation, endurance, autoscaler state and
+        friends keep their per-service meaning there).
+        """
+        self._require_running()
+        futures = []
+        for index, shard in enumerate(self._shards):
+            future = self._loop.create_future()
+            self._snapshot_futures[index] = future
+            futures.append(future)
+            self._dispatch(shard.send(("snapshot",)))
+        shard_snaps = await asyncio.gather(*futures)
+        merged_counters: Dict[str, int] = dict(
+            self.metrics.snapshot()["counters"]
+        )
+        jobs = 0
+        pending = 0
+        makespan = 0
+        scale_ups = 0
+        scale_downs = 0
+        for snap in shard_snaps:
+            for name, value in snap["counters"].items():
+                merged_counters[name] = merged_counters.get(name, 0) + value
+            jobs += snap["service"]["jobs_completed"]
+            pending += snap["service"]["pending"]
+            makespan = max(makespan, snap["service"]["makespan_cc"])
+            auto = snap.get("autoscaler", {})
+            for width_state in auto.get("widths", {}).values():
+                scale_ups += width_state["scale_ups"]
+                scale_downs += width_state["scale_downs"]
+        return {
+            "counters": merged_counters,
+            "service": {
+                "jobs_completed": jobs,
+                "pending": pending,
+                "makespan_cc": makespan,
+                "outstanding_futures": self.outstanding,
+            },
+            "autoscaler": {
+                "scale_ups": scale_ups,
+                "scale_downs": scale_downs,
+            },
+            "shards": {
+                snap_index: snap
+                for snap_index, snap in enumerate(shard_snaps)
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Result routing
+    # ------------------------------------------------------------------
+    def _pump_out_queue(self, shard: ProcessShard) -> None:
+        """Router thread body: worker out-queue → event loop."""
+        while True:
+            message = shard.out_queue.get()
+            try:
+                self._loop.call_soon_threadsafe(self._handle_message, message)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                break
+            if message[0] == "stopped":
+                break
+
+    def _dispatch(self, messages: List[Tuple]) -> None:
+        """Handle inline-shard replies (process replies come via the
+        router threads)."""
+        for message in messages:
+            self._handle_message(message)
+
+    def _handle_message(self, message: Tuple) -> None:
+        kind = message[0]
+        shard_index = message[1]
+        if kind == "results":
+            for result in message[2]:
+                self._resolve(result)
+        elif kind == "error":
+            _, _, request_id, name, text = message
+            future = self._futures.pop(request_id, None)
+            self.metrics.counter("frontend_admission_errors").inc()
+            if future is not None and not future.done():
+                future.set_exception(rebuild_error(name, text))
+        elif kind == "drained":
+            self._drained_events[shard_index].set()
+        elif kind == "snapshot":
+            future = self._snapshot_futures[shard_index]
+            if future is not None and not future.done():
+                future.set_result(message[2])
+            self._snapshot_futures[shard_index] = None
+        elif kind == "stopped":
+            self._stopped_events[shard_index].set()
+        elif kind == "fatal":  # pragma: no cover - worker crash path
+            self._fatal = f"shard {shard_index}: {message[2]}"
+            self._drained_events[shard_index].set()
+        else:  # pragma: no cover - protocol misuse
+            raise ValueError(f"unknown router message {kind!r}")
+
+    def _resolve(self, result: MulResult) -> None:
+        future = self._futures.pop(result.request_id, None)
+        if future is None or future.done():  # pragma: no cover - duplicate
+            self.metrics.counter("frontend_orphan_results").inc()
+            return
+        self.metrics.counter("frontend_results_routed").inc()
+        if result.cache_hit:
+            self.metrics.counter("frontend_cache_hits").inc()
+        latency = result.service_latency_cc
+        if latency is not None:
+            self.telemetry.event(
+                "frontend.complete",
+                request_id=result.request_id,
+                latency_cc=latency,
+                way=result.way,
+            )
+        future.set_result(result)
+
+    # ------------------------------------------------------------------
+    def _require_running(self) -> None:
+        if not self._started:
+            raise RuntimeError("frontend not started (use `async with`)")
+        self._raise_on_fatal()
+
+    def _raise_on_fatal(self) -> None:
+        if self._fatal is not None:  # pragma: no cover - worker crash path
+            raise RuntimeError(f"shard worker died: {self._fatal}")

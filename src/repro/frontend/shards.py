@@ -1,0 +1,198 @@
+"""Shard workers: one multiplication service per way group.
+
+A *shard* wraps one :class:`~repro.service.MultiplicationService` —
+its own scheduler, way pools, caches and degrade ladder — and executes
+a small command protocol:
+
+``("submit", MulRequest)``
+    admit one request; admission failures come back as ``("error",
+    request_id, exc_name, message)`` instead of raising in the worker.
+``("advance", now_cc)``
+    advance the shard's virtual clock (ages bins, flushes stragglers).
+``("pump", ticks)``
+    advance the legacy logical clock.
+``("drain",)``
+    force-flush everything; acknowledged with ``("drained", shard)``.
+``("snapshot",)``
+    reply ``("snapshot", shard, dict)``.
+``("stop",)``
+    reply ``("stopped", shard)`` and exit.
+
+After every command the shard ships whatever results completed as
+``("results", [MulResult, ...])`` — the service's
+:meth:`~repro.service.MultiplicationService.take_completed` stream.
+
+Two interchangeable shard hosts exist: :class:`ProcessShard` runs the
+loop in a ``multiprocessing`` worker (the numpy / big-int hot loops
+release the GIL, so per-process shards give real parallelism), and
+:class:`InlineShard` runs it synchronously in-process.  Because the
+per-request latency accounting happens *inside* the shard on the
+virtual cycle timeline, both hosts produce bit-identical results and
+latency numbers for the same command sequence — the determinism suite
+pins this.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, List, Optional, Tuple
+
+from repro.service import (
+    AdmissionError,
+    DeadlineImpossibleError,
+    MulRequest,
+    MultiplicationService,
+    NoHealthyWayError,
+    QueueFullError,
+    ServiceConfig,
+    ServiceError,
+)
+
+__all__ = [
+    "InlineShard",
+    "ProcessShard",
+    "rebuild_error",
+]
+
+Message = Tuple[Any, ...]
+
+#: Service exceptions that cross the process boundary by name.
+_ERROR_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        ServiceError,
+        AdmissionError,
+        QueueFullError,
+        DeadlineImpossibleError,
+        NoHealthyWayError,
+    )
+}
+
+
+def rebuild_error(name: str, message: str) -> ServiceError:
+    """Reconstruct a service exception shipped as ``(name, message)``."""
+    return _ERROR_TYPES.get(name, ServiceError)(message)
+
+
+def _run_command(
+    service: MultiplicationService, command: Message
+) -> Tuple[List[Message], bool]:
+    """Execute one protocol command; returns (replies, keep_running)."""
+    replies: List[Message] = []
+    kind = command[0]
+    if kind == "submit":
+        request: MulRequest = command[1]
+        try:
+            service.submit_request(request)
+        except ServiceError as error:
+            replies.append(
+                ("error", request.request_id, type(error).__name__, str(error))
+            )
+    elif kind == "advance":
+        service.advance_to_cc(command[1])
+    elif kind == "pump":
+        service.pump(command[1])
+    elif kind == "drain":
+        drained = service.drain()
+        if drained:
+            replies.append(("results", drained))
+        replies.append(("drained",))
+        return replies, True
+    elif kind == "snapshot":
+        replies.append(("snapshot", service.snapshot()))
+    elif kind == "stop":
+        return replies, False
+    else:  # pragma: no cover - protocol misuse
+        raise ValueError(f"unknown shard command {kind!r}")
+    completed = service.take_completed()
+    if completed:
+        replies.append(("results", completed))
+    return replies, True
+
+
+def _shard_main(
+    shard_index: int,
+    config: ServiceConfig,
+    in_queue: "multiprocessing.Queue",
+    out_queue: "multiprocessing.Queue",
+) -> None:
+    """Worker-process entry point: serve commands until ``stop``."""
+    service = MultiplicationService(config)
+    running = True
+    while running:
+        command = in_queue.get()
+        try:
+            replies, running = _run_command(service, command)
+        except Exception as error:  # pragma: no cover - worker crash path
+            out_queue.put(("fatal", shard_index, repr(error)))
+            break
+        for reply in replies:
+            out_queue.put((reply[0], shard_index) + reply[1:])
+    out_queue.put(("stopped", shard_index))
+
+
+class ProcessShard:
+    """One shard hosted in a ``multiprocessing`` worker."""
+
+    def __init__(
+        self,
+        index: int,
+        config: ServiceConfig,
+        start_method: Optional[str] = None,
+    ):
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else None
+        context = multiprocessing.get_context(start_method)
+        self.index = index
+        self.in_queue = context.Queue()
+        self.out_queue = context.Queue()
+        self.process = context.Process(
+            target=_shard_main,
+            args=(index, config, self.in_queue, self.out_queue),
+            daemon=True,
+            name=f"repro-shard-{index}",
+        )
+
+    def start(self) -> None:
+        self.process.start()
+
+    def send(self, message: Message) -> List[Message]:
+        """Enqueue a command; replies arrive on :attr:`out_queue`."""
+        self.in_queue.put(message)
+        return []
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(1.0)
+
+
+class InlineShard:
+    """One shard hosted synchronously in the calling process.
+
+    :meth:`send` executes the command immediately and returns the
+    replies (already tagged with the shard index) instead of routing
+    them through a queue.
+    """
+
+    def __init__(self, index: int, config: ServiceConfig):
+        self.index = index
+        self.service = MultiplicationService(config)
+        self._running = True
+
+    def start(self) -> None:  # symmetry with ProcessShard
+        pass
+
+    def send(self, message: Message) -> List[Message]:
+        if not self._running:  # pragma: no cover - protocol misuse
+            raise RuntimeError("shard already stopped")
+        replies, self._running = _run_command(self.service, message)
+        tagged = [(r[0], self.index) + r[1:] for r in replies]
+        if not self._running:
+            tagged.append(("stopped", self.index))
+        return tagged
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        pass

@@ -26,7 +26,9 @@ from typing import Dict, List, Optional
 
 from repro.crossbar.array import FAULT_STUCK_AT_1
 from repro.crossbar.faults import StuckAtFault, inject
+from repro.karatsuba import cost
 from repro.karatsuba.pipeline import DEFAULT_BATCH_SIZE
+from repro.service.autoscale import AutoscalerConfig, ScaleEvent, WayAutoscaler
 from repro.service.cache import OperandCache, ProgramCache
 from repro.service.degrade import (
     DEFAULT_WRITE_BUDGET,
@@ -41,6 +43,7 @@ from repro.service.metrics import (
 )
 from repro.service.requests import (
     AdmissionError,
+    DeadlineImpossibleError,
     MulRequest,
     MulResult,
     NoHealthyWayError,
@@ -53,8 +56,10 @@ from repro.telemetry.registry import TelemetryRegistry
 
 __all__ = [
     "AdmissionError",
+    "AutoscalerConfig",
     "BankDispatcher",
     "BinningScheduler",
+    "DeadlineImpossibleError",
     "DegradeController",
     "DispatchReport",
     "EndurancePolicy",
@@ -68,10 +73,12 @@ __all__ = [
     "ProgramCache",
     "QueueFullError",
     "RecoveryReport",
+    "ScaleEvent",
     "ServiceConfig",
     "ServiceError",
     "TelemetryRegistry",
     "Way",
+    "WayAutoscaler",
 ]
 
 
@@ -116,6 +123,19 @@ class ServiceConfig:
     #: counters and energy are bit-identical across backends, so the
     #: choice only moves simulation wall-clock.
     backend: str = "word"
+    #: Clock cycles per scheduler logical tick on the virtual timeline.
+    #: Open-loop drivers stamp requests with ``arrival_cc``; the
+    #: service maps those cycles to ticks at this granularity, so
+    #: ``max_wait_ticks`` bounds bin residence at
+    #: ``max_wait_ticks * tick_cc`` cycles.
+    tick_cc: int = 256
+    #: Reject requests whose ``deadline_cc`` is below the width's
+    #: single-batch execution estimate (distinct
+    #: :class:`DeadlineImpossibleError`), and tighten a bin's flush
+    #: deadline so feasible deadlines are not eaten by bin residence.
+    strict_deadlines: bool = True
+    #: Queue-depth-driven way autoscaling (``None`` = fixed pools).
+    autoscale: Optional[AutoscalerConfig] = None
 
 
 class MultiplicationService:
@@ -157,10 +177,22 @@ class MultiplicationService:
             max_inplace_replays=self.config.max_inplace_replays,
             oracle_audit=self.config.oracle_audit,
         )
+        self.autoscaler: Optional[WayAutoscaler] = (
+            WayAutoscaler(self.dispatcher, self.config.autoscale)
+            if self.config.autoscale is not None
+            else None
+        )
         self._next_request_id = 0
         self._batch_counter = 0
         self._completed: List[MulResult] = []
         self._jobs_completed = 0
+        #: Virtual now on the cycle timeline (open-loop drivers advance
+        #: it; stays 0 under the legacy tick-per-submission clock).
+        self._now_cc = 0
+        #: Per-width completion instants of dispatched-but-unfinished
+        #: jobs on the virtual timeline — the way-backlog half of the
+        #: autoscaler's depth signal (bins alone cap at batch_size).
+        self._inflight_cc: Dict[int, List[int]] = {}
         #: Cycles-saved already folded into the ``optimizer_cycles_saved``
         #: counter (stage programs build lazily, so savings only grow).
         self._optimizer_saved_reported = 0
@@ -175,12 +207,15 @@ class MultiplicationService:
         n_bits: int,
         priority: int = 0,
         deadline_cc: Optional[int] = None,
+        arrival_cc: Optional[int] = None,
     ) -> int:
         """Submit one multiplication; returns its request id.
 
-        Raises :class:`AdmissionError` on invalid operands/width and
-        :class:`QueueFullError` under backpressure (the request is not
-        enqueued in either case).
+        Raises :class:`AdmissionError` on invalid operands/width,
+        :class:`QueueFullError` under backpressure, and
+        :class:`DeadlineImpossibleError` for a deadline below the
+        width's execution estimate (the request is not enqueued in any
+        of these cases).
         """
         request = MulRequest(
             request_id=self._next_request_id,
@@ -189,13 +224,53 @@ class MultiplicationService:
             n_bits=n_bits,
             priority=priority,
             deadline_cc=deadline_cc,
+            arrival_cc=arrival_cc,
         )
         self.submit_request(request)
         return request.request_id
 
+    # ------------------------------------------------------------------
+    # Deadline admission
+    # ------------------------------------------------------------------
+    def min_latency_estimate_cc(self, n_bits: int) -> int:
+        """Conservative one-batch execution estimate for a width.
+
+        The paper's closed-form pipeline latency (``optimize=False``);
+        the cycle packer only ever lowers it, so a deadline below this
+        bound cannot be met even by an immediate flush.
+        """
+        return cost.design_cost(n_bits, 2).latency_cc
+
+    def _deadline_residence_ticks(self, request: MulRequest) -> Optional[int]:
+        """Bin-residence bound (ticks) that keeps *request*'s deadline
+        feasible, or ``None`` when the deadline imposes no constraint.
+
+        Raises :class:`DeadlineImpossibleError` when even an immediate
+        flush cannot meet the deadline — the distinct admission error
+        clients can react to (vs. silently missing later).
+        """
+        if not self.config.strict_deadlines or request.deadline_cc is None:
+            return None
+        estimate = self.min_latency_estimate_cc(request.n_bits)
+        slack_cc = request.deadline_cc - estimate
+        if slack_cc < 0:
+            self.metrics.counter("requests_rejected_deadline").inc()
+            raise DeadlineImpossibleError(
+                f"deadline {request.deadline_cc} cc is below the "
+                f"n={request.n_bits} execution estimate {estimate} cc"
+            )
+        residence = slack_cc // self.config.tick_cc
+        if residence >= self.scheduler.max_wait_ticks:
+            return None  # the regular age-out is already tight enough
+        return residence
+
     def submit_request(self, request: MulRequest) -> None:
         """Submit a pre-built :class:`MulRequest` (id chosen by caller)."""
         self._next_request_id = max(self._next_request_id, request.request_id) + 1
+        if request.arrival_cc is not None:
+            # Virtual-time arrivals first advance the clock so bins
+            # that aged out before this arrival flush ahead of it.
+            self.advance_to_cc(request.arrival_cc)
         with self.telemetry.span(
             "service.admit",
             request_id=request.request_id,
@@ -221,25 +296,72 @@ class MultiplicationService:
                         deadline_met=(
                             None if request.deadline_cc is None else True
                         ),
+                        arrival_cc=request.arrival_cc,
+                        completion_cc=request.arrival_cc,
                     )
                 )
                 return
             span.set(cache_hit=False)
             self.metrics.counter("operand_cache_misses").inc()
+            residence = self._deadline_residence_ticks(request)
+            tick = (
+                None
+                if request.arrival_cc is None
+                else request.arrival_cc // self.config.tick_cc
+            )
             try:
-                flushes = self.scheduler.submit(request)
+                flushes = self.scheduler.submit(
+                    request, tick=tick, max_residence_ticks=residence
+                )
             except QueueFullError:
                 self.metrics.counter("requests_rejected").inc()
+                self.metrics.counter(
+                    f"requests_rejected_priority_{request.priority}"
+                ).inc()
                 raise
             self.metrics.counter("requests_submitted").inc()
             self.metrics.histogram("queue_depth", COUNT_BUCKETS).observe(
                 self.scheduler.pending_count
             )
+        self._autoscale()
         self._execute_flushes(flushes)
 
-    def pump(self) -> None:
-        """Advance logical time one tick (age-out under-full bins)."""
-        self._execute_flushes(self.scheduler.pump())
+    def pump(self, ticks: int = 1) -> None:
+        """Advance logical time *ticks* ticks (age-out under-full bins).
+
+        This is the idle-time clock: submissions advance the scheduler
+        tick as arrivals, but a service with no new arrivals needs
+        pumping so stragglers in under-full bins still flush once they
+        age past ``max_wait_ticks``.
+        """
+        flushes = self.scheduler.pump(ticks)
+        self._autoscale()
+        self._execute_flushes(flushes)
+
+    def advance_to_cc(self, now_cc: int) -> None:
+        """Advance the virtual cycle clock to *now_cc* (monotonic).
+
+        Ages bins at ``tick_cc`` granularity and flushes any that hit
+        their age-out or deadline-tightened flush tick — the open-loop
+        driver calls this between arrivals and after the last one, so
+        an idle tail still completes without extra submissions.
+        """
+        if now_cc > self._now_cc:
+            self._now_cc = now_cc
+        flushes = self.scheduler.advance_to(now_cc // self.config.tick_cc)
+        self._autoscale()
+        self._execute_flushes(flushes)
+
+    def take_completed(self) -> List[MulResult]:
+        """Return (and clear) results completed so far, in request order.
+
+        Unlike :meth:`drain` this forces nothing: under-full bins keep
+        waiting.  The sharded front-end workers use it to stream
+        results back as they happen.
+        """
+        completed = sorted(self._completed, key=lambda r: r.request_id)
+        self._completed = []
+        return completed
 
     def drain(self) -> List[MulResult]:
         """Flush everything pending and return results in request order.
@@ -248,9 +370,32 @@ class MultiplicationService:
         hits included) and clears the internal completion buffer.
         """
         self._execute_flushes(self.scheduler.drain())
-        completed = sorted(self._completed, key=lambda r: r.request_id)
-        self._completed = []
-        return completed
+        return self.take_completed()
+
+    def _autoscale(self) -> None:
+        """One autoscaler observation at the current scheduler tick."""
+        if self.autoscaler is None:
+            return
+        depths: Dict[int, int] = {}
+        for (n_bits, _depth), count in self.scheduler.queue_depths().items():
+            depths[n_bits] = depths.get(n_bits, 0) + count
+        # Fold in virtual in-flight backlog: jobs dispatched to ways
+        # whose completion lies past "now" are still queued work from
+        # the client's perspective (bin depth alone caps at batch_size
+        # because full bins flush immediately).
+        for n_bits, completions in self._inflight_cc.items():
+            live = [cc for cc in completions if cc > self._now_cc]
+            self._inflight_cc[n_bits] = live
+            if live:
+                depths[n_bits] = depths.get(n_bits, 0) + len(live)
+        for event in self.autoscaler.observe(self.scheduler.tick, depths):
+            self.metrics.counter(f"autoscale_{event.direction}_total").inc()
+            self.telemetry.event(
+                f"autoscale.{event.direction}",
+                n_bits=event.n_bits,
+                active_ways=event.active_ways,
+                tick=event.tick,
+            )
 
     # ------------------------------------------------------------------
     # Execution
@@ -282,6 +427,32 @@ class MultiplicationService:
             )
         self._jobs_completed += len(pairs)
 
+        # Virtual-timeline occupancy: the batch starts when the flush
+        # happened (its due tick, but never before its last member
+        # arrived) and its way is free, and completes one makespan
+        # later.  Under the legacy clock (_now_cc stays 0) this
+        # degrades to per-way cumulative busy time.
+        arrivals = [
+            p.request.arrival_cc
+            for p in flush.pending
+            if p.request.arrival_cc is not None
+        ]
+        if arrivals:
+            flush_at_cc = max(flush.tick * self.config.tick_cc, max(arrivals))
+        else:
+            flush_at_cc = self._now_cc
+        way = self.dispatcher.way_by_id(report.way_id)
+        start_cc = flush_at_cc
+        if way is not None:
+            start_cc = max(start_cc, way.free_at_cc)
+        completion_cc = start_cc + report.makespan_cc
+        if way is not None:
+            way.free_at_cc = completion_cc
+        if arrivals and self.autoscaler is not None:
+            self._inflight_cc.setdefault(flush.n_bits, []).extend(
+                [completion_cc] * len(flush.pending)
+            )
+
         self.metrics.counter("batches_flushed").inc()
         self.metrics.counter(f"flush_reason_{flush.reason}").inc()
         self.metrics.counter("faults_detected").inc(recovery.detections)
@@ -303,11 +474,24 @@ class MultiplicationService:
             self.operand_cache.store(
                 request.a, request.b, request.n_bits, product
             )
-            deadline_met = (
-                None
-                if request.deadline_cc is None
-                else report.makespan_cc <= request.deadline_cc
-            )
+            if request.arrival_cc is not None:
+                # Virtual timeline: the request's latency is queueing
+                # wait plus execution, arrival to batch completion.
+                observed_cc = completion_cc - request.arrival_cc
+                self.metrics.histogram(
+                    "service_latency_cc", LATENCY_BUCKETS
+                ).observe(observed_cc)
+                deadline_met = (
+                    None
+                    if request.deadline_cc is None
+                    else observed_cc <= request.deadline_cc
+                )
+            else:
+                deadline_met = (
+                    None
+                    if request.deadline_cc is None
+                    else report.makespan_cc <= request.deadline_cc
+                )
             if deadline_met is not None:
                 self.metrics.counter(
                     "deadlines_met" if deadline_met else "deadlines_missed"
@@ -325,6 +509,12 @@ class MultiplicationService:
                     retries=recovery.retries,
                     faulty_ways=recovery.faulty_ways,
                     deadline_met=deadline_met,
+                    arrival_cc=request.arrival_cc,
+                    completion_cc=(
+                        completion_cc
+                        if request.arrival_cc is not None
+                        else None
+                    ),
                 )
             )
 
@@ -448,6 +638,9 @@ class MultiplicationService:
                                        "remap", "residue"}},
               "optimizer": {"enabled", "cycles_saved", "pack_factor",
                             "by_pass", "ways"},      # additive keys
+              "autoscaler": {"enabled", "min_ways", "max_ways",
+                             "widths": {n: {"active_ways", "scale_ups",
+                                            "scale_downs", ...}}},
             }
         """
         optimizer = self._optimizer_snapshot()
@@ -464,9 +657,15 @@ class MultiplicationService:
                 self._jobs_completed
             ),
             "pending": self.scheduler.pending_count,
+            "now_cc": self._now_cc,
         }
         snapshot["ways"] = self.dispatcher.utilisation()
         snapshot["endurance"] = self.degrade.endurance_snapshot()
         snapshot["reliability"] = self.degrade.reliability_snapshot()
         snapshot["optimizer"] = optimizer
+        snapshot["autoscaler"] = (
+            self.autoscaler.snapshot()
+            if self.autoscaler is not None
+            else {"enabled": False}
+        )
         return snapshot

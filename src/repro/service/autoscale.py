@@ -1,0 +1,177 @@
+"""Queue-depth-driven way autoscaling with hysteresis.
+
+Open-loop traffic is bursty: a fixed ``ways_per_width`` either wastes
+banks during lulls or queues unboundedly during spikes.  The
+:class:`WayAutoscaler` watches each width's pending queue depth once
+per logical tick and resizes the active portion of that width's way
+pool (:meth:`~repro.service.workers.BankDispatcher.set_active_ways`):
+
+* **scale-up** — depth at or above ``high_depth`` for ``up_ticks``
+  consecutive observations adds one way (reactivating a warm way
+  before building a new one), up to ``max_ways``;
+* **scale-down** — depth at or below ``low_depth`` for ``down_ticks``
+  consecutive observations parks one way (it stays warm for the next
+  burst), down to ``min_ways``;
+* **hysteresis** — the two streak counters reset whenever the depth
+  crosses back over the respective watermark, and every scaling action
+  resets both, so a depth oscillating between the watermarks never
+  thrashes the pool.
+
+Decisions depend only on the observed depth sequence, so a seeded
+arrival schedule produces an identical scaling trace on every run —
+the property the determinism suite and the committed ``BENCH_load``
+baseline rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.service.workers import BankDispatcher
+
+__all__ = ["AutoscalerConfig", "ScaleEvent", "WayAutoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Tunables of one :class:`WayAutoscaler` (all per width)."""
+
+    #: Floor on active ways (scale-down never goes below).
+    min_ways: int = 1
+    #: Ceiling on active ways (scale-up never goes above; may exceed
+    #: ``ServiceConfig.ways_per_width`` — extra ways are built lazily).
+    max_ways: int = 4
+    #: Queue depth at/above which a tick counts toward scale-up.
+    high_depth: int = 16
+    #: Queue depth at/below which a tick counts toward scale-down.
+    low_depth: int = 0
+    #: Consecutive high-depth ticks required before adding a way.
+    up_ticks: int = 2
+    #: Consecutive low-depth ticks required before parking a way.
+    down_ticks: int = 16
+
+    def __post_init__(self) -> None:
+        if self.min_ways < 1:
+            raise ValueError("min_ways must be at least 1")
+        if self.max_ways < self.min_ways:
+            raise ValueError("max_ways must be >= min_ways")
+        if self.low_depth >= self.high_depth:
+            raise ValueError("low_depth must be below high_depth")
+        if self.up_ticks < 1 or self.down_ticks < 1:
+            raise ValueError("hysteresis windows must be at least 1 tick")
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaling action, for logs/tests."""
+
+    tick: int
+    n_bits: int
+    direction: str  # "up" | "down"
+    active_ways: int
+
+
+@dataclass
+class _WidthState:
+    active: int
+    above_ticks: int = 0
+    below_ticks: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
+    last_depth: int = 0
+
+
+class WayAutoscaler:
+    """Per-width hysteresis controller over a dispatcher's way pools."""
+
+    def __init__(self, dispatcher: BankDispatcher, config: AutoscalerConfig):
+        self.dispatcher = dispatcher
+        self.config = config
+        self._states: Dict[int, _WidthState] = {}
+        self.events: List[ScaleEvent] = []
+
+    # ------------------------------------------------------------------
+    def _state(self, n_bits: int) -> _WidthState:
+        state = self._states.get(n_bits)
+        if state is None:
+            # Adopt whatever the pool currently runs, clamped into the
+            # configured band.
+            active = max(
+                self.config.min_ways,
+                min(self.config.max_ways, self.dispatcher.active_count(n_bits)),
+            )
+            self.dispatcher.set_active_ways(n_bits, active)
+            state = self._states[n_bits] = _WidthState(active=active)
+        return state
+
+    def observe(self, tick: int, depths: Dict[int, int]) -> List[ScaleEvent]:
+        """Feed one tick's per-width queue depths; returns any actions.
+
+        Widths with a way pool but no pending work are observed at
+        depth 0, so idle widths scale down without further arrivals.
+        """
+        cfg = self.config
+        fired: List[ScaleEvent] = []
+        widths = set(depths) | set(self.dispatcher.widths())
+        for n_bits in sorted(widths):
+            depth = depths.get(n_bits, 0)
+            state = self._state(n_bits)
+            state.last_depth = depth
+            if depth >= cfg.high_depth:
+                state.above_ticks += 1
+                state.below_ticks = 0
+            elif depth <= cfg.low_depth:
+                state.below_ticks += 1
+                state.above_ticks = 0
+            else:
+                state.above_ticks = 0
+                state.below_ticks = 0
+            if (
+                state.above_ticks >= cfg.up_ticks
+                and state.active < cfg.max_ways
+            ):
+                state.active = self.dispatcher.set_active_ways(
+                    n_bits, state.active + 1
+                )
+                state.scale_ups += 1
+                state.above_ticks = 0
+                state.below_ticks = 0
+                fired.append(
+                    ScaleEvent(tick, n_bits, "up", state.active)
+                )
+            elif (
+                state.below_ticks >= cfg.down_ticks
+                and state.active > cfg.min_ways
+            ):
+                state.active = self.dispatcher.set_active_ways(
+                    n_bits, state.active - 1
+                )
+                state.scale_downs += 1
+                state.above_ticks = 0
+                state.below_ticks = 0
+                fired.append(
+                    ScaleEvent(tick, n_bits, "down", state.active)
+                )
+        self.events.extend(fired)
+        return fired
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict view for the service snapshot's ``autoscaler`` key."""
+        return {
+            "enabled": True,
+            "min_ways": self.config.min_ways,
+            "max_ways": self.config.max_ways,
+            "widths": {
+                n_bits: {
+                    "active_ways": state.active,
+                    "scale_ups": state.scale_ups,
+                    "scale_downs": state.scale_downs,
+                    "above_ticks": state.above_ticks,
+                    "below_ticks": state.below_ticks,
+                    "last_depth": state.last_depth,
+                }
+                for n_bits, state in sorted(self._states.items())
+            },
+        }

@@ -34,6 +34,16 @@ class QueueFullError(AdmissionError):
     """The scheduler's bounded queue is at capacity."""
 
 
+class DeadlineImpossibleError(AdmissionError):
+    """A request's deadline is below the width's execution estimate.
+
+    Raised at admission instead of silently accepting work that cannot
+    meet its latency budget even if flushed immediately: the minimum
+    cost of one batch pass at the request's width already exceeds
+    ``deadline_cc``.
+    """
+
+
 class NoHealthyWayError(ServiceError):
     """Every bank way for a width is retired or quarantined."""
 
@@ -73,6 +83,9 @@ class MulRequest:
     n_bits: int
     priority: int = 0
     deadline_cc: Optional[int] = None
+    #: Virtual arrival timestamp in clock cycles (open-loop drivers
+    #: stamp it; ``None`` keeps the legacy tick-per-submission clock).
+    arrival_cc: Optional[int] = None
 
     def __post_init__(self) -> None:
         validate_width(self.n_bits)
@@ -84,6 +97,8 @@ class MulRequest:
             )
         if self.deadline_cc is not None and self.deadline_cc < 0:
             raise AdmissionError("deadline must be non-negative")
+        if self.arrival_cc is not None and self.arrival_cc < 0:
+            raise AdmissionError("arrival timestamp must be non-negative")
 
     @property
     def operands(self) -> Tuple[int, int]:
@@ -116,3 +131,16 @@ class MulResult:
     faulty_ways: Tuple[str, ...] = field(default=())
     #: None when the request carried no deadline.
     deadline_met: Optional[bool] = None
+    #: Virtual timeline (clock cycles): when the request arrived and
+    #: when its batch completed.  Only stamped for requests submitted
+    #: with ``arrival_cc`` (open-loop drivers); ``None`` otherwise.
+    arrival_cc: Optional[int] = None
+    completion_cc: Optional[int] = None
+
+    @property
+    def service_latency_cc(self) -> Optional[int]:
+        """End-to-end latency on the virtual timeline: queueing wait
+        plus batch execution, from arrival to batch completion."""
+        if self.arrival_cc is None or self.completion_cc is None:
+            return None
+        return self.completion_cc - self.arrival_cc

@@ -42,6 +42,11 @@ class Pending:
     request: MulRequest
     enqueue_tick: int
     sequence: int
+    #: Absolute tick by which this request's bin must flush so the
+    #: request can still meet its deadline (``None`` = no constraint).
+    #: Tighter than the bin's age-out when the admission layer derives
+    #: it from ``deadline_cc`` minus the execution estimate.
+    flush_by_tick: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -50,7 +55,7 @@ class Flush:
 
     key: BinKey
     pending: Tuple[Pending, ...]
-    #: Why the bin flushed: "full", "timeout" or "drain".
+    #: Why the bin flushed: "full", "timeout", "deadline" or "drain".
     reason: str
     tick: int
 
@@ -127,34 +132,97 @@ class BinningScheduler:
         return {key: len(b.pending) for key, b in self._bins.items() if b.pending}
 
     # ------------------------------------------------------------------
-    def submit(self, request: MulRequest, depth: int = 2) -> List[Flush]:
+    def submit(
+        self,
+        request: MulRequest,
+        depth: int = 2,
+        tick: Optional[int] = None,
+        max_residence_ticks: Optional[int] = None,
+    ) -> List[Flush]:
         """Queue *request* and return any flushes it triggered.
 
-        Each submission advances the logical clock by one tick, then
-        ages every bin — so a caller that only ever submits still gets
-        timeout flushes without a separate pump loop.
+        Without an explicit *tick* each submission advances the logical
+        clock by one — so a caller that only ever submits still gets
+        timeout flushes without a separate pump loop.  Callers driving
+        a virtual timeline (the async front-end) pass the absolute
+        *tick* the request arrived at instead; the clock never moves
+        backwards.
+
+        *max_residence_ticks* bounds how long this request may sit in
+        its bin (deadline-aware admission): the bin's flush deadline is
+        tightened to ``now + max_residence_ticks`` when that is sooner
+        than the regular ``max_wait_ticks`` age-out.
         """
         if self._pending_total >= self.max_pending:
             raise QueueFullError(
                 f"scheduler queue full ({self.max_pending} pending); "
                 "drain or widen max_pending"
             )
-        self.tick += 1
+        if tick is None:
+            self.tick += 1
+        else:
+            self.tick = max(self.tick, tick)
         key: BinKey = (request.n_bits, depth)
         bin_ = self._bins.get(key)
         if bin_ is None or not bin_.pending:
             bin_ = self._bins[key] = _Bin(key=key, created_tick=self.tick)
         self._sequence += 1
+        flush_by = (
+            None
+            if max_residence_ticks is None
+            else self.tick + max(0, max_residence_ticks)
+        )
         bin_.pending.append(
-            Pending(request=request, enqueue_tick=self.tick, sequence=self._sequence)
+            Pending(
+                request=request,
+                enqueue_tick=self.tick,
+                sequence=self._sequence,
+                flush_by_tick=flush_by,
+            )
         )
         self._pending_total += 1
         return self._collect_ready()
 
-    def pump(self) -> List[Flush]:
-        """Advance one tick without submitting (idle-time age-out)."""
-        self.tick += 1
+    def pump(self, ticks: int = 1) -> List[Flush]:
+        """Advance *ticks* ticks without submitting (idle-time age-out).
+
+        This is how an idle service flushes aged bins: the logical
+        clock otherwise only moves on submissions, so stragglers in
+        under-full bins would wait forever for new arrivals.
+        """
+        if ticks < 1:
+            raise ValueError("pump must advance at least one tick")
+        self.tick += ticks
         return self._collect_ready()
+
+    def advance_to(self, tick: int) -> List[Flush]:
+        """Advance the clock to absolute *tick* (no-op when behind).
+
+        The virtual-time entry point: the front-end maps a cycle
+        timestamp to a tick and calls this before each arrival (and
+        once after the last one) so aged bins flush on schedule even
+        while no new requests land in them.  The clock steps through
+        each intermediate flush deadline, so a large jump releases
+        every straggler *at its own due tick* (``Flush.tick``), not
+        bunched at the target — open-loop latency accounting depends
+        on those timestamps.
+        """
+        flushes: List[Flush] = []
+        while self.tick < tick:
+            due = [
+                self._flush_by(bin_)[0]
+                for bin_ in self._bins.values()
+                if bin_.pending
+            ]
+            next_due = min((d for d in due if d > self.tick), default=None)
+            if next_due is None or next_due >= tick:
+                break
+            self.tick = next_due
+            flushes.extend(self._collect_ready())
+        if tick > self.tick:
+            self.tick = tick
+            flushes.extend(self._collect_ready())
+        return flushes
 
     def drain(self) -> List[Flush]:
         """Flush every pending request regardless of age or occupancy."""
@@ -165,16 +233,36 @@ class BinningScheduler:
         return flushes
 
     # ------------------------------------------------------------------
+    def _flush_by(self, bin_: _Bin) -> Tuple[int, str]:
+        """Absolute tick at which *bin_* must flush, and why.
+
+        The regular age-out fires ``max_wait_ticks`` after the bin was
+        (re)created; a deadline-constrained request may pull the flush
+        earlier (reason ``"deadline"``).
+        """
+        age_out = bin_.created_tick + self.max_wait_ticks
+        tightest = min(
+            (
+                p.flush_by_tick
+                for p in bin_.pending
+                if p.flush_by_tick is not None
+            ),
+            default=age_out,
+        )
+        if tightest < age_out:
+            return tightest, "deadline"
+        return age_out, "timeout"
+
     def _collect_ready(self) -> List[Flush]:
         flushes: List[Flush] = []
         for bin_ in list(self._bins.values()):
             while len(bin_.pending) >= self.batch_size:
                 flushes.append(self._flush_bin(bin_, "full"))
-            if (
-                bin_.pending
-                and self.tick - bin_.created_tick >= self.max_wait_ticks
-            ):
-                flushes.append(self._flush_bin(bin_, "timeout"))
+            while bin_.pending:
+                flush_by, reason = self._flush_by(bin_)
+                if self.tick < flush_by:
+                    break
+                flushes.append(self._flush_bin(bin_, reason))
         return flushes
 
     def _flush_bin(self, bin_: _Bin, reason: str) -> Flush:

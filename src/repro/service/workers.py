@@ -37,6 +37,12 @@ class Way:
         self.jobs_done = 0
         self.batches_done = 0
         self.healthy = True
+        #: Autoscaler gate: an inactive way takes no new batches but
+        #: stays warm (its compiled pipeline survives) for reactivation.
+        self.active = True
+        #: Virtual-timeline occupancy: the cycle at which this way next
+        #: becomes free (open-loop drivers advance it per dispatch).
+        self.free_at_cc = 0
         #: Why the way left service ("" while healthy).
         self.retired_reason = ""
 
@@ -173,7 +179,44 @@ class BankDispatcher:
         )
 
     def healthy_ways(self, n_bits: int) -> List[Way]:
-        return [way for way in self.pool(n_bits) if way.healthy]
+        """Ways eligible for new work: healthy *and* autoscaler-active."""
+        return [
+            way for way in self.pool(n_bits) if way.healthy and way.active
+        ]
+
+    def active_count(self, n_bits: int) -> int:
+        return len(self.healthy_ways(n_bits))
+
+    def set_active_ways(self, n_bits: int, count: int) -> int:
+        """Resize the active portion of a width's pool to *count* ways.
+
+        Scale-up first reactivates warm (deactivated) ways, then builds
+        brand-new ones past the original ``ways_per_width``; scale-down
+        deactivates the highest-indexed active ways but keeps them warm
+        for the next burst.  Retired ways are never revived.  Returns
+        the resulting active count.
+        """
+        if count < 1:
+            raise ValueError("at least one way must stay active")
+        pool = self.pool(n_bits)
+        healthy = [way for way in pool if way.healthy]
+        while len(healthy) < count:
+            index = len(pool)
+            way = Way(
+                way_id=f"w{n_bits}.{index}",
+                pipeline=self._build_pipeline(n_bits, index),
+            )
+            pool.append(way)
+            healthy.append(way)
+        for position, way in enumerate(healthy):
+            way.active = position < count
+        return self.active_count(n_bits)
+
+    def way_by_id(self, way_id: str) -> Optional[Way]:
+        for way in self.all_ways():
+            if way.way_id == way_id:
+                return way
+        return None
 
     def quarantine(self, way: Way, reason: str) -> None:
         """Retire *way* and evict its warm pipeline from the cache.
@@ -202,6 +245,15 @@ class BankDispatcher:
             way for way in self.healthy_ways(n_bits)
             if way.way_id not in exclude
         ]
+        if not candidates:
+            # Autoscaled-down ways are a capacity policy, not a health
+            # one: fall back to any warm healthy way before declaring
+            # the width unservable (fault retries may have excluded
+            # every active way).
+            candidates = [
+                way for way in self.pool(n_bits)
+                if way.healthy and way.way_id not in exclude
+            ]
         if not candidates:
             raise NoHealthyWayError(
                 f"no healthy way left for n={n_bits} "

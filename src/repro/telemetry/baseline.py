@@ -270,8 +270,91 @@ def collect_service_metrics(
     }
 
 
+def collect_load_metrics(seed: int = 0x10AD) -> Dict[str, Metric]:
+    """Open-loop serving workloads through the sharded front-end.
+
+    For each operand mix, drives a saturating seeded Poisson load
+    through (a) one synchronous single-process service and (b) the
+    async sharded front-end with four inline shards on the *same*
+    per-shard config, and records the cycle-domain speedup (sync
+    completion horizon over sharded completion horizon), tail
+    latencies and deadline-miss rate.  A bursty MMPP load exercises
+    the way autoscaler and records its scale event counts.  Everything
+    runs on the virtual cycle clock with inline shards, so the numbers
+    are bit-stable across machines and process counts.
+    """
+    from repro.eval import loadgen
+    from repro.frontend import FrontendConfig
+    from repro.service import AutoscalerConfig, ServiceConfig
+
+    service_config = ServiceConfig(batch_size=8, ways_per_width=1)
+    metrics: Dict[str, Metric] = {}
+    # (mix, jobs, mean gap cc, deadline slack cc): gaps sit well below
+    # the single-service per-job bottleneck, so the sync baseline is
+    # saturated and sharding has headroom to help.
+    cases = (
+        ("fhe", 64, 100, 16_000),
+        ("zkp", 32, 300, 48_000),
+        ("mixed", 48, 200, 32_000),
+    )
+    for mix, jobs, gap_cc, slack_cc in cases:
+        load = loadgen.build_load(
+            mix, "poisson", jobs, gap_cc, seed=seed,
+            deadline_slack_cc=slack_cc,
+        )
+        sync_report, _ = loadgen.run_sync(
+            load, service_config, mix=mix, process="poisson"
+        )
+        sharded_report, _ = loadgen.run_sharded(
+            load,
+            FrontendConfig(shards=4, inline=True, service=service_config),
+            mix=mix,
+            process="poisson",
+        )
+        speedup = (
+            sync_report.horizon_cc / sharded_report.horizon_cc
+            if sharded_report.horizon_cc
+            else 0.0
+        )
+        metrics[f"{mix}_speedup_x"] = Metric(speedup, HIGHER_IS_BETTER)
+        metrics[f"{mix}_p50_cc"] = Metric(
+            sharded_report.p50_cc, LOWER_IS_BETTER
+        )
+        metrics[f"{mix}_p99_cc"] = Metric(
+            sharded_report.p99_cc, LOWER_IS_BETTER
+        )
+        metrics[f"{mix}_miss_rate"] = Metric(
+            sharded_report.miss_rate, LOWER_IS_BETTER
+        )
+    burst_config = ServiceConfig(
+        batch_size=8,
+        ways_per_width=1,
+        autoscale=AutoscalerConfig(
+            min_ways=1, max_ways=4,
+            high_depth=16, low_depth=8,
+            up_ticks=2, down_ticks=10,
+        ),
+    )
+    burst = loadgen.build_load(
+        "fhe", "bursty", 400, 1600, seed=seed ^ 0xB5, burst_gap_cc=60
+    )
+    burst_report, service = loadgen.run_sync(
+        burst, burst_config, mix="fhe", process="bursty"
+    )
+    counters = service.snapshot()["counters"]
+    metrics["bursty_p99_cc"] = Metric(burst_report.p99_cc, LOWER_IS_BETTER)
+    metrics["autoscale_ups"] = Metric(
+        counters.get("autoscale_up_total", 0), HIGHER_IS_BETTER
+    )
+    metrics["autoscale_downs"] = Metric(
+        counters.get("autoscale_down_total", 0), HIGHER_IS_BETTER
+    )
+    return metrics
+
+
 #: Named deterministic workloads ``repro bench-compare`` knows about.
 COLLECTORS: Dict[str, Callable[[], Dict[str, Metric]]] = {
     "pipeline": collect_pipeline_metrics,
     "service": collect_service_metrics,
+    "load": collect_load_metrics,
 }

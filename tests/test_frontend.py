@@ -1,0 +1,228 @@
+"""Tests for the async sharded serving front-end (`repro.frontend`)."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.frontend import (
+    AsyncShardedFrontend,
+    FrontendConfig,
+    InlineShard,
+    ProcessShard,
+    rebuild_error,
+)
+from repro.service import (
+    AdmissionError,
+    DeadlineImpossibleError,
+    QueueFullError,
+    ServiceConfig,
+    ServiceError,
+)
+
+SMALL = ServiceConfig(batch_size=4, ways_per_width=1, tick_cc=256)
+
+
+def _jobs(count, seed=0xF0, n_bits=64):
+    rng = random.Random(seed)
+    return [
+        (rng.getrandbits(n_bits) | 1, rng.getrandbits(n_bits) | 1, n_bits)
+        for _ in range(count)
+    ]
+
+
+async def _run_load(config, jobs, gap_cc=300):
+    async with AsyncShardedFrontend(config) as fe:
+        futures = []
+        now = 0
+        for a, b, n_bits in jobs:
+            futures.append(await fe.submit(a, b, n_bits, arrival_cc=now))
+            now += gap_cc
+        fe.advance_to_cc(now + 100_000)
+        await fe.drain()
+        results = await asyncio.gather(*futures)
+        snapshot = await fe.snapshot()
+        outstanding = fe.outstanding
+    return results, snapshot, outstanding
+
+
+def _key(results):
+    return [
+        (
+            r.request_id,
+            r.product,
+            r.arrival_cc,
+            r.completion_cc,
+            r.service_latency_cc,
+            r.deadline_met,
+        )
+        for r in sorted(results, key=lambda r: r.request_id)
+    ]
+
+
+class TestFrontendBasics:
+    def test_futures_resolve_bit_exact(self):
+        jobs = _jobs(10)
+        results, snapshot, outstanding = asyncio.run(
+            _run_load(FrontendConfig(shards=2, inline=True, service=SMALL), jobs)
+        )
+        assert outstanding == 0
+        assert len(results) == len(jobs)
+        by_id = {r.request_id: r for r in results}
+        for rid, (a, b, _n) in enumerate(jobs):
+            assert by_id[rid].product == a * b
+        assert snapshot["service"]["jobs_completed"] == len(jobs)
+        assert snapshot["service"]["outstanding_futures"] == 0
+
+    def test_requires_start(self):
+        fe = AsyncShardedFrontend(FrontendConfig(shards=1, inline=True))
+        with pytest.raises(RuntimeError, match="not started"):
+            fe.pump()
+
+    def test_invalid_operand_raises_synchronously(self):
+        async def run():
+            config = FrontendConfig(shards=1, inline=True, service=SMALL)
+            async with AsyncShardedFrontend(config) as fe:
+                with pytest.raises(AdmissionError):
+                    await fe.submit(1 << 80, 3, 64)
+                assert fe.outstanding == 0
+
+        asyncio.run(run())
+
+    def test_round_robin_routing_spreads_shards(self):
+        jobs = _jobs(8)
+        _results, snapshot, _ = asyncio.run(
+            _run_load(FrontendConfig(shards=4, inline=True, service=SMALL), jobs)
+        )
+        counters = snapshot["counters"]
+        for shard in range(4):
+            assert counters[f"frontend_shard_{shard}_requests"] == 2
+
+    def test_width_routing_pins_widths(self):
+        async def run():
+            config = FrontendConfig(
+                shards=2, inline=True, service=SMALL, routing="width"
+            )
+            async with AsyncShardedFrontend(config) as fe:
+                futures = [
+                    await fe.submit(3, 5, 64, arrival_cc=0),
+                    await fe.submit(7, 9, 32, arrival_cc=100),
+                    await fe.submit(11, 13, 64, arrival_cc=200),
+                ]
+                await fe.drain()
+                await asyncio.gather(*futures)
+                snapshot = await fe.snapshot()
+            counters = snapshot["counters"]
+            # 64-bit requests stick to shard 0, 32-bit to shard 1.
+            assert counters["frontend_shard_0_requests"] == 2
+            assert counters["frontend_shard_1_requests"] == 1
+
+        asyncio.run(run())
+
+
+class TestErrorRouting:
+    def test_deadline_rejection_surfaces_on_future(self):
+        async def run():
+            config = FrontendConfig(shards=1, inline=True, service=SMALL)
+            async with AsyncShardedFrontend(config) as fe:
+                future = await fe.submit(3, 5, 64, deadline_cc=1, arrival_cc=0)
+                with pytest.raises(DeadlineImpossibleError):
+                    await future
+                assert fe.outstanding == 0
+                snapshot = await fe.snapshot()
+            assert snapshot["counters"]["frontend_admission_errors"] == 1
+            assert snapshot["counters"]["requests_rejected_deadline"] == 1
+
+        asyncio.run(run())
+
+    def test_rebuild_error_maps_names(self):
+        assert isinstance(rebuild_error("QueueFullError", "x"), QueueFullError)
+        assert isinstance(
+            rebuild_error("DeadlineImpossibleError", "x"),
+            DeadlineImpossibleError,
+        )
+        # Unknown names degrade to the base ServiceError.
+        error = rebuild_error("SomethingElse", "boom")
+        assert type(error) is ServiceError
+
+
+class TestProcessParity:
+    """Inline and process shards must be bit-identical."""
+
+    def test_inline_matches_process_shards(self):
+        jobs = _jobs(12, seed=0xAB)
+        inline, _snap_i, out_i = asyncio.run(
+            _run_load(FrontendConfig(shards=2, inline=True, service=SMALL), jobs)
+        )
+        process, _snap_p, out_p = asyncio.run(
+            _run_load(
+                FrontendConfig(shards=2, inline=False, service=SMALL), jobs
+            )
+        )
+        assert out_i == out_p == 0
+        assert _key(inline) == _key(process)
+
+    def test_sharded_matches_synchronous_service(self):
+        """One shard, inline == a plain synchronous service run."""
+        from repro.service import MulRequest, MultiplicationService
+
+        jobs = _jobs(9, seed=0xCD)
+        sharded, _snap, _ = asyncio.run(
+            _run_load(
+                FrontendConfig(shards=1, inline=True, service=SMALL), jobs
+            )
+        )
+        service = MultiplicationService(SMALL)
+        now = 0
+        for rid, (a, b, n_bits) in enumerate(jobs):
+            service.submit_request(
+                MulRequest(
+                    request_id=rid, a=a, b=b, n_bits=n_bits, arrival_cc=now
+                )
+            )
+            now += 300
+        service.advance_to_cc(now + 100_000)
+        sync = service.take_completed() + service.drain()
+        assert _key(sharded) == _key(sync)
+
+
+class TestShardProtocol:
+    def test_inline_shard_streams_results(self):
+        shard = InlineShard(0, SMALL)
+        from repro.service import MulRequest
+
+        replies = []
+        for rid in range(4):
+            replies += shard.send(
+                ("submit", MulRequest(request_id=rid, a=3 + rid, b=7, n_bits=64))
+            )
+        kinds = [r[0] for r in replies]
+        assert "results" in kinds  # full batch flushed on 4th submit
+        results = [r for r in replies if r[0] == "results"][0][2]
+        assert [x.product for x in results] == [(3 + i) * 7 for i in range(4)]
+        replies = shard.send(("stop",))
+        assert ("stopped", 0) in replies
+
+    def test_process_shard_round_trip(self):
+        from repro.service import MulRequest
+
+        shard = ProcessShard(3, SMALL)
+        shard.start()
+        try:
+            shard.send(("submit", MulRequest(request_id=0, a=6, b=7, n_bits=64)))
+            shard.send(("drain",))
+            messages = []
+            while True:
+                message = shard.out_queue.get(timeout=60)
+                messages.append(message)
+                if message[0] == "drained":
+                    break
+            results = [m for m in messages if m[0] == "results"]
+            assert results and results[0][1] == 3  # tagged with shard index
+            assert results[0][2][0].product == 42
+            shard.send(("stop",))
+            assert shard.out_queue.get(timeout=60)[0] == "stopped"
+        finally:
+            shard.join(timeout=10)
