@@ -17,6 +17,7 @@ Commands
 ``service-bench`` drive a mixed-width stream through ``repro.service``
 ``load-bench``  open-loop load: sync service vs sharded front-end
 ``fault-campaign`` seeded fault-injection sweep (kind × width)
+``chaos-campaign`` seeded shard kill/hang/drop chaos drill
 ``trace``       export a traced bank batch as Perfetto/Chrome JSON
 ``bench-compare`` compare seeded benchmarks against BENCH_*.json
 ``optimize-report`` SIMD cycle-packer report (before/after per stage)
@@ -385,6 +386,119 @@ def _cmd_fault_campaign(args: argparse.Namespace) -> int:
         return 1
     if report.detection_rate < 1.0:
         print("FAIL: undetected corrupting faults", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_chaos_campaign(args: argparse.Namespace) -> int:
+    """Seeded chaos drill against the supervised sharded front-end.
+
+    Runs one open-loop load through every requested scenario (worker
+    kill, hang, dropped replies, duplicated replies, a seeded storm
+    and an external SIGKILL mid-batch) and grades each run against the
+    supervision contract: every request reaches a terminal state,
+    every product is bit-exact, nothing is left in the journal and no
+    breaker is stuck open.  Exits non-zero when any scenario is dirty.
+    """
+    from repro.eval import loadgen
+    from repro.eval.report import format_table
+    from repro.frontend import FrontendConfig, SupervisionConfig
+    from repro.service import ServiceConfig
+
+    scenarios = (
+        loadgen.CHAOS_SCENARIOS
+        if args.scenarios == "all"
+        else tuple(args.scenarios.split(","))
+    )
+    service_config = ServiceConfig(
+        batch_size=args.batch_size,
+        ways_per_width=args.ways,
+        oracle_audit=args.oracle_audit,
+    )
+    supervision = SupervisionConfig(
+        poll_timeout_s=0.02,
+        heartbeat_interval_s=args.heartbeat_s,
+        hang_timeout_s=args.hang_timeout_s,
+        max_restarts=args.max_restarts,
+        retry_budget=args.retry_budget,
+    )
+    load = loadgen.build_load(
+        args.mix, args.arrivals, args.jobs, args.gap_cc, seed=args.seed
+    )
+    reports = []
+    for name in scenarios:
+        chaos, sigkill_after = loadgen.chaos_scenario(
+            name, args.shards, args.jobs, args.batch_size, seed=args.seed
+        )
+        frontend_config = FrontendConfig(
+            shards=args.shards,
+            inline=not args.processes,
+            service=service_config,
+            supervision=supervision,
+            chaos=chaos,
+        )
+        reports.append(
+            loadgen.run_chaos(
+                load,
+                frontend_config,
+                scenario=name,
+                sigkill_after=sigkill_after,
+            )
+        )
+    if args.json or args.out:
+        import json
+
+        payload = {
+            "seed": args.seed,
+            "jobs": args.jobs,
+            "shards": args.shards,
+            "processes": bool(args.processes),
+            "scenarios": [report.as_dict() for report in reports],
+        }
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+        if args.json:
+            print(json.dumps(payload, indent=2))
+    if not args.json:
+        rows = [
+            (
+                report.scenario,
+                report.completed,
+                report.failed_typed,
+                report.rejected_at_submit,
+                report.stranded,
+                report.shard_deaths,
+                report.shard_restarts,
+                report.redispatches,
+                report.orphan_results,
+                "clean" if report.clean else "DIRTY",
+            )
+            for report in reports
+        ]
+        print(
+            format_table(
+                (
+                    "scenario", "done", "failed", "rejected", "stranded",
+                    "deaths", "restarts", "redisp", "orphans", "verdict",
+                ),
+                rows,
+                title=(
+                    f"Chaos campaign: {args.jobs} {args.mix} jobs, "
+                    f"{args.shards} "
+                    f"{'process' if args.processes else 'inline'} shard(s), "
+                    f"seed {args.seed:#x}"
+                ),
+            )
+        )
+    dirty = [report.scenario for report in reports if not report.clean]
+    if dirty:
+        print(
+            f"FAIL: scenario(s) violated the supervision contract: "
+            f"{', '.join(dirty)}",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -812,6 +926,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--json", action="store_true")
     campaign.set_defaults(func=_cmd_fault_campaign)
+
+    chaos = sub.add_parser(
+        "chaos-campaign",
+        help="seeded shard kill/hang/drop chaos drill on the front-end",
+    )
+    chaos.add_argument(
+        "--scenarios",
+        default="all",
+        help="comma-separated scenario names, or 'all' "
+        "(kill,hang,drop,duplicate,storm,sigkill,none)",
+    )
+    chaos.add_argument(
+        "--mix", default="fhe", choices=("fhe", "zkp", "mixed")
+    )
+    chaos.add_argument(
+        "--arrivals",
+        default="poisson",
+        choices=("poisson", "bursty", "diurnal"),
+    )
+    chaos.add_argument("--jobs", type=int, default=64)
+    chaos.add_argument("--gap-cc", type=int, default=200)
+    chaos.add_argument("--shards", type=int, default=4)
+    chaos.add_argument(
+        "--processes",
+        action="store_true",
+        help="host shards in worker processes (real SIGKILL/hang)",
+    )
+    chaos.add_argument("--batch-size", type=int, default=8)
+    chaos.add_argument("--ways", type=int, default=1)
+    chaos.add_argument("--seed", type=int, default=0xC4A05)
+    chaos.add_argument("--max-restarts", type=int, default=2)
+    chaos.add_argument("--retry-budget", type=int, default=2)
+    chaos.add_argument(
+        "--heartbeat-s",
+        type=float,
+        default=0.1,
+        help="router heartbeat interval (process shards)",
+    )
+    chaos.add_argument(
+        "--hang-timeout-s",
+        type=float,
+        default=1.0,
+        help="unanswered-heartbeat hang threshold (process shards)",
+    )
+    chaos.add_argument(
+        "--oracle-audit",
+        action="store_true",
+        help="audit every product against the Python oracle in-shard",
+    )
+    chaos.add_argument("--json", action="store_true")
+    chaos.add_argument(
+        "--out",
+        default=None,
+        help="also write the JSON campaign report to this path",
+    )
+    chaos.set_defaults(func=_cmd_chaos_campaign)
 
     trace = sub.add_parser(
         "trace",

@@ -54,13 +54,17 @@ from repro.sim.exceptions import DesignError
 
 __all__ = [
     "ARRIVAL_PROCESSES",
+    "CHAOS_SCENARIOS",
     "MIXES",
     "LATENCY_BUCKETS_CC",
+    "ChaosReport",
     "LoadItem",
     "LoadReport",
     "Slo",
     "arrival_schedule",
     "build_load",
+    "chaos_scenario",
+    "run_chaos",
     "run_sharded",
     "run_sync",
     "render",
@@ -421,6 +425,250 @@ async def _run_sharded(
         mix, process, len(load), results, shed, rejected_deadline, wall
     )
     return report, snapshot
+
+
+# ----------------------------------------------------------------------
+# Chaos campaign driver
+# ----------------------------------------------------------------------
+#: Canonical chaos scenarios (see :func:`chaos_scenario`).  ``none`` is
+#: the fault-free control; ``sigkill`` is an *external* hard kill of
+#: shard 0 mid-batch (no injection schedule — the driver calls
+#: :meth:`~repro.frontend.AsyncShardedFrontend.kill_shard`).
+CHAOS_SCENARIOS = (
+    "none", "kill", "hang", "drop", "duplicate", "storm", "sigkill",
+)
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Terminal-state accounting for one chaos scenario run.
+
+    The supervision contract under test: every *offered* request either
+    resolves to a bit-exact product, fails its future with a typed
+    error, or is rejected synchronously at admission — and nothing is
+    left stranded (``stranded == 0``, ``outstanding_after == 0``,
+    ``journal_after == 0``).
+    """
+
+    scenario: str
+    offered: int
+    admitted: int
+    completed: int
+    failed_typed: int
+    rejected_at_submit: int
+    stranded: int
+    mismatched: int
+    outstanding_after: int
+    journal_after: int
+    shard_deaths: int
+    shard_restarts: int
+    redispatches: int
+    orphan_results: int
+    breaker_transitions: int
+    breakers: Tuple[str, ...]
+    wall_seconds: float = 0.0
+
+    @property
+    def terminal(self) -> int:
+        """Requests that reached a terminal state."""
+        return self.completed + self.failed_typed + self.rejected_at_submit
+
+    @property
+    def clean(self) -> bool:
+        """Did every request terminate, bit-exactly, with nothing stuck?"""
+        return (
+            self.terminal == self.offered
+            and self.stranded == 0
+            and self.mismatched == 0
+            and self.outstanding_after == 0
+            and self.journal_after == 0
+            and "open" not in self.breakers
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "failed_typed": self.failed_typed,
+            "rejected_at_submit": self.rejected_at_submit,
+            "stranded": self.stranded,
+            "mismatched": self.mismatched,
+            "outstanding_after": self.outstanding_after,
+            "journal_after": self.journal_after,
+            "shard_deaths": self.shard_deaths,
+            "shard_restarts": self.shard_restarts,
+            "redispatches": self.redispatches,
+            "orphan_results": self.orphan_results,
+            "breaker_transitions": self.breaker_transitions,
+            "breakers": list(self.breakers),
+            "terminal": self.terminal,
+            "clean": self.clean,
+        }
+
+
+def chaos_scenario(
+    name: str,
+    shards: int,
+    jobs: int,
+    batch_size: int,
+    seed: int = 0xC4A05,
+) -> Tuple[Optional["ChaosConfig"], Optional[int]]:
+    """Build one canonical injection schedule.
+
+    Returns ``(chaos_config, sigkill_after)``: the seeded
+    :class:`~repro.frontend.ChaosConfig` for the frontend (``None`` for
+    the control and the external-kill scenario) and, for ``sigkill``,
+    the submit index before which the driver hard-kills shard 0.
+
+    Injection points are placed where they bite, assuming round-robin
+    routing: ``kill``/``hang`` land mid-way through a shard's first
+    batch (journaled work exists, none of it flushed), ``drop``/
+    ``duplicate`` land exactly on the first full-batch flush (the
+    command whose replies actually carry results).
+    """
+    from repro.frontend import ChaosConfig
+
+    if name not in CHAOS_SCENARIOS:
+        raise DesignError(
+            f"unknown chaos scenario {name!r} (known: {CHAOS_SCENARIOS})"
+        )
+    per_shard = max(1, jobs // shards)
+    mid = min(per_shard - 1, max(1, batch_size // 2))
+    flush = min(per_shard - 1, batch_size - 1)
+    if name == "none":
+        return None, None
+    if name == "kill":
+        return ChaosConfig(kill=((0, mid),), seed=seed), None
+    if name == "hang":
+        return ChaosConfig(hang=((shards - 1, mid),), seed=seed), None
+    if name == "drop":
+        return (
+            ChaosConfig(
+                drop_replies=tuple((s, flush) for s in range(shards)),
+                seed=seed,
+            ),
+            None,
+        )
+    if name == "duplicate":
+        return (
+            ChaosConfig(
+                duplicate_replies=tuple((s, flush) for s in range(shards)),
+                seed=seed,
+            ),
+            None,
+        )
+    if name == "storm":
+        return (
+            ChaosConfig.seeded(
+                seed, shards, per_shard, kills=1, drops=1, duplicates=1
+            ),
+            None,
+        )
+    return None, jobs // 2  # sigkill
+
+
+def run_chaos(
+    load: List[LoadItem],
+    frontend_config: "FrontendConfig",
+    scenario: str = "kill",
+    sigkill_after: Optional[int] = None,
+) -> ChaosReport:
+    """Drive one load through the frontend under a chaos scenario.
+
+    The caller builds ``frontend_config`` with the scenario's
+    :class:`~repro.frontend.ChaosConfig` already set (see
+    :func:`chaos_scenario`); ``sigkill_after`` additionally hard-kills
+    shard 0 right before that submit index.  Unlike
+    :func:`run_sharded`, admission failures are expected here —
+    ``ShardFailedError`` at submit is counted, not raised — and the
+    report grades terminal-state coverage rather than latency.
+    """
+    import asyncio
+
+    return asyncio.run(
+        _run_chaos(load, frontend_config, scenario, sigkill_after)
+    )
+
+
+async def _run_chaos(
+    load: List[LoadItem],
+    frontend_config: "FrontendConfig",
+    scenario: str,
+    sigkill_after: Optional[int],
+) -> ChaosReport:
+    import asyncio
+    import time
+
+    from repro.frontend import AsyncShardedFrontend, ShardFailedError
+    from repro.service import ServiceError
+
+    rejected = 0
+    completed = 0
+    failed_typed = 0
+    mismatched = 0
+    futures: List[Tuple[LoadItem, "asyncio.Future"]] = []
+    started = time.perf_counter()
+    async with AsyncShardedFrontend(frontend_config) as fe:
+        for index, entry in enumerate(load):
+            if sigkill_after is not None and index == sigkill_after:
+                fe.kill_shard(0, reason=f"{scenario} drill at submit {index}")
+            try:
+                future = await fe.submit(
+                    entry.item.a,
+                    entry.item.b,
+                    entry.item.n_bits,
+                    priority=entry.priority,
+                    deadline_cc=entry.deadline_cc,
+                    arrival_cc=entry.arrival_cc,
+                )
+            except ShardFailedError:
+                rejected += 1
+                continue
+            futures.append((entry, future))
+        if load:
+            fe.advance_to_cc(load[-1].arrival_cc + _SETTLE_CC)
+        await fe.drain()
+        stranded = sum(1 for _, f in futures if not f.done())
+        for _, future in futures:
+            if not future.done():  # pragma: no cover - contract violation
+                future.cancel()
+        for entry, future in futures:
+            try:
+                result = await future
+            except asyncio.CancelledError:  # pragma: no cover
+                continue
+            except ServiceError:
+                failed_typed += 1
+                continue
+            completed += 1
+            if result.product != entry.item.a * entry.item.b:
+                mismatched += 1  # pragma: no cover - service is bit-exact
+        snapshot = await fe.snapshot()
+        outstanding = fe.outstanding
+        journal_after = fe.journal_size
+        breakers = tuple(fe.breaker_states())
+    counters = snapshot["counters"]
+    return ChaosReport(
+        scenario=scenario,
+        offered=len(load),
+        admitted=len(futures),
+        completed=completed,
+        failed_typed=failed_typed,
+        rejected_at_submit=rejected,
+        stranded=stranded,
+        mismatched=mismatched,
+        outstanding_after=outstanding,
+        journal_after=journal_after,
+        shard_deaths=counters.get("frontend_shard_deaths", 0),
+        shard_restarts=counters.get("frontend_shard_restarts", 0),
+        redispatches=counters.get("frontend_redispatches", 0),
+        orphan_results=counters.get("frontend_orphan_results", 0),
+        breaker_transitions=counters.get("frontend_breaker_transitions", 0),
+        breakers=breakers,
+        wall_seconds=time.perf_counter() - started,
+    )
 
 
 # ----------------------------------------------------------------------

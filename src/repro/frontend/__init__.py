@@ -1,20 +1,47 @@
 """Async sharded serving front-end over the multiplication service.
 
 Layers an asyncio admission surface, a shard-per-way-group worker
-pool and a future-resolving result router on top of
+pool, a future-resolving result router and a shard supervisor (crash
+detection, crash-only restarts, journal redispatch, per-shard circuit
+breakers, seeded chaos injection) on top of
 :class:`~repro.service.MultiplicationService`.  See
-:mod:`repro.frontend.frontend` for the full picture.
+:mod:`repro.frontend.frontend` for the full picture and
+:mod:`repro.frontend.supervision` for the failover primitives.
 """
 
 from repro.frontend.config import ROUTING_POLICIES, FrontendConfig
 from repro.frontend.frontend import AsyncShardedFrontend
-from repro.frontend.shards import InlineShard, ProcessShard, rebuild_error
+from repro.frontend.shards import (
+    KNOWN_ERROR_NAMES,
+    InlineShard,
+    ProcessShard,
+    rebuild_error,
+)
+from repro.frontend.supervision import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CHAOS_ACTIONS,
+    ChaosConfig,
+    CircuitBreaker,
+    ShardFailedError,
+    SupervisionConfig,
+)
 
 __all__ = [
     "AsyncShardedFrontend",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CHAOS_ACTIONS",
+    "ChaosConfig",
+    "CircuitBreaker",
     "FrontendConfig",
     "InlineShard",
+    "KNOWN_ERROR_NAMES",
     "ProcessShard",
     "ROUTING_POLICIES",
+    "ShardFailedError",
+    "SupervisionConfig",
     "rebuild_error",
 ]

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.frontend.supervision import ChaosConfig, SupervisionConfig
 from repro.service import ServiceConfig
 
 #: Routing policies: ``round-robin`` spreads requests over shards by
@@ -34,6 +35,15 @@ class FrontendConfig:
     #: ``multiprocessing`` start method (``None`` = ``fork`` where
     #: available, else the platform default).
     start_method: Optional[str] = None
+    #: Shard supervision: liveness monitoring, crash-only restarts,
+    #: journal redispatch and per-shard circuit breakers.  On by
+    #: default; ``SupervisionConfig(enabled=False)`` restores the
+    #: unsupervised PR 7 behaviour.
+    supervision: SupervisionConfig = field(default_factory=SupervisionConfig)
+    #: Seeded failure injection for chaos drills (``None`` in
+    #: production).  First incarnations only — respawned shards run
+    #: chaos-free.
+    chaos: Optional[ChaosConfig] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:

@@ -15,6 +15,10 @@ a small command protocol:
     force-flush everything; acknowledged with ``("drained", shard)``.
 ``("snapshot",)``
     reply ``("snapshot", shard, dict)``.
+``("ping", seq)``
+    liveness heartbeat; reply ``("pong", shard, seq)``.  The frontend
+    router probes a quiet worker with these — an unanswered ping past
+    the hang timeout marks the worker hung.
 ``("stop",)``
     reply ``("stopped", shard)`` and exit.
 
@@ -30,13 +34,20 @@ per-request latency accounting happens *inside* the shard on the
 virtual cycle timeline, both hosts produce bit-identical results and
 latency numbers for the same command sequence — the determinism suite
 pins this.
+
+Both hosts accept a :class:`~repro.frontend.supervision.ChaosConfig`
+for seeded failure injection (kill / hang / drop-reply /
+duplicate-reply by command sequence number); see its docstring for
+the exact per-host semantics.  Chaos is a test/benchmark surface —
+production frontends leave it ``None``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.frontend.supervision import ChaosConfig
 from repro.service import (
     AdmissionError,
     DeadlineImpossibleError,
@@ -50,6 +61,7 @@ from repro.service import (
 
 __all__ = [
     "InlineShard",
+    "KNOWN_ERROR_NAMES",
     "ProcessShard",
     "rebuild_error",
 ]
@@ -68,10 +80,30 @@ _ERROR_TYPES = {
     )
 }
 
+#: Names :func:`rebuild_error` reconstructs exactly.  The frontend
+#: counts reconstructions outside this set (``frontend_unknown_errors``)
+#: so a worker raising a new exception type is visible in metrics
+#: instead of silently collapsing.
+KNOWN_ERROR_NAMES = frozenset(_ERROR_TYPES)
+
+#: How long a chaos-hung worker sleeps.  The supervisor's heartbeat
+#: timeout kills the process long before this elapses; the constant
+#: only bounds the damage if supervision is disabled.
+_CHAOS_HANG_S = 3600.0
+
 
 def rebuild_error(name: str, message: str) -> ServiceError:
-    """Reconstruct a service exception shipped as ``(name, message)``."""
-    return _ERROR_TYPES.get(name, ServiceError)(message)
+    """Reconstruct a service exception shipped as ``(name, message)``.
+
+    Unknown names degrade to the base :class:`ServiceError` but keep
+    the original class name in the message — ``SomethingNewError:
+    boom`` — so the information survives the boundary even when the
+    type does not.
+    """
+    cls = _ERROR_TYPES.get(name)
+    if cls is None:
+        return ServiceError(f"{name}: {message}")
+    return cls(message)
 
 
 def _run_command(
@@ -100,6 +132,8 @@ def _run_command(
         return replies, True
     elif kind == "snapshot":
         replies.append(("snapshot", service.snapshot()))
+    elif kind == "ping":
+        replies.append(("pong", command[1]))
     elif kind == "stop":
         return replies, False
     else:  # pragma: no cover - protocol misuse
@@ -110,23 +144,46 @@ def _run_command(
     return replies, True
 
 
+def _apply_reply_chaos(
+    replies: List[Message], action: Optional[str]
+) -> List[Message]:
+    """Drop or duplicate the ``results`` replies of one command."""
+    if action == "drop":
+        return [r for r in replies if r[0] != "results"]
+    if action == "duplicate":
+        return replies + [r for r in replies if r[0] == "results"]
+    return replies
+
+
 def _shard_main(
     shard_index: int,
     config: ServiceConfig,
     in_queue: "multiprocessing.Queue",
     out_queue: "multiprocessing.Queue",
+    chaos: Optional[ChaosConfig] = None,
 ) -> None:
     """Worker-process entry point: serve commands until ``stop``."""
+    import os
+    import time
+
+    plan: Dict[int, str] = chaos.plan_for(shard_index) if chaos else {}
     service = MultiplicationService(config)
+    seq = 0
     running = True
     while running:
         command = in_queue.get()
+        action = plan.get(seq)
+        seq += 1
+        if action == "kill":  # hard death: no fatal, no stopped ack
+            os._exit(17)
+        if action == "hang":  # stop answering; the supervisor kills us
+            time.sleep(_CHAOS_HANG_S)
         try:
             replies, running = _run_command(service, command)
         except Exception as error:  # pragma: no cover - worker crash path
             out_queue.put(("fatal", shard_index, repr(error)))
             break
-        for reply in replies:
+        for reply in _apply_reply_chaos(replies, action):
             out_queue.put((reply[0], shard_index) + reply[1:])
     out_queue.put(("stopped", shard_index))
 
@@ -139,6 +196,7 @@ class ProcessShard:
         index: int,
         config: ServiceConfig,
         start_method: Optional[str] = None,
+        chaos: Optional[ChaosConfig] = None,
     ):
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
@@ -147,9 +205,10 @@ class ProcessShard:
         self.index = index
         self.in_queue = context.Queue()
         self.out_queue = context.Queue()
+        self._queues_closed = False
         self.process = context.Process(
             target=_shard_main,
-            args=(index, config, self.in_queue, self.out_queue),
+            args=(index, config, self.in_queue, self.out_queue, chaos),
             daemon=True,
             name=f"repro-shard-{index}",
         )
@@ -157,16 +216,41 @@ class ProcessShard:
     def start(self) -> None:
         self.process.start()
 
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL the worker (hung-shard reaping, chaos drills)."""
+        if self.process.is_alive():  # pragma: no branch
+            self.process.kill()
+
     def send(self, message: Message) -> List[Message]:
         """Enqueue a command; replies arrive on :attr:`out_queue`."""
         self.in_queue.put(message)
         return []
 
     def join(self, timeout: Optional[float] = None) -> None:
+        """Reap the worker and release both queues (idempotent).
+
+        Escalates terminate → kill on a stuck worker, then closes the
+        queues and cancels their feeder threads: a supervisor that
+        restarts shards must not leak one feeder thread and two pipe
+        fd pairs per corpse.
+        """
         self.process.join(timeout)
         if self.process.is_alive():  # pragma: no cover - stuck worker
             self.process.terminate()
             self.process.join(1.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(1.0)
+        if not self._queues_closed:
+            self._queues_closed = True
+            for q in (self.in_queue, self.out_queue):
+                q.close()
+                # A killed worker leaves data buffered; never block on
+                # flushing commands no one will read.
+                q.cancel_join_thread()
 
 
 class InlineShard:
@@ -174,21 +258,52 @@ class InlineShard:
 
     :meth:`send` executes the command immediately and returns the
     replies (already tagged with the shard index) instead of routing
-    them through a queue.
+    them through a queue.  Chaos ``kill``/``hang`` surface as a
+    synthetic ``("down", shard, reason)`` reply — there is no process
+    to kill, but the supervisor path they exercise is the same.
     """
 
-    def __init__(self, index: int, config: ServiceConfig):
+    def __init__(
+        self,
+        index: int,
+        config: ServiceConfig,
+        chaos: Optional[ChaosConfig] = None,
+    ):
         self.index = index
         self.service = MultiplicationService(config)
+        self._plan: Dict[int, str] = (
+            chaos.plan_for(index) if chaos else {}
+        )
+        self._seq = 0
         self._running = True
 
     def start(self) -> None:  # symmetry with ProcessShard
         pass
 
+    def is_alive(self) -> bool:
+        return self._running
+
+    def kill(self) -> None:
+        self._running = False
+
     def send(self, message: Message) -> List[Message]:
-        if not self._running:  # pragma: no cover - protocol misuse
-            raise RuntimeError("shard already stopped")
+        if not self._running:
+            # A dead incarnation absorbs late commands silently, like
+            # a killed worker's in-queue.
+            return []
+        action = self._plan.get(self._seq)
+        self._seq += 1
+        if action in ("kill", "hang"):
+            self._running = False
+            return [
+                (
+                    "down",
+                    self.index,
+                    f"chaos {action} at command {self._seq - 1}",
+                )
+            ]
         replies, self._running = _run_command(self.service, message)
+        replies = _apply_reply_chaos(replies, action)
         tagged = [(r[0], self.index) + r[1:] for r in replies]
         if not self._running:
             tagged.append(("stopped", self.index))

@@ -1,0 +1,310 @@
+"""Shard supervision primitives: failure typing, breakers, chaos.
+
+PR 3 made fault tolerance a first-class concern *inside* a bank way
+(ABFT residue self-checks, the remap → replay → quarantine degrade
+ladder).  This module is the process-level rung of that same
+escalation ladder: the value types the
+:class:`~repro.frontend.AsyncShardedFrontend` supervisor uses to
+survive the death of a whole shard worker.
+
+* :class:`ShardFailedError` — the *typed* terminal state of a future
+  whose request could not be completed on any shard within the
+  redispatch budget.  The supervision contract is that every admitted
+  future reaches a terminal state: a :class:`~repro.service.MulResult`,
+  the shard's admission error, or this — never a silent hang.
+* :class:`SupervisionConfig` — liveness, restart, redispatch and
+  breaker tunables.
+* :class:`CircuitBreaker` — the classic closed → open → half-open
+  state machine, per shard, on the virtual cycle clock.  The router
+  routes around shards whose breaker is open; a respawned shard comes
+  back half-open and closes on its first completed result.
+* :class:`ChaosConfig` — seeded failure-injection schedules (kill /
+  hang / drop-reply / duplicate-reply keyed by shard and command
+  sequence number) consumed by the shard hosts, so the chaos campaign
+  (``repro chaos-campaign``, ``benchmarks/bench_chaos.py``) is exactly
+  reproducible.
+
+Count2Multiply (PAPERS.md) argues reliable in-memory compute needs
+fault handling at every layer of the stack; the serving tier must
+survive worker death the same way the bank survives a stuck-at fault.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.service import ServiceError
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CHAOS_ACTIONS",
+    "ChaosConfig",
+    "CircuitBreaker",
+    "ShardFailedError",
+    "SupervisionConfig",
+]
+
+
+class ShardFailedError(ServiceError):
+    """A request exhausted its redispatch budget across shard failures.
+
+    Raised on the request's future (never synchronously inside a
+    worker): the owning shard died or stopped answering, the
+    supervisor replayed the journaled request up to
+    :attr:`SupervisionConfig.retry_budget` times on survivors and/or
+    the respawned shard, and every attempt failed — or no eligible
+    shard remained.  Distinct from the admission errors so clients can
+    tell "your request was bad" from "the serving tier lost capacity".
+    """
+
+
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """Liveness, restart and redispatch tunables of the supervisor."""
+
+    #: Master switch.  Disabled, the frontend behaves like PR 7: a
+    #: worker ``fatal`` poisons the whole frontend and a hard-killed
+    #: worker strands its router thread.
+    enabled: bool = True
+    #: Bound on the router thread's ``out_queue.get`` — the dead-man
+    #: poll period.  Every expiry checks ``process.is_alive()``.
+    poll_timeout_s: float = 0.05
+    #: Quiet time on a shard's out-queue before the router sends a
+    #: ``("ping", seq)`` heartbeat probe.
+    heartbeat_interval_s: float = 0.5
+    #: An unanswered heartbeat older than this declares the worker
+    #: hung; the supervisor kills it (crash-only) and restarts it.
+    hang_timeout_s: float = 10.0
+    #: Respawn budget per shard slot.  Past it the slot stays down and
+    #: its traffic permanently reroutes to survivors.
+    max_restarts: int = 2
+    #: Redispatches allowed per journaled request before its future
+    #: fails with :class:`ShardFailedError`.
+    retry_budget: int = 2
+    #: Cycle-domain backoff: redispatch attempt *k* replays the
+    #: request ``k * backoff_cc`` cycles past the frontend clock, so
+    #: replays do not stampede the survivor's bins.
+    backoff_cc: int = 4096
+    #: Consecutive shard-health failures (``NoHealthyWayError``,
+    #: lost replies) that open a live shard's breaker.
+    breaker_failure_threshold: int = 3
+    #: Cycles an open breaker waits before allowing a half-open probe.
+    breaker_cooldown_cc: int = 65_536
+    #: Bound on waiting for ``("stopped", ...)`` acks in ``close()``;
+    #: a dead worker never acks, so the wait must not hang.
+    stop_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.poll_timeout_s <= 0:
+            raise ValueError("poll_timeout_s must be positive")
+        if self.hang_timeout_s <= self.heartbeat_interval_s:
+            raise ValueError(
+                "hang_timeout_s must exceed heartbeat_interval_s"
+            )
+        if self.max_restarts < 0 or self.retry_budget < 0:
+            raise ValueError("budgets must be non-negative")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be >= 1")
+
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-shard closed → open → half-open breaker on the cycle clock.
+
+    * **closed** — healthy; requests route normally.  Consecutive
+      failures past ``failure_threshold`` trip it open.
+    * **open** — sick; the router routes around it.  After
+      ``cooldown_cc`` cycles (or an explicit respawn) it admits a
+      half-open probe.
+    * **half-open** — probing; the first completed result closes it,
+      the first failure re-opens it.
+
+    Transitions are recorded (and reported through *on_transition*) so
+    the chaos campaign can assert the breaker actually cycled.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_cc: int = 65_536,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ):
+        self.failure_threshold = failure_threshold
+        self.cooldown_cc = cooldown_cc
+        self.state = BREAKER_CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_cc: Optional[int] = None
+        self.transitions: List[Tuple[str, str]] = []
+        self._on_transition = on_transition
+
+    def _to(self, state: str) -> None:
+        if state == self.state:
+            return
+        old, self.state = self.state, state
+        self.transitions.append((old, state))
+        if self._on_transition is not None:
+            self._on_transition(old, state)
+
+    # ------------------------------------------------------------------
+    def allows(self, now_cc: int) -> bool:
+        """May this shard receive traffic right now?
+
+        An open breaker whose cooldown elapsed transitions to
+        half-open as a side effect (the probe admission).
+        """
+        if self.state == BREAKER_OPEN:
+            if (
+                self.opened_at_cc is not None
+                and now_cc - self.opened_at_cc >= self.cooldown_cc
+            ):
+                self._to(BREAKER_HALF_OPEN)
+        return self.state != BREAKER_OPEN
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state == BREAKER_HALF_OPEN:
+            self._to(BREAKER_CLOSED)
+
+    def record_failure(self, now_cc: int) -> None:
+        self.consecutive_failures += 1
+        if self.state == BREAKER_HALF_OPEN or (
+            self.state == BREAKER_CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.trip(now_cc)
+
+    def trip(self, now_cc: int) -> None:
+        """Force open (shard death, hang, restart in progress)."""
+        self.opened_at_cc = now_cc
+        self._to(BREAKER_OPEN)
+
+    def half_open(self) -> None:
+        """Admit a probe (a respawned worker is back on its feet)."""
+        self.consecutive_failures = 0
+        self._to(BREAKER_HALF_OPEN)
+
+
+# ----------------------------------------------------------------------
+# Chaos injection
+# ----------------------------------------------------------------------
+CHAOS_ACTIONS = ("kill", "hang", "drop", "duplicate")
+
+#: Worker-side precedence when one command draws several actions.
+_ACTION_PRECEDENCE = {name: i for i, name in enumerate(CHAOS_ACTIONS)}
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded failure-injection schedules for the shard hosts.
+
+    Each schedule is a tuple of ``(shard_index, command_seq)`` pairs;
+    ``command_seq`` counts the commands a shard incarnation has
+    received (0-based), so for a fixed driver sequence the injection
+    points are exactly reproducible.  Respawned incarnations run
+    chaos-free — a crash-only restart comes back clean instead of
+    re-dying at the same command.
+
+    ``kill``
+        the worker hard-exits (``os._exit``) before processing the
+        command: no ``fatal`` message, no ``stopped`` ack — the
+        SIGKILL-equivalent the dead-man poll must catch.  Inline
+        shards report a synthetic ``down`` instead (no process to
+        kill), which exercises the same supervisor path
+        deterministically.
+    ``hang``
+        the worker stops responding (sleeps) at the command; the
+        heartbeat timeout must detect it and the supervisor kills the
+        corpse.  Inline shards map this to a synthetic ``down`` with a
+        ``hang`` reason (a real hang would deadlock the event loop).
+    ``drop``
+        replies of kind ``results`` for that command are discarded —
+        the lost-completion case the drain loop recovers via journal
+        redispatch.
+    ``duplicate``
+        ``results`` replies for that command are delivered twice —
+        the stale-delivery case ``_resolve`` must absorb idempotently.
+    """
+
+    kill: Tuple[Tuple[int, int], ...] = ()
+    hang: Tuple[Tuple[int, int], ...] = ()
+    drop_replies: Tuple[Tuple[int, int], ...] = ()
+    duplicate_replies: Tuple[Tuple[int, int], ...] = ()
+    #: Identification only (stamped into campaign reports).
+    seed: int = 0
+
+    def plan_for(self, shard_index: int) -> Dict[int, str]:
+        """Command-seq → action map for one shard (precedence:
+        kill > hang > drop > duplicate)."""
+        plan: Dict[int, str] = {}
+        schedules = (
+            ("kill", self.kill),
+            ("hang", self.hang),
+            ("drop", self.drop_replies),
+            ("duplicate", self.duplicate_replies),
+        )
+        for action, schedule in schedules:
+            for shard, seq in schedule:
+                if shard != shard_index:
+                    continue
+                current = plan.get(seq)
+                if (
+                    current is None
+                    or _ACTION_PRECEDENCE[action] < _ACTION_PRECEDENCE[current]
+                ):
+                    plan[seq] = action
+        return plan
+
+    @property
+    def events(self) -> int:
+        return (
+            len(self.kill)
+            + len(self.hang)
+            + len(self.drop_replies)
+            + len(self.duplicate_replies)
+        )
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        shards: int,
+        horizon: int,
+        kills: int = 1,
+        hangs: int = 0,
+        drops: int = 0,
+        duplicates: int = 0,
+    ) -> "ChaosConfig":
+        """Draw a reproducible schedule: the requested number of each
+        event at distinct ``(shard, seq)`` points within the first
+        *horizon* commands of each shard."""
+        if shards < 1 or horizon < 1:
+            raise ValueError("need at least one shard and one command")
+        rng = random.Random(seed)
+        total = kills + hangs + drops + duplicates
+        points = [(s, q) for s in range(shards) for q in range(horizon)]
+        if total > len(points):
+            raise ValueError(
+                f"{total} chaos events do not fit in "
+                f"{shards} x {horizon} command points"
+            )
+        chosen = rng.sample(points, total)
+        cursor = 0
+        buckets: List[Tuple[Tuple[int, int], ...]] = []
+        for count in (kills, hangs, drops, duplicates):
+            buckets.append(tuple(sorted(chosen[cursor:cursor + count])))
+            cursor += count
+        return cls(
+            kill=buckets[0],
+            hang=buckets[1],
+            drop_replies=buckets[2],
+            duplicate_replies=buckets[3],
+            seed=seed,
+        )

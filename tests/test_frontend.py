@@ -143,9 +143,69 @@ class TestErrorRouting:
             rebuild_error("DeadlineImpossibleError", "x"),
             DeadlineImpossibleError,
         )
-        # Unknown names degrade to the base ServiceError.
+        # Unknown names degrade to the base ServiceError but keep the
+        # original class name in the message.
         error = rebuild_error("SomethingElse", "boom")
         assert type(error) is ServiceError
+        assert "SomethingElse" in str(error)
+        assert "boom" in str(error)
+
+    def test_unknown_error_name_counted_in_metrics(self):
+        async def run():
+            config = FrontendConfig(shards=1, inline=True, service=SMALL)
+            async with AsyncShardedFrontend(config) as fe:
+                future = await fe.submit(3, 5, 64, arrival_cc=0)
+                rid = next(iter(fe._futures))
+                fe._handle_message(("error", 0, rid, "BrandNewError", "boom"))
+                with pytest.raises(ServiceError, match="BrandNewError: boom"):
+                    await future
+                snapshot = await fe.snapshot()
+            assert snapshot["counters"]["frontend_unknown_errors"] == 1
+
+        asyncio.run(run())
+
+
+class TestIdempotentDelivery:
+    """Duplicate / stale result deliveries must be absorbed, never
+    raise ``InvalidStateError`` on an already-resolved future."""
+
+    def test_duplicate_reply_counted_and_dropped(self):
+        from repro.frontend import ChaosConfig
+
+        jobs = _jobs(4)
+        config = FrontendConfig(
+            shards=1,
+            inline=True,
+            service=SMALL,
+            # Seq 3 = the 4th submit, which flushes the full batch.
+            chaos=ChaosConfig(duplicate_replies=((0, 3),)),
+        )
+        results, snapshot, outstanding = asyncio.run(_run_load(config, jobs))
+        assert outstanding == 0
+        assert len(results) == len(jobs)
+        for rid, (a, b, _n) in enumerate(jobs):
+            assert results[rid].product == a * b
+        # Each of the 4 batched results was delivered twice; the second
+        # copies were absorbed and counted.
+        assert snapshot["counters"]["frontend_orphan_results"] == 4
+        assert snapshot["counters"]["frontend_results_routed"] == 4
+
+    def test_stale_redelivery_after_resolution(self):
+        async def run():
+            config = FrontendConfig(shards=1, inline=True, service=SMALL)
+            async with AsyncShardedFrontend(config) as fe:
+                future = await fe.submit(6, 7, 64, arrival_cc=0)
+                await fe.drain()
+                result = await future
+                assert result.product == 42
+                # Replay the same completion twice more: idempotent.
+                fe._handle_message(("results", 0, [result]))
+                fe._handle_message(("results", 0, [result]))
+                snapshot = await fe.snapshot()
+                assert fe.outstanding == 0
+            assert snapshot["counters"]["frontend_orphan_results"] == 2
+
+        asyncio.run(run())
 
 
 class TestProcessParity:
@@ -226,3 +286,15 @@ class TestShardProtocol:
             assert shard.out_queue.get(timeout=60)[0] == "stopped"
         finally:
             shard.join(timeout=10)
+
+    def test_join_releases_queues_idempotently(self):
+        """join() must close both queues (feeder-thread / fd leak) and
+        stay safe to call twice."""
+        shard = ProcessShard(0, SMALL)
+        shard.start()
+        shard.send(("stop",))
+        assert shard.out_queue.get(timeout=60)[0] == "stopped"
+        shard.join(timeout=10)
+        with pytest.raises(ValueError):
+            shard.in_queue.put(("snapshot",))
+        shard.join(timeout=1)  # second join is a no-op, not an error
