@@ -329,6 +329,84 @@ def _cmd_load_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_crypto_bench(args: argparse.Namespace) -> int:
+    """Open-loop crypto traffic through the workload engine.
+
+    Generates a seeded kind-mixed arrival stream (Zipf-skewed modulus
+    popularity over modmul/modexp plus tiny Pippenger MSM instances)
+    and serves it through one :class:`CryptoWorkloadEngine`.  All
+    latencies are in the virtual cycle domain, so the report is
+    seed-reproducible.
+    """
+    from repro.eval import loadgen
+    from repro.eval.report import format_table
+    from repro.service import ServiceConfig
+
+    moduli = tuple(int(m) for m in args.moduli.split(","))
+    load = loadgen.build_crypto_load(
+        args.jobs,
+        args.gap_cc,
+        process=args.arrivals,
+        seed=args.seed,
+        moduli=moduli,
+        zipf_s=args.zipf_s,
+        msm_points=args.msm_points,
+        deadline_slack_cc=args.deadline_slack_cc,
+    )
+    config = ServiceConfig(batch_size=args.batch_size, ways_per_width=args.ways)
+    report, engine = loadgen.run_crypto(
+        load, config, cohort_size=args.cohort_size
+    )
+    by_kind = ", ".join(
+        f"{kind}:{count}" for kind, count in sorted(report.by_kind.items())
+    )
+    rows = [
+        (
+            report.completed,
+            report.rejected_deadline,
+            report.p50_cc,
+            report.p95_cc,
+            report.p99_cc,
+            f"{report.miss_rate:.1%}",
+            f"{report.context_hit_rate:.1%}",
+            f"{report.horizon_cc:,}",
+            f"{report.wall_seconds:.2f}s",
+        )
+    ]
+    print(
+        format_table(
+            (
+                "done", "rej", "p50 cc", "p95 cc", "p99 cc", "miss",
+                "ctx hit", "horizon cc", "wall",
+            ),
+            rows,
+            title=(
+                f"Crypto open-loop ({args.arrivals}): {args.jobs} jobs, "
+                f"mean gap {args.gap_cc} cc, cohorts of {args.cohort_size}"
+            ),
+        )
+    )
+    print()
+    print(f"kinds served: {by_kind}")
+    print(
+        f"multiplier passes: {report.multiplier_passes:,} across "
+        f"{report.waves:,} waves ({report.residue_checks:,} residue checks)"
+    )
+    workloads = engine.snapshot()["workloads"]
+    print(
+        f"modulus contexts: {workloads['cached_moduli']} cached, "
+        f"hit rate {workloads['context_hit_rate']:.1%}"
+    )
+    if args.slo_p99_cc is not None and report.p99_cc > args.slo_p99_cc:
+        print(
+            f"FAIL: crypto p99 {report.p99_cc} cc exceeds "
+            f"SLO {args.slo_p99_cc} cc",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_fault_campaign(args: argparse.Namespace) -> int:
     from repro.eval.report import format_table
     from repro.reliability import CampaignConfig, run_campaign
@@ -906,6 +984,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero when the sharded p99 exceeds this",
     )
     loadb.set_defaults(func=_cmd_load_bench)
+
+    cryptob = sub.add_parser(
+        "crypto-bench",
+        help="open-loop crypto traffic (modmul/modexp/MSM) through "
+        "the workload engine",
+    )
+    cryptob.add_argument(
+        "--arrivals",
+        default="poisson",
+        choices=("poisson", "bursty", "diurnal"),
+    )
+    cryptob.add_argument("--jobs", type=int, default=32)
+    cryptob.add_argument(
+        "--gap-cc",
+        type=int,
+        default=20_000,
+        help="mean inter-arrival gap in cycles",
+    )
+    cryptob.add_argument(
+        "--moduli",
+        default="97,65521,65195,64854",
+        help="comma-separated moduli, listed in popularity order",
+    )
+    cryptob.add_argument(
+        "--zipf-s",
+        type=float,
+        default=1.1,
+        help="Zipf skew of modulus popularity",
+    )
+    cryptob.add_argument("--msm-points", type=int, default=3)
+    cryptob.add_argument("--cohort-size", type=int, default=8)
+    cryptob.add_argument("--batch-size", type=int, default=8)
+    cryptob.add_argument("--ways", type=int, default=1)
+    cryptob.add_argument("--seed", type=int, default=0xC49)
+    cryptob.add_argument(
+        "--deadline-slack-cc",
+        type=int,
+        default=None,
+        help="stamp every request with this latency budget",
+    )
+    cryptob.add_argument(
+        "--slo-p99-cc",
+        type=int,
+        default=None,
+        help="exit non-zero when the crypto p99 exceeds this",
+    )
+    cryptob.set_defaults(func=_cmd_crypto_bench)
 
     campaign = sub.add_parser(
         "fault-campaign",

@@ -55,19 +55,25 @@ from repro.sim.exceptions import DesignError
 __all__ = [
     "ARRIVAL_PROCESSES",
     "CHAOS_SCENARIOS",
+    "DEFAULT_CRYPTO_MODULI",
     "MIXES",
     "LATENCY_BUCKETS_CC",
     "ChaosReport",
+    "CryptoLoadItem",
+    "CryptoLoadReport",
     "LoadItem",
     "LoadReport",
     "Slo",
     "arrival_schedule",
+    "build_crypto_load",
     "build_load",
     "chaos_scenario",
     "run_chaos",
+    "run_crypto",
     "run_sharded",
     "run_sync",
     "render",
+    "zipf_weights",
 ]
 
 ARRIVAL_PROCESSES = ("poisson", "bursty", "diurnal")
@@ -669,6 +675,294 @@ async def _run_chaos(
         breakers=breakers,
         wall_seconds=time.perf_counter() - started,
     )
+
+
+# ----------------------------------------------------------------------
+# Crypto traffic mode
+# ----------------------------------------------------------------------
+#: Default modulus pool: one small sparse prime (the tiny test-curve
+#: field), one 16-bit sparse prime, one generic odd (Montgomery) and
+#: one even (Barrett) modulus — all widths the CI can simulate fast,
+#: covering every reduction strategy.
+DEFAULT_CRYPTO_MODULI: Tuple[int, ...] = (97, 65521, 65195, 64854)
+
+#: Default kind ratios of the crypto mix.
+DEFAULT_KIND_MIX: Tuple[Tuple[str, float], ...] = (
+    ("modmul", 0.7),
+    ("modexp", 0.2),
+    ("msm", 0.1),
+)
+
+
+def zipf_weights(count: int, s: float = 1.1) -> List[float]:
+    """Zipf popularity weights ``1 / rank^s`` for *count* items.
+
+    Crypto traffic is modulus-skewed: a handful of standardised field
+    primes serve almost all requests.  Rank 0 is the most popular.
+    """
+    if count < 1:
+        raise DesignError("need at least one item to weight")
+    return [1.0 / (rank + 1) ** s for rank in range(count)]
+
+
+@dataclass(frozen=True)
+class CryptoLoadItem:
+    """One open-loop crypto arrival: kind-tagged workload parameters."""
+
+    arrival_cc: int
+    kind: str
+    modulus: int = 0
+    x: int = 0
+    y: int = 0
+    exponent: int = 0
+    scalars: Tuple[int, ...] = ()
+    points: Tuple[object, ...] = ()
+    priority: int = 0
+    deadline_cc: Optional[int] = None
+
+
+def build_crypto_load(
+    jobs: int,
+    mean_gap_cc: int,
+    process: str = "poisson",
+    seed: int = 0xC49,
+    moduli: Sequence[int] = DEFAULT_CRYPTO_MODULI,
+    zipf_s: float = 1.1,
+    kind_mix: Sequence[Tuple[str, float]] = DEFAULT_KIND_MIX,
+    exponent_bits: int = 5,
+    msm_points: int = 3,
+    msm_scalar_bits: int = 3,
+    deadline_slack_cc: Optional[int] = None,
+    curve: Optional[object] = None,
+) -> List[CryptoLoadItem]:
+    """Seeded open-loop crypto traffic with Zipf modulus popularity.
+
+    ``modmul``/``modexp`` items draw their modulus from *moduli* with
+    Zipf(*zipf_s*) weights (listed order = popularity rank), then draw
+    residues uniformly.  ``msm`` items are tiny Pippenger instances on
+    *curve* (the exhaustively-testable 97-point curve by default) with
+    ``msm_points`` terms and ``msm_scalar_bits``-bit scalars.
+    """
+    from repro.crypto.ec import TINY_CURVE, CimEllipticCurve
+
+    if curve is None:
+        curve = TINY_CURVE
+    kinds = [kind for kind, _ in kind_mix]
+    kind_weights = [weight for _, weight in kind_mix]
+    modulus_weights = zipf_weights(len(moduli), zipf_s)
+    arrivals = arrival_schedule(
+        process, jobs, mean_gap_cc, seed=seed ^ 0x5EED
+    )
+    rng = random.Random(seed)
+    # Host-speed point table: the generator's small multiples.
+    host_curve = CimEllipticCurve(curve)
+    point_table = [host_curve.generator()]
+    for _ in range(max(msm_points, 8) - 1):
+        point_table.append(
+            host_curve.add(point_table[-1], host_curve.generator())
+        )
+    load: List[CryptoLoadItem] = []
+    for arrival in arrivals:
+        kind = rng.choices(kinds, weights=kind_weights)[0]
+        if kind == "msm":
+            load.append(
+                CryptoLoadItem(
+                    arrival_cc=arrival,
+                    kind=kind,
+                    modulus=curve.p,
+                    scalars=tuple(
+                        rng.randrange(1, 1 << msm_scalar_bits)
+                        for _ in range(msm_points)
+                    ),
+                    points=tuple(rng.sample(point_table, msm_points)),
+                    deadline_cc=deadline_slack_cc,
+                )
+            )
+            continue
+        modulus = rng.choices(moduli, weights=modulus_weights)[0]
+        load.append(
+            CryptoLoadItem(
+                arrival_cc=arrival,
+                kind=kind,
+                modulus=modulus,
+                x=rng.randrange(modulus),
+                y=rng.randrange(modulus),
+                exponent=rng.randrange(1, 1 << exponent_bits),
+                deadline_cc=deadline_slack_cc,
+            )
+        )
+    return load
+
+
+@dataclass(frozen=True)
+class CryptoLoadReport:
+    """Outcome of one open-loop crypto run, in the cycle domain."""
+
+    offered: int
+    completed: int
+    by_kind: Dict[str, int]
+    rejected_deadline: int
+    p50_cc: int
+    p95_cc: int
+    p99_cc: int
+    mean_cc: float
+    miss_rate: float
+    horizon_cc: int
+    context_hit_rate: float
+    multiplier_passes: int
+    waves: int
+    residue_checks: int
+    wall_seconds: float = 0.0
+
+    def meets(self, slo: Slo) -> bool:
+        return (
+            self.p99_cc <= slo.p99_cc and self.miss_rate <= slo.max_miss_rate
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "by_kind": dict(sorted(self.by_kind.items())),
+            "rejected_deadline": self.rejected_deadline,
+            "p50_cc": self.p50_cc,
+            "p95_cc": self.p95_cc,
+            "p99_cc": self.p99_cc,
+            "mean_cc": round(self.mean_cc, 2),
+            "miss_rate": round(self.miss_rate, 4),
+            "horizon_cc": self.horizon_cc,
+            "context_hit_rate": round(self.context_hit_rate, 4),
+            "multiplier_passes": self.multiplier_passes,
+            "waves": self.waves,
+            "residue_checks": self.residue_checks,
+        }
+
+
+def run_crypto(
+    load: List[CryptoLoadItem],
+    config: Optional[ServiceConfig] = None,
+    cohort_size: int = 8,
+    curve: Optional[object] = None,
+    msm_window_bits: int = 2,
+) -> Tuple[CryptoLoadReport, "CryptoWorkloadEngine"]:
+    """Open-loop crypto run through one workload engine.
+
+    Consecutive ``modmul``/``modexp`` arrivals group into cohorts of up
+    to *cohort_size* served in shared waves (same-width plans pack into
+    the same SIMD batches); ``msm`` arrivals flush the pending cohort
+    and run through the orchestrator.  Latency percentiles, deadline
+    misses and the context-cache hit rate all live on the virtual cycle
+    clock, so the report is seed-deterministic.
+    """
+    import time
+
+    from repro.crypto.ec import TINY_CURVE
+    from repro.workloads import (
+        CryptoWorkloadEngine,
+        ModExpRequest,
+        ModMulRequest,
+        MsmRequest,
+    )
+
+    if curve is None:
+        curve = TINY_CURVE
+    engine = CryptoWorkloadEngine(config=config)
+    results: List[object] = []
+    rejected_deadline = 0
+    by_kind: Dict[str, int] = {}
+    started = time.perf_counter()
+
+    pending: List[object] = []
+
+    def flush_cohort() -> None:
+        nonlocal rejected_deadline
+        if not pending:
+            return
+        try:
+            results.extend(engine.serve_cohort(list(pending)))
+        except DeadlineImpossibleError:
+            # Re-serve one by one so a single infeasible deadline does
+            # not reject its whole cohort.
+            for request in pending:
+                try:
+                    results.extend(engine.serve_cohort([request]))
+                except DeadlineImpossibleError:
+                    rejected_deadline += 1
+        pending.clear()
+
+    for index, entry in enumerate(load):
+        by_kind[entry.kind] = by_kind.get(entry.kind, 0) + 1
+        if entry.kind == "msm":
+            flush_cohort()
+            request = MsmRequest(
+                request_id=index,
+                scalars=entry.scalars,
+                points=entry.points,
+                curve=curve,
+                window_bits=msm_window_bits,
+                priority=entry.priority,
+                deadline_cc=entry.deadline_cc,
+                arrival_cc=entry.arrival_cc,
+            )
+            try:
+                results.append(engine.serve_msm(request))
+            except DeadlineImpossibleError:
+                rejected_deadline += 1
+            continue
+        if entry.kind == "modexp":
+            pending.append(
+                ModExpRequest(
+                    request_id=index,
+                    base=entry.x,
+                    exponent=entry.exponent,
+                    modulus=entry.modulus,
+                    priority=entry.priority,
+                    deadline_cc=entry.deadline_cc,
+                    arrival_cc=entry.arrival_cc,
+                )
+            )
+        else:
+            pending.append(
+                ModMulRequest(
+                    request_id=index,
+                    x=entry.x,
+                    y=entry.y,
+                    modulus=entry.modulus,
+                    priority=entry.priority,
+                    deadline_cc=entry.deadline_cc,
+                    arrival_cc=entry.arrival_cc,
+                )
+            )
+        if len(pending) >= cohort_size:
+            flush_cohort()
+    flush_cohort()
+    wall = time.perf_counter() - started
+
+    latencies = sorted(
+        r.service_latency_cc
+        for r in results
+        if r.service_latency_cc is not None
+    )
+    misses = sum(1 for r in results if r.deadline_met is False)
+    horizon = max((r.completion_cc or 0 for r in results), default=0)
+    report = CryptoLoadReport(
+        offered=len(load),
+        completed=len(results),
+        by_kind=by_kind,
+        rejected_deadline=rejected_deadline,
+        p50_cc=_percentile(latencies, 0.50),
+        p95_cc=_percentile(latencies, 0.95),
+        p99_cc=_percentile(latencies, 0.99),
+        mean_cc=sum(latencies) / len(latencies) if latencies else 0.0,
+        miss_rate=misses / len(results) if results else 0.0,
+        horizon_cc=horizon,
+        context_hit_rate=engine.contexts.stats.hit_rate,
+        multiplier_passes=sum(r.multiplier_passes for r in results),
+        waves=sum(r.waves for r in results),
+        residue_checks=sum(r.residue_checks for r in results),
+        wall_seconds=wall,
+    )
+    return report, engine
 
 
 # ----------------------------------------------------------------------

@@ -256,6 +256,8 @@ class AsyncShardedFrontend:
         priority: int = 0,
         deadline_cc: Optional[int] = None,
         arrival_cc: Optional[int] = None,
+        kind: str = "mul",
+        modulus_bits: Optional[int] = None,
     ) -> "asyncio.Future[MulResult]":
         """Admit one multiplication; returns the future of its result.
 
@@ -281,6 +283,8 @@ class AsyncShardedFrontend:
             priority=priority,
             deadline_cc=deadline_cc,
             arrival_cc=arrival_cc,
+            kind=kind,
+            modulus_bits=modulus_bits,
         )
         if arrival_cc is not None and arrival_cc > self._clock_cc:
             self._clock_cc = arrival_cc
@@ -291,6 +295,7 @@ class AsyncShardedFrontend:
         self._owner[request_id] = shard_index
         with self.telemetry.span(
             "frontend.admit",
+            begin_cc=self._clock_cc,
             request_id=request_id,
             n_bits=n_bits,
             shard=shard_index,
@@ -621,6 +626,7 @@ class AsyncShardedFrontend:
         if latency is not None:
             self.telemetry.event(
                 "frontend.complete",
+                at_cc=self._clock_cc,
                 request_id=result.request_id,
                 latency_cc=latency,
                 way=result.way,
@@ -637,7 +643,11 @@ class AsyncShardedFrontend:
                 f"frontend_breaker_{new.replace('-', '_')}"
             ).inc()
             self.telemetry.event(
-                "frontend.breaker", shard=index, old=old, new=new
+                "frontend.breaker",
+                at_cc=self._clock_cc,
+                shard=index,
+                old=old,
+                new=new,
             )
 
         return observe
@@ -653,7 +663,10 @@ class AsyncShardedFrontend:
         self._gen[index] += 1
         self.metrics.counter("frontend_shard_deaths").inc()
         self.telemetry.event(
-            "frontend.shard_down", shard=index, reason=reason
+            "frontend.shard_down",
+            at_cc=self._clock_cc,
+            shard=index,
+            reason=reason,
         )
         self._breakers[index].trip(self._clock_cc)
         self._drained_events[index].set()
@@ -691,6 +704,7 @@ class AsyncShardedFrontend:
                 self._safe_send(index, ("advance", self._clock_cc))
             self.telemetry.event(
                 "frontend.shard_restart",
+                at_cc=self._clock_cc,
                 shard=index,
                 restarts=self._restarts[index],
             )
@@ -757,6 +771,7 @@ class AsyncShardedFrontend:
         self.metrics.counter("frontend_redispatches").inc()
         self.telemetry.event(
             "frontend.redispatch",
+            at_cc=self._clock_cc,
             request_id=request_id,
             shard=target,
             attempt=attempts,

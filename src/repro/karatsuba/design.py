@@ -39,6 +39,10 @@ class KaratsubaCimMultiplier:
     device:
         Optional ReRAM device model override for energy/endurance
         studies.
+    backend:
+        Batched executor backend the pipeline stages run on (one of
+        :data:`repro.magic.BACKEND_NAMES` or an instance); defaults to
+        the pipeline's bit-plane engine.
     """
 
     def __init__(
@@ -46,11 +50,12 @@ class KaratsubaCimMultiplier:
         n_bits: int,
         wear_leveling: bool = True,
         device: DeviceModel = None,
+        backend: object = "bitplane",
     ):
         self.n_bits = n_bits
         self.wear_leveling = wear_leveling
         self.pipeline = KaratsubaPipeline(
-            n_bits, wear_leveling=wear_leveling, device=device
+            n_bits, wear_leveling=wear_leveling, device=device, backend=backend
         )
 
     # ------------------------------------------------------------------

@@ -208,6 +208,8 @@ class MultiplicationService:
         priority: int = 0,
         deadline_cc: Optional[int] = None,
         arrival_cc: Optional[int] = None,
+        kind: str = "mul",
+        modulus_bits: Optional[int] = None,
     ) -> int:
         """Submit one multiplication; returns its request id.
 
@@ -225,6 +227,8 @@ class MultiplicationService:
             priority=priority,
             deadline_cc=deadline_cc,
             arrival_cc=arrival_cc,
+            kind=kind,
+            modulus_bits=modulus_bits,
         )
         self.submit_request(request)
         return request.request_id
@@ -279,6 +283,7 @@ class MultiplicationService:
             cached = self.operand_cache.lookup(
                 request.a, request.b, request.n_bits
             )
+            self.metrics.counter(f"requests_kind_{request.kind}").inc()
             if cached is not None:
                 span.set(cache_hit=True)
                 self.metrics.counter("requests_submitted").inc()
@@ -298,6 +303,8 @@ class MultiplicationService:
                         ),
                         arrival_cc=request.arrival_cc,
                         completion_cc=request.arrival_cc,
+                        kind=request.kind,
+                        modulus_bits=request.modulus_bits,
                     )
                 )
                 return
@@ -515,6 +522,8 @@ class MultiplicationService:
                         if request.arrival_cc is not None
                         else None
                     ),
+                    kind=request.kind,
+                    modulus_bits=request.modulus_bits,
                 )
             )
 

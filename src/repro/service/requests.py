@@ -86,6 +86,15 @@ class MulRequest:
     #: Virtual arrival timestamp in clock cycles (open-loop drivers
     #: stamp it; ``None`` keeps the legacy tick-per-submission clock).
     arrival_cc: Optional[int] = None
+    #: Workload kind this multiplication serves (``"mul"`` for plain
+    #: traffic; the crypto workload layer stamps ``"modmul"`` /
+    #: ``"modexp"`` / ``"msm"`` on the field multiplications it
+    #: decomposes into).  Free-form provenance tag — the service bins
+    #: by width only, never by kind.
+    kind: str = "mul"
+    #: Bit length of the modulus the multiplication reduces under
+    #: (``None`` for plain multiplications).
+    modulus_bits: Optional[int] = None
 
     def __post_init__(self) -> None:
         validate_width(self.n_bits)
@@ -99,6 +108,10 @@ class MulRequest:
             raise AdmissionError("deadline must be non-negative")
         if self.arrival_cc is not None and self.arrival_cc < 0:
             raise AdmissionError("arrival timestamp must be non-negative")
+        if not self.kind or not isinstance(self.kind, str):
+            raise AdmissionError("request kind must be a non-empty string")
+        if self.modulus_bits is not None and self.modulus_bits < 2:
+            raise AdmissionError("modulus_bits must be at least 2")
 
     @property
     def operands(self) -> Tuple[int, int]:
@@ -136,6 +149,11 @@ class MulResult:
     #: with ``arrival_cc`` (open-loop drivers); ``None`` otherwise.
     arrival_cc: Optional[int] = None
     completion_cc: Optional[int] = None
+    #: Workload kind copied from the request (``"mul"`` for plain
+    #: traffic; crypto decompositions stamp their parent kind).
+    kind: str = "mul"
+    #: Bit length of the modulus the multiplication served, when any.
+    modulus_bits: Optional[int] = None
 
     @property
     def service_latency_cc(self) -> Optional[int]:

@@ -352,9 +352,68 @@ def collect_load_metrics(seed: int = 0x10AD) -> Dict[str, Metric]:
     return metrics
 
 
+def collect_crypto_metrics(seed: int = 0xC49) -> Dict[str, Metric]:
+    """Crypto workload traffic through the workload engine.
+
+    Drives a seeded open-loop kind-mixed crypto load (Zipf-skewed
+    modulus popularity over modmul/modexp plus tiny Pippenger MSM
+    instances on the 97-point curve) through one
+    :class:`~repro.workloads.CryptoWorkloadEngine` and records
+    cycle-domain tails, the modulus-context cache hit rate and the
+    decomposition's multiplier-pass count.  One standalone MSM records
+    its pass and wave counts — the per-request serving cost of the
+    paper's headline ZKP primitive.  Everything lives on the virtual
+    cycle clock, so the numbers are bit-stable across machines.
+    """
+    from repro.crypto.ec import TINY_CURVE, CimEllipticCurve
+    from repro.eval import loadgen
+    from repro.service import ServiceConfig
+    from repro.workloads import CryptoWorkloadEngine, MsmRequest
+
+    config = ServiceConfig(batch_size=8, ways_per_width=1)
+    load = loadgen.build_crypto_load(24, 20_000, seed=seed)
+    report, _ = loadgen.run_crypto(load, config, cohort_size=8)
+    metrics: Dict[str, Metric] = {
+        "crypto_completed": Metric(report.completed, HIGHER_IS_BETTER),
+        "crypto_p50_cc": Metric(report.p50_cc, LOWER_IS_BETTER),
+        "crypto_p99_cc": Metric(report.p99_cc, LOWER_IS_BETTER),
+        "context_hit_rate": Metric(
+            report.context_hit_rate, HIGHER_IS_BETTER
+        ),
+        "multiplier_passes": Metric(
+            report.multiplier_passes, LOWER_IS_BETTER
+        ),
+        "horizon_cc": Metric(report.horizon_cc, LOWER_IS_BETTER),
+    }
+    host_curve = CimEllipticCurve(TINY_CURVE)
+    generator = host_curve.generator()
+    points = (
+        generator,
+        host_curve.double(generator),
+        host_curve.add(generator, host_curve.double(generator)),
+    )
+    engine = CryptoWorkloadEngine(config=ServiceConfig(batch_size=8))
+    msm = engine.serve_msm(
+        MsmRequest(
+            request_id=0,
+            scalars=(5, 3, 6),
+            points=points,
+            curve=TINY_CURVE,
+            window_bits=2,
+        )
+    )
+    metrics["msm_passes"] = Metric(msm.multiplier_passes, LOWER_IS_BETTER)
+    metrics["msm_waves"] = Metric(msm.waves, LOWER_IS_BETTER)
+    metrics["msm_completion_cc"] = Metric(
+        msm.completion_cc or 0, LOWER_IS_BETTER
+    )
+    return metrics
+
+
 #: Named deterministic workloads ``repro bench-compare`` knows about.
 COLLECTORS: Dict[str, Callable[[], Dict[str, Metric]]] = {
     "pipeline": collect_pipeline_metrics,
     "service": collect_service_metrics,
     "load": collect_load_metrics,
+    "crypto": collect_crypto_metrics,
 }

@@ -1,0 +1,87 @@
+"""`repro.workloads` — crypto workloads as first-class request kinds.
+
+The paper's introduction motivates CIM with ZKP proof generation: one
+MSM over millions of 384-bit points is millions of field
+multiplications.  This subsystem serves that traffic end to end on top
+of :mod:`repro.service` and :mod:`repro.frontend`:
+
+* a ``kind``-tagged request model (``mul`` | ``modmul`` | ``modexp`` |
+  ``msm``) with typed value objects, admission validation, and
+  deadline estimation from the closed-form cost model
+  (:mod:`~repro.workloads.requests`);
+* a modulus-keyed context cache of precomputed reduction constants and
+  generator-based reduction plans (:mod:`~repro.workloads.context`);
+* wave execution of dependent multiplication chains with end-to-end
+  residue self-checks and per-wave telemetry spans
+  (:mod:`~repro.workloads.waves`);
+* a Pippenger MSM orchestrator decomposing bucket accumulation into
+  parallel wave phases (:mod:`~repro.workloads.msm`);
+* the :class:`~repro.workloads.engine.CryptoWorkloadEngine` facade
+  tying it together, including the async sharded-front-end MSM path.
+
+>>> from repro.workloads import CryptoWorkloadEngine, ModMulRequest
+>>> engine = CryptoWorkloadEngine()
+>>> result = engine.serve_modmul(
+...     ModMulRequest(request_id=0, x=11, y=13, modulus=97)
+... )
+>>> result.value == (11 * 13) % 97
+True
+"""
+
+from repro.workloads.context import (
+    MODMUL_PASSES,
+    ModulusContext,
+    ModulusContextCache,
+)
+from repro.workloads.engine import CryptoWorkloadEngine
+from repro.workloads.msm import MsmOrchestrator
+from repro.workloads.requests import (
+    KIND_MODEXP,
+    KIND_MODMUL,
+    KIND_MSM,
+    KIND_MUL,
+    REQUEST_KINDS,
+    ModExpRequest,
+    ModMulRequest,
+    ModMulResult,
+    MsmRequest,
+    MsmResult,
+    WaveSelfCheckError,
+    WorkloadError,
+    WorkloadResult,
+    estimate_cost_cc,
+)
+from repro.workloads.waves import (
+    FrontendWaveRunner,
+    ServiceWaveRunner,
+    TaskMeta,
+    WavePlan,
+    WaveStats,
+)
+
+__all__ = [
+    "CryptoWorkloadEngine",
+    "FrontendWaveRunner",
+    "KIND_MODEXP",
+    "KIND_MODMUL",
+    "KIND_MSM",
+    "KIND_MUL",
+    "MODMUL_PASSES",
+    "ModExpRequest",
+    "ModMulRequest",
+    "ModMulResult",
+    "ModulusContext",
+    "ModulusContextCache",
+    "MsmOrchestrator",
+    "MsmRequest",
+    "MsmResult",
+    "REQUEST_KINDS",
+    "ServiceWaveRunner",
+    "TaskMeta",
+    "WavePlan",
+    "WaveSelfCheckError",
+    "WaveStats",
+    "WorkloadError",
+    "WorkloadResult",
+    "estimate_cost_cc",
+]

@@ -126,6 +126,10 @@ class TestCaches:
         cache.store(3, 5, 64, 15)
         assert cache.lookup(5, 3, 64) == 15
         assert cache.lookup(3, 5, 32) is None  # width is part of the key
+        # The swapped-operand lookup counts as a hit: 1 hit / 2 lookups.
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
 
     def test_program_cache_keys_by_variant(self):
         cache = ProgramCache(4)
@@ -158,6 +162,41 @@ class TestMetrics:
     def test_counters_only_increase(self):
         with pytest.raises(ValueError):
             MetricsRegistry().counter("a").inc(-1)
+
+    def test_snapshot_schema_stable_with_kind_counters(self):
+        """Per-kind workload counters are additive: they appear inside
+        ``counters`` without changing the snapshot's top-level schema."""
+        registry = MetricsRegistry()
+        registry.counter("requests_admitted").inc()
+        registry.counter("requests_kind_modmul").inc(2)
+        registry.counter("requests_kind_msm").inc()
+        snap = registry.snapshot()
+        assert set(snap) == {"counters", "histograms"}
+        assert snap["counters"]["requests_kind_modmul"] == 2
+        assert snap["counters"]["requests_kind_msm"] == 1
+
+
+class TestProvenanceDefaults:
+    """Plain traffic is untouched by the workload-kind provenance."""
+
+    def test_request_defaults_to_plain_mul(self):
+        request = _request(0, 3, 4)
+        assert request.kind == "mul"
+        assert request.modulus_bits is None
+
+    def test_result_carries_kind_through_service(self):
+        service = MultiplicationService(ServiceConfig(batch_size=2))
+        plain_id = service.submit(6, 7, 64)
+        tagged_id = service.submit(
+            6, 7, 64, kind="modmul", modulus_bits=16
+        )
+        by_id = {r.request_id: r for r in service.drain()}
+        plain, tagged = by_id[plain_id], by_id[tagged_id]
+        assert plain.product == tagged.product == 42
+        assert (plain.kind, plain.modulus_bits) == ("mul", None)
+        assert (tagged.kind, tagged.modulus_bits) == ("modmul", 16)
+        counters = service.snapshot()["counters"]
+        assert counters["requests_kind_modmul"] == 1
 
 
 class TestWorkers:
