@@ -1,0 +1,235 @@
+"""Benchmark: tuned algorithm-portfolio serving vs the fixed design.
+
+Grades the ``repro.portfolio`` subsystem end to end and asserts the CI
+floors:
+
+* the committed ``TUNE_portfolio.json`` validates (schema round-trip,
+  every selected design servable and feasible, and the stored
+  measurements reproduce the selection — so routing decisions are
+  auditable from the artifact alone);
+* Toom-3 wins at least one width bucket of the committed table;
+* on a seeded mixed-width load over the tuned bucket widths, the
+  portfolio-routed service finishes with a strictly smaller
+  cycle-domain makespan than the fixed Karatsuba L = 2 baseline, and
+  its p99 batch latency is no worse;
+* off-grid widths (``n % 4 != 0``) — unservable by the fixed datapath
+  — complete bit-exactly through the portfolio's Toom-3 route.
+
+Everything lives on the virtual cycle clock, so the numbers are
+seed-deterministic and bit-stable across machines.  Runs under pytest
+(``pytest benchmarks/bench_portfolio.py``) and as a script
+(``python benchmarks/bench_portfolio.py``), which exits non-zero when
+a floor is missed — the CI portfolio smoke check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+try:
+    from benchmarks.conftest import register_report
+except ImportError:  # script mode, no harness on sys.path
+
+    def register_report(name, table):
+        pass
+
+from repro.eval.report import format_table
+from repro.eval.workloads import width_mix_trace
+from repro.portfolio import TuningTable, validate_table_payload
+from repro.service import MultiplicationService, ServiceConfig
+
+#: Committed tuner artifact at the repo root.
+TABLE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "TUNE_portfolio.json"
+)
+
+#: Seeded mixed-width load over the tuned bucket widths.
+MIX_WIDTHS = (16, 32, 64, 128)
+#: Off-grid widths only the portfolio can admit (n % 4 != 0).
+OFFGRID_WIDTHS = (90, 270)
+MIX_JOBS = 64
+MIX_SEED = 0x70F0 ^ 0x3A
+
+
+def _load_table():
+    with open(TABLE_PATH, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return payload, TuningTable.from_json(payload)
+
+
+def _run_load(table, widths, jobs=MIX_JOBS, seed=MIX_SEED):
+    """Drive a seeded width-mixed load; returns cycle-domain stats.
+
+    ``table=None`` runs the fixed Karatsuba L = 2 baseline the paper
+    serves everywhere; a :class:`TuningTable` turns portfolio routing
+    on (same scheduler, caches, batch size — only routing differs).
+    """
+    config = ServiceConfig(
+        batch_size=8,
+        ways_per_width=1,
+        portfolio=table is not None,
+        portfolio_table=table,
+    )
+    service = MultiplicationService(config)
+    trace = width_mix_trace(jobs, widths, seed=seed)
+    expected = {}
+    for index, item in enumerate(trace):
+        rid = service.submit(item.a, item.b, item.n_bits)
+        expected[rid] = item.a * item.b
+    results = service.drain()
+    mismatches = sum(
+        1 for r in results if r.product != expected[r.request_id]
+    )
+    latencies = sorted(r.latency_cc for r in results)
+    rank = -(-99 * len(latencies) // 100)  # nearest-rank ceil
+    return {
+        "completed": len(results),
+        "offered": len(trace),
+        "mismatches": mismatches,
+        "makespan_cc": service.dispatcher.makespan_cc(),
+        "p99_cc": latencies[max(rank - 1, 0)] if latencies else 0,
+        "routes": service.snapshot()["portfolio"].get("routes", {}),
+    }
+
+
+def run_portfolio_bench():
+    payload, table = _load_table()
+    problems = validate_table_payload(payload)
+    selections = table.selections()
+    toom3_buckets = [
+        n for n, key in selections.items() if key.startswith("toom3")
+    ]
+    tuned = _run_load(table, MIX_WIDTHS)
+    baseline = _run_load(None, MIX_WIDTHS)
+    offgrid = _run_load(table, OFFGRID_WIDTHS, jobs=16)
+    speedup = (
+        baseline["makespan_cc"] / tuned["makespan_cc"]
+        if tuned["makespan_cc"]
+        else 0.0
+    )
+    rows = [
+        (
+            "table validation",
+            "clean" if not problems else f"{len(problems)} problem(s)",
+            "no problems",
+        ),
+        (
+            "buckets / toom3 wins",
+            f"{len(selections)} / {len(toom3_buckets)} "
+            f"(at {', '.join(map(str, toom3_buckets)) or '-'})",
+            ">= 1 toom3 bucket",
+        ),
+        (
+            "tuned vs baseline makespan",
+            f"{tuned['makespan_cc']:,} vs {baseline['makespan_cc']:,} cc "
+            f"({speedup:.3f}x)",
+            "tuned strictly smaller",
+        ),
+        (
+            "tuned vs baseline p99",
+            f"{tuned['p99_cc']:,} vs {baseline['p99_cc']:,} cc",
+            "tuned <= baseline",
+        ),
+        (
+            "mixed-width products",
+            f"{tuned['completed']} / {tuned['offered']}, "
+            f"{tuned['mismatches']} mismatches",
+            "all bit-exact",
+        ),
+        (
+            "off-grid products (90/270)",
+            f"{offgrid['completed']} / {offgrid['offered']}, "
+            f"{offgrid['mismatches']} mismatches via "
+            f"{sorted(set(offgrid['routes'].values()))}",
+            "all bit-exact, toom3-routed",
+        ),
+    ]
+    report = format_table(
+        ("metric", "value", "floor"),
+        rows,
+        title=(
+            f"Portfolio bench: {MIX_JOBS} mixed-width jobs, tuned routing "
+            f"vs fixed Karatsuba L=2 (virtual cycle domain)"
+        ),
+    )
+    return {
+        "problems": problems,
+        "selections": selections,
+        "toom3_buckets": toom3_buckets,
+        "tuned": tuned,
+        "baseline": baseline,
+        "offgrid": offgrid,
+        "speedup": speedup,
+        "report": report,
+    }
+
+
+def _floor_failures(bench) -> list:
+    failures = []
+    if bench["problems"]:
+        failures.append(
+            f"tuning table invalid: {bench['problems'][:3]}"
+        )
+    if not bench["toom3_buckets"]:
+        failures.append("toom3 selected in no width bucket")
+    if not bench["tuned"]["makespan_cc"] < bench["baseline"]["makespan_cc"]:
+        failures.append(
+            f"tuned makespan {bench['tuned']['makespan_cc']} cc not "
+            f"strictly below baseline {bench['baseline']['makespan_cc']} cc"
+        )
+    if bench["tuned"]["p99_cc"] > bench["baseline"]["p99_cc"]:
+        failures.append(
+            f"tuned p99 {bench['tuned']['p99_cc']} cc above baseline "
+            f"{bench['baseline']['p99_cc']} cc"
+        )
+    for name in ("tuned", "baseline", "offgrid"):
+        run = bench[name]
+        if run["completed"] != run["offered"] or run["mismatches"]:
+            failures.append(
+                f"{name}: {run['completed']}/{run['offered']} done, "
+                f"{run['mismatches']} mismatches"
+            )
+    offgrid_routes = set(bench["offgrid"]["routes"].values())
+    if not any(key.startswith("toom3") for key in offgrid_routes):
+        failures.append(
+            f"off-grid widths not served by toom3 (routes: {offgrid_routes})"
+        )
+    return failures
+
+
+def test_portfolio_floors():
+    bench = run_portfolio_bench()
+    register_report("portfolio-serving", bench["report"])
+    failures = _floor_failures(bench)
+    assert not failures, "; ".join(failures)
+
+
+def test_committed_table_matches_reduced_resweep():
+    """A reduced re-sweep reproduces the committed selections on its
+    shared widths — the committed artifact is regenerable, not hand-
+    edited."""
+    from repro.portfolio import sweep
+
+    _, committed = _load_table()
+    fresh = sweep(widths=(16, 64), jobs=2)
+    for n_bits, entry in fresh.buckets.items():
+        assert entry.selected.key() == committed.selections()[n_bits], (
+            f"re-sweep at {n_bits} bits selected {entry.selected.key()}, "
+            f"committed table has {committed.selections()[n_bits]}"
+        )
+
+
+if __name__ == "__main__":
+    bench = run_portfolio_bench()
+    print(bench["report"])
+    failures = _floor_failures(bench)
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        sys.exit(1)
+    print(
+        f"OK: {bench['speedup']:.3f}x makespan speedup, toom3 serving "
+        f"{len(bench['toom3_buckets'])} bucket(s) "
+        f"({', '.join(map(str, bench['toom3_buckets']))})"
+    )

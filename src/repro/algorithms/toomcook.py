@@ -22,12 +22,28 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arith.bitops import ceil_div, mask
 
 #: Symbolic evaluation point at infinity (picks the leading coefficient).
 INFINITY = "inf"
+
+#: Memoised Vandermonde inverses keyed by ``(k, normalised points)``.
+#: Exact Gauss-Jordan over :class:`~fractions.Fraction` is pure waste to
+#: repeat — the inverse depends only on the point set, never on the
+#: operands — and the portfolio tuner instantiates many ToomCook
+#: references per sweep.  Entries are shared read-only matrices.
+_INVERSE_CACHE: Dict[Tuple[int, Tuple[str, ...]], List[List[Fraction]]] = {}
+
+
+def _points_key(k: int, points: Sequence[object]) -> Tuple[int, Tuple[str, ...]]:
+    return (k, tuple(str(point) for point in points))
+
+
+def inverse_cache_len() -> int:
+    """Number of distinct ``(k, points)`` inverses currently memoised."""
+    return len(_INVERSE_CACHE)
 
 
 def default_points(k: int) -> List[object]:
@@ -142,7 +158,12 @@ class ToomCook:
         if len(set(map(str, self.points))) != len(self.points):
             raise ValueError("evaluation points must be distinct")
         size = 2 * k - 1
-        self._inverse = invert_matrix(vandermonde(self.points, size))
+        key = _points_key(k, self.points)
+        inverse = _INVERSE_CACHE.get(key)
+        if inverse is None:
+            inverse = invert_matrix(vandermonde(self.points, size))
+            _INVERSE_CACHE[key] = inverse
+        self._inverse = inverse
 
     # ------------------------------------------------------------------
     def multiply(self, a: int, b: int, n_bits: int) -> int:

@@ -301,6 +301,7 @@ class KoggeStoneAdder:
         first_use: bool = False,
         optimize: bool = False,
         backend: object = "bitplane",
+        fault_hook=None,
     ):
         """Batched counterpart of :meth:`run`: one SIMD pass over many
         operand pairs.
@@ -313,7 +314,9 @@ class KoggeStoneAdder:
         bit-identical to calling :meth:`run` per pair on per-lane
         array copies.  *backend* selects the SIMD execution strategy
         (any :mod:`repro.magic.backend` name); accounting does not
-        depend on the choice.
+        depend on the choice.  *fault_hook* is forwarded to the batched
+        executor (transient-fault injection), mirroring the stage
+        mega-program path.
         """
         from repro.magic.backend import get_backend
 
@@ -343,7 +346,10 @@ class KoggeStoneAdder:
             array.init_rows(lay.scratch_rows, mask)
             array.init_rows([lay.out_row], mask)
         batched = resolved.make_executor(
-            array, clock=executor.clock, trace=executor.trace
+            array,
+            clock=executor.clock,
+            trace=executor.trace,
+            fault_hook=fault_hook,
         )
         batched.execute(self.program(op, optimize=optimize), [{} for _ in pairs])
         return unpack_ints(array.read_row(lay.out_row)[:, window])

@@ -690,6 +690,112 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """Run the design-point tuner sweep and persist the tuning table.
+
+    Measures every feasible (algorithm, L, optimizer, backend) design
+    point at each requested width on the cycle-accurate simulator,
+    selects the serving design per width bucket, and writes the
+    versioned ``TUNE_portfolio.json`` that ``ServiceConfig.portfolio``
+    routes against.
+    """
+    from repro.eval.report import format_table
+    from repro.portfolio import sweep
+
+    widths = tuple(int(w) for w in args.widths.split(",") if w.strip())
+    optimize_flags = tuple(
+        {"exact": False, "opt": True}[flag.strip()]
+        for flag in args.optimize_flags.split(",")
+        if flag.strip()
+    )
+    table = sweep(
+        widths=widths,
+        jobs=args.jobs,
+        seed=args.seed,
+        depths=tuple(int(d) for d in args.depths.split(",") if d.strip()),
+        backends=tuple(
+            b.strip() for b in args.backends.split(",") if b.strip()
+        ),
+        optimize_flags=optimize_flags,
+    )
+    table.save(args.out)
+    rows = []
+    for n_bits, entry in sorted(table.buckets.items()):
+        winner = next(
+            m for m in entry.candidates if m.design == entry.selected
+        )
+        rows.append(
+            (
+                n_bits,
+                entry.selected.key(),
+                winner.latency_cc,
+                winner.bottleneck_cc,
+                winner.selection_cc,
+                len(entry.candidates),
+            )
+        )
+    print(
+        format_table(
+            ("bits", "selected", "lat cc", "bneck cc", "sel cc", "cands"),
+            rows,
+            title=f"Tuned design points ({args.out})",
+        )
+    )
+    return 0
+
+
+def _cmd_tune_report(args: argparse.Namespace) -> int:
+    """Validate and render a saved tuning table.
+
+    Prints every bucket's candidate measurements with the selected
+    design marked, re-runs the selection rule on the stored
+    measurements, and exits non-zero when the table fails validation
+    (schema, servability, or selection reproducibility) — the CI
+    portfolio-smoke entry point.
+    """
+    import json
+
+    from repro.eval.report import format_table
+    from repro.portfolio import TuningTable, validate_table_payload
+
+    with open(args.table, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    problems = validate_table_payload(payload)
+    table = TuningTable.from_json(payload)
+    rows = []
+    for n_bits, entry in sorted(table.buckets.items()):
+        for m in sorted(entry.candidates, key=lambda m: m.selection_cc):
+            rows.append(
+                (
+                    n_bits,
+                    m.design.key(),
+                    m.latency_cc,
+                    m.bottleneck_cc,
+                    m.selection_cc,
+                    m.area_cells,
+                    "measured" if m.measured else "prior",
+                    "<== selected" if m.design == entry.selected else "",
+                )
+            )
+    print(
+        format_table(
+            (
+                "bits", "design", "lat cc", "bneck cc", "sel cc",
+                "cells", "source", "",
+            ),
+            rows,
+            title=f"Tuning table {args.table} "
+            f"(version {payload.get('version')})",
+        )
+    )
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+    print(f"table valid: {len(table.buckets)} buckets")
+    return 0
+
+
 def _cmd_optimize_report(args: argparse.Namespace) -> int:
     """Before/after report of the SIMD cycle-packing optimizer.
 
@@ -1151,6 +1257,36 @@ def build_parser() -> argparse.ArgumentParser:
         "non-zero exit on any violation",
     )
     opt.set_defaults(func=_cmd_optimize_report)
+
+    tune = sub.add_parser(
+        "tune",
+        help="sweep design points per width and write TUNE_portfolio.json",
+    )
+    tune.add_argument(
+        "--widths",
+        default="16,32,64,90,128,270",
+        help="comma-separated operand widths to measure",
+    )
+    tune.add_argument("--jobs", type=int, default=4)
+    tune.add_argument("--seed", type=lambda s: int(s, 0), default=0x70F0)
+    tune.add_argument(
+        "--depths", default="1,2,3",
+        help="Karatsuba unroll depths to sweep (non-2 are cost priors)",
+    )
+    tune.add_argument("--backends", default="word")
+    tune.add_argument(
+        "--optimize-flags", default="exact,opt",
+        help="comma-separated subset of {exact,opt}",
+    )
+    tune.add_argument("--out", default="TUNE_portfolio.json")
+    tune.set_defaults(func=_cmd_tune)
+
+    tune_report = sub.add_parser(
+        "tune-report",
+        help="validate and render a saved tuning table",
+    )
+    tune_report.add_argument("--table", default="TUNE_portfolio.json")
+    tune_report.set_defaults(func=_cmd_tune_report)
     return parser
 
 

@@ -77,10 +77,26 @@ def zkp_field_trace(jobs: int, seed: int = 0x2E9) -> List[TraceItem]:
 
 def mixed_trace(jobs: int, seed: int = 0x313) -> List[TraceItem]:
     """Random interleave of FHE-width and ZKP-width jobs."""
+    return width_mix_trace(jobs, (64, 128, 256, 384), seed=seed)
+
+
+def width_mix_trace(
+    jobs: int, widths: Tuple[int, ...], seed: int = 0x313
+) -> List[TraceItem]:
+    """Random interleave of uniform jobs over an explicit width set.
+
+    The portfolio benchmarks use this to build loads that hit both
+    tuned bucket widths and off-grid widths (``n % 4 != 0``) only the
+    Toom-3 / schoolbook designs can serve.
+    """
+    if jobs < 0:
+        raise DesignError("job count must be non-negative")
+    if not widths:
+        raise DesignError("need at least one operand width")
     rng = random.Random(seed)
     trace: List[TraceItem] = []
     for _ in range(jobs):
-        width = rng.choice((64, 128, 256, 384))
+        width = rng.choice(tuple(widths))
         trace.append(
             TraceItem(
                 n_bits=width,

@@ -32,6 +32,10 @@ class PipelineTiming:
 
     n_bits: int
     stage_latencies: Tuple[int, int, int]
+    #: Stage labels, slot for slot.  The Karatsuba datapath keeps the
+    #: paper's names; portfolio designs (Toom-3, schoolbook) relabel
+    #: their three slots without changing the timing algebra.
+    stage_names: Tuple[str, str, str] = ("precompute", "multiply", "postcompute")
 
     @property
     def latency_cc(self) -> int:
@@ -45,8 +49,7 @@ class PipelineTiming:
 
     @property
     def bottleneck_stage(self) -> str:
-        names = ("precompute", "multiply", "postcompute")
-        return names[self.stage_latencies.index(self.bottleneck_cc)]
+        return self.stage_names[self.stage_latencies.index(self.bottleneck_cc)]
 
     @property
     def throughput_per_mcc(self) -> float:
@@ -78,7 +81,18 @@ class StreamResult:
 
 
 class KaratsubaPipeline:
-    """Functional + timing model of the pipelined CIM multiplier."""
+    """Functional + timing model of the pipelined CIM multiplier.
+
+    The timing algebra, stream replay and telemetry are datapath-
+    agnostic: subclasses (the :mod:`repro.portfolio` Toom-3 and
+    schoolbook designs) swap :attr:`controller_factory` for another
+    controller with the same surface and inherit everything else.
+    """
+
+    #: Controller class driving the three pipeline slots.  Any class
+    #: with the :class:`KaratsubaController` surface (job records,
+    #: ``stage_latencies``, wear/energy/reliability accessors) slots in.
+    controller_factory = KaratsubaController
 
     def __init__(
         self,
@@ -90,7 +104,7 @@ class KaratsubaPipeline:
         optimize: bool = False,
         backend: object = "bitplane",
     ):
-        self.controller = KaratsubaController(
+        self.controller = type(self).controller_factory(
             n_bits,
             wear_leveling=wear_leveling,
             device=device,
@@ -106,6 +120,11 @@ class KaratsubaPipeline:
         return PipelineTiming(
             n_bits=self.n_bits,
             stage_latencies=self.controller.stage_latencies(),
+            stage_names=getattr(
+                self.controller,
+                "stage_names",
+                ("precompute", "multiply", "postcompute"),
+            ),
         )
 
     def multiply(self, a: int, b: int) -> int:

@@ -306,6 +306,16 @@ BACKENDS["word-packed"] = BACKENDS["word"]
 BACKEND_NAMES = ("scalar", "bitplane", "word")
 
 
+def backend_name(spec) -> str:
+    """Canonical name of a backend spec, aliases normalised.
+
+    Design-point keys and compiled-program cache variants embed this
+    so alias spellings (``"word-packed"`` vs ``"word"``) can never
+    mint distinct cache entries for the same backend.
+    """
+    return get_backend(spec).name
+
+
 def get_backend(spec) -> ExecutorBackend:
     """Resolve *spec* — a registry name or backend instance — to a backend.
 

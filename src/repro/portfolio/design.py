@@ -1,0 +1,239 @@
+"""Design points of the algorithm portfolio (tentpole of the tuner).
+
+A :class:`DesignPoint` names one multiplier implementation the serving
+layer can instantiate for a width bucket: the algorithm (schoolbook /
+karatsuba / toom3), the Karatsuba unroll depth L, the SIMD cycle-packer
+flag and the executor backend.  Its :meth:`~DesignPoint.key` string is
+embedded in compiled-program cache keys, tuning tables and telemetry,
+so two design points can never alias a cache entry.
+
+Feasibility is per-algorithm (the paper's constraints, made explicit):
+
+* ``schoolbook`` — any width >= 4 (single full-width row).
+* ``karatsuba``  — ``n % 2^L == 0`` and ``n >= 16`` (the L = 2 layout
+  additionally pins L to 2 for *serving*; other depths are cost-model
+  study points).  There is deliberately **no padding policy**: padding
+  an off-grid width up to the next multiple of four would silently
+  change the cycle/energy accounting the paper reports, so off-grid
+  widths are instead served by the feasibility-unconstrained designs.
+* ``toom3``      — any width >= 16 (``ceil(n/3)`` chunking).
+
+:func:`prior_cost` supplies the closed-form cost-model prior the tuner
+uses for widths it has not measured, and :func:`build_pipeline` is the
+factory the bank dispatcher calls to materialise a way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.arith import rowmul
+from repro.karatsuba import cost as kcost
+from repro.karatsuba.pipeline import KaratsubaPipeline
+from repro.magic.backend import backend_name
+from repro.portfolio import schoolbook as sb
+from repro.portfolio import toom3 as t3
+from repro.sim.exceptions import DesignError
+
+#: Algorithms the portfolio can serve.
+ALGORITHMS: Tuple[str, ...] = ("schoolbook", "karatsuba", "toom3")
+
+#: Unroll depth shown in keys per algorithm when not parameterised:
+#: schoolbook has no splitting (L=0), Toom-3 applies one 3-way split.
+_FIXED_DEPTH = {"schoolbook": 0, "toom3": 1}
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One point of the {algorithm, L, optimizer, backend} space."""
+
+    algorithm: str
+    depth: int = 2
+    optimize: bool = True
+    backend: str = "word"
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise DesignError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"choose from {ALGORITHMS}"
+            )
+        fixed = _FIXED_DEPTH.get(self.algorithm)
+        if fixed is not None and self.depth != fixed:
+            raise DesignError(
+                f"{self.algorithm} has fixed depth {fixed}, got {self.depth}"
+            )
+        if self.algorithm == "karatsuba" and self.depth < 1:
+            raise DesignError("karatsuba depth must be >= 1")
+        # Normalise alias spellings eagerly so keys are canonical.
+        object.__setattr__(self, "backend", backend_name(self.backend))
+
+    # ------------------------------------------------------------------
+    def key(self) -> str:
+        """Canonical cache/telemetry key, e.g. ``toom3.L1.opt.word``."""
+        flag = "opt" if self.optimize else "exact"
+        return f"{self.algorithm}.L{self.depth}.{flag}.{self.backend}"
+
+    @property
+    def servable(self) -> bool:
+        """Whether a pipeline class exists for this point (the L != 2
+        Karatsuba depths are analytic study points only)."""
+        if self.algorithm == "karatsuba":
+            return self.depth == 2
+        return True
+
+    def feasible(self, n_bits: int) -> bool:
+        """Whether this design can multiply *n_bits*-wide operands."""
+        if self.algorithm == "schoolbook":
+            return n_bits >= sb.MIN_BITS
+        if self.algorithm == "toom3":
+            return n_bits >= t3.MIN_BITS
+        return n_bits >= 16 and n_bits % (1 << self.depth) == 0
+
+    @staticmethod
+    def from_key(key: str) -> "DesignPoint":
+        """Inverse of :meth:`key` (tuning-table deserialisation)."""
+        try:
+            algorithm, depth, flag, backend = key.split(".")
+            if not depth.startswith("L"):
+                raise ValueError(key)
+            return DesignPoint(
+                algorithm=algorithm,
+                depth=int(depth[1:]),
+                optimize={"opt": True, "exact": False}[flag],
+                backend=backend,
+            )
+        except (ValueError, KeyError) as exc:
+            raise DesignError(f"malformed design key {key!r}") from exc
+
+
+#: The fixed baseline every measurement compares against: the paper's
+#: L = 2 Karatsuba at the service defaults.
+BASELINE = DesignPoint("karatsuba", depth=2, optimize=True, backend="word")
+
+
+@dataclass(frozen=True)
+class PriorCost:
+    """Closed-form cost prior of one (design, width) point."""
+
+    design: DesignPoint
+    n_bits: int
+    latency_cc: int
+    bottleneck_cc: int
+    area_cells: int
+
+    def makespan_cc(self, jobs: int) -> int:
+        """Pipeline-model makespan for a *jobs*-deep stream."""
+        if jobs <= 0:
+            return 0
+        return self.latency_cc + (jobs - 1) * self.bottleneck_cc
+
+
+def prior_cost(design: DesignPoint, n_bits: int) -> PriorCost:
+    """Closed-form (unoptimized-schedule) cost model for any design.
+
+    The prior deliberately uses the paper's closed forms rather than
+    packed cycle counts: it ranks designs for *unmeasured* widths, and
+    the cycle packer shifts all MAGIC-stage designs by similar factors.
+    """
+    if not design.feasible(n_bits):
+        raise DesignError(
+            f"design {design.key()} is infeasible at {n_bits} bits"
+        )
+    if design.algorithm == "karatsuba":
+        dc = kcost.design_cost(n_bits, design.depth)
+        return PriorCost(
+            design=design,
+            n_bits=n_bits,
+            latency_cc=dc.latency_cc,
+            bottleneck_cc=dc.bottleneck_cc,
+            area_cells=dc.area_cells,
+        )
+    if design.algorithm == "schoolbook":
+        stages = (
+            sb.OPERAND_CYCLES,
+            sb.latency_cc(n_bits),
+            sb.STORE_CYCLES,
+        )
+        return PriorCost(
+            design=design,
+            n_bits=n_bits,
+            latency_cc=sum(stages),
+            bottleneck_cc=max(stages),
+            area_cells=sb.area_cells(n_bits),
+        )
+    stages = (
+        t3.eval_latency_cc(n_bits),
+        t3.pointwise_latency_cc(n_bits),
+        t3.interp_latency_cc(n_bits),
+    )
+    area = (
+        (3 + 12) * (t3.eval_width(n_bits) + 1)
+        + 5 * rowmul.area_cells(t3.pointwise_width(n_bits))
+        + (3 + 12) * (t3.interp_width(n_bits) + 1)
+        + (3 + 12) * (t3.recombine_width(n_bits) + 1)
+    )
+    return PriorCost(
+        design=design,
+        n_bits=n_bits,
+        latency_cc=sum(stages),
+        bottleneck_cc=max(stages),
+        area_cells=area,
+    )
+
+
+# ----------------------------------------------------------------------
+# Pipeline factory
+# ----------------------------------------------------------------------
+class SchoolbookPipeline(KaratsubaPipeline):
+    """Schoolbook design behind the shared pipeline interface."""
+
+    controller_factory = sb.SchoolbookController
+
+
+class Toom3Pipeline(KaratsubaPipeline):
+    """Toom-3 design behind the shared pipeline interface."""
+
+    controller_factory = t3.Toom3Controller
+
+
+_PIPELINES = {
+    "schoolbook": SchoolbookPipeline,
+    "karatsuba": KaratsubaPipeline,
+    "toom3": Toom3Pipeline,
+}
+
+
+def build_pipeline(
+    n_bits: int,
+    design: DesignPoint,
+    wear_leveling: bool = True,
+    device=None,
+    spare_rows: int = 2,
+    residue_bits: int = 8,
+) -> KaratsubaPipeline:
+    """Materialise the pipeline serving *design* at *n_bits*.
+
+    Raises :class:`DesignError` for infeasible or non-servable points
+    (e.g. Karatsuba at an off-grid width, or an L != 2 study point).
+    """
+    if not design.servable:
+        raise DesignError(
+            f"design {design.key()} is a cost-model study point, "
+            "not a servable pipeline"
+        )
+    if not design.feasible(n_bits):
+        raise DesignError(
+            f"design {design.key()} is infeasible at {n_bits} bits"
+        )
+    cls = _PIPELINES[design.algorithm]
+    return cls(
+        n_bits,
+        wear_leveling=wear_leveling,
+        device=device,
+        spare_rows=spare_rows,
+        residue_bits=residue_bits,
+        optimize=design.optimize,
+        backend=design.backend,
+    )

@@ -1,0 +1,967 @@
+"""Toom-3 CIM pipeline on evaluation points {0, 1, 2, 4, inf} (Sec. III-B).
+
+The paper rules Toom-Cook out *at its fixed design point* because the
+customary points {0, +-1, +-2, inf} force signed intermediates and
+fractional interpolation constants onto a NOR crossbar.  This module
+builds the variant that sidesteps both objections so the portfolio
+tuner can measure Toom-3 honestly instead of dismissing it a priori:
+
+* **Non-negative evaluation points** ``{0, 1, 2, 4, inf}``: every
+  evaluation is a sum of left-shifted chunks and every interpolation
+  intermediate is provably non-negative, so the existing borrow-free
+  Kogge-Stone subtractor (:mod:`repro.arith.koggestone`) suffices —
+  no sign handling in memory.
+* **Division-free interpolation** up to one exact division by 3,
+  realised in ``O(log w)`` adder passes via the two-adic inverse
+  ``3^-1 = -(1 + 4 + 4^2 + ...) mod 2^w`` (``3 * (4^K - 1)/3 = 4^K - 1
+  = -1 mod 2^w`` once ``2K >= w``), with the geometric series summed by
+  repeated doubling.  All shifts and mod-``2^w`` masks happen at
+  operand staging, which the crossbar periphery performs while writing
+  the operand rows — the same convention the Karatsuba stages use.
+
+The datapath mirrors the three-stage Karatsuba organisation so the
+scheduler, program caches, telemetry spans and residue self-checks
+apply unchanged:
+
+========== ===================================== =====================
+slot       Toom-3 stage                          substrate
+========== ===================================== =====================
+evaluate   A(1), A(2), A(4) / B(...) — 6 batched Kogge-Stone adder,
+           adder passes (a- and b-lanes share    ``cb + 5`` bits
+           each pass, paper Sec. IV-E batching)
+pointwise  v0, v1, v2, v4, vinf — 5 row          5 RowMultipliers,
+           multipliers in lock-step              ``cb + 5`` bits
+interpolate 15 + ceil(log2(ceil(w/2))) narrow    Kogge-Stone adders,
+           passes + 4 wide recombination passes  ``2cb + 9`` and
+                                                 ``2n - cb`` bits
+========== ===================================== =====================
+
+with ``cb = ceil(n/3)``.  Every adder pass and every point-wise
+product is residue-verified (ABFT, mod ``2^r - 1``); the final product
+is additionally checked against ``res(a) * res(b)``.  Transient-fault
+hooks and ``diagnose_and_repair`` (write-verify march + spare-row
+remap) work exactly as in the Karatsuba stages.
+
+Functionally the pipeline is differentially tested against the
+exact-rational :class:`repro.algorithms.toomcook.ToomCook` oracle on
+the same point set (see ``tests/test_portfolio.py``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arith import rowmul
+from repro.arith.bitops import ceil_div, ceil_log2, mask
+from repro.arith.koggestone import (
+    OP_ADD,
+    OP_SUB,
+    SCRATCH_ROWS,
+    KoggeStoneAdder,
+    KoggeStoneLayout,
+)
+from repro.arith.rowmul import RowMultiplier, RowMultiplierSpec
+from repro.crossbar.array import CrossbarArray
+from repro.karatsuba.controller import JobRecord
+from repro.magic.backend import get_backend
+from repro.magic.executor import MagicExecutor, pack_ints, unpack_ints
+from repro.reliability.residue import DEFAULT_RESIDUE_BITS, ResidueChecker
+from repro.sim.clock import Clock
+from repro.sim.exceptions import DesignError
+from repro.telemetry import spans as _telemetry
+
+#: Smallest operand the Toom-3 datapath supports.  Unlike the L = 2
+#: Karatsuba design there is **no divisibility constraint**: chunking
+#: uses ``ceil(n/3)`` and the recombination stage absorbs the ragged
+#: top chunk, so any width >= 16 is servable.  This is what makes
+#: Toom-3 the portfolio's fallback for off-grid widths (n % 4 != 0)
+#: that the Karatsuba pipeline rejects.
+MIN_BITS = 16
+
+#: Evaluation points (paper Sec. III-B, re-chosen for non-negativity).
+EVAL_POINTS: Tuple[object, ...] = (0, 1, 2, 4, "inf")
+
+#: Adder passes of the evaluation stage (a- and b-operand lanes share
+#: each pass in disjoint lanes, so 6 passes evaluate both operands).
+EVAL_PASSES = 6
+
+#: Interpolation passes on the narrow adder, excluding the div-by-3
+#: doubling chain: 9 reduction passes + 2 negation passes + 4
+#: coefficient-recovery passes.
+INTERP_FIXED_PASSES = 15
+
+#: Recombination passes on the wide adder.
+RECOMBINE_PASSES = 4
+
+
+# ----------------------------------------------------------------------
+# Closed-form geometry and latency
+# ----------------------------------------------------------------------
+def chunk_bits(n_bits: int) -> int:
+    """Chunk width ``cb = ceil(n/3)``."""
+    _check_width(n_bits)
+    return ceil_div(n_bits, 3)
+
+
+def eval_width(n_bits: int) -> int:
+    """Evaluation adder width: ``A(4) < 21 * 2^cb < 2^(cb+5)``."""
+    return chunk_bits(n_bits) + 5
+
+
+def pointwise_width(n_bits: int) -> int:
+    """Row-multiplier operand width (same bound as the evaluations)."""
+    return eval_width(n_bits)
+
+
+def interp_width(n_bits: int) -> int:
+    """Narrow interpolation adder width: ``v4 < 441 * 4^cb < 2^(2cb+9)``."""
+    return 2 * chunk_bits(n_bits) + 9
+
+
+def recombine_width(n_bits: int) -> int:
+    """Wide recombination adder width.
+
+    The low ``cb`` product bits pass through from ``v0`` untouched
+    (nothing else reaches them), so the adder only spans the top
+    ``2n - cb`` bits — the same LSB pass-through trick the Karatsuba
+    postcomputation uses.
+    """
+    return 2 * n_bits - chunk_bits(n_bits)
+
+
+def div3_doublings(width: int) -> int:
+    """Doubling passes summing the geometric series for ``3^-1 mod 2^w``:
+    ``ceil(log2(ceil(w/2)))`` (then ``K = 2^J`` satisfies ``2K >= w``)."""
+    return ceil_log2(ceil_div(width, 2))
+
+
+def interp_passes(n_bits: int) -> int:
+    """Narrow-adder passes of the interpolation stage."""
+    return INTERP_FIXED_PASSES + div3_doublings(interp_width(n_bits))
+
+
+def eval_latency_cc(n_bits: int) -> int:
+    """Evaluation stage latency: 6 chunk writes + 6 adder passes + 1."""
+    from repro.arith import koggestone
+
+    return EVAL_PASSES + EVAL_PASSES * koggestone.latency_cc(eval_width(n_bits)) + 1
+
+
+def pointwise_latency_cc(n_bits: int) -> int:
+    """Point-wise stage latency (5 lock-step rows, one row latency)."""
+    return rowmul.latency_cc(pointwise_width(n_bits))
+
+
+def interp_latency_cc(n_bits: int) -> int:
+    """Interpolation stage latency: 5 product writes + narrow passes +
+    4 wide recombination passes + 1."""
+    from repro.arith import koggestone
+
+    return (
+        5
+        + interp_passes(n_bits) * koggestone.latency_cc(interp_width(n_bits))
+        + RECOMBINE_PASSES * koggestone.latency_cc(recombine_width(n_bits))
+        + 1
+    )
+
+
+def _check_width(n_bits: int) -> None:
+    if n_bits < MIN_BITS:
+        raise DesignError(
+            f"the Toom-3 design needs n >= {MIN_BITS}, got {n_bits}"
+        )
+
+
+def split3(value: int, cb: int) -> List[int]:
+    """Split into three chunks of ``cb`` bits (top chunk may be short)."""
+    m = mask(cb)
+    return [(value >> (i * cb)) & m for i in range(3)]
+
+
+# ----------------------------------------------------------------------
+# Batched Kogge-Stone adder unit with stage-style accounting
+# ----------------------------------------------------------------------
+class _BatchedAdderUnit:
+    """One placed Kogge-Stone adder plus its crossbar, batch-executed.
+
+    Mirrors the Karatsuba stages' SIMD convention: lanes are seeded
+    from the steady all-ones template, the compiled program (persistent
+    per-executor compile cache) replays across lanes, per-lane writes
+    and energy fold back into the template array, and the caller's
+    stage clock advances by one pass — lanes run in lock-step.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        device=None,
+        spare_rows: int = 2,
+        optimize: bool = False,
+        backend: object = "bitplane",
+    ):
+        self.width = width
+        self.optimize = optimize
+        self.backend = get_backend(backend)
+        self.array = CrossbarArray(
+            3 + SCRATCH_ROWS, width + 1, device=device, spare_rows=spare_rows
+        )
+        layout = KoggeStoneLayout(
+            width=width,
+            col0=0,
+            x_row=0,
+            y_row=1,
+            out_row=2,
+            scratch_rows=tuple(range(3, 3 + SCRATCH_ROWS)),
+        )
+        self.adder = KoggeStoneAdder(layout)
+        #: Scalar anchor executor: persistent compile cache + the
+        #: stage-shared transient fault hook.
+        self.executor = MagicExecutor(self.array)
+        # Power-up: establish the steady all-ones scratch/output state
+        # the adder programs assume (each pass ends with a full reset).
+        full = np.ones(self.array.cols, dtype=bool)
+        self.array.init_rows(layout.scratch_rows, full)
+        self.array.init_rows([layout.out_row], full)
+
+    def pass_cc(self, op: str = OP_ADD) -> int:
+        """Static latency of one pass (packed cycle count when the
+        optimizer is on, the paper's closed form otherwise)."""
+        if self.optimize:
+            return self.adder.program(op, optimize=True).cycle_count
+        return self.adder.latency_cc()
+
+    def run_pass(self, pairs: List[Tuple[int, int]], op: str) -> List[int]:
+        """One SIMD pass over *pairs*; returns the sensed sums."""
+        lay = self.adder.layout
+        for x, y in pairs:
+            if max(x, y) >> lay.width:
+                raise DesignError(
+                    f"operands must fit in {lay.width} bits, got {x} and {y}"
+                )
+            if op == OP_SUB and y > x:
+                raise DesignError(
+                    "subtraction requires x >= y (non-negative result)"
+                )
+        batched = self.backend.make_array(self.array, len(pairs))
+        batched.repin_faults()
+        window = slice(lay.col0, lay.col0 + lay.columns)
+        full = np.ones(self.array.cols, dtype=bool)
+        for row, values in (
+            (lay.x_row, [x for x, _ in pairs]),
+            (lay.y_row, [y for _, y in pairs]),
+        ):
+            word = batched.peek_row(row)
+            word[:, window] = pack_ints(values, lay.columns)
+            batched.write_row(row, word, full)
+        executor = self.backend.make_executor(
+            batched, clock=Clock(), fault_hook=self.executor.fault_hook
+        )
+        program = self.adder.program(op, optimize=self.optimize)
+        executor.execute(self.executor.compile(program), [{} for _ in pairs])
+        outs = unpack_ints(batched.read_row(lay.out_row)[:, window])
+        # Fold per-lane wear/energy back into the stage array (each
+        # lane models one sequential reuse of the same physical adder).
+        self.array.writes += batched.writes * len(pairs)
+        self.array.energy_fj += float(batched.energy_fj.sum())
+        self.array.state[:] = True
+        return outs
+
+    # -- reliability ---------------------------------------------------
+    def diagnose_and_repair(self) -> List[int]:
+        faulty = self.array.find_faulty_rows()
+        for row in faulty:
+            self.array.remap_row(row)
+        self.array.state[:] = True
+        self.array.repin_faults()
+        return faulty
+
+    def optimizer_report(self, op: str):
+        self.adder.program(op, optimize=True)
+        return self.adder.optimizer_reports[op]
+
+
+# ----------------------------------------------------------------------
+# Stage 1: evaluation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EvalResult:
+    """Evaluations of one operand pair at the five points."""
+
+    values: Dict[str, int]
+    cycles: int
+
+
+class EvaluationStage:
+    """Evaluate both operands at {1, 2, 4} in six batched adder passes.
+
+    Points 0 and inf are wire taps (``a0`` and ``a2``).  Shifted
+    addends — ``a1 << 1``, ``a2 << 2`` for A(2); ``a1 << 2``,
+    ``a2 << 4`` for A(4) — are staged by the periphery while writing
+    the operand rows, so each evaluation costs two plain additions.
+    The a- and b-operand evaluations ride in disjoint lanes of the
+    same pass (paper Sec. IV-E batching), halving the pass count.
+    """
+
+    def __init__(
+        self,
+        n_bits: int,
+        device=None,
+        spare_rows: int = 2,
+        residue_bits: int = DEFAULT_RESIDUE_BITS,
+        optimize: bool = False,
+        backend: object = "bitplane",
+    ):
+        _check_width(n_bits)
+        self.n_bits = n_bits
+        self.cb = chunk_bits(n_bits)
+        self.optimize = optimize
+        self.unit = _BatchedAdderUnit(
+            eval_width(n_bits),
+            device=device,
+            spare_rows=spare_rows,
+            optimize=optimize,
+            backend=backend,
+        )
+        self.checker = ResidueChecker("evaluate", residue_bits)
+        self.clock = Clock()
+        self.passes = 0
+
+    # ------------------------------------------------------------------
+    def process_batch(
+        self, jobs: List[Tuple[List[int], List[int]]]
+    ) -> List[EvalResult]:
+        """Evaluate B chunked operand pairs in lock-step."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        for a_chunks, b_chunks in jobs:
+            if len(a_chunks) != 3 or len(b_chunks) != 3:
+                raise DesignError("Toom-3 expects 3 chunks per operand")
+            for chunk in (*a_chunks, *b_chunks):
+                if chunk >> self.cb:
+                    raise DesignError(f"chunk {chunk} exceeds {self.cb} bits")
+        start = self.clock.cycles
+        self.clock.tick(EVAL_PASSES, category="write")
+
+        # Lanes 0..B-1 evaluate the a-operands, lanes B..2B-1 the
+        # b-operands; chunk triples flattened per lane.
+        chunks = [a for a, _ in jobs] + [b for _, b in jobs]
+        res = self.checker.res
+        digested = [[res(c) for c in triple] for triple in chunks]
+
+        def checked_pass(pairs, residue_pairs, op, name):
+            sensed = self.unit.run_pass(pairs, op)
+            self.clock.tick(self.unit.pass_cc(op), category="nor")
+            self.passes += 1
+            out = []
+            for lane, value in enumerate(sensed):
+                rx, ry = residue_pairs[lane]
+                sign = 1 if op == OP_ADD else -1
+                out.append(
+                    (
+                        value,
+                        self.checker.check_linear(
+                            value, [(rx, 1), (ry, sign)], f"{name}[{lane}]"
+                        ),
+                    )
+                )
+            return out
+
+        # A(1) = a0 + a1 + a2 (two passes).
+        s = checked_pass(
+            [(t[1], t[2]) for t in chunks],
+            [(d[1], d[2]) for d in digested],
+            OP_ADD,
+            "e1.sum",
+        )
+        e1 = checked_pass(
+            [(v, t[0]) for (v, _), t in zip(s, chunks)],
+            [(r, d[0]) for (_, r), d in zip(s, digested)],
+            OP_ADD,
+            "e1",
+        )
+        # A(2) = a0 + (a1 << 1) + (a2 << 2).
+        s = checked_pass(
+            [(t[1] << 1, t[2] << 2) for t in chunks],
+            [(res(t[1] << 1), res(t[2] << 2)) for t in chunks],
+            OP_ADD,
+            "e2.sum",
+        )
+        e2 = checked_pass(
+            [(v, t[0]) for (v, _), t in zip(s, chunks)],
+            [(r, d[0]) for (_, r), d in zip(s, digested)],
+            OP_ADD,
+            "e2",
+        )
+        # A(4) = a0 + (a1 << 2) + (a2 << 4).
+        s = checked_pass(
+            [(t[1] << 2, t[2] << 4) for t in chunks],
+            [(res(t[1] << 2), res(t[2] << 4)) for t in chunks],
+            OP_ADD,
+            "e4.sum",
+        )
+        e4 = checked_pass(
+            [(v, t[0]) for (v, _), t in zip(s, chunks)],
+            [(r, d[0]) for (_, r), d in zip(s, digested)],
+            OP_ADD,
+            "e4",
+        )
+        self.clock.tick(1, category="write")
+        cycles = self.clock.cycles - start
+
+        results: List[EvalResult] = []
+        B = len(jobs)
+        for j, (a_chunks, b_chunks) in enumerate(jobs):
+            values = {
+                "A0": a_chunks[0],
+                "A1": e1[j][0],
+                "A2": e2[j][0],
+                "A4": e4[j][0],
+                "Ainf": a_chunks[2],
+                "B0": b_chunks[0],
+                "B1": e1[B + j][0],
+                "B2": e2[B + j][0],
+                "B4": e4[B + j][0],
+                "Binf": b_chunks[2],
+            }
+            results.append(EvalResult(values=values, cycles=cycles))
+        return results
+
+    # ------------------------------------------------------------------
+    def latency_cc(self) -> int:
+        if not self.optimize:
+            return eval_latency_cc(self.n_bits)
+        return EVAL_PASSES + EVAL_PASSES * self.unit.pass_cc(OP_ADD) + 1
+
+    @property
+    def area_cells(self) -> int:
+        return self.unit.array.cells
+
+    @property
+    def array(self) -> CrossbarArray:
+        return self.unit.array
+
+    @property
+    def executor(self) -> MagicExecutor:
+        return self.unit.executor
+
+    @property
+    def fault_hook(self):
+        return self.unit.executor.fault_hook
+
+    @fault_hook.setter
+    def fault_hook(self, hook) -> None:
+        self.unit.executor.fault_hook = hook
+
+    def diagnose_and_repair(self) -> List[int]:
+        return self.unit.diagnose_and_repair()
+
+    def max_writes(self) -> int:
+        return self.unit.array.max_writes()
+
+    def optimizer_stats(self) -> Dict[str, object]:
+        if not self.optimize:
+            return {"enabled": False}
+        from repro.magic.passes import summarize_reports
+
+        return summarize_reports([self.unit.optimizer_report(OP_ADD)])
+
+
+# ----------------------------------------------------------------------
+# Stage 2: point-wise products
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PointwiseResult:
+    """The five point-wise products of one job."""
+
+    products: Dict[str, int]
+    cycles: int
+
+
+#: Point-wise products: output name -> (a-side input, b-side input).
+POINTWISE_STEPS: Tuple[Tuple[str, str, str], ...] = (
+    ("v0", "A0", "B0"),
+    ("v1", "A1", "B1"),
+    ("v2", "A2", "B2"),
+    ("v4", "A4", "B4"),
+    ("vinf", "Ainf", "Binf"),
+)
+
+
+class PointwiseStage:
+    """Five single-row multipliers in lock-step (``cb + 5``-bit rows)."""
+
+    def __init__(
+        self,
+        n_bits: int,
+        wear_leveling: bool = True,
+        residue_bits: int = DEFAULT_RESIDUE_BITS,
+    ):
+        _check_width(n_bits)
+        self.n_bits = n_bits
+        self.width = pointwise_width(n_bits)
+        self.wear_leveling = wear_leveling
+        self.checker = ResidueChecker("pointwise", residue_bits)
+        spec = RowMultiplierSpec(self.width)
+        self.rows: Dict[str, RowMultiplier] = {
+            out: RowMultiplier(spec) for out, _, _ in POINTWISE_STEPS
+        }
+        self.clock = Clock()
+        self.passes = 0
+
+    def process_batch(
+        self, operands_list: List[Dict[str, int]]
+    ) -> List[PointwiseResult]:
+        operands_list = list(operands_list)
+        if not operands_list:
+            return []
+        cycles = self.latency_cc()
+        results: List[PointwiseResult] = []
+        for operands in operands_list:
+            products: Dict[str, int] = {}
+            for out, lhs_name, rhs_name in POINTWISE_STEPS:
+                lhs = operands[lhs_name]
+                rhs = operands[rhs_name]
+                product = self.rows[out].multiply(lhs, rhs)
+                self.checker.check_product(
+                    product, self.checker.res(lhs), self.checker.res(rhs), out
+                )
+                products[out] = product
+            if self.wear_leveling:
+                self._rotate_hot_cells()
+            self.passes += 1
+            results.append(PointwiseResult(products=products, cycles=cycles))
+        self.clock.tick(cycles, category="rowmul")
+        return results
+
+    def _rotate_hot_cells(self) -> None:
+        for row in self.rows.values():
+            cells = row.cell_writes.reshape(
+                self.width, rowmul.CELLS_PER_PARTITION
+            )
+            cells[:, [4, 5, 8, 9]] = cells[:, [8, 9, 4, 5]]
+
+    def latency_cc(self) -> int:
+        return pointwise_latency_cc(self.n_bits)
+
+    @property
+    def area_cells(self) -> int:
+        return len(self.rows) * rowmul.area_cells(self.width)
+
+    def max_writes(self) -> int:
+        return max(row.max_writes() for row in self.rows.values())
+
+
+# ----------------------------------------------------------------------
+# Stage 3: interpolation + recombination
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class InterpolationResult:
+    product: int
+    cycles: int
+
+
+class InterpolationStage:
+    """Recover c0..c4 from the five products and assemble the result.
+
+    All intermediates are non-negative (a consequence of the positive
+    evaluation points), so every pass is a plain Kogge-Stone add or
+    borrow-subtract.  The single exact division by 3 runs as the
+    repeated-doubling multiplication by ``3^-1 mod 2^w`` described in
+    the module docstring.  Each pass is residue-verified against the
+    residues of its staged operands; the recombination runs on a
+    second, wider adder covering the top ``2n - cb`` product bits.
+    """
+
+    def __init__(
+        self,
+        n_bits: int,
+        device=None,
+        spare_rows: int = 2,
+        residue_bits: int = DEFAULT_RESIDUE_BITS,
+        optimize: bool = False,
+        backend: object = "bitplane",
+    ):
+        _check_width(n_bits)
+        self.n_bits = n_bits
+        self.cb = chunk_bits(n_bits)
+        self.optimize = optimize
+        self.iw = interp_width(n_bits)
+        self.rw = recombine_width(n_bits)
+        self.narrow = _BatchedAdderUnit(
+            self.iw, device=device, spare_rows=spare_rows,
+            optimize=optimize, backend=backend,
+        )
+        self.wide = _BatchedAdderUnit(
+            self.rw, device=device, spare_rows=spare_rows,
+            optimize=optimize, backend=backend,
+        )
+        self.checker = ResidueChecker("interpolate", residue_bits)
+        self.clock = Clock()
+        self.passes = 0
+
+    # ------------------------------------------------------------------
+    def process_batch(
+        self, products_list: List[Dict[str, int]]
+    ) -> List[InterpolationResult]:
+        products_list = list(products_list)
+        if not products_list:
+            return []
+        start = self.clock.cycles
+        self.clock.tick(5, category="write")
+        res = self.checker.res
+        cb = self.cb
+        wmask = mask(self.iw)
+
+        def checked(unit, pairs, op, name):
+            """One lock-step pass; residues predicted from the staged
+            operands, verified against every sensed lane."""
+            sensed = unit.run_pass([(x, y) for x, y, _, _ in pairs], op)
+            self.clock.tick(unit.pass_cc(op), category="nor")
+            self.passes += 1
+            sign = 1 if op == OP_ADD else -1
+            for lane, (value, (_, _, rx, ry)) in enumerate(zip(sensed, pairs)):
+                self.checker.check_linear(
+                    value, [(rx, 1), (ry, sign)], f"{name}[{lane}]"
+                )
+            return sensed
+
+        def pass_(unit, xs, ys, op, name):
+            pairs = [(x, y, res(x), res(y)) for x, y in zip(xs, ys)]
+            return checked(unit, pairs, op, name)
+
+        v = {key: [p[key] for p in products_list] for key in
+             ("v0", "v1", "v2", "v4", "vinf")}
+
+        # Reduction to w1 = c1+c2+c3, w2 = c1+2c2+4c3, w4 = c1+4c2+16c3.
+        m1 = pass_(self.narrow, v["v1"], v["v0"], OP_SUB, "m1")
+        w1 = pass_(self.narrow, m1, v["vinf"], OP_SUB, "w1")
+        m2 = pass_(self.narrow, v["v2"], v["v0"], OP_SUB, "m2")
+        m2b = pass_(
+            self.narrow, m2, [x << 4 for x in v["vinf"]], OP_SUB, "m2b"
+        )
+        w2 = [x >> 1 for x in m2b]          # exact: m2b = 2c1+4c2+8c3
+        m4 = pass_(self.narrow, v["v4"], v["v0"], OP_SUB, "m4")
+        m4b = pass_(
+            self.narrow, m4, [x << 8 for x in v["vinf"]], OP_SUB, "m4b"
+        )
+        w4 = [x >> 2 for x in m4b]          # exact: m4b = 4c1+16c2+64c3
+
+        # t1 = c2 + 3c3, t2 = c2 + 6c3, t3 = 3c3.
+        t1 = pass_(self.narrow, w2, w1, OP_SUB, "t1")
+        t2r = pass_(self.narrow, w4, w2, OP_SUB, "t2")
+        t2 = [x >> 1 for x in t2r]          # exact: t2r = 2c2 + 12c3
+        t3 = pass_(self.narrow, t2, t1, OP_SUB, "t3")
+
+        # c3 = t3 / 3 via the two-adic inverse: multiply by
+        # sum(4^i, i < K) with repeated doubling, then negate mod 2^w.
+        acc = t3
+        for j in range(div3_doublings(self.iw)):
+            shift = 2 << j
+            acc = pass_(
+                self.narrow,
+                [x & wmask for x in acc],
+                [(x << shift) & wmask for x in acc],
+                OP_ADD,
+                f"div3.{j}",
+            )
+        neg = pass_(
+            self.narrow, [wmask] * len(acc), [x & wmask for x in acc],
+            OP_SUB, "div3.neg",
+        )
+        c3p = pass_(self.narrow, neg, [1] * len(neg), OP_ADD, "div3.inc")
+        c3 = [x & wmask for x in c3p]
+
+        # c2 = t1 - 3c3; c1 = w1 - (c2 + c3).
+        h = pass_(self.narrow, c3, [x << 1 for x in c3], OP_ADD, "h")
+        c2 = pass_(self.narrow, t1, h, OP_SUB, "c2")
+        g = pass_(self.narrow, c2, c3, OP_ADD, "g")
+        c1 = pass_(self.narrow, w1, g, OP_SUB, "c1")
+
+        # Recombination on the wide adder; the low cb bits of v0 pass
+        # through untouched (LSB pass-through, Karatsuba-style).
+        r = pass_(self.wide, [x >> cb for x in v["v0"]], c1, OP_ADD, "r1")
+        r = pass_(self.wide, r, [x << cb for x in c2], OP_ADD, "r2")
+        r = pass_(self.wide, r, [x << (2 * cb) for x in c3], OP_ADD, "r3")
+        r = pass_(
+            self.wide, r, [x << (3 * cb) for x in v["vinf"]], OP_ADD, "r4"
+        )
+        low = mask(cb)
+        products = [
+            (top << cb) | (v0 & low) for top, v0 in zip(r, v["v0"])
+        ]
+        self.clock.tick(1, category="write")
+        cycles = self.clock.cycles - start
+        return [
+            InterpolationResult(product=p, cycles=cycles) for p in products
+        ]
+
+    # ------------------------------------------------------------------
+    def latency_cc(self) -> int:
+        if not self.optimize:
+            return interp_latency_cc(self.n_bits)
+        narrow_add = self.narrow.pass_cc(OP_ADD)
+        narrow_sub = self.narrow.pass_cc(OP_SUB)
+        # 9 reduction subs + neg/c2/c1 subs; inc/h/g adds + J doublings.
+        adds = div3_doublings(self.iw) + 3
+        subs = 12
+        return (
+            5
+            + adds * narrow_add
+            + subs * narrow_sub
+            + RECOMBINE_PASSES * self.wide.pass_cc(OP_ADD)
+            + 1
+        )
+
+    @property
+    def area_cells(self) -> int:
+        return self.narrow.array.cells + self.wide.array.cells
+
+    @property
+    def array(self) -> CrossbarArray:
+        """Primary (narrow) crossbar — fault-injection entry point."""
+        return self.narrow.array
+
+    @property
+    def executor(self) -> MagicExecutor:
+        return self.narrow.executor
+
+    @property
+    def fault_hook(self):
+        return self.narrow.executor.fault_hook
+
+    @fault_hook.setter
+    def fault_hook(self, hook) -> None:
+        self.narrow.executor.fault_hook = hook
+        self.wide.executor.fault_hook = hook
+
+    def diagnose_and_repair(self) -> List[int]:
+        return self.narrow.diagnose_and_repair() + self.wide.diagnose_and_repair()
+
+    def max_writes(self) -> int:
+        return max(
+            self.narrow.array.max_writes(), self.wide.array.max_writes()
+        )
+
+    def optimizer_stats(self) -> Dict[str, object]:
+        if not self.optimize:
+            return {"enabled": False}
+        from repro.magic.passes import summarize_reports
+
+        return summarize_reports(
+            [
+                self.narrow.optimizer_report(OP_ADD),
+                self.narrow.optimizer_report(OP_SUB),
+                self.wide.optimizer_report(OP_ADD),
+            ]
+        )
+
+
+# ----------------------------------------------------------------------
+# Controller
+# ----------------------------------------------------------------------
+class Toom3Controller:
+    """Drives multiplications through the three Toom-3 stages.
+
+    Exposes the same surface as
+    :class:`repro.karatsuba.controller.KaratsubaController` — job
+    records, stage latencies, wear/energy/reliability accounting — so
+    :class:`repro.karatsuba.pipeline.KaratsubaPipeline`'s timing
+    algebra, the bank dispatcher and the degrade ladder drive it
+    unchanged.
+    """
+
+    #: Pipeline-slot labels (see :class:`PipelineTiming.stage_names`).
+    stage_names: Tuple[str, str, str] = ("evaluate", "pointwise", "interpolate")
+    #: Controller attributes owning the stage objects, slot for slot
+    #: (service compile-cache accounting walks these).
+    stage_attr_names: Tuple[str, str, str] = (
+        "evaluate",
+        "pointwise",
+        "interpolate",
+    )
+
+    def __init__(
+        self,
+        n_bits: int,
+        wear_leveling: bool = True,
+        device=None,
+        spare_rows: int = 2,
+        residue_bits: int = DEFAULT_RESIDUE_BITS,
+        optimize: bool = False,
+        backend: object = "bitplane",
+    ):
+        _check_width(n_bits)
+        self.n_bits = n_bits
+        self.optimize = optimize
+        self.backend = backend
+        self.evaluate = EvaluationStage(
+            n_bits,
+            device=device,
+            spare_rows=spare_rows,
+            residue_bits=residue_bits,
+            optimize=optimize,
+            backend=backend,
+        )
+        self.pointwise = PointwiseStage(
+            n_bits, wear_leveling=wear_leveling, residue_bits=residue_bits
+        )
+        self.interpolate = InterpolationStage(
+            n_bits,
+            device=device,
+            spare_rows=spare_rows,
+            residue_bits=residue_bits,
+            optimize=optimize,
+            backend=backend,
+        )
+        self.jobs = 0
+
+    # ------------------------------------------------------------------
+    def run_job(self, a: int, b: int) -> JobRecord:
+        return self.run_jobs_batch([(a, b)])[0]
+
+    def run_jobs_batch(
+        self, pairs: Iterable[Tuple[int, int]]
+    ) -> List[JobRecord]:
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        for a, b in pairs:
+            if a < 0 or b < 0:
+                raise DesignError("operands must be non-negative")
+            if a >> self.n_bits or b >> self.n_bits:
+                raise DesignError(
+                    f"operands must fit in {self.n_bits} bits"
+                )
+        cb = chunk_bits(self.n_bits)
+        chunk_jobs = [
+            (split3(a, cb), split3(b, cb)) for a, b in pairs
+        ]
+        tracer = _telemetry.active()
+        if tracer is None:
+            ev = self.evaluate.process_batch(chunk_jobs)
+            pw = self.pointwise.process_batch([r.values for r in ev])
+            it = self.interpolate.process_batch([r.products for r in pw])
+        else:
+            jobs = len(pairs)
+            with self._stage_span(tracer, "evaluate", self.evaluate, jobs):
+                ev = self.evaluate.process_batch(chunk_jobs)
+            with self._stage_span(tracer, "pointwise", self.pointwise, jobs):
+                pw = self.pointwise.process_batch([r.values for r in ev])
+            with self._stage_span(
+                tracer, "interpolate", self.interpolate, jobs
+            ):
+                it = self.interpolate.process_batch(
+                    [r.products for r in pw]
+                )
+        # End-to-end ABFT closure: the assembled product must agree
+        # with the operands' residues.
+        checker = self.interpolate.checker
+        for (a, b), rec in zip(pairs, it):
+            checker.check_product(
+                rec.product, checker.res(a), checker.res(b), "product"
+            )
+        self.jobs += len(pairs)
+        return [
+            JobRecord(
+                a=a,
+                b=b,
+                product=it[i].product,
+                precompute_cycles=ev[i].cycles,
+                multiply_cycles=pw[i].cycles,
+                postcompute_cycles=it[i].cycles,
+            )
+            for i, (a, b) in enumerate(pairs)
+        ]
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _stage_span(self, tracer, name: str, stage, jobs: int):
+        array = getattr(stage, "array", None)
+        energy_before = float(array.energy_fj) if array is not None else None
+        nor_before = stage.clock.by_category.get("nor", 0)
+        with tracer.span(
+            f"stage.{name}", clock=stage.clock, width=self.n_bits, jobs=jobs
+        ) as span:
+            yield
+            span.set(nor=stage.clock.by_category.get("nor", 0) - nor_before)
+            if energy_before is not None:
+                span.set(energy_fj=float(array.energy_fj) - energy_before)
+
+    # ------------------------------------------------------------------
+    def stage_latencies(self) -> Tuple[int, int, int]:
+        return (
+            self.evaluate.latency_cc(),
+            self.pointwise.latency_cc(),
+            self.interpolate.latency_cc(),
+        )
+
+    @property
+    def area_cells(self) -> int:
+        return (
+            self.evaluate.area_cells
+            + self.pointwise.area_cells
+            + self.interpolate.area_cells
+        )
+
+    def max_writes(self) -> int:
+        return max(
+            self.evaluate.max_writes(),
+            self.pointwise.max_writes(),
+            self.interpolate.max_writes(),
+        )
+
+    def total_energy_fj(self) -> float:
+        return float(
+            self.evaluate.array.energy_fj
+            + self.interpolate.narrow.array.energy_fj
+            + self.interpolate.wide.array.energy_fj
+        )
+
+    # -- reliability ---------------------------------------------------
+    @property
+    def fault_hook(self):
+        return self.evaluate.fault_hook
+
+    @fault_hook.setter
+    def fault_hook(self, hook) -> None:
+        self.evaluate.fault_hook = hook
+        self.interpolate.fault_hook = hook
+
+    def diagnose_and_repair(self) -> dict:
+        report = {}
+        for name, stage in (
+            ("evaluate", self.evaluate),
+            ("interpolate", self.interpolate),
+        ):
+            remapped = stage.diagnose_and_repair()
+            if remapped:
+                report[name] = remapped
+        return report
+
+    def spare_rows_free(self) -> int:
+        return (
+            self.evaluate.array.spare_rows_free
+            + self.interpolate.narrow.array.spare_rows_free
+            + self.interpolate.wide.array.spare_rows_free
+        )
+
+    def optimizer_stats(self) -> dict:
+        if not self.optimize:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "evaluate": self.evaluate.optimizer_stats(),
+            "interpolate": self.interpolate.optimizer_stats(),
+        }
+
+    def residue_stats(self) -> List[dict]:
+        return [
+            self.evaluate.checker.stats(),
+            self.pointwise.checker.stats(),
+            self.interpolate.checker.stats(),
+        ]

@@ -28,6 +28,7 @@ from repro.crossbar.array import FAULT_STUCK_AT_1
 from repro.crossbar.faults import StuckAtFault, inject
 from repro.karatsuba import cost
 from repro.karatsuba.pipeline import DEFAULT_BATCH_SIZE
+from repro.portfolio.tuner import TuningTable
 from repro.service.autoscale import AutoscalerConfig, ScaleEvent, WayAutoscaler
 from repro.service.cache import OperandCache, ProgramCache
 from repro.service.degrade import (
@@ -136,6 +137,18 @@ class ServiceConfig:
     strict_deadlines: bool = True
     #: Queue-depth-driven way autoscaling (``None`` = fixed pools).
     autoscale: Optional[AutoscalerConfig] = None
+    #: Route every width to its tuned design point (algorithm, unroll
+    #: depth, optimizer flag, backend) instead of the paper's fixed
+    #: Karatsuba L = 2.  Admission also relaxes to the portfolio floor
+    #: (off-grid widths become servable through Toom-3 / schoolbook).
+    portfolio: bool = False
+    #: Routing table for portfolio mode: a path to a saved
+    #: ``TUNE_portfolio.json`` (:meth:`repro.portfolio.TuningTable.save`)
+    #: or an in-memory :class:`~repro.portfolio.TuningTable` (benches
+    #: and tests sweep and inject directly).  ``None`` with
+    #: ``portfolio=True`` uses a measurement-free table that routes
+    #: every width through the closed-form cost prior.
+    portfolio_table: Optional[object] = None
 
 
 class MultiplicationService:
@@ -162,6 +175,24 @@ class MultiplicationService:
         )
         self.program_cache = ProgramCache(self.config.program_cache_size)
         self.operand_cache = OperandCache(self.config.operand_cache_size)
+        #: Per-width design routing (portfolio mode only).  A saved
+        #: tuning table resolves measured buckets exactly and falls
+        #: back to the closed-form prior for unmeasured widths; with no
+        #: table configured, every width goes through the prior.
+        self.tuning_table: Optional[TuningTable] = None
+        if self.config.portfolio:
+            source = self.config.portfolio_table
+            if isinstance(source, TuningTable):
+                self.tuning_table = source
+            elif source is not None:
+                self.tuning_table = TuningTable.load(source)
+            else:
+                self.tuning_table = TuningTable(
+                    config={
+                        "optimize": self.config.optimize,
+                        "backend": self.config.backend,
+                    }
+                )
         self.dispatcher = BankDispatcher(
             ways_per_width=self.config.ways_per_width,
             program_cache=self.program_cache,
@@ -169,6 +200,11 @@ class MultiplicationService:
             spare_rows=self.config.spare_rows,
             optimize=self.config.optimize,
             backend=self.config.backend,
+            design_resolver=(
+                self.tuning_table.resolve
+                if self.tuning_table is not None
+                else None
+            ),
         )
         self.degrade = DegradeController(
             self.dispatcher,
@@ -229,6 +265,9 @@ class MultiplicationService:
             arrival_cc=arrival_cc,
             kind=kind,
             modulus_bits=modulus_bits,
+            # Portfolio routing serves widths the fixed datapath cannot
+            # (Toom-3 / schoolbook have no multiple-of-4 constraint).
+            flexible_width=self.config.portfolio,
         )
         self.submit_request(request)
         return request.request_id
@@ -241,8 +280,13 @@ class MultiplicationService:
 
         The paper's closed-form pipeline latency (``optimize=False``);
         the cycle packer only ever lowers it, so a deadline below this
-        bound cannot be met even by an immediate flush.
+        bound cannot be met even by an immediate flush.  Under
+        portfolio routing the Karatsuba closed form is no longer a
+        lower bound (schoolbook beats it at small widths), so the
+        estimate comes from the tuning table's routed-design floor.
         """
+        if self.tuning_table is not None:
+            return self.tuning_table.latency_floor_cc(n_bits)
         return cost.design_cost(n_bits, 2).latency_cc
 
     def _deadline_residence_ticks(self, request: MulRequest) -> Optional[int]:
@@ -572,7 +616,12 @@ class MultiplicationService:
         totals = {"hits": 0, "misses": 0, "evictions": 0}
         for way in self.dispatcher.all_ways():
             controller = way.pipeline.controller
-            for stage_name in ("precompute", "multiply_stage", "postcompute"):
+            stage_names = getattr(
+                controller,
+                "stage_attr_names",
+                ("precompute", "multiply_stage", "postcompute"),
+            )
+            for stage_name in stage_names:
                 executor = getattr(
                     getattr(controller, stage_name, None), "executor", None
                 )
@@ -603,7 +652,15 @@ class MultiplicationService:
             if not stats.get("enabled"):
                 continue
             per_way[way.way_id] = stats
-            for stage_stats in (stats["precompute"], stats["postcompute"]):
+            # Stage keys are per-controller ("precompute"/"postcompute"
+            # for Karatsuba, "evaluate"/"interpolate" for Toom-3), so
+            # aggregate whatever per-stage dicts the controller reports.
+            stage_dicts = [
+                value
+                for key, value in stats.items()
+                if key != "enabled" and isinstance(value, dict)
+            ]
+            for stage_stats in stage_dicts:
                 for key in totals:
                     totals[key] += stage_stats[key]
                 # Sum the raw gate counts; reconstructing them from the
@@ -631,6 +688,28 @@ class MultiplicationService:
             "ways": per_way,
         }
 
+    def _portfolio_snapshot(self) -> Dict[str, object]:
+        """Design-routing state: the table behind the resolver and the
+        design key actually serving each instantiated width pool."""
+        if self.tuning_table is None:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "table": {
+                "source": (
+                    "in-memory"
+                    if isinstance(self.config.portfolio_table, TuningTable)
+                    else self.config.portfolio_table or "prior-only"
+                ),
+                "selections": self.tuning_table.selections(),
+                **self.tuning_table.stats(),
+            },
+            "routes": {
+                n_bits: self.dispatcher.design_for(n_bits).key()
+                for n_bits in self.dispatcher.widths()
+            },
+        }
+
     def snapshot(self) -> Dict[str, object]:
         """Plain-dict service state: metrics, caches, ways, endurance.
 
@@ -650,6 +729,9 @@ class MultiplicationService:
               "autoscaler": {"enabled", "min_ways", "max_ways",
                              "widths": {n: {"active_ways", "scale_ups",
                                             "scale_downs", ...}}},
+              "portfolio": {"enabled", "table": {"source", "selections",
+                            "buckets", "bucket_hits", "prior_hits"},
+                            "routes": {n: design_key}},
             }
         """
         optimizer = self._optimizer_snapshot()
@@ -677,4 +759,5 @@ class MultiplicationService:
             if self.autoscaler is not None
             else {"enabled": False}
         )
+        snapshot["portfolio"] = self._portfolio_snapshot()
         return snapshot

@@ -355,14 +355,31 @@ class DegradeController:
         return tuple(retired)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _crossbar_stages(controller) -> List[Tuple[str, object]]:
+        """(name, stage) pairs of the controller's crossbar-backed
+        stages.  Controllers advertise their stage attributes through
+        ``stage_attr_names`` (the Karatsuba names are the fallback);
+        stages without a crossbar array — the Toom-3 point-wise row
+        multipliers, the schoolbook numeric model — are skipped."""
+        names = getattr(
+            controller, "stage_attr_names", ("precompute", "postcompute")
+        )
+        stages = []
+        for name in names:
+            stage = getattr(controller, name, None)
+            if stage is not None and getattr(stage, "array", None) is not None:
+                stages.append((name, stage))
+        return stages
+
     def endurance_snapshot(self) -> Dict[str, Dict[str, object]]:
         """Per-way wear view built on :func:`repro.crossbar.endurance.analyze`."""
         snapshot: Dict[str, Dict[str, object]] = {}
         for way in self.dispatcher.all_ways():
             controller = way.pipeline.controller
             reports = [
-                analyze(controller.precompute.array),
-                analyze(controller.postcompute.array),
+                analyze(stage.array)
+                for _, stage in self._crossbar_stages(controller)
             ]
             snapshot[way.way_id] = {
                 "healthy": way.healthy,
@@ -370,7 +387,9 @@ class DegradeController:
                 "max_writes": way.max_writes(),
                 "write_budget": self.policy.write_budget,
                 "remaining_fraction": self.policy.remaining_fraction(way),
-                "imbalance": max(r.imbalance for r in reports),
+                "imbalance": max(
+                    (r.imbalance for r in reports), default=0.0
+                ),
             }
         return snapshot
 
@@ -380,10 +399,7 @@ class DegradeController:
         for way in self.dispatcher.all_ways():
             controller = way.pipeline.controller
             remap: Dict[str, Dict[int, int]] = {}
-            for name, stage in (
-                ("precompute", controller.precompute),
-                ("postcompute", controller.postcompute),
-            ):
+            for name, stage in self._crossbar_stages(controller):
                 table = stage.array.remap_table()
                 if table:
                     remap[name] = table

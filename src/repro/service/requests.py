@@ -48,12 +48,30 @@ class NoHealthyWayError(ServiceError):
     """Every bank way for a width is retired or quarantined."""
 
 
+#: Width floor of the portfolio designs (Toom-3 and schoolbook accept
+#: any width from here up; see :mod:`repro.portfolio.design`).
+FLEXIBLE_MIN_BITS = 16
+
+
 def validate_width(n_bits: int) -> None:
     """Admission-control width check, mirroring the datapath constraint."""
     if n_bits < MIN_BITS or n_bits % 4:
         raise AdmissionError(
             f"operand width must be a multiple of 4 and >= {MIN_BITS}, "
             f"got {n_bits}"
+        )
+
+
+def validate_flexible_width(n_bits: int) -> None:
+    """Relaxed admission check for portfolio-routed requests.
+
+    The portfolio's Toom-3 and schoolbook designs have no divisibility
+    constraint, so off-grid widths (``n % 4 != 0``) are servable; only
+    the common floor remains.
+    """
+    if n_bits < FLEXIBLE_MIN_BITS:
+        raise AdmissionError(
+            f"operand width must be >= {FLEXIBLE_MIN_BITS}, got {n_bits}"
         )
 
 
@@ -95,9 +113,17 @@ class MulRequest:
     #: Bit length of the modulus the multiplication reduces under
     #: (``None`` for plain multiplications).
     modulus_bits: Optional[int] = None
+    #: Set by the service when portfolio routing is enabled and a
+    #: feasibility-unconstrained design can serve this width: admission
+    #: then only enforces the portfolio floor instead of the fixed
+    #: datapath's multiple-of-4 constraint.
+    flexible_width: bool = False
 
     def __post_init__(self) -> None:
-        validate_width(self.n_bits)
+        if self.flexible_width:
+            validate_flexible_width(self.n_bits)
+        else:
+            validate_width(self.n_bits)
         if self.a < 0 or self.b < 0:
             raise AdmissionError("operands must be non-negative")
         if self.a >> self.n_bits or self.b >> self.n_bits:

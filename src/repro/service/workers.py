@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.karatsuba.pipeline import KaratsubaPipeline, PipelineTiming
+from repro.portfolio.design import DesignPoint, build_pipeline
 from repro.service.cache import ProgramCache
 from repro.service.requests import NoHealthyWayError
 from repro.telemetry import spans as _telemetry
@@ -116,6 +117,14 @@ class BankDispatcher:
         way's pipeline runs on.  Also part of the cache variant key —
         a warm pipeline carries its backend choice, so two configs with
         different backends must never share one.
+    design_resolver:
+        Optional portfolio hook mapping an operand width to the
+        :class:`~repro.portfolio.design.DesignPoint` that should serve
+        it (typically ``TuningTable.resolve``).  When set, pools are
+        built through :func:`repro.portfolio.design.build_pipeline` and
+        the resolved design overrides ``optimize``/``backend``; when
+        ``None`` the dispatcher serves the paper's fixed Karatsuba
+        L = 2 design for every width.
     """
 
     def __init__(
@@ -127,6 +136,7 @@ class BankDispatcher:
         ranker: WayRanker = least_loaded,
         optimize: bool = False,
         backend: str = "bitplane",
+        design_resolver: Optional[Callable[[int], DesignPoint]] = None,
     ):
         if ways_per_width < 1:
             raise ValueError("need at least one way per width")
@@ -141,6 +151,7 @@ class BankDispatcher:
         self.ranker = ranker
         self.optimize = optimize
         self.backend = backend
+        self.design_resolver = design_resolver
         self._pools: Dict[int, List[Way]] = {}
 
     # ------------------------------------------------------------------
@@ -158,24 +169,38 @@ class BankDispatcher:
             self._pools[n_bits] = ways
         return ways
 
-    def _variant(self, index) -> str:
-        """Cache variant key of one way's pipeline; includes the
-        optimizer flag and executor backend so packed / paper-exact /
-        differently-backed pipelines never alias."""
-        suffix = ".opt" if self.optimize else ""
-        return f"pipeline.{index}{suffix}.{self.backend}"
+    def design_for(self, n_bits: int) -> DesignPoint:
+        """The design point serving *n_bits* under the current policy."""
+        if self.design_resolver is not None:
+            return self.design_resolver(n_bits)
+        return DesignPoint(
+            "karatsuba",
+            depth=2,
+            optimize=self.optimize,
+            backend=self.backend,
+        )
+
+    def _variant(self, n_bits: int, index) -> str:
+        """Cache variant key of one way's pipeline.
+
+        Embeds the full design-point key — algorithm, unroll depth,
+        optimizer flag and executor backend — so two design points at
+        the same width can never alias one warm pipeline (a Toom-3 way
+        and a Karatsuba way are different hardware).
+        """
+        return f"pipeline.{index}.{self.design_for(n_bits).key()}"
 
     def _build_pipeline(self, n_bits: int, index: int) -> KaratsubaPipeline:
+        design = self.design_for(n_bits)
         return self.program_cache.get_or_build(
             n_bits,
-            lambda: KaratsubaPipeline(
+            lambda: build_pipeline(
                 n_bits,
+                design,
                 wear_leveling=self.wear_leveling,
                 spare_rows=self.spare_rows,
-                optimize=self.optimize,
-                backend=self.backend,
             ),
-            variant=self._variant(index),
+            variant=self._variant(n_bits, index),
         )
 
     def healthy_ways(self, n_bits: int) -> List[Way]:
@@ -227,7 +252,9 @@ class BankDispatcher:
         """
         way.retire(reason)
         index = way.way_id.rsplit(".", 1)[-1]
-        self.program_cache.discard(way.n_bits, variant=self._variant(index))
+        self.program_cache.discard(
+            way.n_bits, variant=self._variant(way.n_bits, index)
+        )
 
     def widths(self) -> List[int]:
         return sorted(self._pools)

@@ -410,10 +410,75 @@ def collect_crypto_metrics(seed: int = 0xC49) -> Dict[str, Metric]:
     return metrics
 
 
+def collect_portfolio_metrics(seed: int = 0x70F0) -> Dict[str, Metric]:
+    """Tuned-portfolio serving versus the fixed Karatsuba L = 2 design.
+
+    Runs a reduced tuner sweep, drives one seeded mixed-width load
+    (bucket widths plus off-grid widths only the portfolio can admit)
+    through a portfolio-routed service and through the fixed-design
+    baseline, and records cycle-domain makespans, tail latency and the
+    number of width buckets where a non-Karatsuba design won.  All on
+    the virtual cycle clock — bit-stable across machines.
+    """
+    from repro.eval.workloads import width_mix_trace
+    from repro.portfolio import sweep
+    from repro.service import MultiplicationService, ServiceConfig
+
+    widths = (16, 32, 64, 128)
+    table = sweep(widths=widths, jobs=2, seed=seed)
+
+    def run(tuning_table, trace_widths) -> Dict[str, int]:
+        config = ServiceConfig(
+            batch_size=8,
+            ways_per_width=1,
+            portfolio=tuning_table is not None,
+            portfolio_table=tuning_table,
+        )
+        service = MultiplicationService(config)
+        trace = width_mix_trace(64, trace_widths, seed=seed ^ 0x3A)
+        for item in trace:
+            service.submit(item.a, item.b, item.n_bits)
+        results = service.drain()
+        latencies = sorted(r.latency_cc for r in results)
+        rank = -(-99 * len(latencies) // 100)  # nearest-rank ceil
+        return {
+            "makespan_cc": service.dispatcher.makespan_cc(),
+            "p99_cc": latencies[max(rank - 1, 0)] if latencies else 0,
+            "completed": len(results),
+        }
+
+    tuned = run(table, widths)
+    baseline = run(None, widths)
+    offgrid = run(table, (90, 270))
+    non_karatsuba = sum(
+        1
+        for key in table.selections().values()
+        if not key.startswith("karatsuba")
+    )
+    return {
+        "tuned_makespan_cc": Metric(tuned["makespan_cc"], LOWER_IS_BETTER),
+        "baseline_makespan_cc": Metric(
+            baseline["makespan_cc"], LOWER_IS_BETTER
+        ),
+        "makespan_speedup_x": Metric(
+            baseline["makespan_cc"] / tuned["makespan_cc"]
+            if tuned["makespan_cc"]
+            else 0.0,
+            HIGHER_IS_BETTER,
+        ),
+        "tuned_p99_cc": Metric(tuned["p99_cc"], LOWER_IS_BETTER),
+        "offgrid_completed": Metric(
+            offgrid["completed"], HIGHER_IS_BETTER
+        ),
+        "non_karatsuba_buckets": Metric(non_karatsuba, HIGHER_IS_BETTER),
+    }
+
+
 #: Named deterministic workloads ``repro bench-compare`` knows about.
 COLLECTORS: Dict[str, Callable[[], Dict[str, Metric]]] = {
     "pipeline": collect_pipeline_metrics,
     "service": collect_service_metrics,
     "load": collect_load_metrics,
     "crypto": collect_crypto_metrics,
+    "portfolio": collect_portfolio_metrics,
 }

@@ -491,7 +491,7 @@ class TestServiceBackendConfig:
 
         word = BankDispatcher(backend="word")
         plane = BankDispatcher(backend="bitplane")
-        assert word._variant(0) != plane._variant(0)
+        assert word._variant(64, 0) != plane._variant(64, 0)
 
     @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_service_products_match_under_any_backend(self, backend):
